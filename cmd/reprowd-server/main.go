@@ -1,0 +1,41 @@
+// Command reprowd-server runs the crowdsourcing platform as a standalone
+// HTTP service — the PyBossa role in the paper's architecture. Reprowd
+// programs connect to it with platform.NewHTTPClient (or
+// reprowd.NewPlatformHTTPClient), and the CLI/worker simulators can drive
+// it over the same REST API.
+//
+// Usage:
+//
+//	reprowd-server -addr :7070
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/platform"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7070", "listen address")
+		virtualTime = flag.Bool("virtual-time", false,
+			"use the deterministic virtual clock instead of wall time (for reproducible demos)")
+	)
+	flag.Parse()
+
+	var clock vclock.Clock = vclock.NewWall()
+	if *virtualTime {
+		clock = vclock.NewVirtual()
+	}
+	engine := platform.NewEngine(clock)
+	srv := platform.NewServer(engine)
+
+	log.Printf("reprowd platform listening on %s (virtual time: %v)", *addr, *virtualTime)
+	log.Printf("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats")
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Command reprowd inspects a Reprowd database directory: the tables, rows,
+// answers, lineage, and manipulation history of a shared experiment. This
+// is Ally's tool for examining Bob's experiment without rerunning his code.
+//
+// Usage:
+//
+//	reprowd tables  -db exp.db
+//	reprowd show    -db exp.db -table image_label [-row KEY]
+//	reprowd lineage -db exp.db -table image_label
+//	reprowd oplog   -db exp.db -table image_label
+//	reprowd stats   -db exp.db
+//	reprowd export  -db exp.db -table image_label > exp.jsonl
+//	reprowd import  -db exp.db < exp.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lineage"
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reprowd <tables|show|lineage|oplog|stats|export|import> -db DIR [-table T] [-row KEY]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dbDir := fs.String("db", "", "Reprowd database directory (required)")
+	table := fs.String("table", "", "table name")
+	rowKey := fs.String("row", "", "row key (show only this row)")
+	fs.Parse(os.Args[2:])
+	if *dbDir == "" {
+		usage()
+	}
+
+	// Inspection opens the database read-only (no lock, no mutation), so
+	// it is safe even while the experiment is running; only `import`
+	// needs the write lock. The throwaway engine satisfies the context's
+	// platform wiring; it is never called.
+	cc, err := core.NewContext(core.Options{
+		DBDir:  *dbDir,
+		Client: platform.NewEngine(nil),
+		Storage: storage.Options{
+			ReadOnly: cmd != "import",
+			Sync:     storage.SyncAlways,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cc.Close()
+
+	switch cmd {
+	case "tables":
+		tables, err := cc.Tables()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			cd, err := cc.LoadTable(t)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-30s %d rows\n", t, cd.Len())
+		}
+	case "show":
+		requireTable(*table)
+		cd, err := cc.LoadTable(*table)
+		if err != nil {
+			fatal(err)
+		}
+		for _, row := range cd.Rows() {
+			if *rowKey != "" && row.Key != *rowKey {
+				continue
+			}
+			printRow(row)
+		}
+	case "lineage":
+		requireTable(*table)
+		cd, err := cc.LoadTable(*table)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := lineage.Summarize(cc, cd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Format())
+	case "oplog":
+		requireTable(*table)
+		ops, err := cc.OpLog(*table)
+		if err != nil {
+			fatal(err)
+		}
+		for _, op := range ops {
+			fmt.Printf("[%d] %s %s col=%s params=%v\n",
+				op.Seq, op.At.Format(time.RFC3339Nano), op.Op, op.Col, op.Params)
+		}
+	case "stats":
+		st := cc.DB().Stats()
+		fmt.Printf("keys:        %d\n", st.Keys)
+		fmt.Printf("segments:    %d\n", st.Segments)
+		fmt.Printf("live bytes:  %d\n", st.LiveBytes)
+		fmt.Printf("total bytes: %d\n", st.TotalBytes)
+		fmt.Printf("dead bytes:  %d\n", st.DeadBytes)
+	case "export":
+		requireTable(*table)
+		if err := cc.ExportTable(*table, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "import":
+		n, err := cc.ImportTable(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "imported %d rows\n", n)
+	default:
+		usage()
+	}
+}
+
+func printRow(row *core.Row) {
+	fmt.Printf("row %s\n", row.Key)
+	for _, f := range sortedKeys(row.Object) {
+		fmt.Printf("  object.%s = %s\n", f, row.Object[f])
+	}
+	if row.Task != nil {
+		fmt.Printf("  task: platform id %d, presenter %q, redundancy %d, published %s\n",
+			row.Task.PlatformTaskID, row.Task.Presenter, row.Task.Redundancy,
+			row.Task.PublishedAt.Format(time.RFC3339Nano))
+	}
+	if row.Result != nil {
+		fmt.Printf("  result: %d answers (complete=%v)\n", len(row.Result.Answers), row.Result.Complete)
+		for _, a := range row.Result.Answers {
+			fmt.Printf("    %-20s %-10s at %s\n", a.Worker, a.Value, a.SubmittedAt.Format(time.RFC3339Nano))
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func requireTable(t string) {
+	if t == "" {
+		fmt.Fprintln(os.Stderr, "reprowd: -table is required for this command")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reprowd:", err)
+	os.Exit(1)
+}

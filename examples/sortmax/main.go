@@ -1,0 +1,95 @@
+// Sortmax demonstrates the crowdsourced sort and max operators: ranking a
+// set of items whose quality only humans can judge (here simulated by
+// hidden scores), with a full-budget sort, a reduced-budget sort, and a
+// single-elimination max tournament.
+//
+//	go run ./examples/sortmax -items 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	reprowd "repro"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+func main() {
+	var (
+		n    = flag.Int("items", 15, "number of items to rank")
+		seed = flag.Int64("seed", 3, "simulation seed")
+	)
+	flag.Parse()
+
+	list := simdata.SortItems(*seed, *n)
+	items := make([]reprowd.SortItem, 0, *n)
+	for _, it := range list.Items {
+		items = append(items, reprowd.SortItem{ID: it.ID, Label: it.Label})
+	}
+
+	dir, err := os.MkdirTemp("", "sortmax-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sim := reprowd.NewSimulation(*seed)
+	cc, err := reprowd.NewContext(reprowd.Options{DBDir: dir, Client: sim.Platform, Clock: sim.Clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cc.Close()
+
+	pool := sim.Workers(reprowd.WorkerSpec{Count: 5, Model: reprowd.UniformWorker{P: 0.85}, Prefix: "judge"})
+	answer := reprowd.PoolAnswerer(sim.Platform, pool, reprowd.CompareOracle(list.ScoreOf()))
+
+	// Full-budget sort.
+	full, err := reprowd.CrowdSort(cc, items, reprowd.SortConfig{
+		Table: "full", Redundancy: 3, Answer: answer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full sort:     %d comparisons, %d answers, Kendall tau vs truth = %.3f\n",
+		full.Cost.Tasks, full.Cost.Answers, metrics.KendallTau(full.Order, list.TrueOrder))
+
+	// Budgeted sort: a third of the comparisons.
+	budget := (*n * (*n - 1) / 2) / 3
+	cheap, err := reprowd.CrowdSort(cc, items, reprowd.SortConfig{
+		Table: "cheap", Redundancy: 3, Budget: budget, Seed: *seed, Answer: answer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budgeted sort: %d comparisons, %d answers, Kendall tau vs truth = %.3f\n",
+		cheap.Cost.Tasks, cheap.Cost.Answers, metrics.KendallTau(cheap.Order, list.TrueOrder))
+
+	// Max tournament.
+	max, err := reprowd.CrowdMax(cc, items, reprowd.MaxConfig{
+		Table: "champ", Redundancy: 3, Answer: answer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := "correct"
+	if max.Winner != list.TrueOrder[0] {
+		correct = fmt.Sprintf("true best was %s", list.TrueOrder[0])
+	}
+	fmt.Printf("max:           winner %s after %d rounds and %d comparisons (%s)\n",
+		max.Winner, max.Rounds, max.Cost.Tasks, correct)
+
+	fmt.Println("\ntop 5 by crowd ranking:")
+	for i, id := range full.Order[:min(5, len(full.Order))] {
+		fmt.Printf("  %d. %s (score %.1f)\n", i+1, id, full.Scores[id])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

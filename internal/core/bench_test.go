@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Core-layer throughput: how fast the CrowdData pipeline moves rows when
+// the crowd is instantaneous, and how cheap cached reruns are.
+
+func benchContext(b *testing.B) (*CrowdContext, *platform.Engine, *vclock.Virtual) {
+	b.Helper()
+	clock := vclock.NewVirtual()
+	engine := platform.NewEngine(clock)
+	cc, err := NewContext(Options{
+		DBDir:   b.TempDir(),
+		Client:  engine,
+		Clock:   clock,
+		Storage: storage.Options{Sync: storage.SyncNever},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cc.Close() })
+	return cc, engine, clock
+}
+
+func benchObjects(n int) []Object {
+	out := make([]Object, n)
+	for i := range out {
+		truth := "Yes"
+		if i%2 == 0 {
+			truth = "No"
+		}
+		out[i] = Object{"url": fmt.Sprintf("http://img/%06d.jpg", i), "truth": truth}
+	}
+	return out
+}
+
+var benchOracle = crowd.FuncOracle{
+	TruthFunc:   func(p map[string]string) string { return p["truth"] },
+	OptionsFunc: func(map[string]string) []string { return []string{"Yes", "No"} },
+}
+
+func BenchmarkPublish_100Rows(b *testing.B) {
+	cc, _, _ := benchContext(b)
+	objects := benchObjects(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd, err := cc.CrowdData(objects, fmt.Sprintf("t%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cd.SetPresenter(ImageLabel("Match?"))
+		if n, err := cd.Publish(PublishOptions{Redundancy: 3}); err != nil || n != 100 {
+			b.Fatal(n, err)
+		}
+	}
+}
+
+func BenchmarkFullPipeline_100Rows(b *testing.B) {
+	cc, engine, clock := benchContext(b)
+	objects := benchObjects(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := fmt.Sprintf("t%d", i)
+		cd, err := cc.CrowdData(objects, table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cd.SetPresenter(ImageLabel("Match?"))
+		if _, err := cd.Publish(PublishOptions{Redundancy: 3}); err != nil {
+			b.Fatal(err)
+		}
+		pid, err := cd.ProjectID()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := crowd.NewPool(int64(i), clock, crowd.Spec{Count: 5, Model: crowd.Uniform{P: 0.8}, Prefix: "w"})
+		if _, err := pool.Drain(engine, pid, benchOracle); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cd.Collect(); err != nil {
+			b.Fatal(err)
+		}
+		if err := cd.MajorityVote("mv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedRerun_100Rows measures the rerun path of E1: the whole
+// pipeline when every row is already cached.
+func BenchmarkCachedRerun_100Rows(b *testing.B) {
+	cc, engine, clock := benchContext(b)
+	objects := benchObjects(100)
+	cd, err := cc.CrowdData(objects, "cached")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("Match?"))
+	if _, err := cd.Publish(PublishOptions{Redundancy: 3}); err != nil {
+		b.Fatal(err)
+	}
+	pid, _ := cd.ProjectID()
+	pool := crowd.NewPool(1, clock, crowd.Spec{Count: 5, Model: crowd.Uniform{P: 0.8}, Prefix: "w"})
+	if _, err := pool.Drain(engine, pid, benchOracle); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cd.Collect(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd2, err := cc.CrowdData(objects, "cached")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cd2.SetPresenter(ImageLabel("Match?"))
+		if n, err := cd2.Publish(PublishOptions{Redundancy: 3}); err != nil || n != 0 {
+			b.Fatal(n, err)
+		}
+		rep, err := cd2.Collect()
+		if err != nil || rep.NewAnswers != 0 {
+			b.Fatal(rep, err)
+		}
+		if err := cd2.MajorityVote("mv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadTable_1kRows(b *testing.B) {
+	cc, engine, clock := benchContext(b)
+	objects := benchObjects(1000)
+	cd, err := cc.CrowdData(objects, "big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("Match?"))
+	if _, err := cd.Publish(PublishOptions{Redundancy: 1}); err != nil {
+		b.Fatal(err)
+	}
+	pid, _ := cd.ProjectID()
+	pool := crowd.NewPool(1, clock, crowd.Spec{Count: 3, Model: crowd.Perfect{}, Prefix: "w"})
+	if _, err := pool.Drain(engine, pid, benchOracle); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cd.Collect(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := cc.LoadTable("big")
+		if err != nil || loaded.Len() != 1000 {
+			b.Fatal(loaded.Len(), err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package core implements the paper's central contribution: the CrowdData
+// abstraction and the CrowdContext entry point.
+//
+// A crowdsourcing experiment is modeled as a sequence of manipulations of a
+// tabular dataset (CrowdData). Each step — prepare input, choose a
+// presenter, publish tasks, collect answers, run quality control — adds or
+// fills a column. The task and result columns are persisted in an embedded
+// database keyed by (table name, row key), not by call order, which gives
+// the two properties the paper demands:
+//
+//   - Sharable: rerunning a program (after a crash, or on a colleague's
+//     machine with the database file) behaves as if it had never stopped:
+//     published tasks are not republished, collected answers are served
+//     from the database, and derived columns are recomputed cheaply.
+//   - Examinable: the persisted columns carry complete lineage (who
+//     answered what, when, via which presenter), and the code can be
+//     extended — rows appended, steps reordered, new quality control
+//     added — without invalidating the cache, unlike TurKit's
+//     call-order-keyed crash-and-rerun cache.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Exported errors.
+var (
+	ErrNoPresenter  = errors.New("core: no presenter set; call SetPresenter before Publish")
+	ErrNotPublished = errors.New("core: rows have no tasks; call Publish before Collect")
+	ErrBadTableName = errors.New("core: table name must match [A-Za-z0-9_-]+")
+	ErrDuplicateKey = errors.New("core: duplicate row key")
+	ErrNoResults    = errors.New("core: rows have no results; call Collect first")
+)
+
+var tableNameRE = regexp.MustCompile(`^[A-Za-z0-9_-]+$`)
+
+// Options configure a CrowdContext.
+type Options struct {
+	// DBDir is the directory of the embedded database. Required.
+	DBDir string
+	// Client is the crowdsourcing platform binding. Required.
+	Client platform.Client
+	// Clock supplies timestamps; nil means a fresh virtual clock.
+	Clock vclock.Clock
+	// DefaultRedundancy is used when PublishOptions leave it zero.
+	// Defaults to 3, the paper's example value.
+	DefaultRedundancy int
+	// KeyFunc derives row keys; nil means DefaultKey.
+	KeyFunc KeyFunc
+	// Storage tunes the embedded database (sync policy etc.).
+	Storage storage.Options
+}
+
+// CrowdContext is the main entry point for Reprowd functionality: it wires
+// CrowdData tables to the platform and the database (Figure 1).
+type CrowdContext struct {
+	db      *storage.DB
+	client  platform.Client
+	clock   vclock.Clock
+	defRed  int
+	keyFunc KeyFunc
+}
+
+// NewContext opens (creating if needed) the context's database and returns
+// a ready CrowdContext.
+func NewContext(opts Options) (*CrowdContext, error) {
+	if opts.DBDir == "" {
+		return nil, fmt.Errorf("core: Options.DBDir is required")
+	}
+	if opts.Client == nil {
+		return nil, fmt.Errorf("core: Options.Client is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.NewVirtual()
+	}
+	if opts.DefaultRedundancy <= 0 {
+		opts.DefaultRedundancy = 3
+	}
+	if opts.KeyFunc == nil {
+		opts.KeyFunc = DefaultKey
+	}
+	db, err := storage.Open(opts.DBDir, opts.Storage)
+	if err != nil {
+		return nil, err
+	}
+	return &CrowdContext{
+		db:      db,
+		client:  opts.Client,
+		clock:   opts.Clock,
+		defRed:  opts.DefaultRedundancy,
+		keyFunc: opts.KeyFunc,
+	}, nil
+}
+
+// Close releases the database.
+func (cc *CrowdContext) Close() error { return cc.db.Close() }
+
+// DB exposes the underlying store (read-mostly; used by the CLI and
+// lineage queries).
+func (cc *CrowdContext) DB() *storage.DB { return cc.db }
+
+// Client returns the platform binding.
+func (cc *CrowdContext) Client() platform.Client { return cc.client }
+
+// Clock returns the context clock.
+func (cc *CrowdContext) Clock() vclock.Clock { return cc.clock }
+
+// Key derives the row key for an object using the context's KeyFunc.
+// Operators use it to find the row a given object landed in.
+func (cc *CrowdContext) Key(obj Object) string { return cc.keyFunc(obj) }
+
+// Storage key namespaces. Row keys never contain '/', so these prefixes
+// partition the keyspace.
+func taskKey(table, key string) string   { return "t/" + table + "/" + key }
+func resultKey(table, key string) string { return "r/" + table + "/" + key }
+func oplogKey(table string, seq int) string {
+	return fmt.Sprintf("o/%s/%08d", table, seq)
+}
+func metaKey(table string) string { return "m/" + table }
+
+// CrowdData materializes a table: the given objects become rows, and any
+// task/result columns previously persisted under this table name are
+// loaded back — this is the crash-and-rerun entry point. Objects with
+// identical keys are rejected.
+func (cc *CrowdContext) CrowdData(objects []Object, name string) (*CrowdData, error) {
+	if !tableNameRE.MatchString(name) {
+		return nil, fmt.Errorf("%w: got %q", ErrBadTableName, name)
+	}
+	cd := &CrowdData{ctx: cc, name: name, index: make(map[string]int)}
+	if err := cd.appendObjects(objects); err != nil {
+		return nil, err
+	}
+	if err := cc.ensureMeta(name); err != nil {
+		return nil, err
+	}
+	return cd, nil
+}
+
+// LoadTable reconstructs a CrowdData purely from the database, using the
+// object snapshots stored in the task column. This is how a colleague (or
+// the CLI) examines an experiment without rerunning the generating code.
+// Rows are ordered by key.
+func (cc *CrowdContext) LoadTable(name string) (*CrowdData, error) {
+	if !tableNameRE.MatchString(name) {
+		return nil, fmt.Errorf("%w: got %q", ErrBadTableName, name)
+	}
+	cd := &CrowdData{ctx: cc, name: name, index: make(map[string]int)}
+	prefix := "t/" + name + "/"
+	err := cc.db.Scan(prefix, func(k string, v []byte) bool {
+		key := strings.TrimPrefix(k, prefix)
+		task, derr := unmarshalTask(v)
+		if derr != nil {
+			return true
+		}
+		row := &Row{Key: key, Object: task.Payload, Task: task}
+		cd.index[key] = len(cd.rows)
+		cd.rows = append(cd.rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range cd.rows {
+		if err := cd.loadResult(row); err != nil {
+			return nil, err
+		}
+	}
+	return cd, nil
+}
+
+// Tables lists the table names present in the database, sorted.
+func (cc *CrowdContext) Tables() ([]string, error) {
+	keys, err := cc.db.Keys("m/")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, strings.TrimPrefix(k, "m/"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteTable removes a table's persisted columns, op log, and metadata.
+func (cc *CrowdContext) DeleteTable(name string) error {
+	for _, prefix := range []string{"t/" + name + "/", "r/" + name + "/", "o/" + name + "/"} {
+		if _, err := cc.db.DeletePrefix(prefix); err != nil {
+			return err
+		}
+	}
+	return cc.db.Delete([]byte(metaKey(name)))
+}
+
+// tableMeta is the persisted per-table metadata.
+type tableMeta struct {
+	Created time.Time `json:"created"`
+}
+
+func (cc *CrowdContext) ensureMeta(table string) error {
+	ok, err := cc.db.Has([]byte(metaKey(table)))
+	if err != nil || ok {
+		return err
+	}
+	buf, err := marshalJSON(tableMeta{Created: cc.clock.Now()})
+	if err != nil {
+		return err
+	}
+	return cc.db.Put([]byte(metaKey(table)), buf)
+}

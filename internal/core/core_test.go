@@ -1,0 +1,753 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crowd"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// testEnv bundles a platform, clock, pool, and context directory so tests
+// can simulate full experiment lifecycles including process restarts.
+type testEnv struct {
+	clock  *vclock.Virtual
+	engine *platform.Engine
+	pool   *crowd.Pool
+	dbDir  string
+}
+
+func newEnv(t *testing.T, workers int, model crowd.AnswerModel) *testEnv {
+	t.Helper()
+	clock := vclock.NewVirtual()
+	return &testEnv{
+		clock:  clock,
+		engine: platform.NewEngine(clock),
+		pool:   crowd.NewPool(42, clock, crowd.Spec{Count: workers, Model: model, Prefix: "w"}),
+		dbDir:  t.TempDir(),
+	}
+}
+
+// open creates a context over the env's database and platform. Set
+// breakLock when simulating a restart after a kill (the LOCK file of the
+// dead process is still on disk only if we didn't Close; Close removes it,
+// so breakLock is harmless either way).
+func (e *testEnv) open(t *testing.T) *CrowdContext {
+	t.Helper()
+	cc, err := NewContext(Options{
+		DBDir:   e.dbDir,
+		Client:  e.engine,
+		Clock:   e.clock,
+		Storage: storage.Options{Sync: storage.SyncNever, BreakStaleLock: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+var labelOracle = crowd.FuncOracle{
+	TruthFunc:   func(p map[string]string) string { return p["truth"] },
+	OptionsFunc: func(map[string]string) []string { return []string{"Yes", "No"} },
+}
+
+func threeImages() []Object {
+	return []Object{
+		{"url": "http://img/1.jpg", "truth": "Yes"},
+		{"url": "http://img/2.jpg", "truth": "No"},
+		{"url": "http://img/3.jpg", "truth": "Yes"},
+	}
+}
+
+// drain runs the env's worker pool over the table's project.
+func drain(t *testing.T, e *testEnv, cd *CrowdData) {
+	t.Helper()
+	pid, err := cd.ProjectID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pool.Drain(e.engine, pid, labelOracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2Workflow reproduces the paper's Figure 2 end to end: label
+// three images with redundancy 3 and majority vote (experiment E1).
+func TestFigure2Workflow(t *testing.T) {
+	e := newEnv(t, 5, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+
+	cd, err := cc.CrowdData(threeImages(), "image_label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("Is there a dog in the image?"))
+
+	n, err := cd.Publish(PublishOptions{Redundancy: 3})
+	if err != nil || n != 3 {
+		t.Fatalf("Publish = %d, %v; want 3", n, err)
+	}
+	drain(t, e, cd)
+
+	rep, err := cd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published != 3 || rep.Complete != 3 || rep.NewAnswers != 9 {
+		t.Fatalf("collect report = %+v", rep)
+	}
+	if err := cd.MajorityVote("mv"); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range cd.Rows() {
+		if row.Value("mv") != row.Object["truth"] {
+			t.Fatalf("row %d mv = %q, truth %q", i, row.Value("mv"), row.Object["truth"])
+		}
+		if row.Value("mv_confidence") != "1.0000" {
+			t.Fatalf("row %d confidence = %q", i, row.Value("mv_confidence"))
+		}
+		if len(row.Result.Answers) != 3 {
+			t.Fatalf("row %d has %d answers", i, len(row.Result.Answers))
+		}
+	}
+}
+
+// TestRerunIsCached is the sharable claim: Ally receives Bob's code and
+// database and reruns it against an EMPTY platform — everything must come
+// from the cache, byte for byte, without a single platform task.
+func TestRerunIsCached(t *testing.T) {
+	e := newEnv(t, 5, crowd.Uniform{P: 0.8})
+	cc := e.open(t)
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	if _, err := cd.Publish(PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e, cd)
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	cd.MajorityVote("mv")
+	want := snapshotMV(cd)
+	cc.Close()
+
+	// Ally's machine: same DB directory, brand-new platform with nothing
+	// on it, no workers at all.
+	allyEngine := platform.NewEngine(vclock.NewVirtual())
+	ally, err := NewContext(Options{
+		DBDir:   e.dbDir,
+		Client:  allyEngine,
+		Storage: storage.Options{Sync: storage.SyncNever, BreakStaleLock: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ally.Close()
+
+	cd2, err := ally.CrowdData(threeImages(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd2.SetPresenter(ImageLabel("Dog?"))
+	n, err := cd2.Publish(PublishOptions{})
+	if err != nil || n != 0 {
+		t.Fatalf("rerun Publish = %d, %v; want 0 (cached)", n, err)
+	}
+	rep, err := cd2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete != 3 || rep.NewAnswers != 0 {
+		t.Fatalf("rerun collect = %+v; want all cached", rep)
+	}
+	cd2.MajorityVote("mv")
+	if got := snapshotMV(cd2); got != want {
+		t.Fatalf("rerun output differs:\n%s\n%s", got, want)
+	}
+	// The empty platform was never asked to create anything.
+	if _, ok, _ := allyEngine.FindProject("reprowd-exp"); ok {
+		t.Fatal("rerun created a platform project despite full cache")
+	}
+}
+
+func snapshotMV(cd *CrowdData) string {
+	var b strings.Builder
+	for _, row := range cd.Rows() {
+		fmt.Fprintf(&b, "%s=%s(%s);", row.Key, row.Value("mv"), row.Value("mv_confidence"))
+		for _, a := range row.Result.Answers {
+			fmt.Fprintf(&b, "%s:%s@%s,", a.Worker, a.Value, a.SubmittedAt)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestExtendReusesCache is the examinable claim of Figure 3: Ally extends
+// Bob's 3-image experiment to 6 images; only the 3 new rows hit the
+// platform (experiment E2).
+func TestExtendReusesCache(t *testing.T) {
+	e := newEnv(t, 5, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{})
+	drain(t, e, cd)
+	cd.Collect()
+
+	bobAnswers := map[string]string{}
+	for _, row := range cd.Rows() {
+		bobAnswers[row.Key] = fmt.Sprint(row.Result.Answers)
+	}
+
+	// Ally adds three more images to the same table.
+	more := []Object{
+		{"url": "http://img/4.jpg", "truth": "No"},
+		{"url": "http://img/5.jpg", "truth": "Yes"},
+		{"url": "http://img/6.jpg", "truth": "No"},
+	}
+	added, err := cd.Extend(more)
+	if err != nil || added != 3 {
+		t.Fatalf("Extend = %d, %v", added, err)
+	}
+	n, err := cd.Publish(PublishOptions{})
+	if err != nil || n != 3 {
+		t.Fatalf("Publish after extend = %d, %v; want 3 new only", n, err)
+	}
+	st, _ := e.engine.Stats(mustProjectID(t, cd))
+	if st.Tasks != 6 {
+		t.Fatalf("platform has %d tasks, want 6", st.Tasks)
+	}
+	drain(t, e, cd)
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.MajorityVote("mv"); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cd.Rows() {
+		if row.Value("mv") != row.Object["truth"] {
+			t.Fatalf("row %s mv = %q", row.Key, row.Value("mv"))
+		}
+	}
+	// Bob's original answers are untouched.
+	for key, want := range bobAnswers {
+		row, _ := cd.Row(key)
+		if fmt.Sprint(row.Result.Answers) != want {
+			t.Fatalf("extending mutated cached answers for %s", key)
+		}
+	}
+	// Re-extending with the same objects is a no-op.
+	added, err = cd.Extend(more)
+	if err != nil || added != 0 {
+		t.Fatalf("re-Extend = %d, %v; want 0", added, err)
+	}
+}
+
+func mustProjectID(t *testing.T, cd *CrowdData) int64 {
+	t.Helper()
+	id, err := cd.ProjectID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestCrashRerunEveryStep kills the experiment after each step and reruns
+// the whole program; the final output must equal the uninterrupted run and
+// the platform must never see duplicate tasks (experiment E3).
+func TestCrashRerunEveryStep(t *testing.T) {
+	type stepFn func(t *testing.T, e *testEnv, cd *CrowdData)
+	steps := []struct {
+		name string
+		run  stepFn
+	}{
+		{"publish", func(t *testing.T, e *testEnv, cd *CrowdData) {
+			if _, err := cd.Publish(PublishOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"drain", func(t *testing.T, e *testEnv, cd *CrowdData) { drain(t, e, cd) }},
+		{"collect", func(t *testing.T, e *testEnv, cd *CrowdData) {
+			if _, err := cd.Collect(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"mv", func(t *testing.T, e *testEnv, cd *CrowdData) {
+			if err := cd.MajorityVote("mv"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	// Control: uninterrupted run.
+	control := func(e *testEnv) string {
+		cc := e.open(t)
+		defer cc.Close()
+		cd, err := cc.CrowdData(threeImages(), "exp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd.SetPresenter(ImageLabel("Dog?"))
+		for _, s := range steps {
+			s.run(t, e, cd)
+		}
+		return snapshotMV(cd)
+	}
+	want := control(newEnv(t, 5, crowd.Uniform{P: 0.8}))
+
+	for crashAfter := 0; crashAfter < len(steps); crashAfter++ {
+		t.Run(fmt.Sprintf("crash-after-%s", steps[crashAfter].name), func(t *testing.T) {
+			e := newEnv(t, 5, crowd.Uniform{P: 0.8})
+
+			// First run: execute steps 0..crashAfter, then "die"
+			// (close flushes; torn-write crashes are covered by the
+			// storage package's fault-injection tests).
+			cc := e.open(t)
+			cd, err := cc.CrowdData(threeImages(), "exp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd.SetPresenter(ImageLabel("Dog?"))
+			for i := 0; i <= crashAfter; i++ {
+				steps[i].run(t, e, cd)
+			}
+			cc.Close()
+
+			// Rerun the complete program from the top.
+			cc2 := e.open(t)
+			defer cc2.Close()
+			cd2, err := cc2.CrowdData(threeImages(), "exp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd2.SetPresenter(ImageLabel("Dog?"))
+			for _, s := range steps {
+				s.run(t, e, cd2)
+			}
+			if got := snapshotMV(cd2); got != want {
+				t.Fatalf("crash-after-%s rerun diverged:\n got %s\nwant %s",
+					steps[crashAfter].name, got, want)
+			}
+			st, _ := e.engine.Stats(mustProjectID(t, cd2))
+			if st.Tasks != 3 {
+				t.Fatalf("platform has %d tasks after crash+rerun, want 3", st.Tasks)
+			}
+			if st.TaskRuns != 9 {
+				t.Fatalf("platform has %d runs after crash+rerun, want 9", st.TaskRuns)
+			}
+		})
+	}
+}
+
+// TestPublishCrashBetweenPlatformAndDB covers the nastiest crash window:
+// the platform accepted the tasks but the database write never happened.
+// The rerun's Publish must adopt the existing platform tasks rather than
+// duplicate them.
+func TestPublishCrashBetweenPlatformAndDB(t *testing.T) {
+	e := newEnv(t, 3, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+
+	// Simulate the half-completed Publish: create the project and tasks
+	// directly on the platform, bypassing the database.
+	objects := threeImages()
+	p, _ := e.engine.EnsureProject(platform.ProjectSpec{Name: "reprowd-exp", Presenter: "image-label", Redundancy: 3})
+	var specs []platform.TaskSpec
+	for _, obj := range objects {
+		specs = append(specs, platform.TaskSpec{ExternalID: DefaultKey(obj), Payload: obj, Redundancy: 3})
+	}
+	if _, err := e.engine.AddTasks(p.ID, specs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rerun: Publish must reuse the orphaned platform tasks.
+	cd, _ := cc.CrowdData(objects, "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	n, err := cd.Publish(PublishOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Publish persisted %d rows, want 3", n)
+	}
+	st, _ := e.engine.Stats(p.ID)
+	if st.Tasks != 3 {
+		t.Fatalf("platform has %d tasks, want 3 (no duplicates)", st.Tasks)
+	}
+	// The adopted tasks are the original platform ids.
+	for _, row := range cd.Rows() {
+		if row.Task.PlatformTaskID == 0 || row.Task.PlatformTaskID > 3 {
+			t.Fatalf("row %s has unexpected task id %d", row.Key, row.Task.PlatformTaskID)
+		}
+	}
+}
+
+func TestPublishRequiresPresenter(t *testing.T) {
+	e := newEnv(t, 1, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	if _, err := cd.Publish(PublishOptions{}); !errors.Is(err, ErrNoPresenter) {
+		t.Fatalf("got %v, want ErrNoPresenter", err)
+	}
+}
+
+func TestCollectBeforePublish(t *testing.T) {
+	e := newEnv(t, 1, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	if _, err := cd.Collect(); !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("got %v, want ErrNotPublished", err)
+	}
+}
+
+func TestAggregateBeforeCollect(t *testing.T) {
+	e := newEnv(t, 1, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	if err := cd.MajorityVote("mv"); !errors.Is(err, ErrNoResults) {
+		t.Fatalf("got %v, want ErrNoResults", err)
+	}
+}
+
+func TestBadTableName(t *testing.T) {
+	e := newEnv(t, 1, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	for _, name := range []string{"", "a/b", "white space", "semi;colon"} {
+		if _, err := cc.CrowdData(nil, name); !errors.Is(err, ErrBadTableName) {
+			t.Fatalf("name %q: got %v, want ErrBadTableName", name, err)
+		}
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	e := newEnv(t, 1, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	obj := Object{"url": "same"}
+	if _, err := cc.CrowdData([]Object{obj, obj}, "exp"); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("got %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestTablesAndDelete(t *testing.T) {
+	e := newEnv(t, 1, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cc.CrowdData(nil, "alpha")
+	cc.CrowdData(nil, "beta")
+	tables, err := cc.Tables()
+	if err != nil || len(tables) != 2 || tables[0] != "alpha" || tables[1] != "beta" {
+		t.Fatalf("Tables = %v, %v", tables, err)
+	}
+	if err := cc.DeleteTable("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	tables, _ = cc.Tables()
+	if len(tables) != 1 || tables[0] != "beta" {
+		t.Fatalf("after delete: %v", tables)
+	}
+}
+
+func TestClearResetsTable(t *testing.T) {
+	e := newEnv(t, 3, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{})
+	drain(t, e, cd)
+	cd.Collect()
+	if err := cd.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cd.Rows() {
+		if row.Task != nil || row.Result != nil {
+			t.Fatal("Clear left columns behind")
+		}
+	}
+	ops, _ := cc.OpLog("exp")
+	if len(ops) != 0 {
+		t.Fatalf("Clear left %d oplog entries", len(ops))
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	e := newEnv(t, 3, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{})
+	drain(t, e, cd)
+	cd.Collect()
+
+	loaded, err := cc.LoadTable("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 {
+		t.Fatalf("loaded %d rows, want 3", loaded.Len())
+	}
+	for _, row := range loaded.Rows() {
+		orig, ok := cd.Row(row.Key)
+		if !ok {
+			t.Fatalf("loaded unknown row %s", row.Key)
+		}
+		if row.Object["url"] != orig.Object["url"] {
+			t.Fatalf("object snapshot mismatch for %s", row.Key)
+		}
+		if len(row.Result.Answers) != len(orig.Result.Answers) {
+			t.Fatalf("result mismatch for %s", row.Key)
+		}
+	}
+}
+
+func TestOpLogRecordsManipulations(t *testing.T) {
+	e := newEnv(t, 3, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{})
+	drain(t, e, cd)
+	cd.Collect()
+	cd.Extend([]Object{{"url": "http://img/4.jpg", "truth": "No"}})
+
+	ops, err := cc.OpLog("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, op := range ops {
+		kinds = append(kinds, op.Op)
+	}
+	want := []string{"publish", "collect", "extend"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("oplog = %v, want %v", kinds, want)
+	}
+	if ops[0].Params["rows"] != "3" || ops[0].Params["redundancy"] != "3" {
+		t.Fatalf("publish params: %+v", ops[0].Params)
+	}
+	for i, op := range ops {
+		if op.Seq != i {
+			t.Fatalf("seq %d at position %d", op.Seq, i)
+		}
+		if op.At.IsZero() {
+			t.Fatal("oplog entry missing timestamp")
+		}
+	}
+
+	// A rerun must not grow the op log (all ops become no-ops).
+	cd2, _ := cc.CrowdData(threeImages(), "exp")
+	cd2.SetPresenter(ImageLabel("Dog?"))
+	cd2.Publish(PublishOptions{})
+	cd2.Collect()
+	ops2, _ := cc.OpLog("exp")
+	if len(ops2) != len(ops) {
+		t.Fatalf("rerun grew oplog from %d to %d entries", len(ops), len(ops2))
+	}
+}
+
+func TestFieldKeyAndDefaultKey(t *testing.T) {
+	obj := Object{"id": "row-7", "url": "x"}
+	if got := FieldKey("id")(obj); got != "row-7" {
+		t.Fatalf("FieldKey = %q", got)
+	}
+	// DefaultKey is stable regardless of construction order.
+	a := Object{"x": "1", "y": "2"}
+	b := Object{"y": "2", "x": "1"}
+	if DefaultKey(a) != DefaultKey(b) {
+		t.Fatal("DefaultKey depends on map construction order")
+	}
+	if DefaultKey(a) == DefaultKey(Object{"x": "1", "y": "3"}) {
+		t.Fatal("DefaultKey collides on different objects")
+	}
+	if len(DefaultKey(a)) != 16 {
+		t.Fatalf("DefaultKey length %d", len(DefaultKey(a)))
+	}
+}
+
+func TestPresenterRenderAndValidate(t *testing.T) {
+	p := ImageLabel("Dog?")
+	out := p.Render(Object{"url": "http://img/1.jpg", "truth": "Yes"})
+	if !strings.Contains(out, "http://img/1.jpg") || !strings.Contains(out, "Dog?") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if strings.Contains(out, "truth") {
+		t.Fatalf("render leaked non-presenter field:\n%s", out)
+	}
+	if err := (Presenter{}).Validate(); err == nil {
+		t.Fatal("empty presenter validated")
+	}
+	if err := (Presenter{Name: "x"}).Validate(); err == nil {
+		t.Fatal("presenter with no options validated")
+	}
+	if err := (Presenter{Name: "x", AnswerOptions: []string{"a", "a"}}).Validate(); err == nil {
+		t.Fatal("duplicate options validated")
+	}
+	if err := TextPair("same?").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare("better?").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMColumn(t *testing.T) {
+	e := newEnv(t, 7, crowd.Uniform{P: 0.85})
+	cc := e.open(t)
+	defer cc.Close()
+	var objects []Object
+	for i := 0; i < 20; i++ {
+		truth := "Yes"
+		if i%2 == 0 {
+			truth = "No"
+		}
+		objects = append(objects, Object{"url": fmt.Sprintf("http://img/%d.jpg", i), "truth": truth})
+	}
+	cd, _ := cc.CrowdData(objects, "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{Redundancy: 5})
+	drain(t, e, cd)
+	cd.Collect()
+	if err := cd.EM("em"); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, row := range cd.Rows() {
+		if row.Value("em") == row.Object["truth"] {
+			correct++
+		}
+	}
+	if correct < 17 {
+		t.Fatalf("EM got %d/20 correct", correct)
+	}
+}
+
+func TestPartialCollect(t *testing.T) {
+	// Only 2 workers for redundancy 3: Collect sees incomplete rows,
+	// reports them, and a later Collect (after more answers) completes.
+	e := newEnv(t, 2, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{Redundancy: 3})
+	drain(t, e, cd)
+
+	rep, err := cd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete != 0 || rep.NewAnswers != 6 {
+		t.Fatalf("partial collect = %+v", rep)
+	}
+	// A third worker shows up.
+	extra := crowd.NewPool(7, e.clock, crowd.Spec{Count: 1, Model: crowd.Perfect{}, Prefix: "late"})
+	if _, err := extra.Drain(e.engine, mustProjectID(t, cd), labelOracle); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = cd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete != 3 || rep.NewAnswers != 3 {
+		t.Fatalf("second collect = %+v", rep)
+	}
+}
+
+func TestLineageTimestampsSurviveReload(t *testing.T) {
+	e := newEnv(t, 3, crowd.Perfect{})
+	cc := e.open(t)
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{})
+	drain(t, e, cd)
+	cd.Collect()
+	row := cd.Rows()[0]
+	pub := row.Task.PublishedAt
+	sub := row.Result.Answers[0].SubmittedAt
+	cc.Close()
+
+	cc2 := e.open(t)
+	defer cc2.Close()
+	loaded, _ := cc2.LoadTable("exp")
+	row2, _ := loaded.Row(row.Key)
+	if !row2.Task.PublishedAt.Equal(pub) {
+		t.Fatalf("published-at drifted: %v vs %v", row2.Task.PublishedAt, pub)
+	}
+	if !row2.Result.Answers[0].SubmittedAt.Equal(sub) {
+		t.Fatalf("submitted-at drifted: %v vs %v", row2.Result.Answers[0].SubmittedAt, sub)
+	}
+	if !pub.Before(sub) {
+		t.Fatalf("lineage order violated: published %v, submitted %v", pub, sub)
+	}
+}
+
+func TestCollectUntilComplete(t *testing.T) {
+	e := newEnv(t, 3, crowd.Perfect{})
+	cc := e.open(t)
+	defer cc.Close()
+	cd, _ := cc.CrowdData(threeImages(), "exp")
+	cd.SetPresenter(ImageLabel("Dog?"))
+	cd.Publish(PublishOptions{Redundancy: 3})
+
+	// No workers have answered: polling times out incomplete.
+	rep, done, err := cd.CollectUntilComplete(3, time.Second)
+	if err != nil || done {
+		t.Fatalf("premature completion: %+v, %v, %v", rep, done, err)
+	}
+	if rep.Complete != 0 {
+		t.Fatalf("complete = %d", rep.Complete)
+	}
+
+	// Workers answer; the next poll completes on round one.
+	drain(t, e, cd)
+	rep, done, err = cd.CollectUntilComplete(3, time.Second)
+	if err != nil || !done || rep.Complete != 3 {
+		t.Fatalf("after drain: %+v, %v, %v", rep, done, err)
+	}
+}
+
+func TestPresenterRenderHTML(t *testing.T) {
+	p := ImageLabel("Is there a dog?")
+	html, err := p.RenderHTML(Object{"url": "http://img/1.jpg", "truth": "Yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<img src="http://img/1.jpg"`,
+		"Is there a dog?",
+		`value="Yes"`,
+		`value="No"`,
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("html missing %q:\n%s", want, html)
+		}
+	}
+	if strings.Contains(html, "truth") {
+		t.Fatalf("html leaked non-presenter field:\n%s", html)
+	}
+
+	// Hostile object values are escaped.
+	tp := TextPair("same?")
+	html, err = tp.RenderHTML(Object{"left": `<script>evil()</script>`, "right": "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "<script>") {
+		t.Fatalf("unescaped payload:\n%s", html)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/storage"
+)
+
+// Export/Import round a table through a portable JSON-lines archive. This
+// completes the paper's sharing story for researchers who cannot ship a
+// raw database directory: Bob exports "image_label.jsonl", Ally imports it
+// into her own context and reruns his code against it.
+//
+// Archive layout: one JSON object per line. The first line is a header;
+// each following line is one row's persisted columns.
+
+// exportHeader is the archive's first line.
+type exportHeader struct {
+	Format  string `json:"format"` // "reprowd-table/v1"
+	Table   string `json:"table"`
+	Rows    int    `json:"rows"`
+	OpCount int    `json:"op_count"`
+}
+
+// exportRow is one archived row.
+type exportRow struct {
+	Key    string      `json:"key"`
+	Task   *TaskInfo   `json:"task,omitempty"`
+	Result *ResultInfo `json:"result,omitempty"`
+}
+
+// exportOp wraps an op-log entry in the archive.
+type exportOp struct {
+	Op OpLogEntry `json:"op"`
+}
+
+const exportFormat = "reprowd-table/v1"
+
+// ExportTable writes the persisted state of a table (task and result
+// columns plus the op log) to w as JSON lines.
+func (cc *CrowdContext) ExportTable(name string, w io.Writer) error {
+	if !tableNameRE.MatchString(name) {
+		return fmt.Errorf("%w: got %q", ErrBadTableName, name)
+	}
+	cd, err := cc.LoadTable(name)
+	if err != nil {
+		return err
+	}
+	ops, err := cc.OpLog(name)
+	if err != nil {
+		return err
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(exportHeader{
+		Format:  exportFormat,
+		Table:   name,
+		Rows:    cd.Len(),
+		OpCount: len(ops),
+	}); err != nil {
+		return err
+	}
+	for _, row := range cd.Rows() {
+		if err := enc.Encode(exportRow{Key: row.Key, Task: row.Task, Result: row.Result}); err != nil {
+			return err
+		}
+	}
+	for _, op := range ops {
+		if err := enc.Encode(exportOp{Op: op}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportTable loads an archive produced by ExportTable into this context.
+// An existing table of the same name is replaced atomically. It returns
+// the number of rows imported.
+func (cc *CrowdContext) ImportTable(r io.Reader) (int, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr exportHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, fmt.Errorf("core: import: read header: %w", err)
+	}
+	if hdr.Format != exportFormat {
+		return 0, fmt.Errorf("core: import: unsupported format %q", hdr.Format)
+	}
+	if !tableNameRE.MatchString(hdr.Table) {
+		return 0, fmt.Errorf("%w: archive table %q", ErrBadTableName, hdr.Table)
+	}
+
+	// Stage everything before mutating the store.
+	rows := make([]exportRow, 0, hdr.Rows)
+	ops := make([]OpLogEntry, 0, hdr.OpCount)
+	for i := 0; i < hdr.Rows; i++ {
+		var er exportRow
+		if err := dec.Decode(&er); err != nil {
+			return 0, fmt.Errorf("core: import: row %d: %w", i, err)
+		}
+		if er.Key == "" || !safeKeyRE.MatchString(er.Key) {
+			return 0, fmt.Errorf("core: import: row %d has invalid key %q", i, er.Key)
+		}
+		rows = append(rows, er)
+	}
+	for i := 0; i < hdr.OpCount; i++ {
+		var eo exportOp
+		if err := dec.Decode(&eo); err != nil {
+			return 0, fmt.Errorf("core: import: op %d: %w", i, err)
+		}
+		ops = append(ops, eo.Op)
+	}
+
+	if err := cc.DeleteTable(hdr.Table); err != nil {
+		return 0, err
+	}
+	batch := storage.NewBatch()
+	for _, er := range rows {
+		if er.Task != nil {
+			buf, err := marshalTask(er.Task)
+			if err != nil {
+				return 0, err
+			}
+			batch.Put([]byte(taskKey(hdr.Table, er.Key)), buf)
+		}
+		if er.Result != nil {
+			buf, err := marshalResult(er.Result)
+			if err != nil {
+				return 0, err
+			}
+			batch.Put([]byte(resultKey(hdr.Table, er.Key)), buf)
+		}
+	}
+	for i, op := range ops {
+		buf, err := json.Marshal(op)
+		if err != nil {
+			return 0, err
+		}
+		batch.Put([]byte(oplogKey(hdr.Table, i)), buf)
+	}
+	if err := cc.db.Apply(batch); err != nil {
+		return 0, err
+	}
+	if err := cc.ensureMeta(hdr.Table); err != nil {
+		return 0, err
+	}
+	return len(rows), cc.db.Sync()
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// runBobsExperiment produces a finished table in a fresh env.
+func runBobsExperiment(t *testing.T) (*testEnv, *CrowdContext, *CrowdData) {
+	t.Helper()
+	e := newEnv(t, 5, crowd.Uniform{P: 0.9})
+	cc := e.open(t)
+	cd, err := cc.CrowdData(threeImages(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("Dog?"))
+	if _, err := cd.Publish(PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e, cd)
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	return e, cc, cd
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	e, cc, cd := runBobsExperiment(t)
+	defer cc.Close()
+	_ = e
+
+	var buf bytes.Buffer
+	if err := cc.ExportTable("exp", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty archive")
+	}
+
+	// Ally: fresh context, fresh (empty) platform, import the archive.
+	allyClock := vclock.NewVirtual()
+	ally, err := NewContext(Options{
+		DBDir:   t.TempDir(),
+		Client:  platform.NewEngine(allyClock),
+		Clock:   allyClock,
+		Storage: storage.Options{Sync: storage.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ally.Close()
+
+	n, err := ally.ImportTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("imported %d rows, want 3", n)
+	}
+
+	// Rerunning Bob's code on Ally's machine is now fully cached.
+	cd2, err := ally.CrowdData(threeImages(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd2.SetPresenter(ImageLabel("Dog?"))
+	published, err := cd2.Publish(PublishOptions{})
+	if err != nil || published != 0 {
+		t.Fatalf("Publish after import = %d, %v; want 0", published, err)
+	}
+	rep, err := cd2.Collect()
+	if err != nil || rep.Complete != 3 || rep.NewAnswers != 0 {
+		t.Fatalf("Collect after import = %+v, %v", rep, err)
+	}
+	cd2.MajorityVote("mv")
+	cd.MajorityVote("mv")
+	if snapshotMV(cd2) != snapshotMV(cd) {
+		t.Fatal("imported experiment diverges from the original")
+	}
+
+	// The op log came along.
+	ops, _ := ally.OpLog("exp")
+	if len(ops) != 2 || ops[0].Op != "publish" || ops[1].Op != "collect" {
+		t.Fatalf("imported oplog: %+v", ops)
+	}
+}
+
+func TestImportReplacesExisting(t *testing.T) {
+	_, cc, _ := runBobsExperiment(t)
+	defer cc.Close()
+	var buf bytes.Buffer
+	if err := cc.ExportTable("exp", &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Import over itself: row count identical, no duplicates.
+	n, err := cc.ImportTable(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 3 {
+		t.Fatalf("reimport: %d, %v", n, err)
+	}
+	cd, err := cc.LoadTable("exp")
+	if err != nil || cd.Len() != 3 {
+		t.Fatalf("after reimport: %d rows, %v", cd.Len(), err)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	_, cc, _ := runBobsExperiment(t)
+	defer cc.Close()
+	cases := []string{
+		"",
+		"not json",
+		`{"format":"something-else","table":"x","rows":0,"op_count":0}`,
+		`{"format":"reprowd-table/v1","table":"bad/name","rows":0,"op_count":0}`,
+		`{"format":"reprowd-table/v1","table":"t","rows":2,"op_count":0}` + "\n" + `{"key":"a"}`, // truncated
+	}
+	for i, c := range cases {
+		if _, err := cc.ImportTable(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage archive accepted", i)
+		}
+	}
+	// Original table untouched by failed imports.
+	cd, err := cc.LoadTable("exp")
+	if err != nil || cd.Len() != 3 {
+		t.Fatalf("failed import damaged table: %d rows, %v", cd.Len(), err)
+	}
+}
+
+func TestExportUnknownTable(t *testing.T) {
+	_, cc, _ := runBobsExperiment(t)
+	defer cc.Close()
+	var buf bytes.Buffer
+	// Exporting an absent table yields an empty-but-valid archive.
+	if err := cc.ExportTable("absent", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.ExportTable("bad/name", &buf); err == nil {
+		t.Fatal("bad table name accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/quality"
+)
+
+// TestGoldBanWorkflow is the full quality-control loop the components are
+// designed to compose into: run an experiment with a spammer in the crowd,
+// detect them with gold questions, ban them on the platform, extend the
+// experiment, and confirm the new rows are spam-free.
+func TestGoldBanWorkflow(t *testing.T) {
+	e := newEnv(t, 0, nil)
+	e.pool = crowd.NewPool(42, e.clock,
+		crowd.Spec{Count: 3, Model: crowd.Uniform{P: 0.95}, Prefix: "good"},
+		crowd.Spec{Count: 1, Model: crowd.Adversary{}, Prefix: "evil"},
+	)
+	cc := e.open(t)
+	defer cc.Close()
+
+	// Phase 1: 10 images, 3 of them gold.
+	var objects []Object
+	gold := map[string]string{}
+	for i := 0; i < 10; i++ {
+		truth := "Yes"
+		if i%2 == 1 {
+			truth = "No"
+		}
+		obj := Object{"url": fmt.Sprintf("http://img/%d.jpg", i), "truth": truth}
+		objects = append(objects, obj)
+		if i < 3 {
+			gold[DefaultKey(obj)] = truth
+		}
+	}
+	cd, err := cc.CrowdData(objects, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("Dog?"))
+	if _, err := cd.Publish(PublishOptions{Redundancy: 4}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e, cd)
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: score workers on gold, ban the failures.
+	gf := quality.GoldFiltered{Gold: gold, MinAccuracy: 0.5}
+	accs := gf.WorkerGoldAccuracies(cd.Votes())
+	pid, err := cd.ProjectID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	banned := 0
+	for worker, acc := range accs {
+		if acc < 0.5 {
+			if err := e.engine.BanWorker(pid, worker); err != nil {
+				t.Fatal(err)
+			}
+			banned++
+		}
+	}
+	if banned != 1 {
+		t.Fatalf("banned %d workers, want exactly the adversary (accs: %v)", banned, accs)
+	}
+
+	// Phase 3: extend the experiment; the banned worker contributes
+	// nothing to the new rows.
+	more := []Object{
+		{"url": "http://img/100.jpg", "truth": "Yes"},
+		{"url": "http://img/101.jpg", "truth": "No"},
+	}
+	if _, err := cd.Extend(more); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cd.Publish(PublishOptions{Redundancy: 3}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e, cd)
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range more {
+		row, ok := cd.Row(DefaultKey(obj))
+		if !ok || row.Result == nil {
+			t.Fatalf("extended row missing results: %v", obj)
+		}
+		for _, a := range row.Result.Answers {
+			if a.Worker == "evil-0" {
+				t.Fatalf("banned worker answered extended row: %+v", a)
+			}
+		}
+		if len(row.Result.Answers) != 3 {
+			t.Fatalf("extended row has %d answers, want 3", len(row.Result.Answers))
+		}
+	}
+
+	// Phase 4: with the spam gone, majority vote on the new rows is clean.
+	if err := cd.MajorityVote("mv"); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range more {
+		row, _ := cd.Row(DefaultKey(obj))
+		if row.Value("mv") != obj["truth"] {
+			t.Fatalf("post-ban mv for %s = %q, want %q", obj["url"], row.Value("mv"), obj["truth"])
+		}
+	}
+}

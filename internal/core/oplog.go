@@ -1,0 +1,57 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"time"
+)
+
+// safeKeyRE constrains row keys so they compose safely into storage keys.
+var safeKeyRE = regexp.MustCompile(`^[A-Za-z0-9._:=+-]+$`)
+
+// OpLogEntry records one persisted-state-changing manipulation of a table.
+// The op log is part of the lineage the paper's "examinable" requirement
+// asks for: Ally can see what Bob did, in order, with parameters and
+// timestamps. Operations that do not change persisted state (a rerun's
+// no-op Publish, derived-column recomputation) are not logged, so reruns
+// leave the log untouched.
+type OpLogEntry struct {
+	// Seq is the entry's position, starting at 0.
+	Seq int `json:"seq"`
+	// Op names the manipulation: "publish", "collect", "extend".
+	Op string `json:"op"`
+	// Col is the affected derived column, when applicable.
+	Col string `json:"col,omitempty"`
+	// Params carries op-specific details (row counts, redundancy, ...).
+	Params map[string]string `json:"params,omitempty"`
+	// At is when the manipulation ran.
+	At time.Time `json:"at"`
+}
+
+// appendOp durably appends an op-log entry for table.
+func (cc *CrowdContext) appendOp(table, op, col string, params map[string]string) error {
+	n, err := cc.db.Count("o/" + table + "/")
+	if err != nil {
+		return err
+	}
+	entry := OpLogEntry{Seq: n, Op: op, Col: col, Params: params, At: cc.clock.Now()}
+	buf, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("core: encode oplog entry: %w", err)
+	}
+	return cc.db.Put([]byte(oplogKey(table, n)), buf)
+}
+
+// OpLog returns a table's op log in order.
+func (cc *CrowdContext) OpLog(table string) ([]OpLogEntry, error) {
+	var out []OpLogEntry
+	err := cc.db.Scan("o/"+table+"/", func(_ string, v []byte) bool {
+		var e OpLogEntry
+		if json.Unmarshal(v, &e) == nil {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Presenter is the "web user interface" of the paper's step 2: the template
+// a worker sees for each task, plus the answer options it offers. In this
+// reproduction presenters render to text (simulated workers do not look at
+// them, but examples and the CLI print them, and the presenter's option
+// list is the contract quality control relies on).
+type Presenter struct {
+	// Name identifies the presenter; it is recorded in the task column.
+	Name string
+	// Question is the instruction shown to the worker.
+	Question string
+	// AnswerOptions are the allowed answers, in display order.
+	AnswerOptions []string
+	// Fields lists the object fields to display, in order. Empty means
+	// all fields in sorted order.
+	Fields []string
+}
+
+// Render produces the worker-facing text for an object.
+func (p Presenter) Render(obj Object) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", p.Name)
+	fields := p.Fields
+	if len(fields) == 0 {
+		fields = make([]string, 0, len(obj))
+		for k := range obj {
+			fields = append(fields, k)
+		}
+		sort.Strings(fields)
+	}
+	for _, f := range fields {
+		if v, ok := obj[f]; ok {
+			fmt.Fprintf(&b, "%s: %s\n", f, v)
+		}
+	}
+	fmt.Fprintf(&b, "Q: %s\n", p.Question)
+	fmt.Fprintf(&b, "Answers: [%s]\n", strings.Join(p.AnswerOptions, " | "))
+	return b.String()
+}
+
+// Validate reports configuration errors.
+func (p Presenter) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("core: presenter needs a name")
+	}
+	if len(p.AnswerOptions) == 0 {
+		return fmt.Errorf("core: presenter %q needs at least one answer option", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, o := range p.AnswerOptions {
+		if seen[o] {
+			return fmt.Errorf("core: presenter %q has duplicate answer option %q", p.Name, o)
+		}
+		seen[o] = true
+	}
+	return nil
+}
+
+// ImageLabel is the presenter of the paper's Figure 2: show an image, ask
+// a question, offer the given labels (default Yes/No).
+func ImageLabel(question string, options ...string) Presenter {
+	if len(options) == 0 {
+		options = []string{"Yes", "No"}
+	}
+	return Presenter{
+		Name:          "image-label",
+		Question:      question,
+		AnswerOptions: options,
+		Fields:        []string{"url"},
+	}
+}
+
+// TextPair shows two records side by side and asks whether they refer to
+// the same entity — the entity-resolution presenter.
+func TextPair(question string) Presenter {
+	return Presenter{
+		Name:          "text-pair",
+		Question:      question,
+		AnswerOptions: []string{"Yes", "No"},
+		Fields:        []string{"left", "right"},
+	}
+}
+
+// Compare shows two items and asks which is better/greater — the presenter
+// behind crowdsourced sort and max.
+func Compare(question string) Presenter {
+	return Presenter{
+		Name:          "compare",
+		Question:      question,
+		AnswerOptions: []string{"a", "b"},
+		Fields:        []string{"a", "b"},
+	}
+}

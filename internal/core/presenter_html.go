@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"html/template"
+	"sort"
+	"strings"
+)
+
+// RenderHTML produces the worker-facing HTML task card for an object — the
+// "web user interface" of the paper's step 2, as a browser-based platform
+// would serve it. All object values pass through html/template escaping, so
+// hostile payloads cannot inject markup into the worker's page.
+func (p Presenter) RenderHTML(obj Object) (string, error) {
+	fields := p.Fields
+	if len(fields) == 0 {
+		fields = make([]string, 0, len(obj))
+		for k := range obj {
+			fields = append(fields, k)
+		}
+		sort.Strings(fields)
+	}
+	type fieldView struct {
+		Name, Value string
+		IsImage     bool
+	}
+	var views []fieldView
+	for _, f := range fields {
+		v, ok := obj[f]
+		if !ok {
+			continue
+		}
+		views = append(views, fieldView{
+			Name:    f,
+			Value:   v,
+			IsImage: f == "url" && (strings.HasPrefix(v, "http://") || strings.HasPrefix(v, "https://")),
+		})
+	}
+	data := struct {
+		Name     string
+		Question string
+		Options  []string
+		Fields   []fieldView
+	}{p.Name, p.Question, p.AnswerOptions, views}
+
+	var b strings.Builder
+	if err := presenterTemplate.Execute(&b, data); err != nil {
+		return "", fmt.Errorf("core: render presenter %q: %w", p.Name, err)
+	}
+	return b.String(), nil
+}
+
+// presenterTemplate is the shared task-card layout.
+var presenterTemplate = template.Must(template.New("task").Parse(`<!DOCTYPE html>
+<html>
+<head><title>{{.Name}}</title></head>
+<body>
+<div class="task" data-presenter="{{.Name}}">
+  <h2>{{.Question}}</h2>
+  <dl>
+{{- range .Fields}}
+    <dt>{{.Name}}</dt>
+    {{- if .IsImage}}
+    <dd><img src="{{.Value}}" alt="{{.Name}}"></dd>
+    {{- else}}
+    <dd>{{.Value}}</dd>
+    {{- end}}
+{{- end}}
+  </dl>
+  <form method="post" class="answers">
+{{- range .Options}}
+    <button name="answer" value="{{.}}">{{.}}</button>
+{{- end}}
+  </form>
+</div>
+</body>
+</html>
+`))

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDefaultKeyProperties: the row-key function must be stable under
+// map-construction order, collision-resistant across distinct objects, and
+// always emit storage-safe keys — the properties the whole caching scheme
+// rests on.
+func TestQuickDefaultKeyProperties(t *testing.T) {
+	f := func(fields []uint8, vals []uint8) bool {
+		if len(fields) == 0 {
+			return true
+		}
+		// Build the same logical object twice with different insertion
+		// orders.
+		a := Object{}
+		b := Object{}
+		n := len(fields)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("f%d", fields[i]%16)
+			v := ""
+			if len(vals) > 0 {
+				v = fmt.Sprintf("v%d", vals[i%len(vals)])
+			}
+			a[k] = v
+		}
+		// Reverse insertion for b.
+		keys := make([]string, 0, len(a))
+		for k := range a {
+			keys = append(keys, k)
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			b[keys[i]] = a[keys[i]]
+		}
+		ka, kb := DefaultKey(a), DefaultKey(b)
+		if ka != kb {
+			t.Logf("order-dependent key: %s vs %s", ka, kb)
+			return false
+		}
+		if len(ka) != 16 || !safeKeyRE.MatchString(ka) {
+			t.Logf("unsafe key %q", ka)
+			return false
+		}
+		// Perturbing one value must change the key.
+		c := Object{}
+		for k, v := range a {
+			c[k] = v
+		}
+		for k := range c {
+			c[k] = c[k] + "-changed"
+			break
+		}
+		return DefaultKey(c) != ka
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFieldSeparatorInjection: DefaultKey must distinguish objects
+// whose concatenated fields coincide ({"ab": "c"} vs {"a": "bc"}).
+func TestQuickFieldSeparatorInjection(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) < 2 || strings.ContainsRune(s, 0) {
+			return true
+		}
+		for cut := 1; cut < len(s) && cut < 4; cut++ {
+			a := Object{"k" + s[:cut]: s[cut:]}
+			b := Object{"k": s}
+			if DefaultKey(a) == DefaultKey(b) {
+				t.Logf("separator injection collision for %q cut %d", s, cut)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOpLogMonotoneSeq: however many ops are appended across reopen
+// boundaries, Seq numbers stay dense and ordered.
+func TestQuickOpLogMonotoneSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(batches []uint8) bool {
+		if len(batches) > 6 {
+			batches = batches[:6]
+		}
+		e := newEnvQuick(t)
+		total := 0
+		for _, b := range batches {
+			cc := e.open(t)
+			nOps := int(b)%3 + 1
+			for i := 0; i < nOps; i++ {
+				if err := cc.appendOp("tbl", "op", "", map[string]string{"i": fmt.Sprint(rng.Int())}); err != nil {
+					t.Logf("appendOp: %v", err)
+					cc.Close()
+					return false
+				}
+				total++
+			}
+			cc.Close()
+		}
+		cc := e.open(t)
+		defer cc.Close()
+		ops, err := cc.OpLog("tbl")
+		if err != nil || len(ops) != total {
+			t.Logf("oplog len %d, want %d (%v)", len(ops), total, err)
+			return false
+		}
+		for i, op := range ops {
+			if op.Seq != i {
+				t.Logf("seq %d at %d", op.Seq, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newEnvQuick is newEnv without a worker pool (property tests never drain).
+func newEnvQuick(t *testing.T) *testEnv {
+	t.Helper()
+	return newEnv(t, 0, nil)
+}

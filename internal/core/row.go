@@ -1,0 +1,156 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Object is a row's input payload: the thing being crowdsourced (an image
+// URL, a record pair, ...). Field names are presenter-visible.
+type Object = map[string]string
+
+// TaskInfo is the persisted "task" column of CrowdData: everything about
+// the row's published platform task. It is written durably at publish time
+// so that a rerun never republishes (the paper's sharable requirement) and
+// so that lineage can answer "when was this task published?".
+type TaskInfo struct {
+	// PlatformTaskID is the task's id on the crowdsourcing platform.
+	PlatformTaskID int64 `json:"platform_task_id"`
+	// ProjectName is the platform project the task belongs to.
+	ProjectName string `json:"project_name"`
+	// Presenter names the UI template workers saw.
+	Presenter string `json:"presenter"`
+	// Redundancy is how many distinct workers must answer.
+	Redundancy int `json:"redundancy"`
+	// PublishedAt is when the task was created on the platform.
+	PublishedAt time.Time `json:"published_at"`
+	// Payload is the object snapshot sent to the platform. Persisting it
+	// lets the CLI inspect a database without the generating code.
+	Payload Object `json:"payload"`
+}
+
+// Answer is one worker's collected answer, with full lineage.
+type Answer struct {
+	// Worker identifies who answered.
+	Worker string `json:"worker"`
+	// Value is the raw answer.
+	Value string `json:"value"`
+	// AssignedAt is when the platform handed the task to the worker.
+	AssignedAt time.Time `json:"assigned_at"`
+	// SubmittedAt is when the answer arrived.
+	SubmittedAt time.Time `json:"submitted_at"`
+	// RunID is the platform task-run id.
+	RunID int64 `json:"run_id"`
+}
+
+// ResultInfo is the persisted "result" column of CrowdData: the collected
+// crowd answers for one row.
+type ResultInfo struct {
+	// Answers holds the collected answers in platform submission order.
+	Answers []Answer `json:"answers"`
+	// CollectedAt is when this column was last refreshed.
+	CollectedAt time.Time `json:"collected_at"`
+	// Complete records whether the row reached its task's redundancy.
+	// Complete results are served from cache and never re-fetched.
+	Complete bool `json:"complete"`
+}
+
+// Row is one CrowdData row. Task and Result are the persisted columns; all
+// other columns (Object, Derived) are recomputed on rerun, exactly as the
+// paper prescribes.
+type Row struct {
+	// Key is the row's deterministic identity: the idempotency key for
+	// publication and the database key for the persisted columns.
+	Key string
+	// Object is the input payload.
+	Object Object
+	// Task is the persisted task column (nil until published).
+	Task *TaskInfo
+	// Result is the persisted result column (nil until collected).
+	Result *ResultInfo
+	// Derived holds in-memory derived columns such as "mv".
+	Derived map[string]string
+}
+
+// Value returns the derived column value for name, or "" when absent.
+func (r *Row) Value(col string) string {
+	if r.Derived == nil {
+		return ""
+	}
+	return r.Derived[col]
+}
+
+// setDerived stores a derived column value.
+func (r *Row) setDerived(col, val string) {
+	if r.Derived == nil {
+		r.Derived = make(map[string]string)
+	}
+	r.Derived[col] = val
+}
+
+// KeyFunc derives a row key from an object. Keys must be stable across
+// runs — they are what makes the cache rerun-safe — and must not contain
+// '/' (the storage namespace separator).
+type KeyFunc func(obj Object) string
+
+// DefaultKey hashes the canonical encoding of the object: field names
+// sorted, joined with NUL separators, SHA-256, first 16 hex chars. Two runs
+// of the same program therefore always agree on row identity, regardless of
+// map iteration order.
+func DefaultKey(obj Object) string {
+	fields := make([]string, 0, len(obj))
+	for k := range obj {
+		fields = append(fields, k)
+	}
+	sort.Strings(fields)
+	h := sha256.New()
+	for _, k := range fields {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write([]byte(obj[k]))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// FieldKey returns a KeyFunc that uses the given object field as the key,
+// for datasets that carry natural ids.
+func FieldKey(field string) KeyFunc {
+	return func(obj Object) string { return obj[field] }
+}
+
+func marshalTask(t *TaskInfo) ([]byte, error) {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode task column: %w", err)
+	}
+	return b, nil
+}
+
+func unmarshalTask(b []byte) (*TaskInfo, error) {
+	var t TaskInfo
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("core: decode task column: %w", err)
+	}
+	return &t, nil
+}
+
+func marshalResult(r *ResultInfo) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode result column: %w", err)
+	}
+	return b, nil
+}
+
+func unmarshalResult(b []byte) (*ResultInfo, error) {
+	var r ResultInfo
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("core: decode result column: %w", err)
+	}
+	return &r, nil
+}

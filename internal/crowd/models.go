@@ -1,0 +1,218 @@
+// Package crowd simulates the human workers Reprowd collects answers from.
+//
+// The paper's system published tasks to PyBossa and waited for real people.
+// This package substitutes a deterministic simulation: a Pool of workers,
+// each with an accuracy model (how often and how they err against hidden
+// ground truth) and a latency model (how long an answer takes in simulated
+// time), drains a platform project exactly the way a live crowd would —
+// asynchronously, with redundancy, with disagreement — but reproducibly
+// from a single seed.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Oracle supplies the hidden ground truth for a task. Simulated workers
+// consult it (through their error models); the system under test never does.
+type Oracle interface {
+	// Truth returns the correct answer for a task payload.
+	Truth(payload map[string]string) string
+	// Options returns the answer alternatives a worker chooses among.
+	Options(payload map[string]string) []string
+}
+
+// FuncOracle adapts plain functions to the Oracle interface.
+type FuncOracle struct {
+	TruthFunc   func(payload map[string]string) string
+	OptionsFunc func(payload map[string]string) []string
+}
+
+// Truth implements Oracle.
+func (o FuncOracle) Truth(p map[string]string) string { return o.TruthFunc(p) }
+
+// Options implements Oracle.
+func (o FuncOracle) Options(p map[string]string) []string { return o.OptionsFunc(p) }
+
+// AnswerModel decides what a worker answers given the truth and the
+// alternatives. Implementations must be pure functions of (rng, truth,
+// options) so that simulations are reproducible.
+type AnswerModel interface {
+	// Answer returns the worker's answer.
+	Answer(rng *rand.Rand, truth string, options []string) string
+	// Name identifies the model in lineage and experiment reports.
+	Name() string
+}
+
+// Perfect always answers correctly.
+type Perfect struct{}
+
+// Answer implements AnswerModel.
+func (Perfect) Answer(_ *rand.Rand, truth string, _ []string) string { return truth }
+
+// Name implements AnswerModel.
+func (Perfect) Name() string { return "perfect" }
+
+// Uniform answers correctly with probability P and otherwise picks
+// uniformly among the wrong options. This is the standard "p-coin" worker
+// of the crowdsourcing literature.
+type Uniform struct {
+	P float64
+}
+
+// Answer implements AnswerModel.
+func (m Uniform) Answer(rng *rand.Rand, truth string, options []string) string {
+	if rng.Float64() < m.P {
+		return truth
+	}
+	wrong := make([]string, 0, len(options))
+	for _, o := range options {
+		if o != truth {
+			wrong = append(wrong, o)
+		}
+	}
+	if len(wrong) == 0 {
+		return truth
+	}
+	return wrong[rng.Intn(len(wrong))]
+}
+
+// Name implements AnswerModel.
+func (m Uniform) Name() string { return fmt.Sprintf("uniform(%.2f)", m.P) }
+
+// TwoCoin models asymmetric binary workers: they recognize true Positive
+// instances with probability TPR and true negatives with probability TNR.
+// Entity-resolution crowds are typically much better at rejecting clear
+// non-matches than at confirming hard matches, which this captures.
+type TwoCoin struct {
+	Positive string
+	Negative string
+	TPR      float64
+	TNR      float64
+}
+
+// Answer implements AnswerModel.
+func (m TwoCoin) Answer(rng *rand.Rand, truth string, _ []string) string {
+	if truth == m.Positive {
+		if rng.Float64() < m.TPR {
+			return m.Positive
+		}
+		return m.Negative
+	}
+	if rng.Float64() < m.TNR {
+		return m.Negative
+	}
+	return m.Positive
+}
+
+// Name implements AnswerModel.
+func (m TwoCoin) Name() string { return fmt.Sprintf("twocoin(%.2f/%.2f)", m.TPR, m.TNR) }
+
+// Spammer answers uniformly at random, ignoring the task entirely.
+type Spammer struct{}
+
+// Answer implements AnswerModel.
+func (Spammer) Answer(rng *rand.Rand, _ string, options []string) string {
+	if len(options) == 0 {
+		return ""
+	}
+	return options[rng.Intn(len(options))]
+}
+
+// Name implements AnswerModel.
+func (Spammer) Name() string { return "spammer" }
+
+// Adversary always answers incorrectly (the first wrong option).
+type Adversary struct{}
+
+// Answer implements AnswerModel.
+func (Adversary) Answer(_ *rand.Rand, truth string, options []string) string {
+	for _, o := range options {
+		if o != truth {
+			return o
+		}
+	}
+	return truth
+}
+
+// Name implements AnswerModel.
+func (Adversary) Name() string { return "adversary" }
+
+// Confusion samples the answer from a per-truth categorical distribution:
+// Rows[truth] maps each answer option to its probability. Missing rows fall
+// back to answering the truth.
+type Confusion struct {
+	Rows map[string]map[string]float64
+}
+
+// Answer implements AnswerModel.
+func (m Confusion) Answer(rng *rand.Rand, truth string, options []string) string {
+	row, ok := m.Rows[truth]
+	if !ok {
+		return truth
+	}
+	u := rng.Float64()
+	acc := 0.0
+	// Iterate options (not the map) for deterministic order.
+	for _, o := range options {
+		acc += row[o]
+		if u < acc {
+			return o
+		}
+	}
+	return truth
+}
+
+// Name implements AnswerModel.
+func (m Confusion) Name() string { return "confusion" }
+
+// LatencyModel draws the simulated time a worker spends on one task.
+type LatencyModel interface {
+	// Draw returns the time the next task takes.
+	Draw(rng *rand.Rand) time.Duration
+	// Name identifies the model.
+	Name() string
+}
+
+// FixedLatency always takes D.
+type FixedLatency struct {
+	D time.Duration
+}
+
+// Draw implements LatencyModel.
+func (m FixedLatency) Draw(_ *rand.Rand) time.Duration { return m.D }
+
+// Name implements LatencyModel.
+func (m FixedLatency) Name() string { return fmt.Sprintf("fixed(%s)", m.D) }
+
+// UniformLatency draws uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Draw implements LatencyModel.
+func (m UniformLatency) Draw(rng *rand.Rand) time.Duration {
+	if m.Max <= m.Min {
+		return m.Min
+	}
+	return m.Min + time.Duration(rng.Int63n(int64(m.Max-m.Min)))
+}
+
+// Name implements LatencyModel.
+func (m UniformLatency) Name() string { return fmt.Sprintf("uniform(%s,%s)", m.Min, m.Max) }
+
+// ExpLatency draws exponentially with the given Mean — the heavy-ish tail
+// seen in real task-completion times.
+type ExpLatency struct {
+	Mean time.Duration
+}
+
+// Draw implements LatencyModel.
+func (m ExpLatency) Draw(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(m.Mean))
+}
+
+// Name implements LatencyModel.
+func (m ExpLatency) Name() string { return fmt.Sprintf("exp(%s)", m.Mean) }

@@ -1,0 +1,6 @@
+package exp
+
+import "os"
+
+func mkTemp() (string, error) { return os.MkdirTemp("", "reprowd-exp-*") }
+func rmTemp(dir string)       { os.RemoveAll(dir) }

@@ -1,0 +1,160 @@
+// Package lineage answers the questions of the paper's Figure 3, lines
+// 11–16: when were tasks published, which workers did them, and what is the
+// full history of a table. It reads only the persisted CrowdData columns
+// and the op log, so it works equally on a live experiment and on a bare
+// database file shared by a colleague.
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WorkerStat summarizes one worker's participation in a table.
+type WorkerStat struct {
+	// Worker is the worker id.
+	Worker string
+	// Answers is how many answers the worker contributed.
+	Answers int
+	// First and Last bound the worker's activity period.
+	First, Last time.Time
+}
+
+// RowLineage is the full provenance of a single row.
+type RowLineage struct {
+	// Key is the row key.
+	Key string
+	// PublishedAt is when the row's task went to the platform.
+	PublishedAt time.Time
+	// Presenter is the UI the workers saw.
+	Presenter string
+	// Redundancy is the answer target.
+	Redundancy int
+	// Answers holds each collected answer with worker and timestamps.
+	Answers []core.Answer
+}
+
+// Report is a table-level lineage summary.
+type Report struct {
+	// Table is the table name.
+	Table string
+	// Rows counts rows with a task column.
+	Rows int
+	// RowsWithResults counts rows with any collected answers.
+	RowsWithResults int
+	// TotalAnswers counts collected answers.
+	TotalAnswers int
+	// Workers summarizes per-worker activity, sorted by worker id.
+	Workers []WorkerStat
+	// FirstPublished and LastAnswered bound the experiment in time.
+	FirstPublished, LastAnswered time.Time
+	// Ops is the persisted manipulation history.
+	Ops []core.OpLogEntry
+}
+
+// OfRow extracts the lineage of one row.
+func OfRow(row *core.Row) (RowLineage, error) {
+	if row.Task == nil {
+		return RowLineage{}, fmt.Errorf("lineage: row %s has no task column", row.Key)
+	}
+	l := RowLineage{
+		Key:         row.Key,
+		PublishedAt: row.Task.PublishedAt,
+		Presenter:   row.Task.Presenter,
+		Redundancy:  row.Task.Redundancy,
+	}
+	if row.Result != nil {
+		l.Answers = append(l.Answers, row.Result.Answers...)
+	}
+	return l, nil
+}
+
+// Workers aggregates per-worker activity over a table.
+func Workers(cd *core.CrowdData) []WorkerStat {
+	acc := map[string]*WorkerStat{}
+	for _, row := range cd.Rows() {
+		if row.Result == nil {
+			continue
+		}
+		for _, a := range row.Result.Answers {
+			ws, ok := acc[a.Worker]
+			if !ok {
+				ws = &WorkerStat{Worker: a.Worker, First: a.SubmittedAt, Last: a.SubmittedAt}
+				acc[a.Worker] = ws
+			}
+			ws.Answers++
+			if a.SubmittedAt.Before(ws.First) {
+				ws.First = a.SubmittedAt
+			}
+			if a.SubmittedAt.After(ws.Last) {
+				ws.Last = a.SubmittedAt
+			}
+		}
+	}
+	out := make([]WorkerStat, 0, len(acc))
+	for _, ws := range acc {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// Summarize builds the table-level report, combining the persisted columns
+// with the op log.
+func Summarize(cc *core.CrowdContext, cd *core.CrowdData) (Report, error) {
+	rep := Report{Table: cd.Name()}
+	for _, row := range cd.Rows() {
+		if row.Task == nil {
+			continue
+		}
+		rep.Rows++
+		if rep.FirstPublished.IsZero() || row.Task.PublishedAt.Before(rep.FirstPublished) {
+			rep.FirstPublished = row.Task.PublishedAt
+		}
+		if row.Result == nil {
+			continue
+		}
+		if len(row.Result.Answers) > 0 {
+			rep.RowsWithResults++
+		}
+		for _, a := range row.Result.Answers {
+			rep.TotalAnswers++
+			if a.SubmittedAt.After(rep.LastAnswered) {
+				rep.LastAnswered = a.SubmittedAt
+			}
+		}
+	}
+	rep.Workers = Workers(cd)
+	ops, err := cc.OpLog(cd.Name())
+	if err != nil {
+		return rep, err
+	}
+	rep.Ops = ops
+	return rep, nil
+}
+
+// Format renders the report as the human-readable text the CLI prints.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table %s: %d rows published, %d with results, %d answers\n",
+		r.Table, r.Rows, r.RowsWithResults, r.TotalAnswers)
+	if !r.FirstPublished.IsZero() {
+		fmt.Fprintf(&b, "first published: %s\n", r.FirstPublished.Format(time.RFC3339Nano))
+	}
+	if !r.LastAnswered.IsZero() {
+		fmt.Fprintf(&b, "last answered:   %s\n", r.LastAnswered.Format(time.RFC3339Nano))
+	}
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, "worker %-20s %4d answers  active %s .. %s\n",
+			w.Worker, w.Answers,
+			w.First.Format("15:04:05.000"), w.Last.Format("15:04:05.000"))
+	}
+	for _, op := range r.Ops {
+		fmt.Fprintf(&b, "op[%d] %-8s %s %v\n", op.Seq, op.Op, op.At.Format("15:04:05.000"), op.Params)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package lineage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func setup(t *testing.T) (*core.CrowdContext, *core.CrowdData) {
+	t.Helper()
+	clock := vclock.NewVirtual()
+	engine := platform.NewEngine(clock)
+	cc, err := core.NewContext(core.Options{
+		DBDir:   t.TempDir(),
+		Client:  engine,
+		Clock:   clock,
+		Storage: storage.Options{Sync: storage.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+
+	objects := []core.Object{
+		{"url": "http://img/1.jpg", "truth": "Yes"},
+		{"url": "http://img/2.jpg", "truth": "No"},
+		{"url": "http://img/3.jpg", "truth": "Yes"},
+	}
+	cd, err := cc.CrowdData(objects, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(core.ImageLabel("Dog?"))
+	if _, err := cd.Publish(core.PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pid, err := cd.ProjectID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := crowd.NewPool(1, clock, crowd.Spec{Count: 4, Model: crowd.Uniform{P: 0.9}, Prefix: "w"})
+	oracle := crowd.FuncOracle{
+		TruthFunc:   func(p map[string]string) string { return p["truth"] },
+		OptionsFunc: func(map[string]string) []string { return []string{"Yes", "No"} },
+	}
+	if _, err := pool.Drain(engine, pid, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	return cc, cd
+}
+
+func TestOfRow(t *testing.T) {
+	_, cd := setup(t)
+	row := cd.Rows()[0]
+	l, err := OfRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Key != row.Key || l.Presenter != "image-label" || l.Redundancy != 3 {
+		t.Fatalf("lineage header: %+v", l)
+	}
+	if len(l.Answers) != 3 {
+		t.Fatalf("lineage has %d answers", len(l.Answers))
+	}
+	for _, a := range l.Answers {
+		if a.Worker == "" || a.SubmittedAt.IsZero() || a.RunID == 0 {
+			t.Fatalf("incomplete answer lineage: %+v", a)
+		}
+		if l.PublishedAt.After(a.SubmittedAt) {
+			t.Fatalf("answer precedes publication: %+v", a)
+		}
+	}
+}
+
+func TestOfRowUnpublished(t *testing.T) {
+	if _, err := OfRow(&core.Row{Key: "x"}); err == nil {
+		t.Fatal("expected error for unpublished row")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	_, cd := setup(t)
+	ws := Workers(cd)
+	if len(ws) == 0 {
+		t.Fatal("no workers reported")
+	}
+	total := 0
+	prev := ""
+	for _, w := range ws {
+		if w.Worker <= prev {
+			t.Fatalf("workers not sorted: %q after %q", w.Worker, prev)
+		}
+		prev = w.Worker
+		if w.First.After(w.Last) {
+			t.Fatalf("activity period inverted: %+v", w)
+		}
+		total += w.Answers
+	}
+	if total != 9 {
+		t.Fatalf("total answers %d, want 9", total)
+	}
+}
+
+func TestSummarizeAndFormat(t *testing.T) {
+	cc, cd := setup(t)
+	rep, err := Summarize(cc, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 3 || rep.RowsWithResults != 3 || rep.TotalAnswers != 9 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.FirstPublished.IsZero() || rep.LastAnswered.IsZero() || rep.FirstPublished.After(rep.LastAnswered) {
+		t.Fatalf("time bounds: %v .. %v", rep.FirstPublished, rep.LastAnswered)
+	}
+	var kinds []string
+	for _, op := range rep.Ops {
+		kinds = append(kinds, op.Op)
+	}
+	if strings.Join(kinds, ",") != "publish,collect" {
+		t.Fatalf("ops: %v", kinds)
+	}
+	text := rep.Format()
+	for _, want := range []string{"table exp", "3 rows published", "9 answers", "op[0] publish", "op[1] collect"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLineageFromSharedDatabase mimics Ally inspecting Bob's database file
+// without the generating code: LoadTable + Summarize must work.
+func TestLineageFromSharedDatabase(t *testing.T) {
+	cc, cd := setup(t)
+	name := cd.Name()
+	loaded, err := cc.LoadTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Summarize(cc, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalAnswers != 9 || rep.Rows != 3 {
+		t.Fatalf("shared-db report: %+v", rep)
+	}
+}

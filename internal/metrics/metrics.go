@@ -1,0 +1,157 @@
+// Package metrics computes the evaluation measures the experiment harness
+// reports: classification quality for joins and labeling, rank quality for
+// sort, and crowd-cost accounting.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PairKey canonicalizes an unordered pair of record ids so that (a,b) and
+// (b,a) compare equal.
+func PairKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// PRF1 holds precision, recall, and F1.
+type PRF1 struct {
+	Precision  float64
+	Recall     float64
+	F1         float64
+	TP, FP, FN int
+}
+
+// PairQuality scores a predicted match set against a truth set; both are
+// sets of PairKey strings.
+func PairQuality(predicted, truth map[string]bool) PRF1 {
+	var res PRF1
+	for p := range predicted {
+		if truth[p] {
+			res.TP++
+		} else {
+			res.FP++
+		}
+	}
+	for t := range truth {
+		if !predicted[t] {
+			res.FN++
+		}
+	}
+	if res.TP+res.FP > 0 {
+		res.Precision = float64(res.TP) / float64(res.TP+res.FP)
+	}
+	if res.TP+res.FN > 0 {
+		res.Recall = float64(res.TP) / float64(res.TP+res.FN)
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res
+}
+
+// String renders the scores compactly.
+func (p PRF1) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		p.Precision, p.Recall, p.F1, p.TP, p.FP, p.FN)
+}
+
+// Accuracy is the fraction of items whose predicted label equals the truth.
+// Items missing from predictions count as wrong.
+func Accuracy(predicted, truth map[string]string) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	correct := 0
+	for item, t := range truth {
+		if predicted[item] == t {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+// KendallTau computes the Kendall rank-correlation coefficient between a
+// predicted ordering and the true ordering of the same items. 1 means
+// identical order, -1 reversed. Items are identified by string; both slices
+// must contain the same item set.
+func KendallTau(predicted, truth []string) float64 {
+	n := len(truth)
+	if n < 2 || len(predicted) != n {
+		return 0
+	}
+	rank := make(map[string]int, n)
+	for i, item := range truth {
+		rank[item] = i
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ri, oki := rank[predicted[i]]
+			rj, okj := rank[predicted[j]]
+			if !oki || !okj {
+				return 0
+			}
+			if ri < rj {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	total := concordant + discordant
+	if total == 0 {
+		return 0
+	}
+	return float64(concordant-discordant) / float64(total)
+}
+
+// Cost accounts for crowd spend in tasks and answers.
+type Cost struct {
+	// Tasks is the number of tasks published.
+	Tasks int
+	// Answers is the number of answers collected.
+	Answers int
+	// PricePerAnswer converts to money when non-zero.
+	PricePerAnswer float64
+}
+
+// Dollars is the monetary cost (0 when no price is configured).
+func (c Cost) Dollars() float64 { return float64(c.Answers) * c.PricePerAnswer }
+
+// String renders the cost.
+func (c Cost) String() string {
+	if c.PricePerAnswer > 0 {
+		return fmt.Sprintf("%d tasks, %d answers ($%.2f)", c.Tasks, c.Answers, c.Dollars())
+	}
+	return fmt.Sprintf("%d tasks, %d answers", c.Tasks, c.Answers)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

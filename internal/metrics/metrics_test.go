@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPairKeyCanonical(t *testing.T) {
+	if PairKey("a", "b") != PairKey("b", "a") {
+		t.Fatal("PairKey not symmetric")
+	}
+	if PairKey("a", "b") == PairKey("a", "c") {
+		t.Fatal("PairKey collides")
+	}
+}
+
+func TestPairQuality(t *testing.T) {
+	truth := map[string]bool{"a|b": true, "c|d": true, "e|f": true}
+	pred := map[string]bool{"a|b": true, "c|d": true, "x|y": true}
+	q := PairQuality(pred, truth)
+	if q.TP != 2 || q.FP != 1 || q.FN != 1 {
+		t.Fatalf("counts: %+v", q)
+	}
+	if !close(q.Precision, 2.0/3.0) || !close(q.Recall, 2.0/3.0) || !close(q.F1, 2.0/3.0) {
+		t.Fatalf("scores: %+v", q)
+	}
+	// Degenerate cases.
+	empty := PairQuality(map[string]bool{}, map[string]bool{})
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Fatalf("empty: %+v", empty)
+	}
+	perfect := PairQuality(truth, truth)
+	if perfect.F1 != 1 {
+		t.Fatalf("perfect: %+v", perfect)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	truth := map[string]string{"a": "x", "b": "y", "c": "z"}
+	pred := map[string]string{"a": "x", "b": "wrong"}
+	if got := Accuracy(pred, truth); !close(got, 1.0/3.0) {
+		t.Fatalf("accuracy = %f", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty truth should be 0")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	truth := []string{"a", "b", "c", "d"}
+	if got := KendallTau([]string{"a", "b", "c", "d"}, truth); got != 1 {
+		t.Fatalf("identical tau = %f", got)
+	}
+	if got := KendallTau([]string{"d", "c", "b", "a"}, truth); got != -1 {
+		t.Fatalf("reversed tau = %f", got)
+	}
+	if got := KendallTau([]string{"b", "a", "c", "d"}, truth); !close(got, 2.0/3.0) {
+		t.Fatalf("one swap tau = %f", got)
+	}
+	if got := KendallTau([]string{"a"}, []string{"a"}); got != 0 {
+		t.Fatalf("singleton tau = %f", got)
+	}
+	if got := KendallTau([]string{"a", "zz"}, truth[:2]); got != 0 {
+		t.Fatalf("unknown item tau = %f", got)
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := Cost{Tasks: 10, Answers: 30, PricePerAnswer: 0.05}
+	if !close(c.Dollars(), 1.5) {
+		t.Fatalf("dollars = %f", c.Dollars())
+	}
+	if c.String() == "" || (Cost{Tasks: 1, Answers: 3}).String() == "" {
+		t.Fatal("empty cost strings")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty stats should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !close(got, 2) {
+		t.Fatalf("mean = %f", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd median = %f", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !close(got, 2.5) {
+		t.Fatalf("even median = %f", got)
+	}
+}
+
+// Property: precision and recall always land in [0,1], and F1 is their
+// harmonic mean.
+func TestQuickPairQualityRanges(t *testing.T) {
+	f := func(pred, truth []uint8) bool {
+		p := map[string]bool{}
+		for _, x := range pred {
+			p[PairKey(string('a'+x%8), string('a'+x%5))] = true
+		}
+		tr := map[string]bool{}
+		for _, x := range truth {
+			tr[PairKey(string('a'+x%8), string('a'+x%5))] = true
+		}
+		q := PairQuality(p, tr)
+		if q.Precision < 0 || q.Precision > 1 || q.Recall < 0 || q.Recall > 1 || q.F1 < 0 || q.F1 > 1 {
+			return false
+		}
+		if q.Precision > 0 && q.Recall > 0 {
+			h := 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+			return close(h, q.F1)
+		}
+		return q.F1 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

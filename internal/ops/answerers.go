@@ -1,0 +1,73 @@
+package ops
+
+import (
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// This file provides the standard oracles and Answerer glue used by tests,
+// examples, and the experiment harness to drive simulated crowds over the
+// operators' tables.
+
+// PairOracle answers pair tasks from a ground-truth match set (keys from
+// metrics.PairKey).
+func PairOracle(matches map[string]bool) crowd.FuncOracle {
+	return crowd.FuncOracle{
+		TruthFunc: func(p map[string]string) string {
+			if matches[metrics.PairKey(p["id_a"], p["id_b"])] {
+				return "Yes"
+			}
+			return "No"
+		},
+		OptionsFunc: func(map[string]string) []string { return []string{"Yes", "No"} },
+	}
+}
+
+// CompareOracle answers comparison tasks from hidden item scores: "a" when
+// id_a's score is higher.
+func CompareOracle(scores map[string]float64) crowd.FuncOracle {
+	return crowd.FuncOracle{
+		TruthFunc: func(p map[string]string) string {
+			if scores[p["id_a"]] >= scores[p["id_b"]] {
+				return "a"
+			}
+			return "b"
+		},
+		OptionsFunc: func(map[string]string) []string { return []string{"a", "b"} },
+	}
+}
+
+// FieldOracle answers from a payload field holding the truth, with a fixed
+// option list.
+func FieldOracle(field string, options ...string) crowd.FuncOracle {
+	return crowd.FuncOracle{
+		TruthFunc:   func(p map[string]string) string { return p[field] },
+		OptionsFunc: func(map[string]string) []string { return options },
+	}
+}
+
+// PoolAnswerer adapts a crowd pool into an Answerer: it resolves the
+// table's platform project and drains the pool over it with the given
+// oracle.
+func PoolAnswerer(client platform.Client, pool *crowd.Pool, oracle crowd.Oracle) Answerer {
+	return func(cd *core.CrowdData) error {
+		pid, err := cd.ProjectID()
+		if err != nil {
+			return err
+		}
+		_, err = pool.Drain(client, pid, oracle)
+		return err
+	}
+}
+
+// RecordsFromFields converts (id, fields) maps into operator Records,
+// preserving order.
+func RecordsFromFields(ids []string, fields map[string]map[string]string) []Record {
+	out := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Record{ID: id, Fields: fields[id]})
+	}
+	return out
+}

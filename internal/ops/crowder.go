@@ -1,0 +1,370 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+	"repro/internal/quality"
+	"repro/internal/similarity"
+)
+
+// HybridConfig tunes the CrowdER-style hybrid human–machine join (Wang,
+// Kraska, Franklin, Feng — PVLDB 2012).
+type HybridConfig struct {
+	JoinConfig
+	// Threshold is the machine-pass similarity cutoff: pairs below it are
+	// declared non-matches without crowd involvement. CrowdER's headline
+	// result is that a modest threshold removes the vast majority of
+	// pairs at negligible recall loss.
+	Threshold float64
+	// Measure is the similarity function; zero value means Jaccard over
+	// 2-grams of the flattened record.
+	Measure similarity.Measure
+	// ClusterTasks enables CrowdER's cluster-based task generation: a
+	// task shows a group of records and asks the worker to mark the
+	// duplicates within it, covering many pairs per task.
+	ClusterTasks bool
+	// MaxClusterSize caps records per cluster task. Zero means 4.
+	MaxClusterSize int
+}
+
+func (c HybridConfig) measure() similarity.Measure {
+	if c.Measure.Fn == nil {
+		return similarity.Measure{
+			Name: "jaccard-2grams",
+			Fn:   func(a, b string) float64 { return similarity.JaccardNGrams(a, b, 2) },
+		}
+	}
+	return c.Measure
+}
+
+// scoredPair is a candidate pair with its machine similarity.
+type scoredPair struct {
+	a, b Record
+	sim  float64
+}
+
+// machinePass scores every pair and splits them at the threshold.
+func machinePass(records []Record, cfg HybridConfig) (candidates []scoredPair, pruned int) {
+	m := cfg.measure()
+	flat := make(map[string]string, len(records))
+	for _, r := range records {
+		flat[r.ID] = similarity.RecordString(r.Fields)
+	}
+	for _, p := range allPairs(records) {
+		sim := m.Fn(flat[p[0].ID], flat[p[1].ID])
+		if sim >= cfg.Threshold {
+			candidates = append(candidates, scoredPair{a: p[0], b: p[1], sim: sim})
+		} else {
+			pruned++
+		}
+	}
+	return candidates, pruned
+}
+
+// HybridJoin runs the machine pass and sends only the surviving pairs to
+// the crowd, as individual pair tasks or as cluster tasks.
+func HybridJoin(cc *core.CrowdContext, records []Record, cfg HybridConfig) (JoinResult, error) {
+	if err := validateRecords(records); err != nil {
+		return JoinResult{}, err
+	}
+	candidates, pruned := machinePass(records, cfg)
+	res := JoinResult{
+		Matches:        map[string]bool{},
+		CandidatePairs: pruned + len(candidates),
+		MachinePairs:   pruned,
+		CrowdPairs:     len(candidates),
+	}
+	if len(candidates) == 0 {
+		return res, nil
+	}
+
+	if !cfg.ClusterTasks {
+		objects := make([]core.Object, 0, len(candidates))
+		for _, sp := range candidates {
+			objects = append(objects, pairObject(sp.a, sp.b))
+		}
+		decisions, cost, err := askPairs(cc, cfg.JoinConfig, cfg.Table+"_hybrid", objects)
+		if err != nil {
+			return res, err
+		}
+		res.Cost = cost
+		res.CrowdTasks = cost.Tasks
+		for _, sp := range candidates {
+			if decisions[pairRowID(sp.a.ID, sp.b.ID)] == "Yes" {
+				res.Matches[metrics.PairKey(sp.a.ID, sp.b.ID)] = true
+			}
+		}
+		return res, nil
+	}
+	return hybridClusterJoin(cc, candidates, cfg, res)
+}
+
+// --- Cluster-based task generation ---------------------------------------
+
+// cluster is one cluster task: a set of records and the candidate pairs
+// inside it.
+type cluster struct {
+	recordIDs []string
+	pairs     [][2]string // candidate pairs covered by this task
+}
+
+// buildClusters greedily packs candidate pairs into clusters of at most
+// maxSize records, highest-similarity edges first — the greedy set-cover
+// flavor of CrowdER's cluster task generation.
+func buildClusters(candidates []scoredPair, maxSize int) []cluster {
+	if maxSize < 2 {
+		maxSize = 2
+	}
+	edges := append([]scoredPair(nil), candidates...)
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].sim != edges[j].sim {
+			return edges[i].sim > edges[j].sim
+		}
+		return pairRowID(edges[i].a.ID, edges[i].b.ID) < pairRowID(edges[j].a.ID, edges[j].b.ID)
+	})
+
+	var clusters []cluster
+	memberOf := map[string][]int{} // record id → cluster indexes containing it
+	covered := map[string]bool{}   // pairRowID → already in some cluster
+
+	addPair := func(ci int, a, b string) {
+		c := &clusters[ci]
+		for _, id := range []string{a, b} {
+			found := false
+			for _, m := range c.recordIDs {
+				if m == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.recordIDs = append(c.recordIDs, id)
+				memberOf[id] = append(memberOf[id], ci)
+			}
+		}
+		c.pairs = append(c.pairs, [2]string{a, b})
+		covered[pairRowID(a, b)] = true
+	}
+
+	for _, e := range edges {
+		key := pairRowID(e.a.ID, e.b.ID)
+		if covered[key] {
+			continue
+		}
+		placed := false
+		// Prefer a cluster that already holds both endpoints.
+		for _, ci := range memberOf[e.a.ID] {
+			for _, cj := range memberOf[e.b.ID] {
+				if ci == cj {
+					addPair(ci, e.a.ID, e.b.ID)
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+		}
+		// Otherwise extend a cluster holding one endpoint, if it has room.
+		if !placed {
+			for _, id := range []string{e.a.ID, e.b.ID} {
+				for _, ci := range memberOf[id] {
+					if len(clusters[ci].recordIDs) < maxSize {
+						addPair(ci, e.a.ID, e.b.ID)
+						placed = true
+						break
+					}
+				}
+				if placed {
+					break
+				}
+			}
+		}
+		if !placed {
+			clusters = append(clusters, cluster{})
+			addPair(len(clusters)-1, e.a.ID, e.b.ID)
+		}
+	}
+	return clusters
+}
+
+// Cluster answers are encoded as a comma-separated list of the pair row
+// ids the worker marked as duplicates, e.g. "r1+r2,r3+r4"; "none" means no
+// duplicates in the cluster.
+const noMatches = "none"
+
+// encodePairSet canonicalizes a pair set into the answer encoding.
+func encodePairSet(pairs []string) string {
+	if len(pairs) == 0 {
+		return noMatches
+	}
+	s := append([]string(nil), pairs...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// decodePairSet parses the answer encoding.
+func decodePairSet(s string) map[string]bool {
+	out := map[string]bool{}
+	if s == "" || s == noMatches {
+		return out
+	}
+	for _, p := range strings.Split(s, ",") {
+		if p != "" {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// ClusterOracle builds the ground-truth answer for a cluster task from a
+// truth pair set (metrics.PairKey keyed). Exported so experiment harnesses
+// and examples can drive crowd pools over cluster tables.
+func ClusterOracle(truth map[string]bool) crowd.FuncOracle {
+	return crowd.FuncOracle{
+		TruthFunc: func(payload map[string]string) string {
+			var yes []string
+			for _, pr := range strings.Split(payload["pairs"], ",") {
+				ids := strings.SplitN(pr, "+", 2)
+				if len(ids) == 2 && truth[metrics.PairKey(ids[0], ids[1])] {
+					yes = append(yes, pr)
+				}
+			}
+			return encodePairSet(yes)
+		},
+		// Options carry the candidate pair universe to the answer model.
+		OptionsFunc: func(payload map[string]string) []string {
+			return strings.Split(payload["pairs"], ",")
+		},
+	}
+}
+
+// ClusterWorkerModel simulates a worker on a cluster task: each candidate
+// pair in the cluster is judged independently with accuracy P, and the
+// resulting pair set is encoded as the answer. It implements
+// crowd.AnswerModel; the options list carries the pair universe.
+type ClusterWorkerModel struct {
+	// P is the per-pair judgment accuracy.
+	P float64
+}
+
+// Answer implements crowd.AnswerModel.
+func (m ClusterWorkerModel) Answer(rng *rand.Rand, truth string, options []string) string {
+	truthSet := decodePairSet(truth)
+	var out []string
+	for _, pr := range options {
+		if pr == "" {
+			continue
+		}
+		// A correct judgment reproduces the truth; an incorrect one
+		// flips it.
+		mark := truthSet[pr]
+		if rng.Float64() >= m.P {
+			mark = !mark
+		}
+		if mark {
+			out = append(out, pr)
+		}
+	}
+	return encodePairSet(out)
+}
+
+// Name implements crowd.AnswerModel.
+func (m ClusterWorkerModel) Name() string { return fmt.Sprintf("cluster(%.2f)", m.P) }
+
+// hybridClusterJoin publishes cluster tasks and extracts per-pair votes
+// from the pair-set answers.
+func hybridClusterJoin(cc *core.CrowdContext, candidates []scoredPair, cfg HybridConfig, res JoinResult) (JoinResult, error) {
+	maxSize := cfg.MaxClusterSize
+	if maxSize <= 0 {
+		maxSize = 4
+	}
+	clusters := buildClusters(candidates, maxSize)
+
+	recordText := map[string]string{}
+	for _, sp := range candidates {
+		recordText[sp.a.ID] = renderRecord(sp.a)
+		recordText[sp.b.ID] = renderRecord(sp.b)
+	}
+
+	objects := make([]core.Object, 0, len(clusters))
+	for _, cl := range clusters {
+		var pairIDs []string
+		for _, p := range cl.pairs {
+			pairIDs = append(pairIDs, pairRowID(p[0], p[1]))
+		}
+		sort.Strings(pairIDs)
+		var display []string
+		ids := append([]string(nil), cl.recordIDs...)
+		sort.Strings(ids)
+		for _, id := range ids {
+			display = append(display, id+": "+recordText[id])
+		}
+		objects = append(objects, core.Object{
+			"records": strings.Join(display, "\n"),
+			"pairs":   strings.Join(pairIDs, ","),
+		})
+	}
+
+	cd, err := cc.CrowdData(objects, cfg.Table+"_clusters")
+	if err != nil {
+		return res, err
+	}
+	cd.SetPresenter(core.Presenter{
+		Name:          "cluster-dedup",
+		Question:      "Mark every pair of records in this group that refer to the same entity.",
+		AnswerOptions: []string{"<pair list>"},
+		Fields:        []string{"records"},
+	})
+	if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+		return res, err
+	}
+	if cfg.Answer != nil {
+		if err := cfg.Answer(cd); err != nil {
+			return res, err
+		}
+	}
+	if _, err := cd.Collect(); err != nil {
+		return res, err
+	}
+
+	// Explode each cluster answer into per-pair votes, then aggregate
+	// pairwise with the configured aggregator.
+	pairVotes := map[string][]quality.Vote{}
+	for _, row := range cd.Rows() {
+		if row.Result == nil {
+			continue
+		}
+		res.CrowdTasks++
+		universe := strings.Split(row.Object["pairs"], ",")
+		for _, a := range row.Result.Answers {
+			res.Cost.Answers++
+			marked := decodePairSet(a.Value)
+			for _, pr := range universe {
+				val := "No"
+				if marked[pr] {
+					val = "Yes"
+				}
+				pairVotes[pr] = append(pairVotes[pr], quality.Vote{Worker: a.Worker, Value: val})
+			}
+		}
+	}
+	res.Cost.Tasks = res.CrowdTasks
+	decisions := cfg.aggregator().Aggregate(pairVotes)
+	for pr, d := range decisions {
+		if d.Value != "Yes" {
+			continue
+		}
+		ids := strings.SplitN(pr, "+", 2)
+		if len(ids) == 2 {
+			res.Matches[metrics.PairKey(ids[0], ids[1])] = true
+		}
+	}
+	return res, nil
+}

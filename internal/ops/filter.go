@@ -1,0 +1,158 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// FilterConfig tunes CrowdFilter.
+type FilterConfig struct {
+	// Table is the CrowdData table name.
+	Table string
+	// Question is the per-item predicate shown to workers.
+	Question string
+	// Redundancy is votes per item; zero uses the context default.
+	Redundancy int
+	// Answer makes the crowd answer.
+	Answer Answerer
+}
+
+// FilterResult is the kept subset with cost.
+type FilterResult struct {
+	// Kept holds the objects the crowd judged to satisfy the predicate,
+	// in input order.
+	Kept []core.Object
+	// Decisions maps row key → "Yes"/"No".
+	Decisions map[string]string
+	// Cost is the crowd spend.
+	Cost metrics.Cost
+}
+
+// CrowdFilter keeps the objects for which the crowd answers the question
+// "Yes" (majority-voted).
+func CrowdFilter(cc *core.CrowdContext, objects []core.Object, cfg FilterConfig) (FilterResult, error) {
+	res := FilterResult{Decisions: map[string]string{}}
+	if len(objects) == 0 {
+		return res, nil
+	}
+	cd, err := cc.CrowdData(objects, cfg.Table+"_filter")
+	if err != nil {
+		return res, err
+	}
+	cd.SetPresenter(core.Presenter{
+		Name:          "filter",
+		Question:      cfg.Question,
+		AnswerOptions: []string{"Yes", "No"},
+	})
+	if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+		return res, err
+	}
+	if cfg.Answer != nil {
+		if err := cfg.Answer(cd); err != nil {
+			return res, err
+		}
+	}
+	if _, err := cd.Collect(); err != nil {
+		return res, err
+	}
+	if err := cd.MajorityVote("keep"); err != nil {
+		return res, err
+	}
+	for _, row := range cd.Rows() {
+		if row.Task != nil {
+			res.Cost.Tasks++
+		}
+		if row.Result != nil {
+			res.Cost.Answers += len(row.Result.Answers)
+		}
+		decision := row.Value("keep")
+		res.Decisions[row.Key] = decision
+		if decision == "Yes" {
+			res.Kept = append(res.Kept, row.Object)
+		}
+	}
+	return res, nil
+}
+
+// CountConfig tunes CrowdCount.
+type CountConfig struct {
+	// Table is the CrowdData table name.
+	Table string
+	// Question is the per-item predicate.
+	Question string
+	// SampleSize is how many items to label; zero labels everything.
+	SampleSize int
+	// Seed drives sampling.
+	Seed int64
+	// Redundancy is votes per sampled item.
+	Redundancy int
+	// Answer makes the crowd answer.
+	Answer Answerer
+}
+
+// CountResult is a sampling-based selectivity estimate.
+type CountResult struct {
+	// Estimate is the estimated number of items satisfying the predicate.
+	Estimate float64
+	// StdErr is the standard error of the estimate.
+	StdErr float64
+	// Sampled is how many items were labeled.
+	Sampled int
+	// PositiveSampled is how many sampled items were judged "Yes".
+	PositiveSampled int
+	// Cost is the crowd spend.
+	Cost metrics.Cost
+}
+
+// CrowdCount estimates how many objects satisfy the predicate by labeling
+// a random sample and scaling up — the classic crowdsourced count/selectivity
+// estimator.
+func CrowdCount(cc *core.CrowdContext, objects []core.Object, cfg CountConfig) (CountResult, error) {
+	var res CountResult
+	n := len(objects)
+	if n == 0 {
+		return res, nil
+	}
+	sample := objects
+	if cfg.SampleSize > 0 && cfg.SampleSize < n {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		idx := rng.Perm(n)[:cfg.SampleSize]
+		sample = make([]core.Object, 0, cfg.SampleSize)
+		for _, i := range idx {
+			sample = append(sample, objects[i])
+		}
+	}
+
+	fr, err := CrowdFilter(cc, sample, FilterConfig{
+		Table:      cfg.Table + "_count",
+		Question:   cfg.Question,
+		Redundancy: cfg.Redundancy,
+		Answer:     cfg.Answer,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Cost = fr.Cost
+	res.Sampled = len(sample)
+	res.PositiveSampled = len(fr.Kept)
+	p := float64(res.PositiveSampled) / float64(res.Sampled)
+	res.Estimate = p * float64(n)
+	// Finite-population-corrected binomial standard error, scaled to the
+	// population count. A census (sample == population) has zero error.
+	fpc := 0.0
+	if n > 1 {
+		fpc = math.Sqrt(float64(n-res.Sampled) / float64(n-1))
+	}
+	res.StdErr = float64(n) * fpc * math.Sqrt(p*(1-p)/float64(res.Sampled))
+	return res, nil
+}
+
+// String renders the estimate as "est ± stderr".
+func (r CountResult) String() string {
+	return fmt.Sprintf("%.1f ± %.1f (from %d sampled, %d positive)",
+		r.Estimate, r.StdErr, r.Sampled, r.PositiveSampled)
+}

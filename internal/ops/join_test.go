@@ -1,0 +1,236 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/simdata"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// opsEnv is the shared fixture: a platform, a context, a corpus, and pools.
+type opsEnv struct {
+	clock  *vclock.Virtual
+	engine *platform.Engine
+	cc     *core.CrowdContext
+	corpus simdata.ERCorpus
+}
+
+func newOpsEnv(t testing.TB, entities int, dupProb float64) *opsEnv {
+	t.Helper()
+	clock := vclock.NewVirtual()
+	engine := platform.NewEngine(clock)
+	cc, err := core.NewContext(core.Options{
+		DBDir:   t.TempDir(),
+		Client:  engine,
+		Clock:   clock,
+		Storage: storage.Options{Sync: storage.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	return &opsEnv{
+		clock:  clock,
+		engine: engine,
+		cc:     cc,
+		corpus: simdata.Restaurants(simdata.ERConfig{Seed: 1, Entities: entities, DupProb: dupProb, MaxDups: 3, NoiseOps: 2}),
+	}
+}
+
+func (e *opsEnv) records() []Record {
+	out := make([]Record, 0, len(e.corpus.Records))
+	for _, r := range e.corpus.Records {
+		out = append(out, Record{ID: r.ID, Fields: r.Fields})
+	}
+	return out
+}
+
+// pairAnswerer drains a fresh pool of perfect (or noisy) pair workers.
+func (e *opsEnv) pairAnswerer(model crowd.AnswerModel, workers int) Answerer {
+	pool := crowd.NewPool(7, e.clock, crowd.Spec{Count: workers, Model: model, Prefix: "pw"})
+	return PoolAnswerer(e.engine, pool, PairOracle(e.corpus.Matches))
+}
+
+func TestAllPairsJoinPerfectWorkers(t *testing.T) {
+	e := newOpsEnv(t, 12, 0.5)
+	records := e.records()
+	res, err := AllPairsJoin(e.cc, records, JoinConfig{
+		Table:      "er",
+		Redundancy: 3,
+		Answer:     e.pairAnswerer(crowd.Perfect{}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(records)
+	wantPairs := n * (n - 1) / 2
+	if res.CandidatePairs != wantPairs || res.CrowdPairs != wantPairs {
+		t.Fatalf("pairs: %+v, want %d", res, wantPairs)
+	}
+	q := metrics.PairQuality(res.Matches, e.corpus.Matches)
+	if q.F1 != 1 {
+		t.Fatalf("perfect workers should give F1=1, got %s", q)
+	}
+	if res.Cost.Tasks != wantPairs || res.Cost.Answers != wantPairs*3 {
+		t.Fatalf("cost: %+v", res.Cost)
+	}
+}
+
+func TestHybridJoinPrunesAndPreservesQuality(t *testing.T) {
+	e := newOpsEnv(t, 25, 0.5)
+	records := e.records()
+
+	all, err := AllPairsJoin(e.cc, records, JoinConfig{
+		Table: "er", Redundancy: 3, Answer: e.pairAnswerer(crowd.Perfect{}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := HybridJoin(e.cc, records, HybridConfig{
+		JoinConfig: JoinConfig{Table: "er", Redundancy: 3, Answer: e.pairAnswerer(crowd.Perfect{}, 5)},
+		Threshold:  0.35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.CrowdPairs >= all.CrowdPairs/4 {
+		t.Fatalf("hybrid did not prune enough: %d crowd pairs vs %d all-pairs",
+			hyb.CrowdPairs, all.CrowdPairs)
+	}
+	qAll := metrics.PairQuality(all.Matches, e.corpus.Matches)
+	qHyb := metrics.PairQuality(hyb.Matches, e.corpus.Matches)
+	if qHyb.F1 < qAll.F1-0.1 {
+		t.Fatalf("hybrid lost too much quality: %s vs %s", qHyb, qAll)
+	}
+	if qHyb.Precision != 1 {
+		t.Fatalf("with perfect workers hybrid precision must be 1: %s", qHyb)
+	}
+}
+
+func TestHybridJoinThresholdZeroEqualsAllPairs(t *testing.T) {
+	e := newOpsEnv(t, 8, 0.5)
+	records := e.records()
+	hyb, err := HybridJoin(e.cc, records, HybridConfig{
+		JoinConfig: JoinConfig{Table: "er", Redundancy: 3, Answer: e.pairAnswerer(crowd.Perfect{}, 5)},
+		Threshold:  0, // nothing pruned
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(records)
+	if hyb.CrowdPairs != n*(n-1)/2 || hyb.MachinePairs != 0 {
+		t.Fatalf("threshold 0: %+v", hyb)
+	}
+	q := metrics.PairQuality(hyb.Matches, e.corpus.Matches)
+	if q.F1 != 1 {
+		t.Fatalf("F1 = %s", q)
+	}
+}
+
+func TestHybridJoinThresholdOneAsksNothing(t *testing.T) {
+	e := newOpsEnv(t, 8, 0.5)
+	res, err := HybridJoin(e.cc, e.records(), HybridConfig{
+		JoinConfig: JoinConfig{Table: "er", Redundancy: 3},
+		Threshold:  1.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrowdPairs != 0 || res.Cost.Answers != 0 || len(res.Matches) != 0 {
+		t.Fatalf("threshold >1 should skip the crowd entirely: %+v", res)
+	}
+}
+
+func TestClusterTasksCoverPairsCheaper(t *testing.T) {
+	e := newOpsEnv(t, 25, 0.5)
+	records := e.records()
+
+	pairMode, err := HybridJoin(e.cc, records, HybridConfig{
+		JoinConfig: JoinConfig{Table: "pm", Redundancy: 3, Answer: e.pairAnswerer(crowd.Perfect{}, 5)},
+		Threshold:  0.35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clusterPool := crowd.NewPool(11, e.clock, crowd.Spec{Count: 5, Model: ClusterWorkerModel{P: 1}, Prefix: "cw"})
+	clusterMode, err := HybridJoin(e.cc, records, HybridConfig{
+		JoinConfig: JoinConfig{
+			Table: "cm", Redundancy: 3,
+			Answer: PoolAnswerer(e.engine, clusterPool, ClusterOracle(e.corpus.Matches)),
+		},
+		Threshold:      0.35,
+		ClusterTasks:   true,
+		MaxClusterSize: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if clusterMode.CrowdTasks >= pairMode.CrowdTasks {
+		t.Fatalf("cluster tasks (%d) should undercut pair tasks (%d)",
+			clusterMode.CrowdTasks, pairMode.CrowdTasks)
+	}
+	qP := metrics.PairQuality(pairMode.Matches, e.corpus.Matches)
+	qC := metrics.PairQuality(clusterMode.Matches, e.corpus.Matches)
+	if qC.F1 < qP.F1-0.05 {
+		t.Fatalf("cluster quality dropped: %s vs %s", qC, qP)
+	}
+}
+
+func TestJoinRerunHitsCache(t *testing.T) {
+	e := newOpsEnv(t, 15, 0.5)
+	records := e.records()
+	cfg := HybridConfig{
+		JoinConfig: JoinConfig{Table: "er", Redundancy: 3, Answer: e.pairAnswerer(crowd.Perfect{}, 5)},
+		Threshold:  0.35,
+	}
+	first, err := HybridJoin(e.cc, records, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok, _ := e.engine.FindProject("reprowd-er_hybrid")
+	if !ok {
+		t.Fatal("hybrid project missing")
+	}
+	before, _ := e.engine.Stats(proj.ID)
+
+	// Rerun: the operator inherits crash-and-rerun from CrowdData — no
+	// new platform work, identical output.
+	second, err := HybridJoin(e.cc, records, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := e.engine.Stats(proj.ID)
+	if before != after {
+		t.Fatalf("rerun touched the platform: %+v -> %+v", before, after)
+	}
+	if len(first.Matches) != len(second.Matches) {
+		t.Fatalf("rerun output differs: %d vs %d matches", len(first.Matches), len(second.Matches))
+	}
+	for k := range first.Matches {
+		if !second.Matches[k] {
+			t.Fatalf("rerun lost match %s", k)
+		}
+	}
+}
+
+func TestValidateRecords(t *testing.T) {
+	if err := validateRecords([]Record{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := validateRecords([]Record{{ID: ""}}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := HybridJoin(nil, []Record{{ID: ""}}, HybridConfig{}); err == nil {
+		t.Fatal("HybridJoin accepted bad records")
+	}
+	if _, err := TransitiveJoin(nil, []Record{{ID: ""}}, TransitiveConfig{}); err == nil {
+		t.Fatal("TransitiveJoin accepted bad records")
+	}
+}

@@ -1,0 +1,206 @@
+// Package ops implements crowdsourced data-processing operators on top of
+// the CrowdData abstraction — the re-implementations the paper reports
+// ("we have implemented two crowdsourced join algorithms ... and shown that
+// these algorithms can inherit the sharable and examinable requirements
+// from CrowdData for free"), plus the sort/max/filter/count operators its
+// survey context names.
+//
+// Every operator manipulates CrowdData tables only, so crash-and-rerun,
+// caching, and lineage come for free: rerunning any operator resumes from
+// the persisted columns.
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/quality"
+)
+
+// Record is an operator-level record: an id and named fields.
+type Record struct {
+	// ID uniquely identifies the record.
+	ID string
+	// Fields holds the record's attributes.
+	Fields map[string]string
+}
+
+// Answerer causes the crowd to answer the published tasks of a CrowdData
+// table. In simulations it drains a crowd.Pool over the table's platform
+// project; against a real platform it would poll until humans finish.
+type Answerer func(cd *core.CrowdData) error
+
+// JoinConfig is shared by all join operators.
+type JoinConfig struct {
+	// Table is the base name for the operator's CrowdData tables.
+	Table string
+	// Redundancy is answers per task; zero uses the context default.
+	Redundancy int
+	// Answer makes the crowd answer between Publish and Collect.
+	Answer Answerer
+	// Aggregator resolves redundant answers; nil means majority vote.
+	Aggregator quality.Aggregator
+}
+
+func (c JoinConfig) aggregator() quality.Aggregator {
+	if c.Aggregator == nil {
+		return quality.MajorityVote{}
+	}
+	return c.Aggregator
+}
+
+// JoinResult reports a join's output and cost.
+type JoinResult struct {
+	// Matches is the predicted duplicate set, keyed by
+	// metrics.PairKey(recordID, recordID).
+	Matches map[string]bool
+	// Cost is the crowd spend.
+	Cost metrics.Cost
+	// CandidatePairs is the number of pairs considered at all.
+	CandidatePairs int
+	// CrowdPairs is the number of pairs the crowd was asked about.
+	CrowdPairs int
+	// MachinePairs is the number of pairs resolved by the machine pass.
+	MachinePairs int
+	// DeducedPairs is the number of pairs resolved by transitivity.
+	DeducedPairs int
+	// CrowdTasks is the number of platform tasks used (differs from
+	// CrowdPairs under cluster tasks).
+	CrowdTasks int
+}
+
+// pairObject builds the CrowdData object for a record pair. The pair id
+// fields make the row key deterministic; left/right are the worker-visible
+// renderings.
+func pairObject(a, b Record) core.Object {
+	return core.Object{
+		"id_a":  a.ID,
+		"id_b":  b.ID,
+		"left":  renderRecord(a),
+		"right": renderRecord(b),
+	}
+}
+
+// renderRecord flattens a record for display in a presenter, fields sorted.
+func renderRecord(r Record) string {
+	out := ""
+	for _, f := range sortedFieldNames(r.Fields) {
+		if out != "" {
+			out += " | "
+		}
+		out += f + ": " + r.Fields[f]
+	}
+	return out
+}
+
+func sortedFieldNames(fields map[string]string) []string {
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		names = append(names, f)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// allPairs enumerates the unordered record pairs in input order.
+func allPairs(records []Record) [][2]Record {
+	var out [][2]Record
+	for i := 0; i < len(records); i++ {
+		for j := i + 1; j < len(records); j++ {
+			out = append(out, [2]Record{records[i], records[j]})
+		}
+	}
+	return out
+}
+
+// AllPairsJoin is the brute-force baseline: every pair goes to the crowd.
+// It is what the hybrid and transitive joins are measured against.
+func AllPairsJoin(cc *core.CrowdContext, records []Record, cfg JoinConfig) (JoinResult, error) {
+	pairs := allPairs(records)
+	res := JoinResult{
+		Matches:        map[string]bool{},
+		CandidatePairs: len(pairs),
+		CrowdPairs:     len(pairs),
+	}
+	objects := make([]core.Object, 0, len(pairs))
+	for _, p := range pairs {
+		objects = append(objects, pairObject(p[0], p[1]))
+	}
+	decisions, cost, err := askPairs(cc, cfg, cfg.Table+"_allpairs", objects)
+	if err != nil {
+		return res, err
+	}
+	res.Cost = cost
+	res.CrowdTasks = cost.Tasks
+	for _, p := range pairs {
+		key := metrics.PairKey(p[0].ID, p[1].ID)
+		if decisions[pairRowID(p[0].ID, p[1].ID)] == "Yes" {
+			res.Matches[key] = true
+		}
+	}
+	return res, nil
+}
+
+// pairRowID is the logical id of a pair row inside decision maps: it must
+// match what askPairs derives from the pair object.
+func pairRowID(a, b string) string { return a + "+" + b }
+
+// askPairs publishes the pair objects to table, lets the crowd answer,
+// collects, aggregates, and returns pairRowID → decided label, plus cost.
+// Thanks to CrowdData this whole function is idempotent: rerunning it after
+// a crash reuses every published task and collected answer.
+func askPairs(cc *core.CrowdContext, cfg JoinConfig, table string, objects []core.Object) (map[string]string, metrics.Cost, error) {
+	var cost metrics.Cost
+	cd, err := cc.CrowdData(objects, table)
+	if err != nil {
+		return nil, cost, err
+	}
+	cd.SetPresenter(core.TextPair("Do these two records refer to the same entity?"))
+	if len(objects) > 0 {
+		if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+			return nil, cost, err
+		}
+		if cfg.Answer != nil {
+			if err := cfg.Answer(cd); err != nil {
+				return nil, cost, err
+			}
+		}
+		if _, err := cd.Collect(); err != nil {
+			return nil, cost, err
+		}
+		if err := cd.Aggregate("match", cfg.aggregator()); err != nil {
+			return nil, cost, err
+		}
+	}
+	decisions := make(map[string]string, cd.Len())
+	for _, row := range cd.Rows() {
+		decisions[pairRowID(row.Object["id_a"], row.Object["id_b"])] = row.Value("match")
+		if row.Task != nil {
+			cost.Tasks++
+		}
+		if row.Result != nil {
+			cost.Answers += len(row.Result.Answers)
+		}
+	}
+	return decisions, cost, nil
+}
+
+// validateRecords rejects duplicate or empty ids early.
+func validateRecords(records []Record) error {
+	seen := make(map[string]bool, len(records))
+	for _, r := range records {
+		if r.ID == "" {
+			return fmt.Errorf("ops: record with empty id")
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("ops: duplicate record id %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}

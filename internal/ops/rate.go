@@ -1,0 +1,130 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// RateMethod aggregates a row's ratings into one score.
+type RateMethod string
+
+const (
+	// MeanRating averages the ordinal ratings.
+	MeanRating RateMethod = "mean"
+	// MedianRating takes the median, robust to single outliers.
+	MedianRating RateMethod = "median"
+)
+
+// RateConfig tunes CrowdRate.
+type RateConfig struct {
+	// Table is the CrowdData table name.
+	Table string
+	// Question is the rating prompt.
+	Question string
+	// Scale is the ordered option list, worst first (e.g. "1".."5").
+	// Empty means a 1–5 scale.
+	Scale []string
+	// Redundancy is ratings per item; zero uses the context default.
+	Redundancy int
+	// Answer makes the crowd answer.
+	Answer Answerer
+	// Method aggregates ratings; empty means MeanRating.
+	Method RateMethod
+}
+
+// RateResult is the aggregated ratings.
+type RateResult struct {
+	// Scores maps row key → aggregated rating (index into the scale,
+	// 0-based, fractional for means).
+	Scores map[string]float64
+	// Ranking is the row keys ordered best (highest score) first.
+	Ranking []string
+	// Cost is the crowd spend.
+	Cost metrics.Cost
+}
+
+// CrowdRate collects ordinal ratings for each object and aggregates them —
+// the rating/scoring operator of the crowdsourced-operator literature
+// (used for relevance judgments, image quality, etc.).
+func CrowdRate(cc *core.CrowdContext, objects []core.Object, cfg RateConfig) (RateResult, error) {
+	res := RateResult{Scores: map[string]float64{}}
+	if len(objects) == 0 {
+		return res, nil
+	}
+	scale := cfg.Scale
+	if len(scale) == 0 {
+		scale = []string{"1", "2", "3", "4", "5"}
+	}
+	method := cfg.Method
+	if method == "" {
+		method = MeanRating
+	}
+	rank := make(map[string]int, len(scale))
+	for i, s := range scale {
+		rank[s] = i
+	}
+
+	cd, err := cc.CrowdData(objects, cfg.Table+"_rate")
+	if err != nil {
+		return res, err
+	}
+	cd.SetPresenter(core.Presenter{
+		Name:          "rate",
+		Question:      cfg.Question,
+		AnswerOptions: scale,
+	})
+	if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+		return res, err
+	}
+	if cfg.Answer != nil {
+		if err := cfg.Answer(cd); err != nil {
+			return res, err
+		}
+	}
+	if _, err := cd.Collect(); err != nil {
+		return res, err
+	}
+
+	for _, row := range cd.Rows() {
+		if row.Task != nil {
+			res.Cost.Tasks++
+		}
+		if row.Result == nil {
+			continue
+		}
+		var vals []float64
+		for _, a := range row.Result.Answers {
+			res.Cost.Answers++
+			if r, ok := rank[a.Value]; ok {
+				vals = append(vals, float64(r))
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		switch method {
+		case MeanRating:
+			res.Scores[row.Key] = metrics.Mean(vals)
+		case MedianRating:
+			res.Scores[row.Key] = metrics.Median(vals)
+		default:
+			return res, fmt.Errorf("ops: unknown rate method %q", method)
+		}
+	}
+
+	res.Ranking = make([]string, 0, len(res.Scores))
+	for k := range res.Scores {
+		res.Ranking = append(res.Ranking, k)
+	}
+	sort.SliceStable(res.Ranking, func(i, j int) bool {
+		si, sj := res.Scores[res.Ranking[i]], res.Scores[res.Ranking[j]]
+		if si != sj {
+			return si > sj
+		}
+		return res.Ranking[i] < res.Ranking[j]
+	})
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package ops
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+)
+
+// ratingOracle answers with the object's hidden rating; options are the
+// scale.
+func ratingOracle(scale []string) crowd.FuncOracle {
+	return crowd.FuncOracle{
+		TruthFunc:   func(p map[string]string) string { return p["stars"] },
+		OptionsFunc: func(map[string]string) []string { return scale },
+	}
+}
+
+func TestCrowdRateMean(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	scale := []string{"1", "2", "3", "4", "5"}
+	var objects []core.Object
+	for i := 0; i < 10; i++ {
+		objects = append(objects, core.Object{
+			"item":  fmt.Sprintf("product-%d", i),
+			"stars": strconv.Itoa(i%5 + 1),
+		})
+	}
+	pool := crowd.NewPool(3, e.clock, crowd.Spec{Count: 5, Model: crowd.Perfect{}, Prefix: "r"})
+	res, err := CrowdRate(e.cc, objects, RateConfig{
+		Table:      "products",
+		Question:   "How good is this product?",
+		Scale:      scale,
+		Redundancy: 3,
+		Answer:     PoolAnswerer(e.engine, pool, ratingOracle(scale)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 10 {
+		t.Fatalf("scores for %d items", len(res.Scores))
+	}
+	// Perfect workers: the mean equals the hidden rating (as 0-based index).
+	for _, obj := range objects {
+		key := e.cc.Key(obj)
+		stars, _ := strconv.Atoi(obj["stars"])
+		if got := res.Scores[key]; got != float64(stars-1) {
+			t.Fatalf("item %s: score %.2f, want %d", obj["item"], got, stars-1)
+		}
+	}
+	// Ranking is descending by score.
+	for i := 1; i < len(res.Ranking); i++ {
+		if res.Scores[res.Ranking[i-1]] < res.Scores[res.Ranking[i]] {
+			t.Fatalf("ranking not descending at %d", i)
+		}
+	}
+	if res.Cost.Tasks != 10 || res.Cost.Answers != 30 {
+		t.Fatalf("cost: %+v", res.Cost)
+	}
+}
+
+func TestCrowdRateMedianRobustToSpam(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	scale := []string{"1", "2", "3", "4", "5"}
+	objects := []core.Object{{"item": "p", "stars": "4"}}
+	// 3 perfect raters + 2 spammers; the median shrugs off outliers far
+	// better than the mean.
+	pool := crowd.NewPool(3, e.clock,
+		crowd.Spec{Count: 3, Model: crowd.Perfect{}, Prefix: "good"},
+		crowd.Spec{Count: 2, Model: crowd.Adversary{}, Prefix: "bad"},
+	)
+	answer := PoolAnswerer(e.engine, pool, ratingOracle(scale))
+	med, err := CrowdRate(e.cc, objects, RateConfig{
+		Table: "med", Question: "?", Scale: scale, Redundancy: 5,
+		Answer: answer, Method: MedianRating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := e.cc.Key(objects[0])
+	if med.Scores[key] != 3 { // "4" is index 3
+		t.Fatalf("median = %.2f, want 3", med.Scores[key])
+	}
+}
+
+func TestCrowdRateEdgeCases(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	// Empty input.
+	res, err := CrowdRate(e.cc, nil, RateConfig{Table: "none"})
+	if err != nil || len(res.Scores) != 0 {
+		t.Fatalf("empty rate: %+v, %v", res, err)
+	}
+	// Unknown method.
+	pool := crowd.NewPool(3, e.clock, crowd.Spec{Count: 1, Model: crowd.Perfect{}})
+	_, err = CrowdRate(e.cc, []core.Object{{"item": "x", "stars": "1"}}, RateConfig{
+		Table: "bad", Question: "?", Redundancy: 1, Method: RateMethod("bogus"),
+		Answer: PoolAnswerer(e.engine, pool, ratingOracle([]string{"1", "2", "3", "4", "5"})),
+	})
+	if err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}

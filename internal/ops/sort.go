@@ -1,0 +1,263 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Item is a sortable/comparable element.
+type Item struct {
+	// ID uniquely identifies the item.
+	ID string
+	// Label is what workers see.
+	Label string
+}
+
+// RankMethod turns pairwise comparison outcomes into a total order.
+type RankMethod string
+
+const (
+	// Copeland ranks by number of pairwise wins.
+	Copeland RankMethod = "copeland"
+	// Borda ranks by summed vote share across comparisons.
+	Borda RankMethod = "borda"
+)
+
+// SortConfig tunes CrowdSort.
+type SortConfig struct {
+	// Table is the base CrowdData table name.
+	Table string
+	// Redundancy is votes per comparison; zero uses the context default.
+	Redundancy int
+	// Answer makes the crowd answer.
+	Answer Answerer
+	// Budget caps the number of comparisons; zero means all pairs.
+	// Budgeted runs sample pairs deterministically from Seed.
+	Budget int
+	// Seed drives budget sampling.
+	Seed int64
+	// Method is the rank aggregation; empty means Copeland.
+	Method RankMethod
+}
+
+// SortResult is a crowd-sorted order with cost.
+type SortResult struct {
+	// Order is the item ids, best first.
+	Order []string
+	// Scores is the per-item rank score (wins or Borda points).
+	Scores map[string]float64
+	// Cost is the crowd spend.
+	Cost metrics.Cost
+}
+
+// comparisonObject renders one pairwise comparison task.
+func comparisonObject(a, b Item) core.Object {
+	return core.Object{"id_a": a.ID, "id_b": b.ID, "a": a.Label, "b": b.Label}
+}
+
+// CrowdSort sorts items by crowd pairwise comparisons: all pairs (or a
+// sampled budget) are published as "which is better: a or b?" tasks, votes
+// are majority-resolved, and Copeland or Borda scores produce the order.
+func CrowdSort(cc *core.CrowdContext, items []Item, cfg SortConfig) (SortResult, error) {
+	res := SortResult{Scores: map[string]float64{}}
+	if len(items) < 2 {
+		for _, it := range items {
+			res.Order = append(res.Order, it.ID)
+		}
+		return res, nil
+	}
+	method := cfg.Method
+	if method == "" {
+		method = Copeland
+	}
+
+	var pairs [][2]Item
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			pairs = append(pairs, [2]Item{items[i], items[j]})
+		}
+	}
+	if cfg.Budget > 0 && cfg.Budget < len(pairs) {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		pairs = pairs[:cfg.Budget]
+	}
+
+	objects := make([]core.Object, 0, len(pairs))
+	for _, p := range pairs {
+		objects = append(objects, comparisonObject(p[0], p[1]))
+	}
+	cd, err := cc.CrowdData(objects, cfg.Table+"_sort")
+	if err != nil {
+		return res, err
+	}
+	cd.SetPresenter(core.Compare("Which of the two is greater/better?"))
+	if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+		return res, err
+	}
+	if cfg.Answer != nil {
+		if err := cfg.Answer(cd); err != nil {
+			return res, err
+		}
+	}
+	if _, err := cd.Collect(); err != nil {
+		return res, err
+	}
+
+	for _, it := range items {
+		res.Scores[it.ID] = 0
+	}
+	for _, row := range cd.Rows() {
+		if row.Task != nil {
+			res.Cost.Tasks++
+		}
+		if row.Result == nil {
+			continue
+		}
+		aID, bID := row.Object["id_a"], row.Object["id_b"]
+		votesA, votesB := 0, 0
+		for _, ans := range row.Result.Answers {
+			res.Cost.Answers++
+			switch ans.Value {
+			case "a":
+				votesA++
+			case "b":
+				votesB++
+			}
+		}
+		total := votesA + votesB
+		if total == 0 {
+			continue
+		}
+		switch method {
+		case Copeland:
+			switch {
+			case votesA > votesB:
+				res.Scores[aID]++
+			case votesB > votesA:
+				res.Scores[bID]++
+			default: // tie: half a win each
+				res.Scores[aID] += 0.5
+				res.Scores[bID] += 0.5
+			}
+		case Borda:
+			res.Scores[aID] += float64(votesA) / float64(total)
+			res.Scores[bID] += float64(votesB) / float64(total)
+		default:
+			return res, fmt.Errorf("ops: unknown rank method %q", method)
+		}
+	}
+
+	ids := make([]string, 0, len(items))
+	for _, it := range items {
+		ids = append(ids, it.ID)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		si, sj := res.Scores[ids[i]], res.Scores[ids[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	res.Order = ids
+	return res, nil
+}
+
+// MaxConfig tunes CrowdMax.
+type MaxConfig struct {
+	// Table is the base CrowdData table name.
+	Table string
+	// Redundancy is votes per match; zero uses the context default.
+	Redundancy int
+	// Answer makes the crowd answer.
+	Answer Answerer
+}
+
+// MaxResult is the tournament outcome.
+type MaxResult struct {
+	// Winner is the champion item id.
+	Winner string
+	// Rounds is the number of tournament rounds played.
+	Rounds int
+	// Cost is the crowd spend.
+	Cost metrics.Cost
+}
+
+// CrowdMax finds the maximum item with a single-elimination pairwise
+// tournament: ⌈log2 n⌉ rounds, each comparison majority-voted. Odd players
+// get a bye. Uses one CrowdData table per round, so a rerun replays the
+// bracket from cache.
+func CrowdMax(cc *core.CrowdContext, items []Item, cfg MaxConfig) (MaxResult, error) {
+	var res MaxResult
+	if len(items) == 0 {
+		return res, fmt.Errorf("ops: CrowdMax needs at least one item")
+	}
+	byID := map[string]Item{}
+	alive := make([]string, 0, len(items))
+	for _, it := range items {
+		byID[it.ID] = it
+		alive = append(alive, it.ID)
+	}
+
+	for len(alive) > 1 {
+		var objects []core.Object
+		var matches [][2]string
+		for i := 0; i+1 < len(alive); i += 2 {
+			a, b := byID[alive[i]], byID[alive[i+1]]
+			objects = append(objects, comparisonObject(a, b))
+			matches = append(matches, [2]string{a.ID, b.ID})
+		}
+		table := fmt.Sprintf("%s_max_round%d", cfg.Table, res.Rounds)
+		cd, err := cc.CrowdData(objects, table)
+		if err != nil {
+			return res, err
+		}
+		cd.SetPresenter(core.Compare("Which of the two is greater/better?"))
+		if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+			return res, err
+		}
+		if cfg.Answer != nil {
+			if err := cfg.Answer(cd); err != nil {
+				return res, err
+			}
+		}
+		if _, err := cd.Collect(); err != nil {
+			return res, err
+		}
+
+		var next []string
+		for i, m := range matches {
+			row, ok := cd.Row(cc.Key(objects[i]))
+			if !ok || row.Result == nil {
+				return res, fmt.Errorf("ops: match %v missing result", m)
+			}
+			res.Cost.Tasks++
+			votesA, votesB := 0, 0
+			for _, ans := range row.Result.Answers {
+				res.Cost.Answers++
+				switch ans.Value {
+				case "a":
+					votesA++
+				case "b":
+					votesB++
+				}
+			}
+			if votesB > votesA {
+				next = append(next, m[1])
+			} else { // ties go to the first player, deterministically
+				next = append(next, m[0])
+			}
+		}
+		if len(alive)%2 == 1 {
+			next = append(next, alive[len(alive)-1]) // bye
+		}
+		alive = next
+		res.Rounds++
+	}
+	res.Winner = alive[0]
+	return res, nil
+}

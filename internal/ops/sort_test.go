@@ -1,0 +1,336 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+	"repro/internal/simdata"
+)
+
+func itemsFrom(list simdata.ItemList) []Item {
+	out := make([]Item, 0, len(list.Items))
+	for _, it := range list.Items {
+		out = append(out, Item{ID: it.ID, Label: it.Label})
+	}
+	return out
+}
+
+func (e *opsEnv) compareAnswerer(scores map[string]float64, model crowd.AnswerModel, workers int) Answerer {
+	pool := crowd.NewPool(3, e.clock, crowd.Spec{Count: workers, Model: model, Prefix: "cw"})
+	return PoolAnswerer(e.engine, pool, CompareOracle(scores))
+}
+
+func TestCrowdSortPerfectWorkers(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	list := simdata.SortItems(5, 12)
+	res, err := CrowdSort(e.cc, itemsFrom(list), SortConfig{
+		Table:      "rank",
+		Redundancy: 3,
+		Answer:     e.compareAnswerer(list.ScoreOf(), crowd.Perfect{}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau := metrics.KendallTau(res.Order, list.TrueOrder); tau != 1 {
+		t.Fatalf("perfect sort tau = %f\norder %v\ntruth %v", tau, res.Order, list.TrueOrder)
+	}
+	wantPairs := 12 * 11 / 2
+	if res.Cost.Tasks != wantPairs || res.Cost.Answers != wantPairs*3 {
+		t.Fatalf("cost %+v, want %d tasks", res.Cost, wantPairs)
+	}
+}
+
+func TestCrowdSortBorda(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	list := simdata.SortItems(6, 10)
+	res, err := CrowdSort(e.cc, itemsFrom(list), SortConfig{
+		Table:      "rank",
+		Redundancy: 3,
+		Method:     Borda,
+		Answer:     e.compareAnswerer(list.ScoreOf(), crowd.Perfect{}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau := metrics.KendallTau(res.Order, list.TrueOrder); tau != 1 {
+		t.Fatalf("Borda perfect sort tau = %f", tau)
+	}
+}
+
+func TestCrowdSortBudget(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	list := simdata.SortItems(7, 16)
+	full := 16 * 15 / 2
+	budget := full / 3
+	res, err := CrowdSort(e.cc, itemsFrom(list), SortConfig{
+		Table:      "rank",
+		Redundancy: 1,
+		Budget:     budget,
+		Seed:       5,
+		Answer:     e.compareAnswerer(list.ScoreOf(), crowd.Perfect{}, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Tasks != budget {
+		t.Fatalf("budget not honored: %d tasks", res.Cost.Tasks)
+	}
+	if tau := metrics.KendallTau(res.Order, list.TrueOrder); tau < 0.5 {
+		t.Fatalf("budgeted sort tau = %f, too low", tau)
+	}
+}
+
+func TestCrowdSortNoisyWorkersDegradeGracefully(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	list := simdata.SortItems(8, 10)
+	res, err := CrowdSort(e.cc, itemsFrom(list), SortConfig{
+		Table:      "rank",
+		Redundancy: 5,
+		Answer:     e.compareAnswerer(list.ScoreOf(), crowd.Uniform{P: 0.8}, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau := metrics.KendallTau(res.Order, list.TrueOrder); tau < 0.6 {
+		t.Fatalf("noisy sort tau = %f", tau)
+	}
+}
+
+func TestCrowdSortDegenerate(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	res, err := CrowdSort(e.cc, nil, SortConfig{Table: "rank"})
+	if err != nil || len(res.Order) != 0 {
+		t.Fatalf("empty sort: %+v, %v", res, err)
+	}
+	res, err = CrowdSort(e.cc, []Item{{ID: "only", Label: "x"}}, SortConfig{Table: "rank"})
+	if err != nil || len(res.Order) != 1 || res.Order[0] != "only" {
+		t.Fatalf("singleton sort: %+v, %v", res, err)
+	}
+}
+
+func TestCrowdMaxFindsMaximum(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	list := simdata.SortItems(9, 13)
+	res, err := CrowdMax(e.cc, itemsFrom(list), MaxConfig{
+		Table:      "champ",
+		Redundancy: 3,
+		Answer:     e.compareAnswerer(list.ScoreOf(), crowd.Perfect{}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != list.TrueOrder[0] {
+		t.Fatalf("winner %s, want %s", res.Winner, list.TrueOrder[0])
+	}
+	wantRounds := int(math.Ceil(math.Log2(13)))
+	if res.Rounds != wantRounds {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, wantRounds)
+	}
+	// Tournament cost is n-1 matches total.
+	if res.Cost.Tasks != 12 {
+		t.Fatalf("tasks = %d, want 12", res.Cost.Tasks)
+	}
+}
+
+func TestCrowdMaxSingle(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	res, err := CrowdMax(e.cc, []Item{{ID: "solo", Label: "x"}}, MaxConfig{Table: "champ"})
+	if err != nil || res.Winner != "solo" || res.Rounds != 0 {
+		t.Fatalf("singleton max: %+v, %v", res, err)
+	}
+	if _, err := CrowdMax(e.cc, nil, MaxConfig{Table: "champ"}); err == nil {
+		t.Fatal("empty max accepted")
+	}
+}
+
+func TestCrowdFilter(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	var objects []core.Object
+	for i := 0; i < 12; i++ {
+		truth := "No"
+		if i%3 == 0 {
+			truth = "Yes"
+		}
+		objects = append(objects, core.Object{"url": fmt.Sprintf("img%d", i), "truth": truth})
+	}
+	pool := crowd.NewPool(9, e.clock, crowd.Spec{Count: 5, Model: crowd.Perfect{}, Prefix: "fw"})
+	res, err := CrowdFilter(e.cc, objects, FilterConfig{
+		Table:      "imgs",
+		Question:   "Does the image contain a dog?",
+		Redundancy: 3,
+		Answer:     PoolAnswerer(e.engine, pool, FieldOracle("truth", "Yes", "No")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 4 {
+		t.Fatalf("kept %d, want 4", len(res.Kept))
+	}
+	for _, obj := range res.Kept {
+		if obj["truth"] != "Yes" {
+			t.Fatalf("kept wrong object: %v", obj)
+		}
+	}
+	if res.Cost.Tasks != 12 || res.Cost.Answers != 36 {
+		t.Fatalf("cost: %+v", res.Cost)
+	}
+	// Empty input.
+	empty, err := CrowdFilter(e.cc, nil, FilterConfig{Table: "none"})
+	if err != nil || len(empty.Kept) != 0 {
+		t.Fatalf("empty filter: %+v, %v", empty, err)
+	}
+}
+
+func TestCrowdCountExactWhenFullyLabeled(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	var objects []core.Object
+	for i := 0; i < 20; i++ {
+		truth := "No"
+		if i < 7 {
+			truth = "Yes"
+		}
+		objects = append(objects, core.Object{"url": fmt.Sprintf("img%d", i), "truth": truth})
+	}
+	pool := crowd.NewPool(2, e.clock, crowd.Spec{Count: 3, Model: crowd.Perfect{}, Prefix: "cw"})
+	res, err := CrowdCount(e.cc, objects, CountConfig{
+		Table:      "cnt",
+		Question:   "Dog?",
+		Redundancy: 3,
+		Answer:     PoolAnswerer(e.engine, pool, FieldOracle("truth", "Yes", "No")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 7 || res.StdErr != 0 {
+		t.Fatalf("full count: %s", res)
+	}
+}
+
+func TestCrowdCountSampled(t *testing.T) {
+	e := newOpsEnv(t, 5, 0)
+	var objects []core.Object
+	for i := 0; i < 200; i++ {
+		truth := "No"
+		if i%4 == 0 { // true count 50
+			truth = "Yes"
+		}
+		objects = append(objects, core.Object{"url": fmt.Sprintf("img%d", i), "truth": truth})
+	}
+	pool := crowd.NewPool(2, e.clock, crowd.Spec{Count: 3, Model: crowd.Perfect{}, Prefix: "cw"})
+	res, err := CrowdCount(e.cc, objects, CountConfig{
+		Table:      "cnt",
+		Question:   "Dog?",
+		SampleSize: 60,
+		Seed:       17,
+		Redundancy: 3,
+		Answer:     PoolAnswerer(e.engine, pool, FieldOracle("truth", "Yes", "No")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampled != 60 {
+		t.Fatalf("sampled %d", res.Sampled)
+	}
+	if res.StdErr <= 0 {
+		t.Fatalf("stderr = %f", res.StdErr)
+	}
+	if diff := math.Abs(res.Estimate - 50); diff > 3*res.StdErr+1e-9 {
+		t.Fatalf("estimate %s too far from true 50", res)
+	}
+	if res.Cost.Tasks != 60 {
+		t.Fatalf("cost beyond sample: %+v", res.Cost)
+	}
+}
+
+// --- cluster task generation properties ---
+
+func TestBuildClustersCoverAllPairs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%12 + 2
+		var recs []Record
+		for i := 0; i < n; i++ {
+			recs = append(recs, Record{ID: fmt.Sprintf("r%02d", i), Fields: map[string]string{"f": fmt.Sprint(i)}})
+		}
+		// Half of all pairs are candidates, deterministically.
+		var cands []scoredPair
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (k+int(seed))%2 == 0 {
+					cands = append(cands, scoredPair{a: recs[i], b: recs[j], sim: float64(k%10) / 10})
+				}
+				k++
+			}
+		}
+		clusters := buildClusters(cands, 4)
+		covered := map[string]bool{}
+		for _, cl := range clusters {
+			if len(cl.recordIDs) > 4 {
+				t.Logf("cluster exceeds max size: %v", cl.recordIDs)
+				return false
+			}
+			members := map[string]bool{}
+			for _, id := range cl.recordIDs {
+				members[id] = true
+			}
+			for _, p := range cl.pairs {
+				if !members[p[0]] || !members[p[1]] {
+					t.Logf("pair %v not inside its cluster %v", p, cl.recordIDs)
+					return false
+				}
+				covered[pairRowID(p[0], p[1])] = true
+			}
+		}
+		for _, sp := range cands {
+			if !covered[pairRowID(sp.a.ID, sp.b.ID)] {
+				t.Logf("pair %s+%s not covered", sp.a.ID, sp.b.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairSetCodec(t *testing.T) {
+	if encodePairSet(nil) != noMatches {
+		t.Fatal("empty set encoding")
+	}
+	if len(decodePairSet(noMatches)) != 0 || len(decodePairSet("")) != 0 {
+		t.Fatal("empty set decoding")
+	}
+	enc := encodePairSet([]string{"b+c", "a+b"})
+	if enc != "a+b,b+c" {
+		t.Fatalf("encoding not canonical: %q", enc)
+	}
+	dec := decodePairSet(enc)
+	if !dec["a+b"] || !dec["b+c"] || len(dec) != 2 {
+		t.Fatalf("decode: %v", dec)
+	}
+}
+
+func TestClusterWorkerModelPerfect(t *testing.T) {
+	m := ClusterWorkerModel{P: 1}
+	rng := newTestRand()
+	truth := encodePairSet([]string{"a+b"})
+	got := m.Answer(rng, truth, []string{"a+b", "a+c", "b+c"})
+	if got != "a+b" {
+		t.Fatalf("perfect cluster worker: %q", got)
+	}
+	// P=0 inverts every judgment.
+	m0 := ClusterWorkerModel{P: 0}
+	got = m0.Answer(rng, truth, []string{"a+b", "a+c", "b+c"})
+	if got != "a+c,b+c" {
+		t.Fatalf("inverted cluster worker: %q", got)
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

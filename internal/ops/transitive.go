@@ -1,0 +1,253 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/similarity"
+)
+
+// Order selects the sequence in which the transitive join examines pairs.
+// The 2013 paper's central observation is that ordering matters a great
+// deal: asking probable matches first grows clusters early, which lets
+// transitivity deduce the remaining pairs for free.
+type Order string
+
+const (
+	// OrderRandom shuffles candidate pairs (seeded) — the worst case.
+	OrderRandom Order = "random"
+	// OrderSimilarityDesc asks the most similar pairs first — the
+	// paper's practical heuristic (similarity as a match-probability
+	// proxy).
+	OrderSimilarityDesc Order = "sim-desc"
+	// OrderExpectedSavings dynamically picks the pair whose resolution
+	// is expected to deduce the most other pairs: probability of match
+	// times the product of the two current cluster sizes.
+	OrderExpectedSavings Order = "expected-savings"
+)
+
+// TransitiveConfig tunes the transitivity-aware join (Wang, Li, Kraska,
+// Franklin, Feng — SIGMOD 2013).
+type TransitiveConfig struct {
+	JoinConfig
+	// Threshold prunes pairs below this machine similarity before any
+	// crowdsourcing, like the hybrid join.
+	Threshold float64
+	// Measure is the similarity function; zero value means Jaccard over
+	// 2-grams.
+	Measure similarity.Measure
+	// Order is the pair examination order. Empty means
+	// OrderSimilarityDesc.
+	Order Order
+	// Seed drives OrderRandom.
+	Seed int64
+}
+
+// dsu is a union–find over record ids with negative ("known different")
+// constraints between cluster representatives.
+type dsu struct {
+	parent map[string]string
+	size   map[string]int
+	// negatives[repA][repB] records a crowd "No" between the clusters.
+	negatives map[string]map[string]bool
+}
+
+func newDSU() *dsu {
+	return &dsu{
+		parent:    map[string]string{},
+		size:      map[string]int{},
+		negatives: map[string]map[string]bool{},
+	}
+}
+
+func (d *dsu) find(x string) string {
+	p, ok := d.parent[x]
+	if !ok {
+		d.parent[x] = x
+		d.size[x] = 1
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := d.find(p)
+	d.parent[x] = root
+	return root
+}
+
+// union merges the clusters of a and b, rewiring negative constraints.
+func (d *dsu) union(a, b string) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	// Move rb's negative edges onto ra.
+	for other := range d.negatives[rb] {
+		delete(d.negatives[other], rb)
+		if other != ra {
+			d.addNegative(ra, other)
+		}
+	}
+	delete(d.negatives, rb)
+}
+
+func (d *dsu) addNegative(a, b string) {
+	ra, rb := d.find(a), d.find(b)
+	if d.negatives[ra] == nil {
+		d.negatives[ra] = map[string]bool{}
+	}
+	if d.negatives[rb] == nil {
+		d.negatives[rb] = map[string]bool{}
+	}
+	d.negatives[ra][rb] = true
+	d.negatives[rb][ra] = true
+}
+
+// deduce returns the label transitivity implies for (a, b): "Yes", "No",
+// or "" when the pair is undetermined.
+func (d *dsu) deduce(a, b string) string {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return "Yes"
+	}
+	if d.negatives[ra][rb] {
+		return "No"
+	}
+	return ""
+}
+
+// TransitiveJoin asks the crowd one pair at a time, deducing every pair it
+// can from previous answers via (anti-)transitivity, and only paying for
+// the rest.
+func TransitiveJoin(cc *core.CrowdContext, records []Record, cfg TransitiveConfig) (JoinResult, error) {
+	if err := validateRecords(records); err != nil {
+		return JoinResult{}, err
+	}
+	hybridCfg := HybridConfig{JoinConfig: cfg.JoinConfig, Threshold: cfg.Threshold, Measure: cfg.Measure}
+	candidates, pruned := machinePass(records, hybridCfg)
+	res := JoinResult{
+		Matches:        map[string]bool{},
+		CandidatePairs: pruned + len(candidates),
+		MachinePairs:   pruned,
+	}
+	if len(candidates) == 0 {
+		return res, nil
+	}
+
+	order := cfg.Order
+	if order == "" {
+		order = OrderSimilarityDesc
+	}
+	switch order {
+	case OrderRandom:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+	case OrderSimilarityDesc, OrderExpectedSavings:
+		sort.SliceStable(candidates, func(i, j int) bool {
+			if candidates[i].sim != candidates[j].sim {
+				return candidates[i].sim > candidates[j].sim
+			}
+			return pairRowID(candidates[i].a.ID, candidates[i].b.ID) <
+				pairRowID(candidates[j].a.ID, candidates[j].b.ID)
+		})
+	default:
+		return res, fmt.Errorf("ops: unknown order %q", order)
+	}
+
+	// The table accumulates one row per crowd-asked pair. Reruns replay
+	// the same deterministic sequence, so each Extend/Publish/Collect
+	// hits the cache.
+	table := cfg.Table + "_transitive_" + string(order)
+	cd, err := cc.CrowdData(nil, table)
+	if err != nil {
+		return res, err
+	}
+	cd.SetPresenter(core.TextPair("Do these two records refer to the same entity?"))
+
+	uf := newDSU()
+	remaining := append([]scoredPair(nil), candidates...)
+
+	askOne := func(sp scoredPair) (string, error) {
+		obj := pairObject(sp.a, sp.b)
+		if _, err := cd.Extend([]core.Object{obj}); err != nil {
+			return "", err
+		}
+		if _, err := cd.Publish(core.PublishOptions{Redundancy: cfg.Redundancy}); err != nil {
+			return "", err
+		}
+		if cfg.Answer != nil {
+			if err := cfg.Answer(cd); err != nil {
+				return "", err
+			}
+		}
+		if _, err := cd.Collect(); err != nil {
+			return "", err
+		}
+		if err := cd.Aggregate("match", cfg.aggregator()); err != nil {
+			return "", err
+		}
+		row, ok := cd.Row(cc.Key(obj))
+		if !ok {
+			return "", fmt.Errorf("ops: asked pair %s+%s vanished", sp.a.ID, sp.b.ID)
+		}
+		return row.Value("match"), nil
+	}
+
+	resolve := func(sp scoredPair, label string) {
+		if label == "Yes" {
+			res.Matches[metrics.PairKey(sp.a.ID, sp.b.ID)] = true
+			uf.union(sp.a.ID, sp.b.ID)
+		} else {
+			uf.addNegative(sp.a.ID, sp.b.ID)
+		}
+	}
+
+	for len(remaining) > 0 {
+		// Pick the next pair.
+		idx := 0
+		if order == OrderExpectedSavings {
+			bestScore := -1.0
+			for i, sp := range remaining {
+				score := sp.sim * float64(uf.size[uf.find(sp.a.ID)]*uf.size[uf.find(sp.b.ID)])
+				if score > bestScore {
+					bestScore, idx = score, i
+				}
+			}
+		}
+		sp := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+
+		if label := uf.deduce(sp.a.ID, sp.b.ID); label != "" {
+			res.DeducedPairs++
+			if label == "Yes" {
+				res.Matches[metrics.PairKey(sp.a.ID, sp.b.ID)] = true
+			}
+			continue
+		}
+		label, err := askOne(sp)
+		if err != nil {
+			return res, err
+		}
+		res.CrowdPairs++
+		resolve(sp, label)
+	}
+
+	res.CrowdTasks = res.CrowdPairs
+	for _, row := range cd.Rows() {
+		if row.Result != nil {
+			res.Cost.Answers += len(row.Result.Answers)
+		}
+	}
+	res.Cost.Tasks = res.CrowdTasks
+	return res, nil
+}

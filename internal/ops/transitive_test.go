@@ -1,0 +1,148 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+)
+
+func TestTransitiveJoinCorrectWithPerfectWorkers(t *testing.T) {
+	e := newOpsEnv(t, 15, 0.6)
+	records := e.records()
+	res, err := TransitiveJoin(e.cc, records, TransitiveConfig{
+		JoinConfig: JoinConfig{Table: "er", Redundancy: 3, Answer: e.pairAnswerer(crowd.Perfect{}, 5)},
+		Threshold:  0.3,
+		Order:      OrderSimilarityDesc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := metrics.PairQuality(res.Matches, e.corpus.Matches)
+	// Perfect workers + transitivity over true equivalence classes can
+	// only deduce correct labels, so quality must be perfect on the
+	// candidate set; only machine-pruned true matches can be missed.
+	if q.Precision != 1 {
+		t.Fatalf("precision = %s", q)
+	}
+	if q.Recall < 0.8 {
+		t.Fatalf("recall = %s", q)
+	}
+	if res.CrowdPairs+res.DeducedPairs != res.CandidatePairs-res.MachinePairs {
+		t.Fatalf("pair accounting broken: %+v", res)
+	}
+}
+
+func TestTransitivitySavesQuestions(t *testing.T) {
+	// Corpus with large clusters (MaxDups 3 → clusters up to 4 records)
+	// is where transitivity shines: cluster of size k needs k-1 questions
+	// instead of k(k-1)/2.
+	e := newOpsEnv(t, 30, 0.8)
+	records := e.records()
+
+	simDesc, err := TransitiveJoin(e.cc, records, TransitiveConfig{
+		JoinConfig: JoinConfig{Table: "sd", Redundancy: 1, Answer: e.pairAnswerer(crowd.Perfect{}, 3)},
+		Threshold:  0.3,
+		Order:      OrderSimilarityDesc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simDesc.DeducedPairs == 0 {
+		t.Fatalf("no deductions at all: %+v", simDesc)
+	}
+	// Versus the hybrid join (no transitivity) on the same candidates.
+	hybrid, err := HybridJoin(e.cc, records, HybridConfig{
+		JoinConfig: JoinConfig{Table: "hb", Redundancy: 1, Answer: e.pairAnswerer(crowd.Perfect{}, 3)},
+		Threshold:  0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simDesc.CrowdPairs >= hybrid.CrowdPairs {
+		t.Fatalf("transitivity saved nothing: %d vs %d crowd pairs",
+			simDesc.CrowdPairs, hybrid.CrowdPairs)
+	}
+	t.Logf("crowd pairs: hybrid=%d transitive=%d deduced=%d",
+		hybrid.CrowdPairs, simDesc.CrowdPairs, simDesc.DeducedPairs)
+}
+
+func TestOrderingMatters(t *testing.T) {
+	e := newOpsEnv(t, 30, 0.8)
+	records := e.records()
+
+	ask := func(order Order, table string) JoinResult {
+		res, err := TransitiveJoin(e.cc, records, TransitiveConfig{
+			JoinConfig: JoinConfig{Table: table, Redundancy: 1, Answer: e.pairAnswerer(crowd.Perfect{}, 3)},
+			Threshold:  0.3,
+			Order:      order,
+			Seed:       99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	random := ask(OrderRandom, "rnd")
+	simDesc := ask(OrderSimilarityDesc, "sd2")
+	expSav := ask(OrderExpectedSavings, "es")
+
+	// All orderings answer the same question set correctly.
+	for name, res := range map[string]JoinResult{"random": random, "sim-desc": simDesc, "exp-sav": expSav} {
+		q := metrics.PairQuality(res.Matches, e.corpus.Matches)
+		if q.Precision != 1 {
+			t.Fatalf("%s precision: %s", name, q)
+		}
+	}
+	// Informed orderings should not ask more than random does (the
+	// paper's finding; with perfect workers the gap can be small on easy
+	// corpora, so allow equality).
+	if simDesc.CrowdPairs > random.CrowdPairs {
+		t.Fatalf("sim-desc (%d) asked more than random (%d)", simDesc.CrowdPairs, random.CrowdPairs)
+	}
+	if expSav.CrowdPairs > random.CrowdPairs {
+		t.Fatalf("expected-savings (%d) asked more than random (%d)", expSav.CrowdPairs, random.CrowdPairs)
+	}
+	t.Logf("questions: random=%d sim-desc=%d expected-savings=%d",
+		random.CrowdPairs, simDesc.CrowdPairs, expSav.CrowdPairs)
+}
+
+func TestTransitiveUnknownOrder(t *testing.T) {
+	e := newOpsEnv(t, 5, 0.5)
+	_, err := TransitiveJoin(e.cc, e.records(), TransitiveConfig{
+		JoinConfig: JoinConfig{Table: "x", Redundancy: 1},
+		Threshold:  0.3,
+		Order:      Order("bogus"),
+	})
+	if err == nil {
+		t.Fatal("bogus order accepted")
+	}
+}
+
+func TestDSUInvariants(t *testing.T) {
+	d := newDSU()
+	// Positive transitivity: a=b, b=c ⇒ a=c.
+	d.union("a", "b")
+	d.union("b", "c")
+	if got := d.deduce("a", "c"); got != "Yes" {
+		t.Fatalf("deduce(a,c) = %q", got)
+	}
+	// Negative transitivity: a=c, c≠d ⇒ a≠d.
+	d.addNegative("c", "d")
+	if got := d.deduce("a", "d"); got != "No" {
+		t.Fatalf("deduce(a,d) = %q", got)
+	}
+	// Unknown pair.
+	if got := d.deduce("a", "z"); got != "" {
+		t.Fatalf("deduce(a,z) = %q", got)
+	}
+	// Negative edges survive later unions on both sides.
+	d.union("d", "e")
+	if got := d.deduce("b", "e"); got != "No" {
+		t.Fatalf("deduce(b,e) after union = %q", got)
+	}
+	// Sizes accumulate.
+	if d.size[d.find("a")] != 3 {
+		t.Fatalf("cluster size = %d", d.size[d.find("a")])
+	}
+}

@@ -1,0 +1,61 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBanWorker(t *testing.T) {
+	forEachClient(t, func(t *testing.T, c Client) {
+		p, _ := c.EnsureProject(ProjectSpec{Name: "p", Redundancy: 2})
+		tasks, _ := c.AddTasks(p.ID, []TaskSpec{{ExternalID: "t1"}, {ExternalID: "t2"}})
+
+		// The worker answers one task, then gets banned.
+		if _, err := c.Submit(tasks[0].ID, "spammer", "junk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.BanWorker(p.ID, "spammer"); err != nil {
+			t.Fatal(err)
+		}
+
+		if _, err := c.RequestTask(p.ID, "spammer"); !errors.Is(err, ErrWorkerBanned) {
+			t.Fatalf("banned request: got %v, want ErrWorkerBanned", err)
+		}
+		if _, err := c.Submit(tasks[1].ID, "spammer", "junk"); !errors.Is(err, ErrWorkerBanned) {
+			t.Fatalf("banned submit: got %v, want ErrWorkerBanned", err)
+		}
+
+		// Existing answers are preserved (quality control discounts them).
+		runs, _ := c.Runs(tasks[0].ID)
+		if len(runs) != 1 || runs[0].WorkerID != "spammer" {
+			t.Fatalf("pre-ban answer lost: %+v", runs)
+		}
+
+		// Other workers are unaffected.
+		if _, err := c.RequestTask(p.ID, "honest"); err != nil {
+			t.Fatalf("honest worker blocked: %v", err)
+		}
+
+		// Validation.
+		if err := c.BanWorker(999, "w"); !errors.Is(err, ErrUnknownProject) {
+			t.Fatalf("ban on unknown project: %v", err)
+		}
+		if err := c.BanWorker(p.ID, ""); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("ban empty worker: %v", err)
+		}
+	})
+}
+
+func TestBannedWorkersListing(t *testing.T) {
+	e := NewEngine(nil)
+	p, _ := e.EnsureProject(ProjectSpec{Name: "p"})
+	e.BanWorker(p.ID, "zz")
+	e.BanWorker(p.ID, "aa")
+	got := e.BannedWorkers(p.ID)
+	if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+		t.Fatalf("BannedWorkers = %v", got)
+	}
+	if n := len(e.BannedWorkers(12345)); n != 0 {
+		t.Fatalf("unknown project banned list: %d", n)
+	}
+}

@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// Experiment E8 support: platform binding throughput.
+
+func benchLifecycle(b *testing.B, c Client, tag string) {
+	b.Helper()
+	p, err := c.EnsureProject(ProjectSpec{Name: "bench-" + tag, Redundancy: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext := fmt.Sprintf("t-%d", i)
+		tasks, err := c.AddTasks(p.ID, []TaskSpec{{ExternalID: ext}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Submit(tasks[0].ID, "w", "yes"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLifecycle_InProcess(b *testing.B) {
+	benchLifecycle(b, NewEngine(vclock.NewVirtual()), "inproc")
+}
+
+func BenchmarkLifecycle_HTTP(b *testing.B) {
+	engine := NewEngine(vclock.NewVirtual())
+	srv := httptest.NewServer(NewServer(engine))
+	defer srv.Close()
+	benchLifecycle(b, NewHTTPClient(srv.URL, srv.Client()), "http")
+}
+
+func BenchmarkRequestTask_1kOpenTasks(b *testing.B) {
+	engine := NewEngine(vclock.NewVirtual())
+	p, _ := engine.EnsureProject(ProjectSpec{Name: "bench", Redundancy: 3})
+	var specs []TaskSpec
+	for i := 0; i < 1000; i++ {
+		specs = append(specs, TaskSpec{ExternalID: fmt.Sprintf("t-%d", i)})
+	}
+	engine.AddTasks(p.ID, specs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RequestTask(p.ID, fmt.Sprintf("w-%d", i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddTasks_Bulk1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		engine := NewEngine(vclock.NewVirtual())
+		p, _ := engine.EnsureProject(ProjectSpec{Name: "bench", Redundancy: 3})
+		specs := make([]TaskSpec, 1000)
+		for j := range specs {
+			specs[j] = TaskSpec{ExternalID: fmt.Sprintf("t-%d", j)}
+		}
+		b.StartTimer()
+		if _, err := engine.AddTasks(p.ID, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Engine is the in-memory platform implementation. It is safe for
+// concurrent use and implements Client directly (the in-process binding).
+type Engine struct {
+	mu    sync.Mutex
+	clock vclock.Clock
+
+	nextProjectID int64
+	nextTaskID    int64
+	nextRunID     int64
+
+	projects       map[int64]*Project
+	projectsByName map[string]int64
+	projectTasks   map[int64][]int64          // project id → task ids, creation order
+	externalIDs    map[int64]map[string]int64 // project id → external id → task id
+
+	tasks  map[int64]*Task
+	runs   map[int64][]*TaskRun           // task id → runs, submission order
+	done   map[int64]map[string]bool      // task id → workers that answered
+	leases map[int64]map[string]time.Time // task id → worker → assignment time
+	banned map[int64]map[string]bool      // project id → banned workers
+}
+
+// NewEngine returns an empty platform. A nil clock defaults to a virtual
+// clock, which keeps all timestamps deterministic.
+func NewEngine(clock vclock.Clock) *Engine {
+	if clock == nil {
+		clock = vclock.NewVirtual()
+	}
+	return &Engine{
+		clock:          clock,
+		projects:       make(map[int64]*Project),
+		projectsByName: make(map[string]int64),
+		projectTasks:   make(map[int64][]int64),
+		externalIDs:    make(map[int64]map[string]int64),
+		tasks:          make(map[int64]*Task),
+		runs:           make(map[int64][]*TaskRun),
+		done:           make(map[int64]map[string]bool),
+		leases:         make(map[int64]map[string]time.Time),
+		banned:         make(map[int64]map[string]bool),
+	}
+}
+
+var _ Client = (*Engine)(nil)
+
+// EnsureProject implements Client.
+func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
+	if spec.Name == "" {
+		return Project{}, fmt.Errorf("%w: project name must not be empty", ErrBadRequest)
+	}
+	if spec.Redundancy <= 0 {
+		spec.Redundancy = 1
+	}
+	if spec.Strategy == "" {
+		spec.Strategy = BreadthFirst
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id, ok := e.projectsByName[spec.Name]; ok {
+		return *e.projects[id], nil
+	}
+	e.nextProjectID++
+	p := &Project{
+		ID:         e.nextProjectID,
+		Name:       spec.Name,
+		Presenter:  spec.Presenter,
+		Redundancy: spec.Redundancy,
+		Strategy:   spec.Strategy,
+		Created:    e.clock.Now(),
+	}
+	e.projects[p.ID] = p
+	e.projectsByName[p.Name] = p.ID
+	e.externalIDs[p.ID] = make(map[string]int64)
+	return *p, nil
+}
+
+// FindProject implements Client.
+func (e *Engine) FindProject(name string) (Project, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, ok := e.projectsByName[name]
+	if !ok {
+		return Project{}, false, nil
+	}
+	return *e.projects[id], true, nil
+}
+
+// AddTasks implements Client. Specs with an ExternalID already present in
+// the project map to the existing task, making publication idempotent.
+func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.projects[projectID]
+	if !ok {
+		return nil, ErrUnknownProject
+	}
+	out := make([]Task, 0, len(specs))
+	for _, spec := range specs {
+		if spec.ExternalID != "" {
+			if tid, ok := e.externalIDs[projectID][spec.ExternalID]; ok {
+				out = append(out, *e.tasks[tid])
+				continue
+			}
+		}
+		red := spec.Redundancy
+		if red <= 0 {
+			red = p.Redundancy
+		}
+		e.nextTaskID++
+		t := &Task{
+			ID:         e.nextTaskID,
+			ProjectID:  projectID,
+			ExternalID: spec.ExternalID,
+			Payload:    copyPayload(spec.Payload),
+			Redundancy: red,
+			Priority:   spec.Priority,
+			State:      TaskOngoing,
+			Created:    e.clock.Now(),
+		}
+		e.tasks[t.ID] = t
+		e.projectTasks[projectID] = append(e.projectTasks[projectID], t.ID)
+		if spec.ExternalID != "" {
+			e.externalIDs[projectID][spec.ExternalID] = t.ID
+		}
+		e.done[t.ID] = make(map[string]bool)
+		out = append(out, *t)
+	}
+	return out, nil
+}
+
+// RequestTask implements Client. Eligibility: the task is ongoing and this
+// worker has not answered it. Among eligible tasks the project strategy
+// picks the winner; ties break on priority (higher first) then task id
+// (lower first), which keeps scheduling fully deterministic.
+func (e *Engine) RequestTask(projectID int64, workerID string) (Task, error) {
+	if workerID == "" {
+		return Task{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.projects[projectID]
+	if !ok {
+		return Task{}, ErrUnknownProject
+	}
+	if e.banned[projectID][workerID] {
+		return Task{}, ErrWorkerBanned
+	}
+	var best *Task
+	for _, tid := range e.projectTasks[projectID] {
+		t := e.tasks[tid]
+		if t.State != TaskOngoing || e.done[tid][workerID] {
+			continue
+		}
+		if best == nil || e.better(p.Strategy, t, best) {
+			best = t
+		}
+	}
+	if best == nil {
+		return Task{}, ErrNoTask
+	}
+	if e.leases[best.ID] == nil {
+		e.leases[best.ID] = make(map[string]time.Time)
+	}
+	e.leases[best.ID][workerID] = e.clock.Now()
+	return *best, nil
+}
+
+// better reports whether a should be scheduled before b under strategy.
+func (e *Engine) better(strategy Strategy, a, b *Task) bool {
+	na, nb := a.NumAnswers, b.NumAnswers
+	if na != nb {
+		if strategy == DepthFirst {
+			return na > nb
+		}
+		return na < nb
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.ID < b.ID
+}
+
+// Submit implements Client.
+func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) {
+	if workerID == "" {
+		return TaskRun{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[taskID]
+	if !ok {
+		return TaskRun{}, ErrUnknownTask
+	}
+	if e.banned[t.ProjectID][workerID] {
+		return TaskRun{}, ErrWorkerBanned
+	}
+	if e.done[taskID][workerID] {
+		return TaskRun{}, ErrDuplicateAnswer
+	}
+	if t.State == TaskCompleted {
+		return TaskRun{}, ErrTaskCompleted
+	}
+	now := e.clock.Now()
+	assigned := now
+	if at, ok := e.leases[taskID][workerID]; ok {
+		assigned = at
+	}
+	e.nextRunID++
+	run := &TaskRun{
+		ID:        e.nextRunID,
+		TaskID:    taskID,
+		ProjectID: t.ProjectID,
+		WorkerID:  workerID,
+		Answer:    answer,
+		Assigned:  assigned,
+		Finished:  now,
+	}
+	e.runs[taskID] = append(e.runs[taskID], run)
+	e.done[taskID][workerID] = true
+	delete(e.leases[taskID], workerID)
+	t.NumAnswers++
+	if t.NumAnswers >= t.Redundancy {
+		t.State = TaskCompleted
+		t.Completed = now
+	}
+	return *run, nil
+}
+
+// Tasks implements Client.
+func (e *Engine) Tasks(projectID int64) ([]Task, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.projects[projectID]; !ok {
+		return nil, ErrUnknownProject
+	}
+	ids := e.projectTasks[projectID]
+	out := make([]Task, 0, len(ids))
+	for _, tid := range ids {
+		out = append(out, *e.tasks[tid])
+	}
+	return out, nil
+}
+
+// Runs implements Client.
+func (e *Engine) Runs(taskID int64) ([]TaskRun, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tasks[taskID]; !ok {
+		return nil, ErrUnknownTask
+	}
+	runs := e.runs[taskID]
+	out := make([]TaskRun, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// Stats implements Client.
+func (e *Engine) Stats(projectID int64) (ProjectStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.projects[projectID]; !ok {
+		return ProjectStats{}, ErrUnknownProject
+	}
+	st := ProjectStats{ProjectID: projectID}
+	workers := map[string]bool{}
+	for _, tid := range e.projectTasks[projectID] {
+		st.Tasks++
+		t := e.tasks[tid]
+		if t.State == TaskCompleted {
+			st.CompletedTasks++
+		}
+		for _, r := range e.runs[tid] {
+			st.TaskRuns++
+			workers[r.WorkerID] = true
+		}
+	}
+	st.Workers = len(workers)
+	return st, nil
+}
+
+// taskWithProject fetches a task and its project in one lock acquisition
+// (used by the preview route).
+func (e *Engine) taskWithProject(taskID int64) (Task, Project, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[taskID]
+	if !ok {
+		return Task{}, Project{}, ErrUnknownTask
+	}
+	p := e.projects[t.ProjectID]
+	return *t, *p, nil
+}
+
+// BanWorker implements Client. Existing answers by the worker are kept
+// (they can be discounted by quality control); the worker simply cannot
+// contribute further.
+func (e *Engine) BanWorker(projectID int64, workerID string) error {
+	if workerID == "" {
+		return fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.projects[projectID]; !ok {
+		return ErrUnknownProject
+	}
+	if e.banned[projectID] == nil {
+		e.banned[projectID] = make(map[string]bool)
+	}
+	e.banned[projectID][workerID] = true
+	return nil
+}
+
+// BannedWorkers lists a project's banned workers, sorted.
+func (e *Engine) BannedWorkers(projectID int64) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.banned[projectID]))
+	for w := range e.banned[projectID] {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Projects lists all projects ordered by id. (Engine-only helper, used by
+// the REST server's listing endpoint and the CLI.)
+func (e *Engine) Projects() []Project {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Project, 0, len(e.projects))
+	for _, p := range e.projects {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func copyPayload(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

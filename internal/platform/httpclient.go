@@ -1,0 +1,145 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// HTTPClient implements Client against a Server over real HTTP. Reprowd's
+// core never knows whether it is talking to an in-process Engine or to a
+// remote platform through this client; experiment E8 measures the cost of
+// the wire and the semantic equivalence of the two bindings.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+}
+
+var _ Client = (*HTTPClient)(nil)
+
+// NewHTTPClient returns a client for the server at baseURL (e.g.
+// "http://localhost:7000"). A nil hc uses http.DefaultClient.
+func NewHTTPClient(baseURL string, hc *http.Client) *HTTPClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &HTTPClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// do performs a request and decodes the JSON response into out (when out is
+// non-nil), translating wire error codes back into platform sentinel errors.
+func (c *HTTPClient) do(method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("platform: encode request: %w", err)
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("platform: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusNoContent {
+		return ErrNoTask
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+			return fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
+		}
+		return codeToError(ae.Code, ae.Error)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("platform: decode response: %w", err)
+	}
+	return nil
+}
+
+// EnsureProject implements Client.
+func (c *HTTPClient) EnsureProject(spec ProjectSpec) (Project, error) {
+	var p Project
+	err := c.do(http.MethodPut, "/api/projects", spec, &p)
+	return p, err
+}
+
+// FindProject implements Client.
+func (c *HTTPClient) FindProject(name string) (Project, bool, error) {
+	var p Project
+	err := c.do(http.MethodGet, "/api/projects/find?name="+url.QueryEscape(name), nil, &p)
+	if err == ErrUnknownProject {
+		return Project{}, false, nil
+	}
+	if err != nil {
+		return Project{}, false, err
+	}
+	return p, true, nil
+}
+
+// AddTasks implements Client.
+func (c *HTTPClient) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
+	var tasks []Task
+	err := c.do(http.MethodPost, fmt.Sprintf("/api/projects/%d/tasks", projectID), specs, &tasks)
+	return tasks, err
+}
+
+// RequestTask implements Client.
+func (c *HTTPClient) RequestTask(projectID int64, workerID string) (Task, error) {
+	var t Task
+	err := c.do(http.MethodPost,
+		fmt.Sprintf("/api/projects/%d/newtask?worker=%s", projectID, url.QueryEscape(workerID)), nil, &t)
+	return t, err
+}
+
+// Submit implements Client.
+func (c *HTTPClient) Submit(taskID int64, workerID, answer string) (TaskRun, error) {
+	var run TaskRun
+	err := c.do(http.MethodPost, fmt.Sprintf("/api/tasks/%d/runs", taskID),
+		submitRequest{WorkerID: workerID, Answer: answer}, &run)
+	return run, err
+}
+
+// Tasks implements Client.
+func (c *HTTPClient) Tasks(projectID int64) ([]Task, error) {
+	var tasks []Task
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/projects/%d/tasks", projectID), nil, &tasks)
+	return tasks, err
+}
+
+// Runs implements Client.
+func (c *HTTPClient) Runs(taskID int64) ([]TaskRun, error) {
+	var runs []TaskRun
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/tasks/%d/runs", taskID), nil, &runs)
+	return runs, err
+}
+
+// Stats implements Client.
+func (c *HTTPClient) Stats(projectID int64) (ProjectStats, error) {
+	var st ProjectStats
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/projects/%d/stats", projectID), nil, &st)
+	return st, err
+}
+
+// BanWorker implements Client.
+func (c *HTTPClient) BanWorker(projectID int64, workerID string) error {
+	return c.do(http.MethodPost, fmt.Sprintf("/api/projects/%d/ban", projectID),
+		banRequest{WorkerID: workerID}, nil)
+}

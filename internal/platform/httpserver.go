@@ -1,0 +1,298 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Server exposes an Engine over a JSON REST API shaped like PyBossa's task
+// endpoints. Routes:
+//
+//	PUT  /api/projects                → EnsureProject
+//	GET  /api/projects                → list projects
+//	GET  /api/projects/find?name=N    → FindProject
+//	POST /api/projects/{id}/tasks     → AddTasks (bulk)
+//	GET  /api/projects/{id}/tasks     → Tasks
+//	POST /api/projects/{id}/newtask   → RequestTask   (?worker=W)
+//	GET  /api/projects/{id}/stats     → Stats
+//	POST /api/tasks/{id}/runs         → Submit        (body: worker, answer)
+//	GET  /api/tasks/{id}/runs         → Runs
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wraps engine in an HTTP handler.
+func NewServer(engine *Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /api/projects", s.handleEnsureProject)
+	s.mux.HandleFunc("GET /api/projects", s.handleListProjects)
+	s.mux.HandleFunc("GET /api/projects/find", s.handleFindProject)
+	s.mux.HandleFunc("POST /api/projects/{id}/tasks", s.handleAddTasks)
+	s.mux.HandleFunc("GET /api/projects/{id}/tasks", s.handleTasks)
+	s.mux.HandleFunc("POST /api/projects/{id}/newtask", s.handleNewTask)
+	s.mux.HandleFunc("GET /api/projects/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/tasks/{id}/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/tasks/{id}/runs", s.handleRuns)
+	s.mux.HandleFunc("POST /api/projects/{id}/ban", s.handleBan)
+	s.mux.HandleFunc("GET /tasks/{id}/preview", s.handlePreview)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errorCode maps platform errors onto stable wire codes so the HTTP client
+// can translate them back into the same sentinel errors.
+func errorCode(err error) (string, int) {
+	switch {
+	case errors.Is(err, ErrUnknownProject):
+		return "unknown_project", http.StatusNotFound
+	case errors.Is(err, ErrUnknownTask):
+		return "unknown_task", http.StatusNotFound
+	case errors.Is(err, ErrNoTask):
+		return "no_task", http.StatusNoContent
+	case errors.Is(err, ErrDuplicateAnswer):
+		return "duplicate_answer", http.StatusConflict
+	case errors.Is(err, ErrTaskCompleted):
+		return "task_completed", http.StatusConflict
+	case errors.Is(err, ErrWorkerBanned):
+		return "worker_banned", http.StatusForbidden
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request", http.StatusBadRequest
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+// codeToError is the inverse of errorCode, used by the HTTP client.
+func codeToError(code, msg string) error {
+	switch code {
+	case "unknown_project":
+		return ErrUnknownProject
+	case "unknown_task":
+		return ErrUnknownTask
+	case "no_task":
+		return ErrNoTask
+	case "duplicate_answer":
+		return ErrDuplicateAnswer
+	case "task_completed":
+		return ErrTaskCompleted
+	case "worker_banned":
+		return ErrWorkerBanned
+	case "bad_request":
+		return ErrBadRequest
+	default:
+		return errors.New("platform: remote error: " + msg)
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code, status := errorCode(err)
+	if status == http.StatusNoContent {
+		w.WriteHeader(status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: err.Error(), Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func pathID(r *http.Request) (int64, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, ErrBadRequest
+	}
+	return id, nil
+}
+
+func (s *Server) handleEnsureProject(w http.ResponseWriter, r *http.Request) {
+	var spec ProjectSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, ErrBadRequest)
+		return
+	}
+	p, err := s.engine.EnsureProject(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, p)
+}
+
+func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.engine.Projects())
+}
+
+func (s *Server) handleFindProject(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	p, ok, err := s.engine.FindProject(name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !ok {
+		writeErr(w, ErrUnknownProject)
+		return
+	}
+	writeJSON(w, p)
+}
+
+func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var specs []TaskSpec
+	if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+		writeErr(w, ErrBadRequest)
+		return
+	}
+	tasks, err := s.engine.AddTasks(id, specs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, tasks)
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	tasks, err := s.engine.Tasks(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, tasks)
+}
+
+func (s *Server) handleNewTask(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	task, err := s.engine.RequestTask(id, r.URL.Query().Get("worker"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, task)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := s.engine.Stats(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+type submitRequest struct {
+	WorkerID string `json:"worker_id"`
+	Answer   string `json:"answer"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, ErrBadRequest)
+		return
+	}
+	run, err := s.engine.Submit(id, req.WorkerID, req.Answer)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, run)
+}
+
+type banRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+func (s *Server) handleBan(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req banRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, ErrBadRequest)
+		return
+	}
+	if err := s.engine.BanWorker(id, req.WorkerID); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"banned": true})
+}
+
+// handlePreview renders a task's payload as the HTML page a browser-based
+// worker would see — the generic fallback UI a PyBossa-like platform serves
+// when the project ships no custom presenter.
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	task, project, err := s.engine.taskWithProject(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := previewTemplate.Execute(w, struct {
+		Task    Task
+		Project Project
+		Fields  []payloadField
+	}{task, project, sortedPayload(task.Payload)}); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	runs, err := s.engine.Runs(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, runs)
+}

@@ -1,0 +1,54 @@
+package platform
+
+import (
+	"html/template"
+	"sort"
+	"strings"
+)
+
+// payloadField is one payload entry for the preview page.
+type payloadField struct {
+	Name, Value string
+	IsImage     bool
+}
+
+// sortedPayload orders a task payload for stable rendering.
+func sortedPayload(payload map[string]string) []payloadField {
+	names := make([]string, 0, len(payload))
+	for k := range payload {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]payloadField, 0, len(names))
+	for _, n := range names {
+		v := payload[n]
+		out = append(out, payloadField{
+			Name:    n,
+			Value:   v,
+			IsImage: n == "url" && (strings.HasPrefix(v, "http://") || strings.HasPrefix(v, "https://")),
+		})
+	}
+	return out
+}
+
+// previewTemplate is the generic task page served at /tasks/{id}/preview.
+// All payload values are escaped by html/template.
+var previewTemplate = template.Must(template.New("preview").Parse(`<!DOCTYPE html>
+<html>
+<head><title>Task {{.Task.ID}} — {{.Project.Name}}</title></head>
+<body>
+<h1>Task {{.Task.ID}}</h1>
+<p>project: {{.Project.Name}} | presenter: {{.Project.Presenter}} | state: {{.Task.State}} | answers: {{.Task.NumAnswers}}/{{.Task.Redundancy}}</p>
+<dl>
+{{- range .Fields}}
+  <dt>{{.Name}}</dt>
+  {{- if .IsImage}}
+  <dd><img src="{{.Value}}" alt="{{.Name}}"></dd>
+  {{- else}}
+  <dd>{{.Value}}</dd>
+  {{- end}}
+{{- end}}
+</dl>
+</body>
+</html>
+`))

@@ -1,0 +1,138 @@
+package platform
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func previewServer(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	engine := NewEngine(nil)
+	srv := httptest.NewServer(NewServer(engine))
+	t.Cleanup(srv.Close)
+	return engine, srv
+}
+
+func TestTaskPreview(t *testing.T) {
+	engine, srv := previewServer(t)
+	p, _ := engine.EnsureProject(ProjectSpec{Name: "label", Presenter: "image-label", Redundancy: 3})
+	tasks, _ := engine.AddTasks(p.ID, []TaskSpec{{
+		ExternalID: "t1",
+		Payload:    map[string]string{"url": "http://img/1.jpg", "note": "first image"},
+	}})
+
+	resp, err := http.Get(srv.URL + "/tasks/1/preview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	html := string(body)
+	for _, want := range []string{
+		"Task 1",
+		"label",                       // project name
+		"image-label",                 // presenter
+		`<img src="http://img/1.jpg"`, // image payload rendered as <img>
+		"first image",                 // text payload rendered as text
+		"0/3",                         // answer progress
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("preview missing %q:\n%s", want, html)
+		}
+	}
+	_ = tasks
+}
+
+func TestTaskPreviewEscapesHostilePayload(t *testing.T) {
+	engine, srv := previewServer(t)
+	p, _ := engine.EnsureProject(ProjectSpec{Name: "p", Redundancy: 1})
+	engine.AddTasks(p.ID, []TaskSpec{{
+		ExternalID: "evil",
+		Payload:    map[string]string{"text": `<script>alert("xss")</script>`},
+	}})
+	resp, err := http.Get(srv.URL + "/tasks/1/preview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "<script>") {
+		t.Fatalf("payload not escaped:\n%s", body)
+	}
+	if !strings.Contains(string(body), "&lt;script&gt;") {
+		t.Fatalf("escaped payload missing:\n%s", body)
+	}
+}
+
+func TestTaskPreviewUnknownTask(t *testing.T) {
+	_, srv := previewServer(t)
+	resp, err := http.Get(srv.URL + "/tasks/999/preview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerRejectsMalformedRequests exercises the error paths of the REST
+// surface directly.
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	engine, srv := previewServer(t)
+	p, _ := engine.EnsureProject(ProjectSpec{Name: "p", Redundancy: 1})
+
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post("/api/projects/not-a-number/tasks", "[]"); code != http.StatusBadRequest {
+		t.Fatalf("bad path id: %d", code)
+	}
+	if code := post("/api/projects/1/tasks", "{malformed"); code != http.StatusBadRequest {
+		t.Fatalf("malformed task json: %d", code)
+	}
+	if code := post("/api/tasks/1/runs", "{malformed"); code != http.StatusBadRequest {
+		t.Fatalf("malformed run json: %d", code)
+	}
+	if code := post("/api/projects/1/ban", "{malformed"); code != http.StatusBadRequest {
+		t.Fatalf("malformed ban json: %d", code)
+	}
+
+	// Wrong method on a known path.
+	resp, err := http.Get(srv.URL + "/api/projects/1/newtask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET on POST route: %d", resp.StatusCode)
+	}
+
+	// Malformed EnsureProject body.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/api/projects", strings.NewReader("{oops"))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed project json: %d", resp2.StatusCode)
+	}
+	_ = p
+}

@@ -1,0 +1,57 @@
+package quality
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation A5 support: cost of each aggregator at experiment scale.
+
+func benchVotes(nItems, nWorkers int) map[string][]Vote {
+	votes := make(map[string][]Vote, nItems)
+	for i := 0; i < nItems; i++ {
+		item := fmt.Sprintf("item-%05d", i)
+		for w := 0; w < nWorkers; w++ {
+			val := "yes"
+			if (i+w)%3 == 0 {
+				val = "no"
+			}
+			votes[item] = append(votes[item], Vote{Worker: fmt.Sprintf("w-%d", w), Value: val})
+		}
+	}
+	return votes
+}
+
+func benchAggregator(b *testing.B, agg Aggregator, nItems, nWorkers int) {
+	votes := benchVotes(nItems, nWorkers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := agg.Aggregate(votes); len(got) != nItems {
+			b.Fatalf("%d decisions", len(got))
+		}
+	}
+}
+
+func BenchmarkMajorityVote_1kItems_5Workers(b *testing.B) {
+	benchAggregator(b, MajorityVote{}, 1000, 5)
+}
+
+func BenchmarkWeightedVote_1kItems_5Workers(b *testing.B) {
+	benchAggregator(b, WeightedVote{DefaultWeight: 1}, 1000, 5)
+}
+
+func BenchmarkDawidSkene_1kItems_5Workers(b *testing.B) {
+	benchAggregator(b, DawidSkene{MaxIter: 20}, 1000, 5)
+}
+
+func BenchmarkGLAD_1kItems_5Workers(b *testing.B) {
+	benchAggregator(b, GLAD{Positive: "yes", Negative: "no", MaxIter: 10}, 1000, 5)
+}
+
+func BenchmarkDawidSkene_Scaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("items-%d", n), func(b *testing.B) {
+			benchAggregator(b, DawidSkene{MaxIter: 20}, n, 5)
+		})
+	}
+}

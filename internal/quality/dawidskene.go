@@ -1,0 +1,226 @@
+package quality
+
+import "fmt"
+
+// DawidSkene estimates per-worker confusion matrices and true labels
+// jointly by expectation maximization (Dawid & Skene, 1979). It handles an
+// arbitrary categorical label set and degrades gracefully to majority vote
+// when every worker is equally reliable.
+type DawidSkene struct {
+	// MaxIter caps EM iterations. Zero means 50.
+	MaxIter int
+	// Tol stops iteration when no posterior changes by more than this.
+	// Zero means 1e-6.
+	Tol float64
+	// Smoothing is the Laplace pseudo-count used in the M step; it keeps
+	// confusion rows away from hard 0/1 and stabilizes small crowds.
+	// Zero means 0.01.
+	Smoothing float64
+}
+
+// Name implements Aggregator.
+func (DawidSkene) Name() string { return "ds" }
+
+// Aggregate implements Aggregator.
+func (d DawidSkene) Aggregate(votes map[string][]Vote) map[string]Decision {
+	maxIter := d.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol := d.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	smooth := d.Smoothing
+	if smooth <= 0 {
+		smooth = 0.01
+	}
+
+	labels := labelSet(votes)
+	workers := workerSet(votes)
+	items := itemKeys(votes)
+	if len(labels) == 0 || len(items) == 0 {
+		return map[string]Decision{}
+	}
+	L := len(labels)
+	labelIdx := make(map[string]int, L)
+	for i, l := range labels {
+		labelIdx[l] = i
+	}
+	workerIdx := make(map[string]int, len(workers))
+	for i, w := range workers {
+		workerIdx[w] = i
+	}
+
+	// Initialize posteriors from vote proportions (soft majority vote).
+	post := make([][]float64, len(items)) // item × label
+	for i, item := range items {
+		post[i] = make([]float64, L)
+		for _, v := range votes[item] {
+			post[i][labelIdx[v.Value]]++
+		}
+		normalize(post[i])
+	}
+
+	priors := make([]float64, L)
+	// conf[w][k][l] = P(worker w answers l | truth k)
+	conf := make([][][]float64, len(workers))
+	for w := range conf {
+		conf[w] = make([][]float64, L)
+		for k := range conf[w] {
+			conf[w][k] = make([]float64, L)
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// M step: class priors.
+		for k := range priors {
+			priors[k] = 0
+		}
+		for i := range items {
+			for k := 0; k < L; k++ {
+				priors[k] += post[i][k]
+			}
+		}
+		normalize(priors)
+
+		// M step: worker confusion matrices with Laplace smoothing.
+		for w := range conf {
+			for k := 0; k < L; k++ {
+				for l := 0; l < L; l++ {
+					conf[w][k][l] = smooth
+				}
+			}
+		}
+		for i, item := range items {
+			for _, v := range votes[item] {
+				w := workerIdx[v.Worker]
+				l := labelIdx[v.Value]
+				for k := 0; k < L; k++ {
+					conf[w][k][l] += post[i][k]
+				}
+			}
+		}
+		for w := range conf {
+			for k := 0; k < L; k++ {
+				normalize(conf[w][k])
+			}
+		}
+
+		// E step: recompute posteriors.
+		maxDelta := 0.0
+		for i, item := range items {
+			next := make([]float64, L)
+			for k := 0; k < L; k++ {
+				p := priors[k]
+				for _, v := range votes[item] {
+					p *= conf[workerIdx[v.Worker]][k][labelIdx[v.Value]]
+				}
+				next[k] = p
+			}
+			normalize(next)
+			for k := 0; k < L; k++ {
+				if delta := abs(next[k] - post[i][k]); delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+			post[i] = next
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	out := make(map[string]Decision, len(items))
+	for i, item := range items {
+		bestK, bestP := 0, post[i][0]
+		for k := 1; k < L; k++ {
+			// Strict > keeps the lexicographically smallest label on
+			// ties (labels are sorted), matching MajorityVote's
+			// deterministic tie-break.
+			if post[i][k] > bestP {
+				bestK, bestP = k, post[i][k]
+			}
+		}
+		support := 0
+		for _, v := range votes[item] {
+			if v.Value == labels[bestK] {
+				support++
+			}
+		}
+		out[item] = Decision{
+			Value:      labels[bestK],
+			Confidence: bestP,
+			Support:    support,
+			Total:      len(votes[item]),
+		}
+	}
+	return out
+}
+
+// WorkerAccuracies runs the EM and returns each worker's estimated
+// probability of answering correctly (the prior-weighted diagonal of their
+// confusion matrix). Useful as input to WeightedVote and for lineage
+// reports.
+func (d DawidSkene) WorkerAccuracies(votes map[string][]Vote) map[string]float64 {
+	// Re-run the fit; aggregation is cheap at Reprowd's scales and this
+	// keeps Aggregate's contract simple.
+	decisions := d.Aggregate(votes)
+	labels := labelSet(votes)
+	if len(labels) == 0 {
+		return map[string]float64{}
+	}
+	// Score workers against the fitted decisions.
+	correct := map[string]float64{}
+	total := map[string]float64{}
+	for item, vs := range votes {
+		dec, ok := decisions[item]
+		if !ok {
+			continue
+		}
+		for _, v := range vs {
+			total[v.Worker]++
+			if v.Value == dec.Value {
+				correct[v.Worker] += dec.Confidence
+			} else {
+				correct[v.Worker] += (1 - dec.Confidence) / float64(max(len(labels)-1, 1))
+			}
+		}
+	}
+	out := make(map[string]float64, len(total))
+	for w, t := range total {
+		if t > 0 {
+			out[w] = correct[w] / t
+		}
+	}
+	return out
+}
+
+func normalize(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the configuration, for experiment logs.
+func (d DawidSkene) String() string {
+	return fmt.Sprintf("DawidSkene(iter=%d tol=%g smooth=%g)", d.MaxIter, d.Tol, d.Smoothing)
+}

@@ -1,0 +1,190 @@
+package quality
+
+import "math"
+
+// GLAD is a simplified implementation of Whitehill et al.'s GLAD model for
+// binary labels: each worker has an ability α, each item a difficulty
+// 1/β (β > 0), and the probability a worker answers correctly is
+// σ(α·β). Abilities and difficulties are fit by alternating E steps
+// (posterior over true labels) and gradient M steps.
+//
+// Compared to Dawid–Skene, GLAD can explain an item that even good workers
+// miss as "hard" rather than blaming the workers, which matters under
+// heterogeneous task difficulty.
+type GLAD struct {
+	// Positive and Negative are the two labels. Votes with any other
+	// value are ignored.
+	Positive, Negative string
+	// MaxIter caps EM iterations. Zero means 30.
+	MaxIter int
+	// LearningRate scales the gradient steps. Zero means 0.1.
+	LearningRate float64
+	// GradSteps is the number of gradient updates per M step. Zero
+	// means 5.
+	GradSteps int
+}
+
+// Name implements Aggregator.
+func (GLAD) Name() string { return "glad" }
+
+// Aggregate implements Aggregator.
+func (g GLAD) Aggregate(votes map[string][]Vote) map[string]Decision {
+	maxIter := g.MaxIter
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	steps := g.GradSteps
+	if steps <= 0 {
+		steps = 5
+	}
+
+	items := itemKeys(votes)
+	workers := workerSet(votes)
+	workerIdx := make(map[string]int, len(workers))
+	for i, w := range workers {
+		workerIdx[w] = i
+	}
+
+	// Per-item binary votes: +1 for Positive, -1 for Negative.
+	type bvote struct {
+		w int
+		l float64
+	}
+	bvotes := make([][]bvote, len(items))
+	for i, item := range items {
+		for _, v := range votes[item] {
+			switch v.Value {
+			case g.Positive:
+				bvotes[i] = append(bvotes[i], bvote{workerIdx[v.Worker], +1})
+			case g.Negative:
+				bvotes[i] = append(bvotes[i], bvote{workerIdx[v.Worker], -1})
+			}
+		}
+	}
+
+	alpha := make([]float64, len(workers)) // worker ability
+	for i := range alpha {
+		alpha[i] = 1
+	}
+	logBeta := make([]float64, len(items)) // log inverse-difficulty
+	post := make([]float64, len(items))    // P(label = Positive)
+	for i := range post {
+		post[i] = 0.5
+	}
+
+	sigmoid := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+	for iter := 0; iter < maxIter; iter++ {
+		// E step: posterior over true labels given α, β.
+		for i := range items {
+			logOdds := 0.0 // uniform prior
+			for _, bv := range bvotes[i] {
+				p := clampProb(sigmoid(alpha[bv.w] * math.Exp(logBeta[i])))
+				// Vote +1 supports Positive with prob p if true label
+				// is Positive, and with prob 1-p if Negative.
+				if bv.l > 0 {
+					logOdds += math.Log(p) - math.Log(1-p)
+				} else {
+					logOdds += math.Log(1-p) - math.Log(p)
+				}
+			}
+			post[i] = clampProb(sigmoid(logOdds))
+		}
+
+		// M step: gradient ascent on expected log likelihood.
+		for s := 0; s < steps; s++ {
+			gradA := make([]float64, len(alpha))
+			gradB := make([]float64, len(logBeta))
+			for i := range items {
+				beta := math.Exp(logBeta[i])
+				for _, bv := range bvotes[i] {
+					p := clampProb(sigmoid(alpha[bv.w] * beta))
+					// P(vote correct | true label): correct when vote
+					// sign matches label. Expected indicator:
+					eCorrect := post[i]
+					if bv.l < 0 {
+						eCorrect = 1 - post[i]
+					}
+					// d/dx log P = (eCorrect - p) * dx of (α·β)
+					diff := eCorrect - p
+					gradA[bv.w] += diff * beta
+					gradB[i] += diff * alpha[bv.w] * beta // chain through logBeta
+				}
+			}
+			for w := range alpha {
+				alpha[w] += lr * gradA[w]
+			}
+			for i := range logBeta {
+				logBeta[i] += lr * gradB[i]
+			}
+		}
+	}
+
+	out := make(map[string]Decision, len(items))
+	for i, item := range items {
+		if len(bvotes[i]) == 0 {
+			continue
+		}
+		value, conf := g.Positive, post[i]
+		if post[i] < 0.5 {
+			value, conf = g.Negative, 1-post[i]
+		}
+		support := 0
+		for _, v := range votes[item] {
+			if v.Value == value {
+				support++
+			}
+		}
+		out[item] = Decision{Value: value, Confidence: conf, Support: support, Total: len(votes[item])}
+	}
+	return out
+}
+
+// Abilities fits the model and returns the estimated worker abilities α
+// (higher is better; 0 is chance, negative is adversarial).
+func (g GLAD) Abilities(votes map[string][]Vote) map[string]float64 {
+	// Fit once through Aggregate's internals would require exposing
+	// state; a second fit is cheap and keeps the API minimal.
+	workers := workerSet(votes)
+	decisions := g.Aggregate(votes)
+	// Score ability as calibrated agreement with the fitted labels.
+	agree := map[string]float64{}
+	total := map[string]float64{}
+	for item, vs := range votes {
+		dec, ok := decisions[item]
+		if !ok {
+			continue
+		}
+		for _, v := range vs {
+			total[v.Worker]++
+			if v.Value == dec.Value {
+				agree[v.Worker]++
+			}
+		}
+	}
+	out := make(map[string]float64, len(workers))
+	for _, w := range workers {
+		if total[w] == 0 {
+			continue
+		}
+		acc := agree[w] / total[w]
+		// Map accuracy to a logit-style ability score.
+		out[w] = math.Log(clampProb(acc) / (1 - clampProb(acc)))
+	}
+	return out
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

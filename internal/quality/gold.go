@@ -1,0 +1,104 @@
+package quality
+
+// GoldFiltered screens workers against gold-standard items (items whose
+// true answer is known in advance) and runs an inner aggregator over the
+// votes of workers who pass. This is the classic "qualification test /
+// honeypot" technique: cheap, model-free, and very effective against
+// spammers — at the cost of spending some crowd budget on known answers.
+type GoldFiltered struct {
+	// Gold maps item key → known true answer.
+	Gold map[string]string
+	// MinAccuracy is the pass threshold on gold items, e.g. 0.7.
+	MinAccuracy float64
+	// MinGoldVotes is how many gold items a worker must have answered to
+	// be judged; workers with fewer are kept (benefit of the doubt).
+	// Zero means 1.
+	MinGoldVotes int
+	// Inner aggregates the surviving votes; nil means MajorityVote.
+	Inner Aggregator
+}
+
+// Name implements Aggregator.
+func (g GoldFiltered) Name() string {
+	inner := g.Inner
+	if inner == nil {
+		inner = MajorityVote{}
+	}
+	return "gold+" + inner.Name()
+}
+
+// Aggregate implements Aggregator.
+func (g GoldFiltered) Aggregate(votes map[string][]Vote) map[string]Decision {
+	inner := g.Inner
+	if inner == nil {
+		inner = MajorityVote{}
+	}
+	minVotes := g.MinGoldVotes
+	if minVotes <= 0 {
+		minVotes = 1
+	}
+
+	acc := g.WorkerGoldAccuracies(votes)
+	banned := map[string]bool{}
+	counts := g.workerGoldCounts(votes)
+	for w, a := range acc {
+		if counts[w] >= minVotes && a < g.MinAccuracy {
+			banned[w] = true
+		}
+	}
+
+	filtered := make(map[string][]Vote, len(votes))
+	for item, vs := range votes {
+		if _, isGold := g.Gold[item]; isGold {
+			continue // gold items are not part of the output
+		}
+		var kept []Vote
+		for _, v := range vs {
+			if !banned[v.Worker] {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) > 0 {
+			filtered[item] = kept
+		}
+	}
+	return inner.Aggregate(filtered)
+}
+
+// WorkerGoldAccuracies returns each worker's accuracy measured on the gold
+// items they answered. Workers who answered no gold items are absent.
+func (g GoldFiltered) WorkerGoldAccuracies(votes map[string][]Vote) map[string]float64 {
+	correct := map[string]int{}
+	total := map[string]int{}
+	for item, truth := range g.Gold {
+		for _, v := range votes[item] {
+			total[v.Worker]++
+			if v.Value == truth {
+				correct[v.Worker]++
+			}
+		}
+	}
+	out := make(map[string]float64, len(total))
+	for w, t := range total {
+		out[w] = float64(correct[w]) / float64(t)
+	}
+	return out
+}
+
+func (g GoldFiltered) workerGoldCounts(votes map[string][]Vote) map[string]int {
+	total := map[string]int{}
+	for item := range g.Gold {
+		for _, v := range votes[item] {
+			total[v.Worker]++
+		}
+	}
+	return total
+}
+
+// EstimateWeights is a convenience for building a WeightedVote from gold
+// accuracies: workers get their measured accuracy as weight, unknown
+// workers get def.
+func EstimateWeights(gold map[string]string, votes map[string][]Vote, def float64) WeightedVote {
+	g := GoldFiltered{Gold: gold}
+	return WeightedVote{Weights: g.WorkerGoldAccuracies(votes), DefaultWeight: def}
+}

@@ -1,0 +1,183 @@
+// Package quality implements the quality-control component of Reprowd's
+// architecture (Figure 1 of the paper): algorithms that turn the redundant,
+// noisy answers in a CrowdData result column into one decision per row.
+//
+// The paper's worked example uses majority vote; the component is described
+// as implementing "a number of widely used techniques", so this package also
+// provides weighted voting, Dawid–Skene expectation maximization, a
+// simplified GLAD, and gold-seeded worker filtering. Experiment E6 compares
+// them.
+package quality
+
+import (
+	"sort"
+)
+
+// Vote is one worker's answer for one item.
+type Vote struct {
+	// Worker identifies who answered.
+	Worker string
+	// Value is the answer.
+	Value string
+}
+
+// Decision is an aggregator's output for one item.
+type Decision struct {
+	// Value is the chosen answer.
+	Value string
+	// Confidence is the aggregator's probability (or normalized score)
+	// for Value, in [0, 1].
+	Confidence float64
+	// Support is the number of raw votes that agree with Value.
+	Support int
+	// Total is the number of raw votes for the item.
+	Total int
+}
+
+// Aggregator turns per-item vote lists into per-item decisions.
+type Aggregator interface {
+	// Name identifies the algorithm in lineage and experiment reports.
+	Name() string
+	// Aggregate maps item key → votes to item key → decision. Items with
+	// no votes are omitted from the result.
+	Aggregate(votes map[string][]Vote) map[string]Decision
+}
+
+// MajorityVote picks the most frequent answer per item. Ties break
+// lexicographically (smallest answer wins) so results are deterministic —
+// the property the paper's rerun guarantee depends on.
+type MajorityVote struct{}
+
+// Name implements Aggregator.
+func (MajorityVote) Name() string { return "mv" }
+
+// Aggregate implements Aggregator.
+func (MajorityVote) Aggregate(votes map[string][]Vote) map[string]Decision {
+	out := make(map[string]Decision, len(votes))
+	for item, vs := range votes {
+		if len(vs) == 0 {
+			continue
+		}
+		counts := map[string]int{}
+		for _, v := range vs {
+			counts[v.Value]++
+		}
+		out[item] = pickMax(counts, len(vs))
+	}
+	return out
+}
+
+// pickMax chooses the highest-count answer with lexicographic tie-break.
+func pickMax(counts map[string]int, total int) Decision {
+	answers := make([]string, 0, len(counts))
+	for a := range counts {
+		answers = append(answers, a)
+	}
+	sort.Strings(answers)
+	best, bestN := "", -1
+	for _, a := range answers {
+		if counts[a] > bestN {
+			best, bestN = a, counts[a]
+		}
+	}
+	return Decision{
+		Value:      best,
+		Confidence: float64(bestN) / float64(total),
+		Support:    bestN,
+		Total:      total,
+	}
+}
+
+// WeightedVote is majority vote with per-worker weights, typically
+// estimated accuracies. Workers missing from Weights get DefaultWeight.
+type WeightedVote struct {
+	// Weights maps worker id → weight (≥ 0).
+	Weights map[string]float64
+	// DefaultWeight applies to unknown workers; zero means they are
+	// ignored entirely.
+	DefaultWeight float64
+}
+
+// Name implements Aggregator.
+func (WeightedVote) Name() string { return "wmv" }
+
+// Aggregate implements Aggregator.
+func (w WeightedVote) Aggregate(votes map[string][]Vote) map[string]Decision {
+	out := make(map[string]Decision, len(votes))
+	for item, vs := range votes {
+		if len(vs) == 0 {
+			continue
+		}
+		scores := map[string]float64{}
+		counts := map[string]int{}
+		var totalW float64
+		for _, v := range vs {
+			wt, ok := w.Weights[v.Worker]
+			if !ok {
+				wt = w.DefaultWeight
+			}
+			scores[v.Value] += wt
+			counts[v.Value]++
+			totalW += wt
+		}
+		answers := make([]string, 0, len(scores))
+		for a := range scores {
+			answers = append(answers, a)
+		}
+		sort.Strings(answers)
+		best, bestS := "", -1.0
+		for _, a := range answers {
+			if scores[a] > bestS {
+				best, bestS = a, scores[a]
+			}
+		}
+		conf := 0.0
+		if totalW > 0 {
+			conf = bestS / totalW
+		}
+		out[item] = Decision{Value: best, Confidence: conf, Support: counts[best], Total: len(vs)}
+	}
+	return out
+}
+
+// labelSet collects the distinct answer values across all votes, sorted.
+func labelSet(votes map[string][]Vote) []string {
+	set := map[string]bool{}
+	for _, vs := range votes {
+		for _, v := range vs {
+			set[v.Value] = true
+		}
+	}
+	labels := make([]string, 0, len(set))
+	for l := range set {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// workerSet collects the distinct workers, sorted.
+func workerSet(votes map[string][]Vote) []string {
+	set := map[string]bool{}
+	for _, vs := range votes {
+		for _, v := range vs {
+			set[v.Worker] = true
+		}
+	}
+	ws := make([]string, 0, len(set))
+	for w := range set {
+		ws = append(ws, w)
+	}
+	sort.Strings(ws)
+	return ws
+}
+
+// itemKeys returns the item keys sorted, for deterministic iteration.
+func itemKeys(votes map[string][]Vote) []string {
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

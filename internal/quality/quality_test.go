@@ -1,0 +1,339 @@
+package quality
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMajorityVoteBasics(t *testing.T) {
+	votes := map[string][]Vote{
+		"item1": {{"w1", "yes"}, {"w2", "yes"}, {"w3", "no"}},
+		"item2": {{"w1", "no"}, {"w2", "no"}, {"w3", "no"}},
+		"item3": {},
+	}
+	got := MajorityVote{}.Aggregate(votes)
+	if len(got) != 2 {
+		t.Fatalf("expected 2 decisions, got %d", len(got))
+	}
+	if d := got["item1"]; d.Value != "yes" || d.Support != 2 || d.Total != 3 || d.Confidence < 0.66 || d.Confidence > 0.67 {
+		t.Fatalf("item1 = %+v", d)
+	}
+	if d := got["item2"]; d.Value != "no" || d.Confidence != 1 {
+		t.Fatalf("item2 = %+v", d)
+	}
+}
+
+func TestMajorityVoteTieBreakDeterministic(t *testing.T) {
+	votes := map[string][]Vote{
+		"item": {{"w1", "zebra"}, {"w2", "apple"}},
+	}
+	for i := 0; i < 10; i++ {
+		got := MajorityVote{}.Aggregate(votes)
+		if got["item"].Value != "apple" {
+			t.Fatalf("tie-break not lexicographic: %+v", got["item"])
+		}
+	}
+}
+
+func TestWeightedVote(t *testing.T) {
+	votes := map[string][]Vote{
+		"item": {{"expert", "yes"}, {"novice1", "no"}, {"novice2", "no"}},
+	}
+	w := WeightedVote{Weights: map[string]float64{"expert": 0.99, "novice1": 0.4, "novice2": 0.4}}
+	got := w.Aggregate(votes)
+	if got["item"].Value != "yes" {
+		t.Fatalf("expert outweighed: %+v", got["item"])
+	}
+	// With equal weights it reduces to majority vote.
+	eq := WeightedVote{DefaultWeight: 1}
+	if eq.Aggregate(votes)["item"].Value != "no" {
+		t.Fatal("equal-weight vote should follow the majority")
+	}
+	// Zero-weight workers are effectively ignored.
+	zero := WeightedVote{Weights: map[string]float64{"expert": 1}, DefaultWeight: 0}
+	if zero.Aggregate(votes)["item"].Value != "yes" {
+		t.Fatal("zero default weight should silence unknown workers")
+	}
+}
+
+// synthVotes generates votes for n binary items from good workers and
+// spammers; returns the votes and the ground truth.
+func synthVotes(seed int64, n, goodN int, goodAcc float64, spamN int) (map[string][]Vote, map[string]string) {
+	rng := rand.New(rand.NewSource(seed))
+	votes := make(map[string][]Vote, n)
+	truth := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		item := fmt.Sprintf("item-%04d", i)
+		tr := "no"
+		if rng.Float64() < 0.5 {
+			tr = "yes"
+		}
+		truth[item] = tr
+		for g := 0; g < goodN; g++ {
+			ans := tr
+			if rng.Float64() >= goodAcc {
+				if ans == "yes" {
+					ans = "no"
+				} else {
+					ans = "yes"
+				}
+			}
+			votes[item] = append(votes[item], Vote{fmt.Sprintf("good-%d", g), ans})
+		}
+		for s := 0; s < spamN; s++ {
+			ans := "no"
+			if rng.Float64() < 0.5 {
+				ans = "yes"
+			}
+			votes[item] = append(votes[item], Vote{fmt.Sprintf("spam-%d", s), ans})
+		}
+	}
+	return votes, truth
+}
+
+func accuracy(dec map[string]Decision, truth map[string]string) float64 {
+	correct := 0
+	for item, tr := range truth {
+		if d, ok := dec[item]; ok && d.Value == tr {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+func TestDawidSkeneBeatsMajorityUnderSpam(t *testing.T) {
+	// 2 good workers at 0.95 vs 3 spammers: plain MV is badly diluted,
+	// DS should discover the spammers and recover.
+	votes, truth := synthVotes(20160903, 400, 2, 0.95, 3)
+	mvAcc := accuracy(MajorityVote{}.Aggregate(votes), truth)
+	dsAcc := accuracy(DawidSkene{}.Aggregate(votes), truth)
+	if dsAcc < mvAcc+0.05 {
+		t.Fatalf("DS (%.3f) should beat MV (%.3f) clearly under spam", dsAcc, mvAcc)
+	}
+	if dsAcc < 0.9 {
+		t.Fatalf("DS accuracy %.3f too low", dsAcc)
+	}
+}
+
+func TestDawidSkeneUnanimousMatchesMV(t *testing.T) {
+	votes := map[string][]Vote{
+		"a": {{"w1", "x"}, {"w2", "x"}, {"w3", "x"}},
+		"b": {{"w1", "y"}, {"w2", "y"}, {"w3", "y"}},
+	}
+	got := DawidSkene{}.Aggregate(votes)
+	if got["a"].Value != "x" || got["b"].Value != "y" {
+		t.Fatalf("unanimous labels changed: %+v", got)
+	}
+	if got["a"].Confidence < 0.9 {
+		t.Fatalf("unanimous confidence %.3f too low", got["a"].Confidence)
+	}
+}
+
+func TestDawidSkeneDeterministic(t *testing.T) {
+	votes, _ := synthVotes(7, 50, 3, 0.8, 2)
+	a := DawidSkene{}.Aggregate(votes)
+	b := DawidSkene{}.Aggregate(votes)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Dawid–Skene is nondeterministic on identical input")
+	}
+}
+
+func TestDawidSkeneEmpty(t *testing.T) {
+	if got := (DawidSkene{}).Aggregate(map[string][]Vote{}); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+}
+
+func TestDawidSkeneWorkerAccuracies(t *testing.T) {
+	votes, _ := synthVotes(99, 300, 2, 0.95, 2)
+	accs := DawidSkene{}.WorkerAccuracies(votes)
+	for g := 0; g < 2; g++ {
+		for s := 0; s < 2; s++ {
+			good := accs[fmt.Sprintf("good-%d", g)]
+			spam := accs[fmt.Sprintf("spam-%d", s)]
+			if good <= spam {
+				t.Fatalf("good-%d (%.3f) not rated above spam-%d (%.3f)", g, good, s, spam)
+			}
+		}
+	}
+}
+
+func TestGLADRecoversLabels(t *testing.T) {
+	votes, truth := synthVotes(31, 300, 3, 0.85, 2)
+	g := GLAD{Positive: "yes", Negative: "no"}
+	gAcc := accuracy(g.Aggregate(votes), truth)
+	if gAcc < 0.85 {
+		t.Fatalf("GLAD accuracy %.3f too low", gAcc)
+	}
+}
+
+func TestGLADAbilitiesOrdering(t *testing.T) {
+	votes, _ := synthVotes(57, 300, 2, 0.95, 2)
+	g := GLAD{Positive: "yes", Negative: "no"}
+	ab := g.Abilities(votes)
+	if ab["good-0"] <= ab["spam-0"] || ab["good-1"] <= ab["spam-1"] {
+		t.Fatalf("abilities do not separate good from spam: %v", ab)
+	}
+}
+
+func TestGLADIgnoresForeignLabels(t *testing.T) {
+	votes := map[string][]Vote{
+		"a": {{"w1", "yes"}, {"w2", "whatever"}},
+	}
+	got := GLAD{Positive: "yes", Negative: "no"}.Aggregate(votes)
+	if got["a"].Value != "yes" {
+		t.Fatalf("foreign label handling: %+v", got)
+	}
+}
+
+func TestGoldFilteredBansSpammers(t *testing.T) {
+	// Gold items catch the spammer; the inner MV then runs spam-free.
+	votes := map[string][]Vote{
+		"gold-1": {{"good", "yes"}, {"spam", "no"}},
+		"gold-2": {{"good", "no"}, {"spam", "yes"}},
+		"real-1": {{"good", "yes"}, {"spam", "no"}, {"spam2", "no"}},
+	}
+	g := GoldFiltered{
+		Gold:        map[string]string{"gold-1": "yes", "gold-2": "no"},
+		MinAccuracy: 0.7,
+	}
+	got := g.Aggregate(votes)
+	if _, ok := got["gold-1"]; ok {
+		t.Fatal("gold items must not appear in the output")
+	}
+	// spam answered both golds wrong → banned. spam2 never saw gold →
+	// kept. real-1 is then {good: yes, spam2: no} → tie → "no" loses to
+	// lexicographic "no" vs "yes"... "no" < "yes", so "no" wins the tie.
+	d := got["real-1"]
+	if d.Total != 2 {
+		t.Fatalf("banned worker still counted: %+v", d)
+	}
+	if d.Value != "no" {
+		t.Fatalf("real-1 = %+v", d)
+	}
+}
+
+func TestGoldFilteredMinVotes(t *testing.T) {
+	votes := map[string][]Vote{
+		"gold-1": {{"w", "wrong"}},
+		"real-1": {{"w", "yes"}},
+	}
+	g := GoldFiltered{
+		Gold:         map[string]string{"gold-1": "right"},
+		MinAccuracy:  0.5,
+		MinGoldVotes: 2, // one wrong gold answer is not enough to ban
+	}
+	got := g.Aggregate(votes)
+	if got["real-1"].Value != "yes" {
+		t.Fatalf("worker banned on insufficient gold evidence: %+v", got)
+	}
+}
+
+func TestGoldFilteredAccuraciesAndWeights(t *testing.T) {
+	votes := map[string][]Vote{
+		"g1": {{"a", "x"}, {"b", "y"}},
+		"g2": {{"a", "x"}, {"b", "x"}},
+	}
+	gold := map[string]string{"g1": "x", "g2": "x"}
+	accs := GoldFiltered{Gold: gold}.WorkerGoldAccuracies(votes)
+	if accs["a"] != 1.0 || accs["b"] != 0.5 {
+		t.Fatalf("gold accuracies: %v", accs)
+	}
+	wv := EstimateWeights(gold, votes, 0.3)
+	if wv.Weights["a"] != 1.0 || wv.Weights["b"] != 0.5 || wv.DefaultWeight != 0.3 {
+		t.Fatalf("estimated weights: %+v", wv)
+	}
+}
+
+func TestAggregatorNames(t *testing.T) {
+	cases := []struct {
+		agg  Aggregator
+		want string
+	}{
+		{MajorityVote{}, "mv"},
+		{WeightedVote{}, "wmv"},
+		{DawidSkene{}, "ds"},
+		{GLAD{}, "glad"},
+		{GoldFiltered{}, "gold+mv"},
+		{GoldFiltered{Inner: GLAD{}}, "gold+glad"},
+	}
+	for _, c := range cases {
+		if c.agg.Name() != c.want {
+			t.Fatalf("%T.Name() = %q, want %q", c.agg, c.agg.Name(), c.want)
+		}
+	}
+}
+
+// Property: every aggregator returns a decision whose value appeared in the
+// votes, with Support ≤ Total and confidence in (0, 1].
+func TestQuickAggregatorSanity(t *testing.T) {
+	// Vote-counting aggregators must answer with a value from the item's
+	// own votes; model-based ones (DS, GLAD) may override an item using
+	// globally-estimated worker reliability, but never invent a label
+	// outside the global label set.
+	local := []Aggregator{
+		MajorityVote{},
+		WeightedVote{DefaultWeight: 1},
+	}
+	global := []Aggregator{
+		DawidSkene{MaxIter: 10},
+		GLAD{Positive: "yes", Negative: "no", MaxIter: 5},
+	}
+	f := func(raw []uint8) bool {
+		votes := map[string][]Vote{}
+		for i, b := range raw {
+			item := fmt.Sprintf("item-%d", int(b)%7)
+			worker := fmt.Sprintf("w-%d", i%5)
+			val := "yes"
+			if b%2 == 0 {
+				val = "no"
+			}
+			votes[item] = append(votes[item], Vote{worker, val})
+		}
+		for _, agg := range local {
+			for item, d := range agg.Aggregate(votes) {
+				found := false
+				for _, v := range votes[item] {
+					if v.Value == d.Value {
+						found = true
+					}
+				}
+				if !found {
+					t.Logf("%s invented answer %q for %s", agg.Name(), d.Value, item)
+					return false
+				}
+				if d.Support > d.Total || d.Total != len(votes[item]) {
+					t.Logf("%s support/total wrong: %+v (len=%d)", agg.Name(), d, len(votes[item]))
+					return false
+				}
+				if d.Confidence <= 0 || d.Confidence > 1 {
+					t.Logf("%s confidence out of range: %+v", agg.Name(), d)
+					return false
+				}
+			}
+		}
+		for _, agg := range global {
+			for item, d := range agg.Aggregate(votes) {
+				if d.Value != "yes" && d.Value != "no" {
+					t.Logf("%s invented label %q for %s", agg.Name(), d.Value, item)
+					return false
+				}
+				if d.Support > d.Total || d.Total != len(votes[item]) {
+					t.Logf("%s support/total wrong: %+v (len=%d)", agg.Name(), d, len(votes[item]))
+					return false
+				}
+				if d.Confidence <= 0 || d.Confidence > 1 {
+					t.Logf("%s confidence out of range: %+v", agg.Name(), d)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package simdata generates the synthetic datasets the experiments run on:
+// labeled images (the paper's Figure 2 workload), dirty entity-resolution
+// corpora in the style of the restaurant benchmark CrowdER evaluated on,
+// and comparable-item lists for sort/max. All generators are deterministic
+// in their seed.
+package simdata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Image is one labeled image for the labeling workload.
+type Image struct {
+	// URL is the image's (synthetic) address.
+	URL string
+	// Truth is the hidden correct label.
+	Truth string
+}
+
+// Images generates n images whose hidden labels are drawn uniformly from
+// labels.
+func Images(seed int64, n int, labels ...string) []Image {
+	if len(labels) == 0 {
+		labels = []string{"Yes", "No"}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Image, n)
+	for i := range out {
+		out[i] = Image{
+			URL:   fmt.Sprintf("http://images.example/%06d.jpg", i),
+			Truth: labels[rng.Intn(len(labels))],
+		}
+	}
+	return out
+}
+
+// Record is one entity-resolution record.
+type Record struct {
+	// ID uniquely identifies the record.
+	ID string
+	// Fields holds the record's attributes (name, addr, city, phone).
+	Fields map[string]string
+}
+
+// ERCorpus is a dirty dataset with known duplicate structure.
+type ERCorpus struct {
+	// Records are the corpus rows, duplicates interleaved.
+	Records []Record
+	// Matches is the ground-truth duplicate pair set, keyed by
+	// metrics.PairKey over record ids.
+	Matches map[string]bool
+	// Clusters groups record ids by underlying entity.
+	Clusters [][]string
+}
+
+// ERConfig tunes corpus generation.
+type ERConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Entities is the number of distinct underlying entities.
+	Entities int
+	// DupProb is the chance an entity has at least one duplicate record.
+	DupProb float64
+	// MaxDups caps duplicates per entity (≥1 extra record). Zero means 2.
+	MaxDups int
+	// NoiseOps is how many corruptions each duplicate suffers. Zero
+	// means 2.
+	NoiseOps int
+}
+
+var (
+	nameAdjectives = []string{"Golden", "Blue", "Royal", "Old", "Little", "Grand", "Happy", "Silver", "Green", "Lucky"}
+	nameCuisines   = []string{"Dragon", "Olive", "Taco", "Noodle", "Curry", "Bistro", "Garden", "Harbor", "Prairie", "Maple"}
+	nameSuffixes   = []string{"Grill", "Kitchen", "House", "Cafe", "Diner", "Restaurant", "Eatery", "Tavern", "Bar", "Place"}
+	streetNames    = []string{"Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill", "Park"}
+	streetKinds    = []string{"Street", "Avenue", "Road", "Boulevard", "Drive"}
+	cities         = []string{"Vancouver", "Burnaby", "Richmond", "Surrey", "Coquitlam", "Delta", "Langley"}
+
+	// abbreviations is the substitution table the noiser draws from, in
+	// both directions.
+	abbreviations = [][2]string{
+		{"Street", "St."}, {"Avenue", "Ave."}, {"Road", "Rd."},
+		{"Boulevard", "Blvd."}, {"Drive", "Dr."},
+		{"Restaurant", "Rest."}, {"Kitchen", "Kitchn"},
+	}
+)
+
+// Restaurants generates a restaurant-style ER corpus.
+func Restaurants(cfg ERConfig) ERCorpus {
+	if cfg.Entities <= 0 {
+		cfg.Entities = 100
+	}
+	if cfg.MaxDups <= 0 {
+		cfg.MaxDups = 2
+	}
+	if cfg.NoiseOps <= 0 {
+		cfg.NoiseOps = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	corpus := ERCorpus{Matches: map[string]bool{}}
+	recID := 0
+	newID := func() string { recID++; return fmt.Sprintf("r%04d", recID) }
+
+	for e := 0; e < cfg.Entities; e++ {
+		base := Record{
+			ID: newID(),
+			Fields: map[string]string{
+				"name": fmt.Sprintf("%s %s %s",
+					nameAdjectives[rng.Intn(len(nameAdjectives))],
+					nameCuisines[rng.Intn(len(nameCuisines))],
+					nameSuffixes[rng.Intn(len(nameSuffixes))]),
+				"addr": fmt.Sprintf("%d %s %s",
+					100+rng.Intn(9900),
+					streetNames[rng.Intn(len(streetNames))],
+					streetKinds[rng.Intn(len(streetKinds))]),
+				"city":  cities[rng.Intn(len(cities))],
+				"phone": fmt.Sprintf("604-%03d-%04d", rng.Intn(1000), rng.Intn(10000)),
+			},
+		}
+		cluster := []string{base.ID}
+		corpus.Records = append(corpus.Records, base)
+
+		if rng.Float64() < cfg.DupProb {
+			nDups := 1 + rng.Intn(cfg.MaxDups)
+			for d := 0; d < nDups; d++ {
+				dup := Record{ID: newID(), Fields: corrupt(rng, base.Fields, cfg.NoiseOps)}
+				corpus.Records = append(corpus.Records, dup)
+				for _, other := range cluster {
+					corpus.Matches[metrics.PairKey(other, dup.ID)] = true
+				}
+				cluster = append(cluster, dup.ID)
+			}
+		}
+		corpus.Clusters = append(corpus.Clusters, cluster)
+	}
+	return corpus
+}
+
+// corrupt applies n random noise operations to a copy of fields.
+func corrupt(rng *rand.Rand, fields map[string]string, n int) map[string]string {
+	out := make(map[string]string, len(fields))
+	for k, v := range fields {
+		out[k] = v
+	}
+	keys := []string{"name", "addr", "city", "phone"}
+	for i := 0; i < n; i++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(4) {
+		case 0:
+			out[k] = typo(rng, out[k])
+		case 1:
+			out[k] = abbreviate(rng, out[k])
+		case 2:
+			out[k] = flipCase(rng, out[k])
+		case 3:
+			out[k] = dropToken(rng, out[k])
+		}
+	}
+	return out
+}
+
+func typo(rng *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) < 2 {
+		return s
+	}
+	i := rng.Intn(len(runes) - 1)
+	switch rng.Intn(3) {
+	case 0: // transpose
+		runes[i], runes[i+1] = runes[i+1], runes[i]
+		return string(runes)
+	case 1: // delete
+		return string(append(runes[:i], runes[i+1:]...))
+	default: // duplicate
+		return string(runes[:i]) + string(runes[i]) + string(runes[i:])
+	}
+}
+
+func abbreviate(rng *rand.Rand, s string) string {
+	perm := rng.Perm(len(abbreviations))
+	for _, i := range perm {
+		pair := abbreviations[i]
+		if strings.Contains(s, pair[0]) {
+			return strings.Replace(s, pair[0], pair[1], 1)
+		}
+		if strings.Contains(s, pair[1]) {
+			return strings.Replace(s, pair[1], pair[0], 1)
+		}
+	}
+	return s
+}
+
+func flipCase(rng *rand.Rand, s string) string {
+	if rng.Intn(2) == 0 {
+		return strings.ToUpper(s)
+	}
+	return strings.ToLower(s)
+}
+
+func dropToken(rng *rand.Rand, s string) string {
+	tokens := strings.Fields(s)
+	if len(tokens) < 2 {
+		return s
+	}
+	i := rng.Intn(len(tokens))
+	return strings.Join(append(tokens[:i], tokens[i+1:]...), " ")
+}
+
+// Item is one element of a comparable list for sort/max workloads.
+type Item struct {
+	// ID identifies the item.
+	ID string
+	// Label is the display text.
+	Label string
+	// Score is the hidden quantity workers compare (bigger is better).
+	Score float64
+}
+
+// Items generates m items with distinct hidden scores, shuffled. The true
+// descending-score order is the sort ground truth.
+type ItemList struct {
+	// Items in presentation (shuffled) order.
+	Items []Item
+	// TrueOrder is the ids sorted by descending score.
+	TrueOrder []string
+}
+
+// SortItems builds an ItemList of m items.
+func SortItems(seed int64, m int) ItemList {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, m)
+	for i := range items {
+		items[i] = Item{
+			ID:    fmt.Sprintf("item-%03d", i),
+			Label: fmt.Sprintf("Candidate %c%d", 'A'+i%26, i),
+			// Distinct scores: index plus jitter that cannot collide.
+			Score: float64(i) + rng.Float64()*0.5,
+		}
+	}
+	trueOrder := make([]string, m)
+	// items are score-ascending by construction; true order is reversed.
+	for i := range items {
+		trueOrder[m-1-i] = items[i].ID
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return ItemList{Items: items, TrueOrder: trueOrder}
+}
+
+// ScoreOf returns a lookup from item id to hidden score.
+func (l ItemList) ScoreOf() map[string]float64 {
+	out := make(map[string]float64, len(l.Items))
+	for _, it := range l.Items {
+		out[it.ID] = it.Score
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package simdata
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/similarity"
+)
+
+func TestImagesDeterministic(t *testing.T) {
+	a := Images(7, 20, "cat", "dog")
+	b := Images(7, 20, "cat", "dog")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Images not deterministic in seed")
+	}
+	c := Images(8, 20, "cat", "dog")
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds gave identical data")
+	}
+	for _, img := range a {
+		if img.Truth != "cat" && img.Truth != "dog" {
+			t.Fatalf("label %q outside set", img.Truth)
+		}
+		if img.URL == "" {
+			t.Fatal("empty URL")
+		}
+	}
+	// Default labels.
+	d := Images(1, 5)
+	for _, img := range d {
+		if img.Truth != "Yes" && img.Truth != "No" {
+			t.Fatalf("default label %q", img.Truth)
+		}
+	}
+}
+
+func TestRestaurantsStructure(t *testing.T) {
+	corpus := Restaurants(ERConfig{Seed: 3, Entities: 50, DupProb: 0.5, MaxDups: 2, NoiseOps: 2})
+
+	ids := map[string]bool{}
+	for _, r := range corpus.Records {
+		if ids[r.ID] {
+			t.Fatalf("duplicate record id %s", r.ID)
+		}
+		ids[r.ID] = true
+		for _, f := range []string{"name", "addr", "city", "phone"} {
+			if r.Fields[f] == "" {
+				t.Fatalf("record %s missing field %s", r.ID, f)
+			}
+		}
+	}
+	if len(corpus.Records) <= 50 {
+		t.Fatalf("expected duplicates beyond the 50 entities, got %d records", len(corpus.Records))
+	}
+	if len(corpus.Matches) == 0 {
+		t.Fatal("no ground-truth matches generated")
+	}
+	// Matches reference real records and are canonical keys.
+	for pair := range corpus.Matches {
+		// PairKey format is "a|b" with a<b.
+		if pair != metrics.PairKey(pair[:5], pair[6:]) {
+			t.Fatalf("non-canonical pair key %q", pair)
+		}
+	}
+	// Clusters partition the ids.
+	seen := map[string]bool{}
+	for _, cl := range corpus.Clusters {
+		for _, id := range cl {
+			if seen[id] {
+				t.Fatalf("id %s in two clusters", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(corpus.Records) {
+		t.Fatalf("clusters cover %d ids, records %d", len(seen), len(corpus.Records))
+	}
+}
+
+func TestRestaurantsDeterministic(t *testing.T) {
+	a := Restaurants(ERConfig{Seed: 5, Entities: 30, DupProb: 0.4})
+	b := Restaurants(ERConfig{Seed: 5, Entities: 30, DupProb: 0.4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Restaurants not deterministic")
+	}
+}
+
+// TestDuplicatesStaySimilar: the noiser must corrupt but not destroy —
+// duplicates should remain more similar to their source than random pairs,
+// otherwise the hybrid join experiment is meaningless.
+func TestDuplicatesStaySimilar(t *testing.T) {
+	corpus := Restaurants(ERConfig{Seed: 11, Entities: 80, DupProb: 0.6, NoiseOps: 2})
+	byID := map[string]Record{}
+	for _, r := range corpus.Records {
+		byID[r.ID] = r
+	}
+	var dupSims, randSims []float64
+	i := 0
+	for pair := range corpus.Matches {
+		a, b := byID[pair[:5]], byID[pair[6:]]
+		dupSims = append(dupSims, similarity.JaccardNGrams(
+			similarity.RecordString(a.Fields), similarity.RecordString(b.Fields), 2))
+		// A mismatched pair for contrast.
+		other := corpus.Records[(i*17+31)%len(corpus.Records)]
+		if other.ID != a.ID && !corpus.Matches[metrics.PairKey(a.ID, other.ID)] {
+			randSims = append(randSims, similarity.JaccardNGrams(
+				similarity.RecordString(a.Fields), similarity.RecordString(other.Fields), 2))
+		}
+		i++
+	}
+	if metrics.Mean(dupSims) < metrics.Mean(randSims)+0.2 {
+		t.Fatalf("duplicates (%.3f) not clearly more similar than random pairs (%.3f)",
+			metrics.Mean(dupSims), metrics.Mean(randSims))
+	}
+}
+
+func TestSortItems(t *testing.T) {
+	l := SortItems(13, 20)
+	if len(l.Items) != 20 || len(l.TrueOrder) != 20 {
+		t.Fatalf("sizes: %d items, %d order", len(l.Items), len(l.TrueOrder))
+	}
+	scores := l.ScoreOf()
+	// TrueOrder is strictly descending in score.
+	for i := 1; i < len(l.TrueOrder); i++ {
+		if scores[l.TrueOrder[i-1]] <= scores[l.TrueOrder[i]] {
+			t.Fatalf("TrueOrder not descending at %d", i)
+		}
+	}
+	// Deterministic.
+	if !reflect.DeepEqual(SortItems(13, 20), l) {
+		t.Fatal("SortItems not deterministic")
+	}
+	// Distinct ids.
+	ids := map[string]bool{}
+	for _, it := range l.Items {
+		if ids[it.ID] {
+			t.Fatalf("duplicate id %s", it.ID)
+		}
+		ids[it.ID] = true
+	}
+}

@@ -1,0 +1,187 @@
+// Package similarity provides the string-similarity measures the machine
+// pass of CrowdER-style hybrid joins prunes candidate pairs with. All
+// measures return values in [0, 1], 1 meaning identical.
+package similarity
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokens splits s into lowercase alphanumeric tokens.
+func Tokens(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// JaccardTokens is the Jaccard coefficient over word tokens:
+// |A ∩ B| / |A ∪ B|. Two empty strings are defined as identical (1).
+func JaccardTokens(a, b string) float64 {
+	return jaccard(toSet(Tokens(a)), toSet(Tokens(b)))
+}
+
+// NGrams returns the set of character n-grams of s (lowercased, with
+// boundary padding using '#'), the classic q-gram decomposition.
+func NGrams(s string, n int) map[string]bool {
+	if n <= 0 {
+		n = 2
+	}
+	s = strings.ToLower(s)
+	pad := strings.Repeat("#", n-1)
+	s = pad + s + pad
+	runes := []rune(s)
+	out := make(map[string]bool)
+	for i := 0; i+n <= len(runes); i++ {
+		out[string(runes[i:i+n])] = true
+	}
+	return out
+}
+
+// JaccardNGrams is the Jaccard coefficient over character n-grams, more
+// robust to typos than token Jaccard.
+func JaccardNGrams(a, b string, n int) float64 {
+	return jaccard(NGrams(a, n), NGrams(b, n))
+}
+
+func toSet(tokens []string) map[string]bool {
+	out := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		out[t] = true
+	}
+	return out
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Levenshtein returns the edit distance between a and b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim normalizes edit distance into a similarity:
+// 1 - dist/max(len). Two empty strings are identical.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// CosineTokens is the cosine similarity between the token-frequency
+// vectors of a and b.
+func CosineTokens(a, b string) float64 {
+	fa, fb := freq(Tokens(a)), freq(Tokens(b))
+	if len(fa) == 0 && len(fb) == 0 {
+		return 1
+	}
+	if len(fa) == 0 || len(fb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for t, ca := range fa {
+		dot += float64(ca) * float64(fb[t])
+		na += float64(ca) * float64(ca)
+	}
+	for _, cb := range fb {
+		nb += float64(cb) * float64(cb)
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func freq(tokens []string) map[string]int {
+	out := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		out[t]++
+	}
+	return out
+}
+
+// Measure is a named similarity function over two strings.
+type Measure struct {
+	// Name identifies the measure in experiment reports.
+	Name string
+	// Fn computes the similarity in [0, 1].
+	Fn func(a, b string) float64
+}
+
+// Measures returns the standard measure set used by the hybrid join's
+// machine pass.
+func Measures() []Measure {
+	return []Measure{
+		{Name: "jaccard-tokens", Fn: JaccardTokens},
+		{Name: "jaccard-2grams", Fn: func(a, b string) float64 { return JaccardNGrams(a, b, 2) }},
+		{Name: "levenshtein", Fn: LevenshteinSim},
+		{Name: "cosine-tokens", Fn: CosineTokens},
+	}
+}
+
+// RecordString flattens a record's fields (sorted by name) into one string
+// for whole-record similarity.
+func RecordString(rec map[string]string) string {
+	keys := make([]string, 0, len(rec))
+	for k := range rec {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, rec[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,144 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokens(t *testing.T) {
+	got := Tokens("The Golden-Dragon Grill, 123 Main St.")
+	want := []string{"the", "golden", "dragon", "grill", "123", "main", "st"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokens[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"golden dragon", "golden dragon", 1},
+		{"golden dragon", "dragon golden", 1}, // order-insensitive
+		{"golden dragon", "silver phoenix", 0},
+		{"", "", 1},
+		{"a", "", 0},
+		{"a b", "b c", 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		if got := JaccardTokens(c.a, c.b); !close(got, c.want) {
+			t.Errorf("JaccardTokens(%q, %q) = %.3f, want %.3f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardNGramsTypoRobust(t *testing.T) {
+	clean := JaccardTokens("Golden Dragon Grill", "Golden Dargon Grill") // token-level: "Dargon" ≠ "Dragon"
+	gram := JaccardNGrams("Golden Dragon Grill", "Golden Dargon Grill", 2)
+	if gram <= clean {
+		t.Fatalf("2-gram similarity (%.3f) should beat token similarity (%.3f) on a typo", gram, clean)
+	}
+	if JaccardNGrams("", "", 2) != 1 {
+		t.Fatal("empty strings should be identical")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Fatalf("LevenshteinSim empty = %f", got)
+	}
+	if got := LevenshteinSim("abcd", "abcd"); got != 1 {
+		t.Fatalf("identical sim = %f", got)
+	}
+}
+
+func TestCosineTokens(t *testing.T) {
+	if got := CosineTokens("a b a", "a b a"); !close(got, 1) {
+		t.Fatalf("identical cosine = %f", got)
+	}
+	if got := CosineTokens("x y", "p q"); got != 0 {
+		t.Fatalf("disjoint cosine = %f", got)
+	}
+	if got := CosineTokens("", ""); got != 1 {
+		t.Fatalf("empty cosine = %f", got)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	a := RecordString(map[string]string{"b": "2", "a": "1"})
+	b := RecordString(map[string]string{"a": "1", "b": "2"})
+	if a != b || a != "1 2" {
+		t.Fatalf("RecordString = %q / %q", a, b)
+	}
+}
+
+// Properties: every measure is symmetric, self-similar, and in [0,1].
+func TestQuickMeasureProperties(t *testing.T) {
+	for _, m := range Measures() {
+		m := m
+		f := func(a, b string) bool {
+			if len(a) > 64 || len(b) > 64 {
+				return true
+			}
+			sAB, sBA := m.Fn(a, b), m.Fn(b, a)
+			if !close(sAB, sBA) {
+				t.Logf("%s not symmetric: %f vs %f", m.Name, sAB, sBA)
+				return false
+			}
+			if sAB < 0 || sAB > 1+1e-9 {
+				t.Logf("%s out of range: %f", m.Name, sAB)
+				return false
+			}
+			if self := m.Fn(a, a); !close(self, 1) {
+				t.Logf("%s self-similarity %f for %q", m.Name, self, a)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// Property: Levenshtein satisfies the triangle inequality.
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 32 || len(b) > 32 || len(c) > 32 {
+			return true
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestBackupBasic(t *testing.T) {
+	src := t.TempDir()
+	db := mustOpen(t, src, Options{Sync: SyncNever, MaxSegmentBytes: 512})
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+	}
+	db.Delete([]byte("k007"))
+
+	dst := filepath.Join(t.TempDir(), "backup")
+	if err := db.Backup(dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes after the backup must not appear in the snapshot.
+	db.Put([]byte("post-backup"), []byte("x"))
+
+	snap := mustOpen(t, dst, Options{Sync: SyncNever})
+	defer snap.Close()
+	if st := snap.Stats(); st.Keys != 99 {
+		t.Fatalf("snapshot keys = %d, want 99", st.Keys)
+	}
+	if _, ok, _ := snap.Get([]byte("k007")); ok {
+		t.Fatal("deleted key in snapshot")
+	}
+	if _, ok, _ := snap.Get([]byte("post-backup")); ok {
+		t.Fatal("post-backup write leaked into snapshot")
+	}
+	for i := 0; i < 100; i++ {
+		if i == 7 {
+			continue
+		}
+		k := fmt.Sprintf("k%03d", i)
+		if v, ok, _ := snap.Get([]byte(k)); !ok || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("snapshot %s = %q, %v", k, v, ok)
+		}
+	}
+}
+
+func TestBackupRefusesNonEmptyDestination(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	other := t.TempDir()
+	db2 := mustOpen(t, other, Options{Sync: SyncNever})
+	db2.Put([]byte("x"), []byte("y"))
+	db2.Close()
+	if err := db.Backup(other); err == nil {
+		t.Fatal("backup into an existing store accepted")
+	}
+}
+
+// TestBackupDuringWrites snapshots while a writer goroutine hammers the
+// store; the snapshot must open cleanly and contain a consistent prefix.
+func TestBackupDuringWrites(t *testing.T) {
+	src := t.TempDir()
+	db := mustOpen(t, src, Options{Sync: SyncNever, MaxSegmentBytes: 2048})
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("base-%03d", i)), []byte("committed"))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				db.Put([]byte(fmt.Sprintf("hot-%06d", i)), []byte("racing"))
+			}
+		}
+	}()
+
+	dst := filepath.Join(t.TempDir(), "snap")
+	err := db.Backup(dst)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := Open(dst, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("snapshot does not open: %v", err)
+	}
+	defer snap.Close()
+	// All pre-backup keys must be present and intact.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("base-%03d", i)
+		if v, ok, _ := snap.Get([]byte(k)); !ok || string(v) != "committed" {
+			t.Fatalf("snapshot lost committed key %s (%q, %v)", k, v, ok)
+		}
+	}
+	// Hot keys may be partially present (a prefix), but every present one
+	// must be uncorrupted — guaranteed by Open's CRC validation, plus:
+	snap.Scan("hot-", func(k string, v []byte) bool {
+		if string(v) != "racing" {
+			t.Fatalf("corrupt hot key %s = %q", k, v)
+		}
+		return true
+	})
+}
+
+func TestBackupAfterCompaction(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever, MaxSegmentBytes: 512})
+	defer db.Close()
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 40; i++ {
+			db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("r%d", r)))
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "snap")
+	if err := db.Backup(dst); err != nil {
+		t.Fatal(err)
+	}
+	snap := mustOpen(t, dst, Options{Sync: SyncNever})
+	defer snap.Close()
+	if st := snap.Stats(); st.Keys != 40 {
+		t.Fatalf("keys = %d", st.Keys)
+	}
+	for i := 0; i < 40; i++ {
+		if v, _, _ := snap.Get([]byte(fmt.Sprintf("k%02d", i))); string(v) != "r4" {
+			t.Fatalf("k%02d = %q", i, v)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package storage
+
+// Batch is a set of operations applied atomically: the whole batch is
+// encoded as a single CRC-framed record, so after a crash either every
+// operation in the batch is visible or none is. Reprowd uses batches to
+// persist a row's task and result columns together.
+type Batch struct {
+	payload []byte
+	count   int
+	err     error
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put queues a put of val under key.
+func (b *Batch) Put(key, val []byte) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if len(key) > MaxKeyLen {
+		b.err = ErrKeyTooLarge
+		return b
+	}
+	if len(val) > MaxValueLen {
+		b.err = ErrValTooLarge
+		return b
+	}
+	b.payload = appendBatchEntry(b.payload, kindPut, key, val)
+	b.count++
+	return b
+}
+
+// Delete queues a delete of key.
+func (b *Batch) Delete(key []byte) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if len(key) > MaxKeyLen {
+		b.err = ErrKeyTooLarge
+		return b
+	}
+	b.payload = appendBatchEntry(b.payload, kindDelete, key, nil)
+	b.count++
+	return b
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return b.count }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	b.payload = b.payload[:0]
+	b.count = 0
+	b.err = nil
+}
+
+// Apply atomically commits all operations in the batch. An empty batch is a
+// no-op.
+func (db *DB) Apply(b *Batch) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.count == 0 {
+		return nil
+	}
+	if len(b.payload) > MaxValueLen {
+		return ErrValTooLarge
+	}
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.appendLocked(kindBatch, nil, b.payload)
+}

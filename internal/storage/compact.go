@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Compaction rewrites all live entries into fresh segments and drops the
+// old files. It is stop-the-world (holds the write lock), which is fine for
+// Reprowd's workload: experiments append task/result records and compaction
+// runs between experiments.
+//
+// Crash safety: merged segments receive ids strictly greater than every
+// existing segment. The CUTOFF file — written and fsynced only after all
+// merged segments are durable — names the first merged id; recovery ignores
+// segments below it. A crash before CUTOFF leaves both old and merged
+// segments, and replaying old-then-merged yields the identical key
+// directory (merged frames re-assert the same live values and the old
+// segments still carry their tombstones). A crash after CUTOFF simply
+// leaves stale old files that the next Open removes.
+
+const cutoffFile = "CUTOFF"
+
+// writeCutoff durably records that segments below id are obsolete.
+func writeCutoff(dir string, id uint32) error {
+	buf := make([]byte, 0, 8)
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	tmp := filepath.Join(dir, cutoffFile+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, cutoffFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCutoff returns the recorded cutoff id, or 0 if none. A corrupt cutoff
+// file is ignored (treated as absent): the worst case is replaying stale
+// segments, which is harmless because merged segments replay after them.
+func readCutoff(dir string) (uint32, error) {
+	data, err := os.ReadFile(filepath.Join(dir, cutoffFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != 8 {
+		return 0, nil
+	}
+	if crc32.Checksum(data[:4], castagnoli) != binary.LittleEndian.Uint32(data[4:]) {
+		return 0, nil
+	}
+	return binary.LittleEndian.Uint32(data[:4]), nil
+}
+
+// Compact rewrites the store so that only live data remains on disk.
+func (db *DB) Compact() error {
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+
+	// Seal the current active segment so everything is immutable.
+	if err := db.active.Sync(); err != nil {
+		return err
+	}
+	if err := db.active.Close(); err != nil {
+		return err
+	}
+
+	oldActiveID := db.activeID
+	firstMerged := oldActiveID + 1
+
+	// Deterministic output: iterate keys in sorted order.
+	keys := make([]string, 0, len(db.keydir))
+	for k := range db.keydir {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var (
+		newKeydir  = make(map[string]loc, len(db.keydir))
+		newLive    int64
+		segID      = firstMerged
+		segFile    *os.File
+		segSize    int64
+		segEntries []hintEntry
+		buf        []byte
+	)
+	openSeg := func() error {
+		f, err := os.OpenFile(segmentPath(db.dir, segID), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		segFile, segSize, segEntries = f, 0, nil
+		return nil
+	}
+	sealSeg := func() error {
+		if segFile == nil {
+			return nil
+		}
+		if err := segFile.Sync(); err != nil {
+			return err
+		}
+		if err := segFile.Close(); err != nil {
+			return err
+		}
+		if err := writeHint(db.dir, segID, segSize, segEntries); err != nil {
+			return err
+		}
+		segFile = nil
+		return nil
+	}
+	if err := openSeg(); err != nil {
+		return err
+	}
+
+	for _, k := range keys {
+		l := db.keydir[k]
+		rec, err := db.readRecord(l)
+		if err != nil {
+			return fmt.Errorf("storage: compact read %q: %w", k, err)
+		}
+		var (
+			val     []byte
+			haveVal bool
+		)
+		switch rec.kind {
+		case kindPut:
+			val, haveVal = rec.val, true
+		case kindBatch:
+			if err := decodeBatch(rec.val, func(op byte, bk, bv []byte) error {
+				if op == kindPut && string(bk) == k {
+					val, haveVal = bv, true
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if !haveVal {
+				return fmt.Errorf("%w: compact: key %q indexed into batch frame that lacks it", ErrCorrupt, k)
+			}
+		default:
+			return fmt.Errorf("%w: compact: key %q points at frame kind %d", ErrCorrupt, k, rec.kind)
+		}
+
+		seq := db.seq
+		db.seq++
+		buf = appendFrame(buf[:0], record{kind: kindPut, seq: seq, key: []byte(k), val: val})
+		if segSize+int64(len(buf)) > db.opts.MaxSegmentBytes && segSize > 0 {
+			if err := sealSeg(); err != nil {
+				return err
+			}
+			segID++
+			if err := openSeg(); err != nil {
+				return err
+			}
+		}
+		if _, err := segFile.Write(buf); err != nil {
+			return err
+		}
+		newKeydir[k] = loc{segID: segID, off: segSize, size: int32(len(buf)), acct: int32(len(buf))}
+		segEntries = append(segEntries, hintEntry{op: kindPut, key: []byte(k), off: segSize, size: int32(len(buf)), seq: seq})
+		segSize += int64(len(buf))
+		newLive += int64(len(buf))
+	}
+	if err := sealSeg(); err != nil {
+		return err
+	}
+	if err := syncDir(db.dir); err != nil {
+		return err
+	}
+
+	// Point of no return: once CUTOFF is durable the merge is committed.
+	if err := writeCutoff(db.dir, firstMerged); err != nil {
+		return err
+	}
+
+	// Drop the old segments.
+	db.closeFiles(firstMerged)
+	oldIDs, err := listSegments(db.dir)
+	if err != nil {
+		return err
+	}
+	for _, id := range oldIDs {
+		if id < firstMerged {
+			if err := removeSegment(db.dir, id); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Fresh active segment after the merged ones.
+	db.keydir = newKeydir
+	db.liveBytes = newLive
+	db.totalBytes = newLive
+	db.activeEntries = nil
+	db.activeID = segID + 1
+	f, err := os.OpenFile(segmentPath(db.dir, db.activeID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	db.active = f
+	db.activeSize = 0
+	return syncDir(db.dir)
+}
+
+// CompactIfNeeded compacts when dead bytes exceed the given fraction of
+// total bytes (and total exceeds minBytes). It reports whether compaction
+// ran.
+func (db *DB) CompactIfNeeded(deadFraction float64, minBytes int64) (bool, error) {
+	db.mu.RLock()
+	total, live := db.totalBytes, db.liveBytes
+	db.mu.RUnlock()
+	if total < minBytes || total == 0 {
+		return false, nil
+	}
+	if float64(total-live)/float64(total) < deadFraction {
+		return false, nil
+	}
+	return true, db.Compact()
+}

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersAndWriters hammers the store from many goroutines
+// and verifies the final state matches a per-goroutine model. Each
+// goroutine owns a key range, so the expected end state is deterministic
+// even though interleavings are not.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever, MaxSegmentBytes: 1 << 16})
+	defer db.Close()
+
+	const (
+		writers       = 8
+		keysPerWriter = 50
+		rounds        = 20
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*2)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keysPerWriter; k++ {
+					key := []byte(fmt.Sprintf("w%d/k%03d", w, k))
+					val := []byte(fmt.Sprintf("round-%d", r))
+					if err := db.Put(key, val); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers scanning while writes happen.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				prefix := fmt.Sprintf("w%d/", g%writers)
+				if err := db.Scan(prefix, func(_ string, v []byte) bool {
+					if len(v) == 0 {
+						errs <- fmt.Errorf("empty value observed")
+						return false
+					}
+					return true
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Final state: every key holds the last round's value.
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keysPerWriter; k++ {
+			key := []byte(fmt.Sprintf("w%d/k%03d", w, k))
+			v, ok, err := db.Get(key)
+			if err != nil || !ok || string(v) != fmt.Sprintf("round-%d", rounds-1) {
+				t.Fatalf("final %s = %q, %v, %v", key, v, ok, err)
+			}
+		}
+	}
+	if st := db.Stats(); st.Keys != writers*keysPerWriter {
+		t.Fatalf("keys = %d, want %d", st.Keys, writers*keysPerWriter)
+	}
+}
+
+// TestGetsDuringCompaction interleaves reads with a compaction running in
+// another goroutine; every read must see either the value (never an error
+// or a miss).
+func TestGetsDuringCompaction(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever, MaxSegmentBytes: 1 << 14})
+	defer db.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i)))
+	}
+	// Create dead bytes.
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d-new", i)))
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- db.Compact() }()
+
+	for i := 0; ; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i%n))
+		v, ok, err := db.Get(key)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%04d-new", i%n) {
+			t.Fatalf("read during compaction: %s = %q, %v, %v", key, v, ok, err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Hint files let Open rebuild the key directory for a sealed segment
+// without scanning the segment itself. A hint is strictly an optimization:
+// it records the segment length it was built from, and a whole-file CRC;
+// any mismatch makes the store fall back to scanning the segment.
+//
+// Layout:
+//
+//	magic "RPWH" | version u8 | segLen i64 | count u32
+//	count × entry: op u8 | uvarint keyLen | key | uvarint off | uvarint size | u64 seq
+//	crc32 of everything above
+const hintMagic = "RPWH"
+
+type hintEntry struct {
+	op   byte // kindPut or kindDelete
+	key  []byte
+	off  int64
+	size int32
+	seq  uint64
+}
+
+// writeHint atomically writes the hint file for segment id.
+func writeHint(dir string, id uint32, segLen int64, entries []hintEntry) error {
+	buf := make([]byte, 0, 64+len(entries)*32)
+	buf = append(buf, hintMagic...)
+	buf = append(buf, 1) // version
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(segLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = append(buf, e.op)
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		buf = binary.AppendUvarint(buf, uint64(e.off))
+		buf = binary.AppendUvarint(buf, uint64(e.size))
+		buf = binary.LittleEndian.AppendUint64(buf, e.seq)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := hintPath(dir, id) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, hintPath(dir, id)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+var errHintInvalid = errors.New("storage: invalid hint file")
+
+// readHint loads the hint file for segment id and verifies it matches a
+// segment of length segLen. It returns errHintInvalid (or an I/O error) if
+// the hint is unusable; callers then fall back to scanning the segment.
+func readHint(dir string, id uint32, segLen int64) ([]hintEntry, error) {
+	data, err := os.ReadFile(hintPath(dir, id))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(hintMagic)+1+8+4+4 {
+		return nil, errHintInvalid
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, errHintInvalid
+	}
+	if string(body[:4]) != hintMagic || body[4] != 1 {
+		return nil, errHintInvalid
+	}
+	if int64(binary.LittleEndian.Uint64(body[5:13])) != segLen {
+		return nil, errHintInvalid
+	}
+	count := binary.LittleEndian.Uint32(body[13:17])
+	rest := body[17:]
+	entries := make([]hintEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 1 {
+			return nil, errHintInvalid
+		}
+		op := rest[0]
+		rest = rest[1:]
+		keyLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < keyLen {
+			return nil, errHintInvalid
+		}
+		rest = rest[n:]
+		key := make([]byte, keyLen)
+		copy(key, rest[:keyLen])
+		rest = rest[keyLen:]
+		off, n1 := binary.Uvarint(rest)
+		if n1 <= 0 {
+			return nil, errHintInvalid
+		}
+		rest = rest[n1:]
+		size, n2 := binary.Uvarint(rest)
+		if n2 <= 0 {
+			return nil, errHintInvalid
+		}
+		rest = rest[n2:]
+		if len(rest) < 8 {
+			return nil, errHintInvalid
+		}
+		seq := binary.LittleEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		entries = append(entries, hintEntry{op: op, key: key, off: int64(off), size: int32(size), seq: seq})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errHintInvalid, len(rest))
+	}
+	return entries, nil
+}

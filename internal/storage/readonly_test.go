@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, Options{Sync: SyncNever})
+	for i := 0; i < 20; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	db.Delete([]byte("k05"))
+	db.Close()
+
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+
+	// Reads work.
+	v, ok, err := ro.Get([]byte("k03"))
+	if err != nil || !ok || string(v) != "v03" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := ro.Get([]byte("k05")); ok {
+		t.Fatal("deleted key visible read-only")
+	}
+	if st := ro.Stats(); st.Keys != 19 {
+		t.Fatalf("keys = %d", st.Keys)
+	}
+	n := 0
+	ro.Scan("", func(string, []byte) bool { n++; return true })
+	if n != 19 {
+		t.Fatalf("scan visited %d", n)
+	}
+
+	// Writes are refused.
+	if err := ro.Put([]byte("x"), []byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := ro.Delete([]byte("k01")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := ro.Apply(NewBatch().Put([]byte("x"), nil)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Apply: %v", err)
+	}
+	if _, err := ro.DeletePrefix("k"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("DeletePrefix: %v", err)
+	}
+	if err := ro.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := ro.Sync(); err != nil {
+		t.Fatalf("Sync should be a no-op: %v", err)
+	}
+}
+
+func TestReadOnlyIgnoresLock(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, Options{Sync: SyncNever})
+	db.Put([]byte("live"), []byte("writer"))
+	defer db.Close()
+
+	// While the writer holds the lock, a read-only open succeeds.
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only open while locked: %v", err)
+	}
+	defer ro.Close()
+	if v, ok, _ := ro.Get([]byte("live")); !ok || string(v) != "writer" {
+		t.Fatalf("read-only get: %q %v", v, ok)
+	}
+	// And the lock file survives the read-only close.
+	ro.Close()
+	if _, err := os.Stat(filepath.Join(dir, "LOCK")); err != nil {
+		t.Fatalf("read-only close removed the writer's lock: %v", err)
+	}
+}
+
+func TestReadOnlyToleratesTornTailWithoutTruncating(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, Options{Sync: SyncNever})
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	db.Close()
+
+	seg := lastSegment(t, dir)
+	fi, _ := os.Stat(seg)
+	os.Truncate(seg, fi.Size()-3) // tear the final frame
+	tornSize := fi.Size() - 3
+
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if v, ok, _ := ro.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("prefix lost: %q %v", v, ok)
+	}
+	if _, ok, _ := ro.Get([]byte("b")); ok {
+		t.Fatal("torn record served")
+	}
+	// The file itself was not modified.
+	fi2, _ := os.Stat(seg)
+	if fi2.Size() != tornSize {
+		t.Fatalf("read-only open changed the file: %d -> %d", tornSize, fi2.Size())
+	}
+}
+
+func TestReadOnlyMissingDir(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent"), Options{ReadOnly: true}); err == nil {
+		t.Fatal("read-only open created a directory")
+	}
+}

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout (little-endian):
+//
+//	+-------+-------+---------+----------------+----------------+-----+-----+
+//	| crc32 | kind  | seq     | uvarint keyLen | uvarint valLen | key | val |
+//	| 4 B   | 1 B   | 8 B     | 1-5 B          | 1-5 B          |     |     |
+//	+-------+-------+---------+----------------+----------------+-----+-----+
+//
+// The CRC covers everything after the crc field. A frame whose CRC does not
+// match, or that extends past the end of its segment, is treated as a torn
+// write when it is the last frame of the newest segment (the tail is
+// truncated) and as corruption otherwise.
+const (
+	kindPut byte = iota
+	kindDelete
+	kindBatch
+
+	frameFixedLen = 4 + 1 + 8 // crc + kind + seq
+
+	// MaxKeyLen is the largest key accepted by the store.
+	MaxKeyLen = 1 << 20
+	// MaxValueLen is the largest value accepted by the store.
+	MaxValueLen = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record is a decoded frame.
+type record struct {
+	kind byte
+	seq  uint64
+	key  []byte
+	val  []byte
+}
+
+// frameSize returns the encoded size of a record with the given key/value
+// lengths.
+func frameSize(keyLen, valLen int) int {
+	return frameFixedLen +
+		uvarintLen(uint64(keyLen)) +
+		uvarintLen(uint64(valLen)) +
+		keyLen + valLen
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// appendFrame encodes rec and appends it to buf, returning the extended
+// slice. The caller is responsible for length validation.
+func appendFrame(buf []byte, rec record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // crc placeholder
+	buf = append(buf, rec.kind)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.seq)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.key)))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.val)))
+	buf = append(buf, rec.key...)
+	buf = append(buf, rec.val...)
+	crc := crc32.Checksum(buf[start+4:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[start:start+4], crc)
+	return buf
+}
+
+var (
+	errFrameTruncated = errors.New("storage: truncated frame")
+	errFrameChecksum  = errors.New("storage: frame checksum mismatch")
+	errFrameTooLarge  = errors.New("storage: frame key/value exceeds limits")
+)
+
+// decodeFrame decodes the frame starting at buf[0]. It returns the decoded
+// record and the total number of bytes the frame occupies. The returned
+// key/value slices alias buf.
+func decodeFrame(buf []byte) (record, int, error) {
+	if len(buf) < frameFixedLen {
+		return record{}, 0, errFrameTruncated
+	}
+	crc := binary.LittleEndian.Uint32(buf[0:4])
+	kind := buf[4]
+	seq := binary.LittleEndian.Uint64(buf[5:13])
+	rest := buf[13:]
+	keyLen, n1 := binary.Uvarint(rest)
+	if n1 <= 0 {
+		return record{}, 0, errFrameTruncated
+	}
+	rest = rest[n1:]
+	valLen, n2 := binary.Uvarint(rest)
+	if n2 <= 0 {
+		return record{}, 0, errFrameTruncated
+	}
+	rest = rest[n2:]
+	if keyLen > MaxKeyLen || valLen > MaxValueLen {
+		return record{}, 0, errFrameTooLarge
+	}
+	total := frameFixedLen + n1 + n2 + int(keyLen) + int(valLen)
+	if len(buf) < total {
+		return record{}, 0, errFrameTruncated
+	}
+	if crc32.Checksum(buf[4:total], castagnoli) != crc {
+		return record{}, 0, errFrameChecksum
+	}
+	key := rest[:keyLen]
+	val := rest[keyLen : keyLen+valLen]
+	return record{kind: kind, seq: seq, key: key, val: val}, total, nil
+}
+
+// Batch sub-entry layout: op(1B) || uvarint keyLen || uvarint valLen || key || val.
+// The whole batch is a single frame, so it commits atomically: either its
+// CRC validates and every sub-entry applies, or none do.
+
+// appendBatchEntry appends one sub-entry to a batch payload.
+func appendBatchEntry(buf []byte, op byte, key, val []byte) []byte {
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = binary.AppendUvarint(buf, uint64(len(val)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	return buf
+}
+
+// decodeBatch decodes a batch payload, invoking fn for each sub-entry.
+// The key/value slices passed to fn alias payload.
+func decodeBatch(payload []byte, fn func(op byte, key, val []byte) error) error {
+	for len(payload) > 0 {
+		op := payload[0]
+		payload = payload[1:]
+		keyLen, n1 := binary.Uvarint(payload)
+		if n1 <= 0 {
+			return fmt.Errorf("storage: malformed batch entry: %w", errFrameTruncated)
+		}
+		payload = payload[n1:]
+		valLen, n2 := binary.Uvarint(payload)
+		if n2 <= 0 {
+			return fmt.Errorf("storage: malformed batch entry: %w", errFrameTruncated)
+		}
+		payload = payload[n2:]
+		if uint64(len(payload)) < keyLen+valLen {
+			return fmt.Errorf("storage: malformed batch entry: %w", errFrameTruncated)
+		}
+		key := payload[:keyLen]
+		val := payload[keyLen : keyLen+valLen]
+		payload = payload[keyLen+valLen:]
+		if err := fn(op, key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

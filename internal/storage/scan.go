@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+)
+
+// Scan visits every key with the given prefix in ascending key order,
+// invoking fn with the key and its value. fn returning false stops the scan.
+// The value slice is owned by fn's caller frame; copies are made for it.
+//
+// The scan holds a read lock for its duration, so it observes a consistent
+// snapshot: no concurrent writer can interleave.
+func (db *DB) Scan(prefix string, fn func(key string, val []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	keys := db.sortedKeysLocked(prefix)
+	for _, k := range keys {
+		val, ok, err := db.getLocked([]byte(k))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(k, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Keys returns all keys with the given prefix in ascending order.
+func (db *DB) Keys(prefix string) ([]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return db.sortedKeysLocked(prefix), nil
+}
+
+// Count returns the number of keys with the given prefix.
+func (db *DB) Count(prefix string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	if prefix == "" {
+		return len(db.keydir), nil
+	}
+	n := 0
+	for k := range db.keydir {
+		if strings.HasPrefix(k, prefix) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// DeletePrefix removes every key with the given prefix, atomically (as one
+// batch frame). It returns the number of keys removed.
+func (db *DB) DeletePrefix(prefix string) (int, error) {
+	if db.opts.ReadOnly {
+		return 0, ErrReadOnly
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	var keys []string
+	for k := range db.keydir {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	sort.Strings(keys)
+	var payload []byte
+	for _, k := range keys {
+		payload = appendBatchEntry(payload, kindDelete, []byte(k), nil)
+	}
+	if err := db.appendLocked(kindBatch, nil, payload); err != nil {
+		return 0, err
+	}
+	db.nDeletes.Add(uint64(len(keys)))
+	return len(keys), nil
+}
+
+func (db *DB) sortedKeysLocked(prefix string) []string {
+	keys := make([]string, 0, len(db.keydir))
+	for k := range db.keydir {
+		if prefix == "" || strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

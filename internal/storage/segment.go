@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segments are append-only files named NNNNNNNNN.seg with strictly
+// increasing ids. All segments except the newest (the "active" one) are
+// sealed and never written again. Replaying segments in id order
+// reconstructs the key directory.
+
+const (
+	segSuffix  = ".seg"
+	hintSuffix = ".hint"
+)
+
+func segmentName(id uint32) string { return fmt.Sprintf("%09d%s", id, segSuffix) }
+func hintName(id uint32) string    { return fmt.Sprintf("%09d%s", id, hintSuffix) }
+
+// parseSegmentID extracts the id from a segment file name; ok is false for
+// files that are not segments.
+func parseSegmentID(name string) (uint32, bool) {
+	if !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	base := strings.TrimSuffix(name, segSuffix)
+	if len(base) != 9 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// listSegments returns the ids of all segment files in dir, sorted
+// ascending.
+func listSegments(dir string) ([]uint32, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint32
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegmentID(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// loc records where the live frame for a key resides. size is the whole
+// frame's length (needed to read it back); acct is this key's share of the
+// frame for space accounting — for plain put frames the two are equal, but
+// a batch frame's size is apportioned across its sub-entries so that
+// LiveBytes stays meaningful.
+type loc struct {
+	segID uint32
+	off   int64
+	size  int32 // whole-frame size in bytes
+	acct  int32 // accounted bytes for this key
+}
+
+// scanResult is delivered by scanSegment for every valid frame.
+type scanResult struct {
+	rec  record
+	off  int64
+	size int
+}
+
+// scanSegment reads every frame in the segment file at path, invoking fn for
+// each. It returns the number of bytes that parsed cleanly. When the scan
+// stops early because of a truncated or corrupt tail, err reports why;
+// callers decide whether that is a torn write (acceptable on the newest
+// segment) or corruption.
+func scanSegment(path string, fn func(sr scanResult) error) (validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	for int(off) < len(data) {
+		rec, n, derr := decodeFrame(data[off:])
+		if derr != nil {
+			return off, derr
+		}
+		if err := fn(scanResult{rec: rec, off: off, size: n}); err != nil {
+			return off, err
+		}
+		off += int64(n)
+	}
+	return off, nil
+}
+
+// readFrameAt reads and decodes a single frame at off in file f. The
+// returned record owns its memory.
+func readFrameAt(f *os.File, off int64, size int32) (record, error) {
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return record{}, fmt.Errorf("storage: read frame: %w", err)
+	}
+	rec, n, err := decodeFrame(buf)
+	if err != nil {
+		return record{}, err
+	}
+	if n != int(size) {
+		return record{}, fmt.Errorf("storage: frame size mismatch: indexed %d, decoded %d", size, n)
+	}
+	return rec, nil
+}
+
+// segmentPath returns the absolute path for segment id in dir.
+func segmentPath(dir string, id uint32) string { return filepath.Join(dir, segmentName(id)) }
+
+// hintPath returns the absolute path for the hint file of segment id.
+func hintPath(dir string, id uint32) string { return filepath.Join(dir, hintName(id)) }
+
+// removeSegment deletes a segment file and its hint file, ignoring
+// not-exist errors on the hint.
+func removeSegment(dir string, id uint32) error {
+	if err := os.Remove(segmentPath(dir, id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Remove(hintPath(dir, id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory so that file creations/renames inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,142 @@
+// Package turkit re-implements TurKit's crash-and-rerun programming model
+// (Little, Chilton, Goldman, Miller — UIST 2010) as the baseline Reprowd is
+// compared against.
+//
+// TurKit memoizes the return value of each `once`-wrapped call in a
+// database, keyed by the call's POSITION in the execution sequence. That
+// makes reruns cheap, but — as the Reprowd paper argues — it makes the
+// cache fragile under program edits: swapping two calls silently returns
+// each call the other's cached value, and inserting a call shifts every
+// later position. This package implements both the faithful positional
+// cache (ModeNaive) and a defensive variant that detects name mismatches
+// and invalidates the cache suffix (ModeStrict), so experiment E10 can
+// quantify the paper's claim.
+package turkit
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Mode selects how the cache reacts to a call whose name does not match
+// the memo recorded at its position.
+type Mode int
+
+const (
+	// ModeNaive returns the positional memo regardless — the silent
+	// wrong-result failure mode.
+	ModeNaive Mode = iota
+	// ModeStrict detects the mismatch, discards the memo suffix from the
+	// mismatch position on, and re-executes — the safe but expensive
+	// failure mode.
+	ModeStrict
+)
+
+// Script is one crash-and-rerun program execution. Create it fresh for
+// every (re)run over the same database to replay the memo sequence.
+type Script struct {
+	db     *storage.DB
+	prefix string
+	mode   Mode
+	pos    int
+
+	// Executions counts how many Once bodies actually ran (crowd calls).
+	Executions int
+	// CacheHits counts memoized returns.
+	CacheHits int
+	// Mismatches counts positional memos whose recorded name differed
+	// from the call's name (ModeNaive returns them anyway; ModeStrict
+	// invalidates).
+	Mismatches int
+}
+
+// memo is one cached call result.
+type memo struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// NewScript starts a (re)run of the script identified by name over db.
+func NewScript(db *storage.DB, name string, mode Mode) *Script {
+	return &Script{db: db, prefix: "turkit/" + name + "/", mode: mode}
+}
+
+func (s *Script) key(pos int) []byte {
+	return []byte(fmt.Sprintf("%s%06d", s.prefix, pos))
+}
+
+// Once executes fn at most once per sequence position: if a memo exists at
+// the current position it is returned without running fn (subject to the
+// mode's mismatch handling). This is TurKit's `once` primitive.
+func (s *Script) Once(name string, fn func() (string, error)) (string, error) {
+	pos := s.pos
+	s.pos++
+
+	buf, ok, err := s.db.Get(s.key(pos))
+	if err != nil {
+		return "", err
+	}
+	if ok {
+		var m memo
+		if err := json.Unmarshal(buf, &m); err != nil {
+			return "", fmt.Errorf("turkit: corrupt memo at %d: %w", pos, err)
+		}
+		if m.Name == name {
+			s.CacheHits++
+			return m.Value, nil
+		}
+		s.Mismatches++
+		if s.mode == ModeNaive {
+			// Faithful TurKit: positional lookup, name ignored. The
+			// caller silently receives another call's answer.
+			s.CacheHits++
+			return m.Value, nil
+		}
+		// ModeStrict: the program changed; every memo from here on is
+		// suspect. Drop the suffix and fall through to execution.
+		if err := s.invalidateFrom(pos); err != nil {
+			return "", err
+		}
+	}
+
+	val, err := fn()
+	if err != nil {
+		return "", err
+	}
+	s.Executions++
+	mbuf, err := json.Marshal(memo{Name: name, Value: val})
+	if err != nil {
+		return "", err
+	}
+	if err := s.db.Put(s.key(pos), mbuf); err != nil {
+		return "", err
+	}
+	return val, nil
+}
+
+// invalidateFrom removes memos at positions ≥ pos.
+func (s *Script) invalidateFrom(pos int) error {
+	keys, err := s.db.Keys(s.prefix)
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		var p int
+		if _, err := fmt.Sscanf(k[len(s.prefix):], "%d", &p); err != nil {
+			continue
+		}
+		if p >= pos {
+			if err := s.db.Delete([]byte(k)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MemoCount reports how many memos the script's database currently holds.
+func (s *Script) MemoCount() (int, error) {
+	return s.db.Count(s.prefix)
+}

@@ -1,0 +1,216 @@
+package turkit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func openDB(t *testing.T) *storage.DB {
+	t.Helper()
+	db, err := storage.Open(t.TempDir(), storage.Options{Sync: storage.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// crowdStub counts invocations, standing in for a real crowd call.
+type crowdStub struct {
+	calls int
+}
+
+func (c *crowdStub) ask(answer string) func() (string, error) {
+	return func() (string, error) {
+		c.calls++
+		return answer, nil
+	}
+}
+
+func TestOnceMemoizes(t *testing.T) {
+	db := openDB(t)
+	stub := &crowdStub{}
+
+	run := func() (string, string) {
+		s := NewScript(db, "exp", ModeNaive)
+		a, err := s.Once("label-img1", stub.ask("Yes"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Once("label-img2", stub.ask("No"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	a1, b1 := run()
+	if stub.calls != 2 {
+		t.Fatalf("first run executed %d calls, want 2", stub.calls)
+	}
+	a2, b2 := run() // rerun: everything cached
+	if stub.calls != 2 {
+		t.Fatalf("rerun executed crowd calls: %d", stub.calls)
+	}
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("rerun returned different values")
+	}
+}
+
+func TestCrashMidScriptResumes(t *testing.T) {
+	db := openDB(t)
+	stub := &crowdStub{}
+
+	// First run "crashes" after the first call.
+	s := NewScript(db, "exp", ModeNaive)
+	if _, err := s.Once("step1", stub.ask("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Rerun from the top: step1 cached, step2 executes.
+	s2 := NewScript(db, "exp", ModeNaive)
+	v1, _ := s2.Once("step1", stub.ask("one-again"))
+	v2, _ := s2.Once("step2", stub.ask("two"))
+	if v1 != "one" {
+		t.Fatalf("step1 re-executed: %q", v1)
+	}
+	if v2 != "two" || stub.calls != 2 {
+		t.Fatalf("step2 = %q, calls = %d", v2, stub.calls)
+	}
+	if s2.CacheHits != 1 || s2.Executions != 1 {
+		t.Fatalf("counters: %+v", s2)
+	}
+}
+
+// TestNaiveSwapSilentlyWrong demonstrates the fragility the Reprowd paper
+// describes: swapping two steps makes the naive positional cache hand each
+// step the other's answer, with no error and no crowd calls.
+func TestNaiveSwapSilentlyWrong(t *testing.T) {
+	db := openDB(t)
+	stub := &crowdStub{}
+
+	s := NewScript(db, "exp", ModeNaive)
+	s.Once("label-cat", stub.ask("cat-answer"))
+	s.Once("label-dog", stub.ask("dog-answer"))
+
+	// Ally swaps the two steps and reruns.
+	s2 := NewScript(db, "exp", ModeNaive)
+	dog, _ := s2.Once("label-dog", stub.ask("fresh-dog"))
+	cat, _ := s2.Once("label-cat", stub.ask("fresh-cat"))
+
+	if stub.calls != 2 {
+		t.Fatalf("naive mode re-asked the crowd: %d calls", stub.calls)
+	}
+	// The wrong answers: dog got cat's memo and vice versa.
+	if dog != "cat-answer" || cat != "dog-answer" {
+		t.Fatalf("expected silently swapped answers, got dog=%q cat=%q", dog, cat)
+	}
+	if s2.Mismatches != 2 {
+		t.Fatalf("mismatches = %d, want 2", s2.Mismatches)
+	}
+}
+
+// TestStrictSwapInvalidates shows the defensive variant: the mismatch is
+// detected, the suffix is discarded, and the crowd pays again.
+func TestStrictSwapInvalidates(t *testing.T) {
+	db := openDB(t)
+	stub := &crowdStub{}
+
+	s := NewScript(db, "exp", ModeStrict)
+	s.Once("label-cat", stub.ask("cat-answer"))
+	s.Once("label-dog", stub.ask("dog-answer"))
+	if stub.calls != 2 {
+		t.Fatal("setup")
+	}
+
+	s2 := NewScript(db, "exp", ModeStrict)
+	dog, _ := s2.Once("label-dog", stub.ask("fresh-dog"))
+	cat, _ := s2.Once("label-cat", stub.ask("fresh-cat"))
+
+	// Correct answers this time — but paid for with fresh crowd work.
+	if dog != "fresh-dog" || cat != "fresh-cat" {
+		t.Fatalf("strict mode returned stale answers: dog=%q cat=%q", dog, cat)
+	}
+	if stub.calls != 4 {
+		t.Fatalf("crowd calls = %d, want 4 (everything re-asked)", stub.calls)
+	}
+	if s2.Executions != 2 || s2.Mismatches != 1 {
+		t.Fatalf("counters: %+v", s2)
+	}
+}
+
+// TestInsertShiftsEverything: inserting one new step early invalidates (or
+// corrupts) every later position.
+func TestInsertShiftsEverything(t *testing.T) {
+	for _, mode := range []Mode{ModeNaive, ModeStrict} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			db := openDB(t)
+			stub := &crowdStub{}
+			s := NewScript(db, "exp", mode)
+			s.Once("a", stub.ask("va"))
+			s.Once("b", stub.ask("vb"))
+			s.Once("c", stub.ask("vc"))
+			base := stub.calls
+
+			// Rerun with a new step inserted after "a".
+			s2 := NewScript(db, "exp", mode)
+			va, _ := s2.Once("a", stub.ask("va2"))
+			vNew, _ := s2.Once("new", stub.ask("vnew"))
+			vb, _ := s2.Once("b", stub.ask("vb2"))
+			vc, _ := s2.Once("c", stub.ask("vc2"))
+
+			if va != "va" {
+				t.Fatalf("unchanged prefix re-executed: %q", va)
+			}
+			switch mode {
+			case ModeNaive:
+				// "new" silently receives b's memo; b receives c's; c
+				// finally executes.
+				if vNew != "vb" || vb != "vc" {
+					t.Fatalf("naive shift: new=%q b=%q", vNew, vb)
+				}
+				if stub.calls != base+1 {
+					t.Fatalf("naive calls = %d, want %d", stub.calls, base+1)
+				}
+			case ModeStrict:
+				// Suffix invalidated: new, b, c all re-execute.
+				if vNew != "vnew" || vb != "vb2" || vc != "vc2" {
+					t.Fatalf("strict shift: new=%q b=%q c=%q", vNew, vb, vc)
+				}
+				if stub.calls != base+3 {
+					t.Fatalf("strict calls = %d, want %d", stub.calls, base+3)
+				}
+			}
+		})
+	}
+}
+
+func TestScriptsAreIsolatedByName(t *testing.T) {
+	db := openDB(t)
+	stub := &crowdStub{}
+	s1 := NewScript(db, "one", ModeNaive)
+	s1.Once("step", stub.ask("from-one"))
+	s2 := NewScript(db, "two", ModeNaive)
+	v, _ := s2.Once("step", stub.ask("from-two"))
+	if v != "from-two" {
+		t.Fatalf("scripts share memos: %q", v)
+	}
+	n, _ := s1.MemoCount()
+	if n != 1 {
+		t.Fatalf("memo count = %d", n)
+	}
+}
+
+func TestOnceErrorNotMemoized(t *testing.T) {
+	db := openDB(t)
+	s := NewScript(db, "exp", ModeNaive)
+	if _, err := s.Once("boom", func() (string, error) { return "", fmt.Errorf("crowd down") }); err == nil {
+		t.Fatal("error swallowed")
+	}
+	// Retrying at the same position executes again (script restarts).
+	s2 := NewScript(db, "exp", ModeNaive)
+	v, err := s2.Once("boom", func() (string, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry: %q, %v", v, err)
+	}
+}

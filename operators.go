@@ -1,0 +1,134 @@
+package reprowd
+
+import (
+	"repro/internal/crowd"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/platform"
+)
+
+// Crowdsourced operators (internal/ops), re-exported. These are the
+// algorithms the paper reports re-implementing on CrowdData: the CrowdER
+// hybrid join, the transitivity-aware join, and the survey's sort / max /
+// filter / count operators. All of them inherit crash-and-rerun and
+// lineage from CrowdData.
+type (
+	// OpRecord is an operator-level record (id + fields).
+	OpRecord = ops.Record
+	// Answerer makes the crowd answer a published table.
+	Answerer = ops.Answerer
+	// JoinConfig is shared join configuration.
+	JoinConfig = ops.JoinConfig
+	// JoinResult is a join's output and cost accounting.
+	JoinResult = ops.JoinResult
+	// HybridConfig tunes the CrowdER-style hybrid join.
+	HybridConfig = ops.HybridConfig
+	// TransitiveConfig tunes the transitivity-aware join.
+	TransitiveConfig = ops.TransitiveConfig
+	// JoinOrder selects the transitive join's examination order.
+	JoinOrder = ops.Order
+	// SortConfig tunes CrowdSort.
+	SortConfig = ops.SortConfig
+	// SortResult is a crowd-sorted order.
+	SortResult = ops.SortResult
+	// SortItem is a sortable element.
+	SortItem = ops.Item
+	// MaxConfig tunes CrowdMax.
+	MaxConfig = ops.MaxConfig
+	// MaxResult is a tournament outcome.
+	MaxResult = ops.MaxResult
+	// FilterConfig tunes CrowdFilter.
+	FilterConfig = ops.FilterConfig
+	// FilterResult is a filter's kept subset.
+	FilterResult = ops.FilterResult
+	// CountConfig tunes CrowdCount.
+	CountConfig = ops.CountConfig
+	// CountResult is a sampling-based count estimate.
+	CountResult = ops.CountResult
+	// RateConfig tunes CrowdRate.
+	RateConfig = ops.RateConfig
+	// RateResult is aggregated ordinal ratings.
+	RateResult = ops.RateResult
+	// Cost accounts crowd spend.
+	Cost = metrics.Cost
+	// PairScore holds precision/recall/F1 for pair predictions.
+	PairScore = metrics.PRF1
+)
+
+// Transitive join orderings.
+const (
+	OrderRandom          = ops.OrderRandom
+	OrderSimilarityDesc  = ops.OrderSimilarityDesc
+	OrderExpectedSavings = ops.OrderExpectedSavings
+)
+
+// AllPairsJoin sends every record pair to the crowd (the baseline).
+func AllPairsJoin(cc *Context, records []OpRecord, cfg JoinConfig) (JoinResult, error) {
+	return ops.AllPairsJoin(cc, records, cfg)
+}
+
+// HybridJoin prunes pairs with a machine similarity pass and crowdsources
+// the rest (CrowdER, Wang et al. PVLDB 2012).
+func HybridJoin(cc *Context, records []OpRecord, cfg HybridConfig) (JoinResult, error) {
+	return ops.HybridJoin(cc, records, cfg)
+}
+
+// TransitiveJoin deduces pair labels via (anti-)transitivity, asking the
+// crowd only about undeducible pairs (Wang et al. SIGMOD 2013).
+func TransitiveJoin(cc *Context, records []OpRecord, cfg TransitiveConfig) (JoinResult, error) {
+	return ops.TransitiveJoin(cc, records, cfg)
+}
+
+// CrowdSort sorts items by crowdsourced pairwise comparisons.
+func CrowdSort(cc *Context, items []SortItem, cfg SortConfig) (SortResult, error) {
+	return ops.CrowdSort(cc, items, cfg)
+}
+
+// CrowdMax finds the maximum item with a pairwise tournament.
+func CrowdMax(cc *Context, items []SortItem, cfg MaxConfig) (MaxResult, error) {
+	return ops.CrowdMax(cc, items, cfg)
+}
+
+// CrowdFilter keeps the objects the crowd judges to satisfy the question.
+func CrowdFilter(cc *Context, objects []Object, cfg FilterConfig) (FilterResult, error) {
+	return ops.CrowdFilter(cc, objects, cfg)
+}
+
+// CrowdCount estimates predicate selectivity from a labeled sample.
+func CrowdCount(cc *Context, objects []Object, cfg CountConfig) (CountResult, error) {
+	return ops.CrowdCount(cc, objects, cfg)
+}
+
+// CrowdRate collects ordinal ratings per object and aggregates them by
+// mean or median.
+func CrowdRate(cc *Context, objects []Object, cfg RateConfig) (RateResult, error) {
+	return ops.CrowdRate(cc, objects, cfg)
+}
+
+// PairQuality scores predicted matches against a truth set (both keyed by
+// PairKey).
+func PairQuality(predicted, truth map[string]bool) PairScore {
+	return metrics.PairQuality(predicted, truth)
+}
+
+// PairKey canonicalizes an unordered id pair.
+func PairKey(a, b string) string { return metrics.PairKey(a, b) }
+
+// Simulation oracles and glue for operator workloads.
+var (
+	// PairOracle answers pair tasks from a ground-truth match set.
+	PairOracle = ops.PairOracle
+	// CompareOracle answers comparisons from hidden item scores.
+	CompareOracle = ops.CompareOracle
+	// FieldOracle answers from an object field.
+	FieldOracle = ops.FieldOracle
+)
+
+// PoolAnswerer adapts a simulated pool into an operator Answerer.
+func PoolAnswerer(client platform.Client, pool *crowd.Pool, oracle crowd.Oracle) Answerer {
+	return ops.PoolAnswerer(client, pool, oracle)
+}
+
+// LoadTable reconstructs a table from a context's database alone (for
+// examining a shared experiment without its generating code).
+func LoadTable(cc *Context, name string) (*CrowdData, error) { return cc.LoadTable(name) }

@@ -1,0 +1,229 @@
+// Package reprowd is the public API of this Reprowd reproduction: a system
+// that makes crowdsourced data processing reproducible (Jiang & Wang,
+// CIDR 2017).
+//
+// The package re-exports the system's user-facing surface from the
+// internal implementation packages:
+//
+//   - Context / CrowdData — the paper's core abstraction (internal/core)
+//   - presenters — task UIs (image labeling, record pairs, comparisons)
+//   - the platform engine, REST server, and HTTP client (internal/platform)
+//   - the simulated crowd (internal/crowd)
+//   - quality control aggregators (internal/quality)
+//   - crowdsourced operators: joins, sort, max, filter, count (internal/ops)
+//   - lineage queries (internal/lineage)
+//
+// # Quickstart
+//
+// The paper's Figure 2 — label three images with majority vote — looks
+// like this:
+//
+//	sim := reprowd.NewSimulation(42)
+//	cc, _ := reprowd.NewContext(reprowd.Options{
+//		DBDir:  "exp.db",
+//		Client: sim.Platform,
+//		Clock:  sim.Clock,
+//	})
+//	defer cc.Close()
+//
+//	cd, _ := cc.CrowdData(objects, "image_label")
+//	cd.SetPresenter(reprowd.ImageLabel("Is there a dog?"))
+//	cd.Publish(reprowd.PublishOptions{Redundancy: 3})
+//	sim.Drain(cd, oracle)             // simulated workers answer
+//	cd.Collect()
+//	cd.MajorityVote("mv")
+//
+// Rerunning the same program — after a crash, or on a colleague's machine
+// with the database directory — republishes nothing and reproduces the
+// identical output; that is the system's contract.
+package reprowd
+
+import (
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/lineage"
+	"repro/internal/platform"
+	"repro/internal/quality"
+	"repro/internal/vclock"
+)
+
+// Core abstraction.
+type (
+	// Context is the main entry point (the paper's CrowdContext).
+	Context = core.CrowdContext
+	// CrowdData is the paper's tabular dataset abstraction.
+	CrowdData = core.CrowdData
+	// Object is a row's input payload.
+	Object = core.Object
+	// Row is one CrowdData row with its persisted columns.
+	Row = core.Row
+	// TaskInfo is the persisted task column.
+	TaskInfo = core.TaskInfo
+	// ResultInfo is the persisted result column.
+	ResultInfo = core.ResultInfo
+	// Answer is one collected answer with lineage.
+	Answer = core.Answer
+	// Options configure NewContext.
+	Options = core.Options
+	// PublishOptions tune CrowdData.Publish.
+	PublishOptions = core.PublishOptions
+	// Presenter is a task UI.
+	Presenter = core.Presenter
+	// OpLogEntry is one entry of a table's manipulation history.
+	OpLogEntry = core.OpLogEntry
+)
+
+// NewContext opens a Reprowd context (database + platform binding).
+func NewContext(opts Options) (*Context, error) { return core.NewContext(opts) }
+
+// DefaultKey is the default row-key function (canonical object hash).
+func DefaultKey(obj Object) string { return core.DefaultKey(obj) }
+
+// FieldKey keys rows by a named object field.
+func FieldKey(field string) core.KeyFunc { return core.FieldKey(field) }
+
+// Presenters.
+var (
+	// ImageLabel shows an image and asks for a label (Figure 2's UI).
+	ImageLabel = core.ImageLabel
+	// TextPair shows two records and asks if they match (entity
+	// resolution).
+	TextPair = core.TextPair
+	// Compare shows two items and asks which is greater (sort/max).
+	Compare = core.Compare
+)
+
+// Platform.
+type (
+	// Platform is the crowdsourcing platform interface.
+	Platform = platform.Client
+	// PlatformEngine is the embeddable in-process platform.
+	PlatformEngine = platform.Engine
+	// PlatformServer serves the platform over HTTP REST.
+	PlatformServer = platform.Server
+	// PlatformHTTPClient talks to a PlatformServer over the wire.
+	PlatformHTTPClient = platform.HTTPClient
+)
+
+// NewPlatformEngine creates an in-process platform. A nil clock uses a
+// virtual clock.
+func NewPlatformEngine(clock vclock.Clock) *PlatformEngine { return platform.NewEngine(clock) }
+
+// NewPlatformServer wraps an engine in an http.Handler.
+func NewPlatformServer(e *PlatformEngine) *PlatformServer { return platform.NewServer(e) }
+
+// NewPlatformHTTPClient returns a Platform speaking to baseURL.
+func NewPlatformHTTPClient(baseURL string) *PlatformHTTPClient {
+	return platform.NewHTTPClient(baseURL, nil)
+}
+
+// Quality control.
+type (
+	// Aggregator resolves redundant answers into decisions.
+	Aggregator = quality.Aggregator
+	// Vote is one worker's answer for one item.
+	Vote = quality.Vote
+	// Decision is an aggregator's per-item output.
+	Decision = quality.Decision
+	// MajorityVote is the paper's Figure 2 quality control.
+	MajorityVote = quality.MajorityVote
+	// WeightedVote weights workers by estimated accuracy.
+	WeightedVote = quality.WeightedVote
+	// DawidSkene is EM over worker confusion matrices.
+	DawidSkene = quality.DawidSkene
+	// GLAD jointly models worker ability and item difficulty.
+	GLAD = quality.GLAD
+	// GoldFiltered screens workers against gold questions.
+	GoldFiltered = quality.GoldFiltered
+)
+
+// Crowd simulation.
+type (
+	// Worker is one simulated crowd member.
+	Worker = crowd.Worker
+	// WorkerSpec describes a group of simulated workers.
+	WorkerSpec = crowd.Spec
+	// Pool is a simulated crowd.
+	Pool = crowd.Pool
+	// Oracle supplies ground truth to simulated workers.
+	Oracle = crowd.Oracle
+	// FuncOracle adapts functions to Oracle.
+	FuncOracle = crowd.FuncOracle
+)
+
+// NewPool builds a simulated crowd from a seed and specs.
+func NewPool(seed int64, clock vclock.Clock, specs ...WorkerSpec) *Pool {
+	return crowd.NewPool(seed, clock, specs...)
+}
+
+// Worker accuracy models.
+type (
+	// PerfectWorker always answers correctly.
+	PerfectWorker = crowd.Perfect
+	// UniformWorker answers correctly with probability P.
+	UniformWorker = crowd.Uniform
+	// TwoCoinWorker has asymmetric true-positive/true-negative rates.
+	TwoCoinWorker = crowd.TwoCoin
+	// SpammerWorker answers uniformly at random.
+	SpammerWorker = crowd.Spammer
+	// AdversaryWorker always answers incorrectly.
+	AdversaryWorker = crowd.Adversary
+)
+
+// Worker latency models.
+type (
+	// FixedLatency always takes the same time.
+	FixedLatency = crowd.FixedLatency
+	// UniformLatency draws uniformly from a range.
+	UniformLatency = crowd.UniformLatency
+	// ExpLatency draws exponentially around a mean.
+	ExpLatency = crowd.ExpLatency
+)
+
+// Lineage.
+type (
+	// LineageReport is a table-level lineage summary.
+	LineageReport = lineage.Report
+	// RowLineage is one row's provenance.
+	RowLineage = lineage.RowLineage
+)
+
+// RowProvenance extracts one row's lineage.
+func RowProvenance(row *Row) (RowLineage, error) { return lineage.OfRow(row) }
+
+// Lineage summarizes a table's provenance (Figure 3, lines 11–16).
+func Lineage(cc *Context, cd *CrowdData) (LineageReport, error) {
+	return lineage.Summarize(cc, cd)
+}
+
+// Simulation bundles the pieces of a fully simulated deployment: a virtual
+// clock and an in-process platform sharing it. It exists so examples and
+// downstream users can stand up a working environment in one call.
+type Simulation struct {
+	// Clock is the deterministic clock driving everything.
+	Clock *vclock.Virtual
+	// Platform is the in-process crowdsourcing platform.
+	Platform *PlatformEngine
+	seed     int64
+}
+
+// NewSimulation builds a simulation environment seeded with seed.
+func NewSimulation(seed int64) *Simulation {
+	clock := vclock.NewVirtual()
+	return &Simulation{Clock: clock, Platform: platform.NewEngine(clock), seed: seed}
+}
+
+// Workers creates a pool bound to the simulation's clock.
+func (s *Simulation) Workers(specs ...WorkerSpec) *Pool {
+	return crowd.NewPool(s.seed, s.Clock, specs...)
+}
+
+// Drain makes pool answer all open tasks of cd's platform project.
+func (s *Simulation) Drain(cd *CrowdData, pool *Pool, oracle Oracle) error {
+	pid, err := cd.ProjectID()
+	if err != nil {
+		return err
+	}
+	_, err = pool.Drain(s.Platform, pid, oracle)
+	return err
+}

@@ -1,0 +1,70 @@
+package reprowd
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestFacadeQuickstart runs the Figure 2 pipeline entirely through the
+// public API, exactly as the package documentation shows it.
+func TestFacadeQuickstart(t *testing.T) {
+	sim := NewSimulation(42)
+	cc, err := NewContext(Options{
+		DBDir:   t.TempDir(),
+		Client:  sim.Platform,
+		Clock:   sim.Clock,
+		Storage: storage.Options{Sync: storage.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	objects := []Object{
+		{"url": "http://img/1.jpg", "truth": "Yes"},
+		{"url": "http://img/2.jpg", "truth": "No"},
+		{"url": "http://img/3.jpg", "truth": "Yes"},
+	}
+	cd, err := cc.CrowdData(objects, "image_label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("Is there a dog in the image?"))
+	if _, err := cd.Publish(PublishOptions{Redundancy: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := FuncOracle{
+		TruthFunc:   func(p map[string]string) string { return p["truth"] },
+		OptionsFunc: func(map[string]string) []string { return []string{"Yes", "No"} },
+	}
+	pool := sim.Workers(WorkerSpec{Count: 5, Model: PerfectWorker{}, Prefix: "w"})
+	if err := sim.Drain(cd, pool, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.MajorityVote("mv"); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cd.Rows() {
+		if row.Value("mv") != row.Object["truth"] {
+			t.Fatalf("row %s mv = %q", row.Key, row.Value("mv"))
+		}
+	}
+
+	// Lineage through the facade.
+	rep, err := Lineage(cc, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalAnswers != 9 {
+		t.Fatalf("lineage answers = %d", rep.TotalAnswers)
+	}
+	rl, err := RowProvenance(cd.Rows()[0])
+	if err != nil || len(rl.Answers) != 3 {
+		t.Fatalf("row provenance: %+v, %v", rl, err)
+	}
+}
