@@ -4,17 +4,37 @@
 // reprowd.NewPlatformHTTPClient), and the CLI/worker simulators can drive
 // it over the same REST API.
 //
+// With -data set, every platform mutation is journaled to an embedded
+// internal/storage database before the request returns, and a restarted
+// server replays the journal into the internal/sched scheduling
+// subsystem. Under the default -sync always, killing the process loses
+// at most in-flight leases (which expire by design), never accepted
+// projects, tasks or answers — the paper's crash-and-rerun guarantee
+// extended from the client library to the platform itself. -sync batch
+// and never trade that tail for throughput: a hard kill may lose the
+// last unsynced interval of acknowledged writes (integrity is still
+// guaranteed; replay stops at the torn tail).
+//
 // Usage:
 //
 //	reprowd-server -addr :7070
+//	reprowd-server -addr :7070 -data /var/lib/reprowd -sync batch
+//	reprowd-server -data /var/lib/reprowd -break-stale-lock   # after a kill -9
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/platform"
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -23,6 +43,16 @@ func main() {
 		addr        = flag.String("addr", ":7070", "listen address")
 		virtualTime = flag.Bool("virtual-time", false,
 			"use the deterministic virtual clock instead of wall time (for reproducible demos)")
+		dataDir = flag.String("data", "",
+			"journal directory; empty runs in-memory only (state dies with the process)")
+		syncMode = flag.String("sync", "always",
+			"journal durability: always (fsync per write), batch (group commit), never")
+		breakStaleLock = flag.Bool("break-stale-lock", false,
+			"take over a data directory whose previous owner died without cleanup")
+		leaseTTL = flag.Duration("lease-ttl", 0,
+			"how long a handed-out task stays reserved for its worker before the scheduler reclaims it (0 = default 10m)")
+		shards = flag.Int("shards", 0,
+			"scheduler lock stripes (0 = default 16)")
 	)
 	flag.Parse()
 
@@ -30,12 +60,98 @@ func main() {
 	if *virtualTime {
 		clock = vclock.NewVirtual()
 	}
-	engine := platform.NewEngine(clock)
+
+	opts := platform.EngineOptions{
+		Clock:    clock,
+		LeaseTTL: *leaseTTL,
+		Shards:   *shards,
+	}
+
+	var db *storage.DB
+	// log.Fatal skips deferred calls, and an open store holds a LOCK
+	// file that only Close removes — so every fatal path after Open must
+	// release the store, or a benign startup failure (port in use, bad
+	// journal) would force the operator into -break-stale-lock next run.
+	fail := func(err error) {
+		if db != nil {
+			db.Close()
+		}
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		policy, err := parseSync(*syncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err = storage.Open(*dataDir, storage.Options{
+			Sync:           policy,
+			SyncInterval:   50 * time.Millisecond,
+			BreakStaleLock: *breakStaleLock,
+		})
+		if err == storage.ErrLocked {
+			fmt.Fprintf(os.Stderr,
+				"reprowd-server: %s is locked; if the previous server was killed, rerun with -break-stale-lock\n",
+				*dataDir)
+			os.Exit(1)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		journal, err := platform.OpenJournal(db)
+		if err != nil {
+			fail(err)
+		}
+		opts.Journal = journal
+		log.Printf("journal: %s (%d events recovered, sync=%s)", *dataDir, journal.Len(), *syncMode)
+	}
+
+	engine, err := platform.NewEngineOpts(opts)
+	if err != nil {
+		fail(err)
+	}
 	srv := platform.NewServer(engine)
 
-	log.Printf("reprowd platform listening on %s (virtual time: %v)", *addr, *virtualTime)
-	log.Printf("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats")
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+	persisted := "in-memory"
+	if *dataDir != "" {
+		persisted = *dataDir
+	}
+	log.Printf("reprowd platform listening on %s (virtual time: %v, state: %s)", *addr, *virtualTime, persisted)
+	log.Printf("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats | GET /api/projects/{id}/queue")
+
+	// An ordinary stop (Ctrl-C, SIGTERM) must flush the journal and
+	// release the store's LOCK file; only a hard kill should leave a
+	// stale lock for -break-stale-lock.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		if db != nil {
+			if err := db.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}
+	}
+}
+
+func parseSync(mode string) (storage.SyncPolicy, error) {
+	switch mode {
+	case "always":
+		return storage.SyncAlways, nil
+	case "batch":
+		return storage.SyncBatch, nil
+	case "never":
+		return storage.SyncNever, nil
+	default:
+		return 0, fmt.Errorf("reprowd-server: unknown -sync mode %q (want always, batch, or never)", mode)
 	}
 }

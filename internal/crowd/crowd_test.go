@@ -369,3 +369,61 @@ func TestDrainSkipsBannedWorkers(t *testing.T) {
 		t.Fatalf("remaining worker answered %d tasks, want 4", stats.PerWorker["w-1"])
 	}
 }
+
+// TestDrainUnderShortLeaseTTL drains against the sched subsystem's lease
+// semantics with a TTL shorter than every worker's think time: each lease
+// is technically past its deadline by the time the answer arrives, but an
+// unreclaimed lease still dates and accepts the submission, so nothing is
+// lost and no scheduler state lingers after the drain.
+func TestDrainUnderShortLeaseTTL(t *testing.T) {
+	clock := vclock.NewVirtual()
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{
+		Clock:    clock,
+		LeaseTTL: 5 * time.Second, // workers think for a fixed 30s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProject(t, engine, 3, 10)
+	pool := NewPool(42, clock, Spec{Count: 5, Model: Perfect{}, Prefix: "w"})
+
+	stats, err := pool.Drain(engine, p.ID, labelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Answers != 30 {
+		t.Fatalf("answers = %d, want 30 (10 tasks × r=3)", stats.Answers)
+	}
+	st, _ := engine.Stats(p.ID)
+	if st.CompletedTasks != 10 {
+		t.Fatalf("completed = %d, want 10", st.CompletedTasks)
+	}
+	// Runs whose worker thought for the full 30s lease out the task far
+	// past the 5s TTL; the expired-but-unreclaimed lease must still date
+	// the answer at its assignment instant. (Drain's sequential event
+	// loop submits most answers one tick after requesting, so only the
+	// round-leading workers show the full gap.)
+	longGaps := 0
+	tasks, _ := engine.Tasks(p.ID)
+	for _, task := range tasks {
+		runs, _ := engine.Runs(task.ID)
+		for _, r := range runs {
+			if r.Finished.Before(r.Assigned) {
+				t.Fatalf("run %d finished %v before assigned %v", r.ID, r.Finished, r.Assigned)
+			}
+			if r.Finished.Sub(r.Assigned) >= 29*time.Second {
+				longGaps++
+			}
+		}
+	}
+	if longGaps == 0 {
+		t.Fatal("no run outlived the 5s lease TTL; expired-lease dating untested")
+	}
+	qs, err := engine.QueueStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.PendingTasks != 0 || qs.ActiveLeases != 0 || qs.AnsweredEntries != 0 {
+		t.Fatalf("drain left scheduler state behind: %+v", qs)
+	}
+}

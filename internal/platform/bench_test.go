@@ -40,21 +40,39 @@ func BenchmarkLifecycle_HTTP(b *testing.B) {
 	benchLifecycle(b, NewHTTPClient(srv.URL, srv.Client()), "http")
 }
 
-func BenchmarkRequestTask_1kOpenTasks(b *testing.B) {
+// benchRequestTask measures the full request→submit assignment cycle with
+// nTasks open tasks. Each iteration uses a fresh worker id: submitting
+// clears the lease (so RequestTask exercises the heap, not the O(1)
+// lease-reconnect fast path), and a fresh worker never exhausts its
+// eligible tasks no matter how high b.N ramps.
+func benchRequestTask(b *testing.B, nTasks int) {
 	engine := NewEngine(vclock.NewVirtual())
-	p, _ := engine.EnsureProject(ProjectSpec{Name: "bench", Redundancy: 3})
+	p, _ := engine.EnsureProject(ProjectSpec{Name: "bench", Redundancy: 1 << 30})
 	var specs []TaskSpec
-	for i := 0; i < 1000; i++ {
+	for i := 0; i < nTasks; i++ {
 		specs = append(specs, TaskSpec{ExternalID: fmt.Sprintf("t-%d", i)})
 	}
 	engine.AddTasks(p.ID, specs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.RequestTask(p.ID, fmt.Sprintf("w-%d", i%100)); err != nil {
+		w := fmt.Sprintf("w-%d", i)
+		task, err := engine.RequestTask(p.ID, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Submit(task.ID, w, "a"); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkRequestSubmit_1kOpenTasks(b *testing.B) { benchRequestTask(b, 1000) }
+
+// BenchmarkRequestSubmit_10kOpenTasks is the scan→heap acceptance
+// benchmark at the engine level: even paying for a Submit per request,
+// it must beat sched's BenchmarkAcquire_LinearScan10k (the seed engine's
+// RequestTask loop body alone, over the same open task set).
+func BenchmarkRequestSubmit_10kOpenTasks(b *testing.B) { benchRequestTask(b, 10_000) }
 
 func BenchmarkAddTasks_Bulk1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,166 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestConcurrentRequestSubmit drives many workers through the full
+// request→submit loop from separate goroutines across several projects
+// (run under -race; the seed engine was only ever exercised
+// single-threaded). Checked invariants: no task collects more than its
+// redundancy of answers, no worker answers a task twice, every project
+// fully drains, and per-run timestamps stay ordered.
+func TestConcurrentRequestSubmit(t *testing.T) {
+	const (
+		projects   = 4
+		tasksPer   = 30
+		redundancy = 3
+		workers    = 10
+	)
+	e := NewEngine(vclock.NewWall())
+	var projectIDs []int64
+	for p := 0; p < projects; p++ {
+		strat := BreadthFirst
+		if p%2 == 1 {
+			strat = DepthFirst
+		}
+		proj, err := e.EnsureProject(ProjectSpec{
+			Name: fmt.Sprintf("p%d", p), Redundancy: redundancy, Strategy: strat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var specs []TaskSpec
+		for i := 0; i < tasksPer; i++ {
+			specs = append(specs, TaskSpec{ExternalID: fmt.Sprintf("t%d", i), Priority: float64(i % 3)})
+		}
+		if _, err := e.AddTasks(proj.ID, specs); err != nil {
+			t.Fatal(err)
+		}
+		projectIDs = append(projectIDs, proj.ID)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("w%d", w)
+			for _, pid := range projectIDs {
+				for {
+					task, err := e.RequestTask(pid, worker)
+					if errors.Is(err, ErrNoTask) {
+						break
+					}
+					if err != nil {
+						t.Errorf("RequestTask: %v", err)
+						return
+					}
+					run, err := e.Submit(task.ID, worker, "ans")
+					if errors.Is(err, ErrTaskCompleted) || errors.Is(err, ErrDuplicateAnswer) {
+						continue // lost a race; the scheduler moves us on
+					}
+					if err != nil {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+					if run.Finished.Before(run.Assigned) {
+						t.Errorf("run %d finished %v before assigned %v", run.ID, run.Finished, run.Assigned)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seenRuns := 0
+	for _, pid := range projectIDs {
+		st, err := e.Stats(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CompletedTasks != tasksPer {
+			t.Errorf("project %d: %d/%d tasks completed", pid, st.CompletedTasks, tasksPer)
+		}
+		if st.TaskRuns != tasksPer*redundancy {
+			t.Errorf("project %d: %d runs, want %d", pid, st.TaskRuns, tasksPer*redundancy)
+		}
+		seenRuns += st.TaskRuns
+		tasks, _ := e.Tasks(pid)
+		for _, task := range tasks {
+			if task.NumAnswers != redundancy {
+				t.Errorf("task %d: %d answers, want %d", task.ID, task.NumAnswers, redundancy)
+			}
+			runs, _ := e.Runs(task.ID)
+			byWorker := map[string]bool{}
+			for _, r := range runs {
+				if byWorker[r.WorkerID] {
+					t.Errorf("task %d: worker %s answered twice", task.ID, r.WorkerID)
+				}
+				byWorker[r.WorkerID] = true
+			}
+		}
+		// The scheduler dropped all per-task state (the seed leaked
+		// leases for finished tasks forever).
+		qs, err := e.QueueStats(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qs.PendingTasks != 0 || qs.ActiveLeases != 0 || qs.AnsweredEntries != 0 {
+			t.Errorf("project %d: scheduler state leaked: %+v", pid, qs)
+		}
+	}
+	if seenRuns != projects*tasksPer*redundancy {
+		t.Errorf("total runs %d, want %d", seenRuns, projects*tasksPer*redundancy)
+	}
+}
+
+// TestConcurrentPublishAndWork races AddTasks against the worker loop.
+func TestConcurrentPublishAndWork(t *testing.T) {
+	e := NewEngine(vclock.NewWall())
+	p, err := e.EnsureProject(ProjectSpec{Name: "p", Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if _, err := e.AddTasks(p.ID, []TaskSpec{{ExternalID: fmt.Sprintf("t%d", i)}}); err != nil {
+				t.Errorf("AddTasks: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		done := 0
+		for done < total {
+			task, err := e.RequestTask(p.ID, "solo")
+			if errors.Is(err, ErrNoTask) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("RequestTask: %v", err)
+				return
+			}
+			if _, err := e.Submit(task.ID, "solo", "a"); err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			done++
+		}
+	}()
+	wg.Wait()
+	st, _ := e.Stats(p.ID)
+	if st.CompletedTasks != total || st.TaskRuns != total {
+		t.Fatalf("stats after racing publish/work: %+v", st)
+	}
+}

@@ -6,14 +6,33 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/vclock"
 )
 
 // Engine is the in-memory platform implementation. It is safe for
 // concurrent use and implements Client directly (the in-process binding).
+//
+// Task assignment is owned by the internal/sched subsystem: each project
+// has a heap-indexed queue there, striped across shard locks, so
+// RequestTask is O(log n) in the open task set and requests against
+// different projects never contend on one mutex. The engine itself keeps
+// the record of truth — projects, tasks, runs — under a registry RWMutex
+// that the read-heavy request path takes shared.
+//
+// With a Journal attached (see EngineOptions), every state mutation is
+// appended to a write-ahead log on internal/storage before the call
+// returns, and NewEngineOpts replays the log on startup, so a restarted
+// server resumes with the task/run state it had when it died — the
+// paper's crash-and-rerun guarantee extended to the platform side.
 type Engine struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	clock vclock.Clock
+	sched *sched.Scheduler
+
+	// journal is assigned only after replay completes, so apply() during
+	// recovery never re-appends.
+	journal *Journal
 
 	nextProjectID int64
 	nextTaskID    int64
@@ -25,33 +44,104 @@ type Engine struct {
 	externalIDs    map[int64]map[string]int64 // project id → external id → task id
 
 	tasks  map[int64]*Task
-	runs   map[int64][]*TaskRun           // task id → runs, submission order
-	done   map[int64]map[string]bool      // task id → workers that answered
-	leases map[int64]map[string]time.Time // task id → worker → assignment time
-	banned map[int64]map[string]bool      // project id → banned workers
+	runs   map[int64][]*TaskRun      // task id → runs, submission order
+	banned map[int64]map[string]bool // project id → banned workers
+
+	// replayHorizon is the newest timestamp seen during journal replay;
+	// a virtual clock is advanced past it so post-recovery events never
+	// duplicate or precede persisted ones.
+	replayHorizon time.Time
+}
+
+// EngineOptions configure NewEngineOpts. The zero value (plus a clock)
+// matches NewEngine.
+type EngineOptions struct {
+	// Clock supplies timestamps; nil defaults to a virtual clock.
+	Clock vclock.Clock
+	// LeaseTTL is how long a task assignment stays reserved before the
+	// scheduler reclaims it. Defaults to sched.DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Shards is the scheduler's lock-stripe count. Defaults to
+	// sched.DefaultShards.
+	Shards int
+	// Journal, when non-nil, is the write-ahead log the engine appends
+	// every mutation to. Any state already in the journal is replayed
+	// into the engine before NewEngineOpts returns.
+	Journal *Journal
 }
 
 // NewEngine returns an empty platform. A nil clock defaults to a virtual
 // clock, which keeps all timestamps deterministic.
 func NewEngine(clock vclock.Clock) *Engine {
+	e, err := NewEngineOpts(EngineOptions{Clock: clock})
+	if err != nil {
+		// Unreachable: only journal replay can fail, and there is none.
+		panic(err)
+	}
+	return e
+}
+
+// NewEngineOpts returns a platform configured by opts, replaying
+// opts.Journal (if any) so the engine starts from its persisted state.
+func NewEngineOpts(opts EngineOptions) (*Engine, error) {
+	clock := opts.Clock
 	if clock == nil {
 		clock = vclock.NewVirtual()
 	}
-	return &Engine{
-		clock:          clock,
+	e := &Engine{
+		clock: clock,
+		sched: sched.New(clock, sched.Options{
+			Shards:   opts.Shards,
+			LeaseTTL: opts.LeaseTTL,
+		}),
 		projects:       make(map[int64]*Project),
 		projectsByName: make(map[string]int64),
 		projectTasks:   make(map[int64][]int64),
 		externalIDs:    make(map[int64]map[string]int64),
 		tasks:          make(map[int64]*Task),
 		runs:           make(map[int64][]*TaskRun),
-		done:           make(map[int64]map[string]bool),
-		leases:         make(map[int64]map[string]time.Time),
 		banned:         make(map[int64]map[string]bool),
 	}
+	if opts.Journal != nil {
+		if err := opts.Journal.Replay(e.apply); err != nil {
+			return nil, fmt.Errorf("platform: journal replay: %w", err)
+		}
+		// Replay restores recorded timestamps without ticking the clock.
+		// A deterministic virtual clock would restart at its epoch and
+		// hand out times that collide with (or precede) persisted ones,
+		// breaking the total order lineage relies on — move it past
+		// everything it has already "seen". Wall clocks are naturally
+		// ahead of any previous run.
+		if v, ok := clock.(*vclock.Virtual); ok {
+			v.AdvanceTo(e.replayHorizon)
+		}
+		e.journal = opts.Journal
+	}
+	return e, nil
 }
 
 var _ Client = (*Engine)(nil)
+
+// schedStrategy maps the wire strategy onto the scheduler's.
+func schedStrategy(s Strategy) sched.Strategy {
+	if s == DepthFirst {
+		return sched.DepthFirst
+	}
+	return sched.BreadthFirst
+}
+
+// journalAppend appends ev to the journal, if one is attached (during
+// replay none is yet, so recovery never re-appends). Callers hold e.mu,
+// which serializes appends in application order. Mutations append BEFORE
+// touching engine state wherever the event doesn't depend on the
+// mutation's outcome, so a failed append leaves memory and log agreeing
+// that nothing happened.
+func (e *Engine) journalAppend(ev Event) error {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Append(ev)
+}
 
 // EnsureProject implements Client.
 func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
@@ -69,25 +159,37 @@ func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
 	if id, ok := e.projectsByName[spec.Name]; ok {
 		return *e.projects[id], nil
 	}
-	e.nextProjectID++
 	p := &Project{
-		ID:         e.nextProjectID,
+		ID:         e.nextProjectID + 1,
 		Name:       spec.Name,
 		Presenter:  spec.Presenter,
 		Redundancy: spec.Redundancy,
 		Strategy:   spec.Strategy,
 		Created:    e.clock.Now(),
 	}
+	if err := e.journalAppend(Event{Op: OpProject, Project: p}); err != nil {
+		return Project{}, err
+	}
+	e.insertProject(p)
+	return *p, nil
+}
+
+// insertProject registers p in the engine maps and the scheduler.
+// Callers hold e.mu.
+func (e *Engine) insertProject(p *Project) {
 	e.projects[p.ID] = p
 	e.projectsByName[p.Name] = p.ID
 	e.externalIDs[p.ID] = make(map[string]int64)
-	return *p, nil
+	if p.ID > e.nextProjectID {
+		e.nextProjectID = p.ID
+	}
+	e.sched.AddProject(p.ID, schedStrategy(p.Strategy))
 }
 
 // FindProject implements Client.
 func (e *Engine) FindProject(name string) (Project, bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	id, ok := e.projectsByName[name]
 	if !ok {
 		return Project{}, false, nil
@@ -104,11 +206,20 @@ func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
 	if !ok {
 		return nil, ErrUnknownProject
 	}
+	// Build the new tasks first, journal them, then insert — a failed
+	// append creates nothing, so log and memory stay in agreement.
 	out := make([]Task, 0, len(specs))
+	var created []*Task
+	newByExt := make(map[string]*Task)
+	nextID := e.nextTaskID
 	for _, spec := range specs {
 		if spec.ExternalID != "" {
 			if tid, ok := e.externalIDs[projectID][spec.ExternalID]; ok {
 				out = append(out, *e.tasks[tid])
+				continue
+			}
+			if t, ok := newByExt[spec.ExternalID]; ok {
+				out = append(out, *t)
 				continue
 			}
 		}
@@ -116,9 +227,9 @@ func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
 		if red <= 0 {
 			red = p.Redundancy
 		}
-		e.nextTaskID++
+		nextID++
 		t := &Task{
-			ID:         e.nextTaskID,
+			ID:         nextID,
 			ProjectID:  projectID,
 			ExternalID: spec.ExternalID,
 			Payload:    copyPayload(spec.Payload),
@@ -127,67 +238,81 @@ func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
 			State:      TaskOngoing,
 			Created:    e.clock.Now(),
 		}
-		e.tasks[t.ID] = t
-		e.projectTasks[projectID] = append(e.projectTasks[projectID], t.ID)
 		if spec.ExternalID != "" {
-			e.externalIDs[projectID][spec.ExternalID] = t.ID
+			newByExt[spec.ExternalID] = t
 		}
-		e.done[t.ID] = make(map[string]bool)
+		created = append(created, t)
 		out = append(out, *t)
+	}
+	if len(created) > 0 {
+		snap := make([]Task, len(created))
+		for i, t := range created {
+			snap[i] = *t
+		}
+		if err := e.journalAppend(Event{Op: OpTasks, ProjectID: projectID, Tasks: snap}); err != nil {
+			return nil, err
+		}
+		for _, t := range created {
+			if err := e.insertTask(t); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }
 
-// RequestTask implements Client. Eligibility: the task is ongoing and this
-// worker has not answered it. Among eligible tasks the project strategy
-// picks the winner; ties break on priority (higher first) then task id
-// (lower first), which keeps scheduling fully deterministic.
+// insertTask registers t in the engine maps and, while it still needs
+// answers, in the scheduler. Callers hold e.mu and guarantee the task's
+// project exists (the journal's WAL ordering guarantees it on replay).
+func (e *Engine) insertTask(t *Task) error {
+	if _, ok := e.projects[t.ProjectID]; !ok {
+		return fmt.Errorf("%w: task %d references project %d", ErrUnknownProject, t.ID, t.ProjectID)
+	}
+	e.tasks[t.ID] = t
+	e.projectTasks[t.ProjectID] = append(e.projectTasks[t.ProjectID], t.ID)
+	if t.ExternalID != "" {
+		e.externalIDs[t.ProjectID][t.ExternalID] = t.ID
+	}
+	if t.ID > e.nextTaskID {
+		e.nextTaskID = t.ID
+	}
+	if t.State == TaskOngoing {
+		if err := e.sched.AddTask(t.ProjectID, t.ID, t.Priority, t.Redundancy); err != nil {
+			return fmt.Errorf("platform: register task %d with scheduler: %w", t.ID, err)
+		}
+	}
+	return nil
+}
+
+// RequestTask implements Client. Assignment is delegated to the sched
+// subsystem: the project's heap hands back the best task this worker can
+// still answer — ordered by strategy, then priority (higher first), then
+// task id (lower first), exactly the old linear scan's tie-break — and
+// records a TTL lease on it. The registry lock is held shared, so
+// concurrent requests only serialize per scheduler shard.
 func (e *Engine) RequestTask(projectID int64, workerID string) (Task, error) {
 	if workerID == "" {
 		return Task{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.projects[projectID]
-	if !ok {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if _, ok := e.projects[projectID]; !ok {
 		return Task{}, ErrUnknownProject
 	}
 	if e.banned[projectID][workerID] {
 		return Task{}, ErrWorkerBanned
 	}
-	var best *Task
-	for _, tid := range e.projectTasks[projectID] {
-		t := e.tasks[tid]
-		if t.State != TaskOngoing || e.done[tid][workerID] {
-			continue
-		}
-		if best == nil || e.better(p.Strategy, t, best) {
-			best = t
-		}
-	}
-	if best == nil {
+	taskID, _, err := e.sched.Acquire(projectID, workerID)
+	switch err {
+	case nil:
+	case sched.ErrNoTask:
 		return Task{}, ErrNoTask
+	case sched.ErrUnknownProject:
+		return Task{}, ErrUnknownProject
+	default:
+		return Task{}, err
 	}
-	if e.leases[best.ID] == nil {
-		e.leases[best.ID] = make(map[string]time.Time)
-	}
-	e.leases[best.ID][workerID] = e.clock.Now()
-	return *best, nil
-}
-
-// better reports whether a should be scheduled before b under strategy.
-func (e *Engine) better(strategy Strategy, a, b *Task) bool {
-	na, nb := a.NumAnswers, b.NumAnswers
-	if na != nb {
-		if strategy == DepthFirst {
-			return na > nb
-		}
-		return na < nb
-	}
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	return a.ID < b.ID
+	return *e.tasks[taskID], nil
 }
 
 // Submit implements Client.
@@ -204,42 +329,86 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	if e.banned[t.ProjectID][workerID] {
 		return TaskRun{}, ErrWorkerBanned
 	}
-	if e.done[taskID][workerID] {
-		return TaskRun{}, ErrDuplicateAnswer
-	}
 	if t.State == TaskCompleted {
+		// The scheduler has retired the task; its runs are the record of
+		// who answered, preserving the duplicate-before-completed error
+		// precedence of the pre-sched engine.
+		for _, r := range e.runs[taskID] {
+			if r.WorkerID == workerID {
+				return TaskRun{}, ErrDuplicateAnswer
+			}
+		}
 		return TaskRun{}, ErrTaskCompleted
 	}
-	now := e.clock.Now()
-	assigned := now
-	if at, ok := e.leases[taskID][workerID]; ok {
-		assigned = at
+
+	// The clock ticks at most once per submission, and only after
+	// validation passes — sched.Complete calls now() after its own
+	// duplicate check, and we reuse the memoized value below.
+	var (
+		now     time.Time
+		haveNow bool
+	)
+	clockNow := func() time.Time {
+		if !haveNow {
+			now = e.clock.Now()
+			haveNow = true
+		}
+		return now
 	}
-	e.nextRunID++
+	// Journal-before-commit: preview the scheduler outcome, write the run
+	// to the log, then commit. A failed append therefore changes nothing
+	// anywhere — memory, scheduler and journal all agree the submission
+	// never happened. The preview cannot go stale: completions for the
+	// task are serialized under e.mu.
+	res, err := e.sched.Preview(t.ProjectID, taskID, workerID, clockNow)
+	switch err {
+	case nil:
+	case sched.ErrDuplicate:
+		return TaskRun{}, ErrDuplicateAnswer
+	case sched.ErrUnknownTask:
+		return TaskRun{}, ErrTaskCompleted
+	default:
+		return TaskRun{}, err
+	}
+
 	run := &TaskRun{
-		ID:        e.nextRunID,
+		ID:        e.nextRunID + 1,
 		TaskID:    taskID,
 		ProjectID: t.ProjectID,
 		WorkerID:  workerID,
 		Answer:    answer,
-		Assigned:  assigned,
-		Finished:  now,
+		Assigned:  res.AssignedAt,
+		Finished:  clockNow(),
 	}
-	e.runs[taskID] = append(e.runs[taskID], run)
-	e.done[taskID][workerID] = true
-	delete(e.leases[taskID], workerID)
-	t.NumAnswers++
-	if t.NumAnswers >= t.Redundancy {
-		t.State = TaskCompleted
-		t.Completed = now
+	if err := e.journalAppend(Event{Op: OpRun, Run: run}); err != nil {
+		return TaskRun{}, err
 	}
+	if _, err := e.sched.Complete(t.ProjectID, taskID, workerID, clockNow); err != nil {
+		// Unreachable while completions hold e.mu; surface loudly rather
+		// than diverge silently from the journal.
+		return TaskRun{}, fmt.Errorf("platform: scheduler commit after journal append: %w", err)
+	}
+	e.applyRun(run, t, res.Retired)
 	return *run, nil
+}
+
+// applyRun records a completed run against its task. Callers hold e.mu.
+func (e *Engine) applyRun(run *TaskRun, t *Task, retired bool) {
+	e.runs[run.TaskID] = append(e.runs[run.TaskID], run)
+	if run.ID > e.nextRunID {
+		e.nextRunID = run.ID
+	}
+	t.NumAnswers++
+	if retired || t.NumAnswers >= t.Redundancy {
+		t.State = TaskCompleted
+		t.Completed = run.Finished
+	}
 }
 
 // Tasks implements Client.
 func (e *Engine) Tasks(projectID int64) ([]Task, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if _, ok := e.projects[projectID]; !ok {
 		return nil, ErrUnknownProject
 	}
@@ -253,8 +422,8 @@ func (e *Engine) Tasks(projectID int64) ([]Task, error) {
 
 // Runs implements Client.
 func (e *Engine) Runs(taskID int64) ([]TaskRun, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if _, ok := e.tasks[taskID]; !ok {
 		return nil, ErrUnknownTask
 	}
@@ -268,8 +437,8 @@ func (e *Engine) Runs(taskID int64) ([]TaskRun, error) {
 
 // Stats implements Client.
 func (e *Engine) Stats(projectID int64) (ProjectStats, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if _, ok := e.projects[projectID]; !ok {
 		return ProjectStats{}, ErrUnknownProject
 	}
@@ -290,11 +459,28 @@ func (e *Engine) Stats(projectID int64) (ProjectStats, error) {
 	return st, nil
 }
 
+// QueueStats reports the scheduler's view of a project: open tasks still
+// in the assignment queue and outstanding leases. (Engine-only helper,
+// surfaced by the REST server's queue endpoint.)
+func (e *Engine) QueueStats(projectID int64) (sched.QueueStats, error) {
+	e.mu.RLock()
+	if _, ok := e.projects[projectID]; !ok {
+		e.mu.RUnlock()
+		return sched.QueueStats{}, ErrUnknownProject
+	}
+	e.mu.RUnlock()
+	st, err := e.sched.Stats(projectID)
+	if err == sched.ErrUnknownProject {
+		return sched.QueueStats{}, ErrUnknownProject
+	}
+	return st, err
+}
+
 // taskWithProject fetches a task and its project in one lock acquisition
 // (used by the preview route).
 func (e *Engine) taskWithProject(taskID int64) (Task, Project, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.tasks[taskID]
 	if !ok {
 		return Task{}, Project{}, ErrUnknownTask
@@ -315,17 +501,80 @@ func (e *Engine) BanWorker(projectID int64, workerID string) error {
 	if _, ok := e.projects[projectID]; !ok {
 		return ErrUnknownProject
 	}
+	if err := e.journalAppend(Event{Op: OpBan, ProjectID: projectID, Worker: workerID}); err != nil {
+		return err
+	}
+	e.applyBan(projectID, workerID)
+	return nil
+}
+
+// observeReplayTime widens the replay horizon. Callers hold e.mu.
+func (e *Engine) observeReplayTime(t time.Time) {
+	if t.After(e.replayHorizon) {
+		e.replayHorizon = t
+	}
+}
+
+// applyBan records a ban. Callers hold e.mu.
+func (e *Engine) applyBan(projectID int64, workerID string) {
 	if e.banned[projectID] == nil {
 		e.banned[projectID] = make(map[string]bool)
 	}
 	e.banned[projectID][workerID] = true
+}
+
+// apply replays one journal event into the engine, restoring the exact
+// recorded state — ids, timestamps, completion status — rather than
+// re-deriving it from the clock. Called during NewEngineOpts with
+// e.recovered set, so nothing is re-appended.
+func (e *Engine) apply(ev Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch ev.Op {
+	case OpProject:
+		if ev.Project == nil {
+			return fmt.Errorf("%w: project event without project", ErrBadRequest)
+		}
+		p := *ev.Project
+		e.observeReplayTime(p.Created)
+		e.insertProject(&p)
+	case OpTasks:
+		for i := range ev.Tasks {
+			t := ev.Tasks[i]
+			t.Payload = copyPayload(t.Payload)
+			e.observeReplayTime(t.Created)
+			if err := e.insertTask(&t); err != nil {
+				return err
+			}
+		}
+	case OpRun:
+		if ev.Run == nil {
+			return fmt.Errorf("%w: run event without run", ErrBadRequest)
+		}
+		run := *ev.Run
+		t, ok := e.tasks[run.TaskID]
+		if !ok {
+			return fmt.Errorf("%w: run %d references unknown task %d", ErrUnknownTask, run.ID, run.TaskID)
+		}
+		e.observeReplayTime(run.Finished)
+		res, err := e.sched.Complete(t.ProjectID, run.TaskID, run.WorkerID,
+			func() time.Time { return run.Finished })
+		if err != nil {
+			return fmt.Errorf("platform: replay run %d: %w", run.ID, err)
+		}
+		e.applyRun(&run, t, res.Retired)
+	case OpBan:
+		e.applyBan(ev.ProjectID, ev.Worker)
+	default:
+		return fmt.Errorf("platform: unknown journal op %q", ev.Op)
+	}
 	return nil
 }
 
 // BannedWorkers lists a project's banned workers, sorted.
 func (e *Engine) BannedWorkers(projectID int64) []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.banned[projectID]))
 	for w := range e.banned[projectID] {
 		out = append(out, w)
@@ -337,8 +586,8 @@ func (e *Engine) BannedWorkers(projectID int64) []string {
 // Projects lists all projects ordered by id. (Engine-only helper, used by
 // the REST server's listing endpoint and the CLI.)
 func (e *Engine) Projects() []Project {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]Project, 0, len(e.projects))
 	for _, p := range e.projects {
 		out = append(out, *p)

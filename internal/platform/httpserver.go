@@ -17,6 +17,7 @@ import (
 //	GET  /api/projects/{id}/tasks     → Tasks
 //	POST /api/projects/{id}/newtask   → RequestTask   (?worker=W)
 //	GET  /api/projects/{id}/stats     → Stats
+//	GET  /api/projects/{id}/queue     → QueueStats (scheduler queue depth/leases)
 //	POST /api/tasks/{id}/runs         → Submit        (body: worker, answer)
 //	GET  /api/tasks/{id}/runs         → Runs
 type Server struct {
@@ -34,6 +35,7 @@ func NewServer(engine *Engine) *Server {
 	s.mux.HandleFunc("GET /api/projects/{id}/tasks", s.handleTasks)
 	s.mux.HandleFunc("POST /api/projects/{id}/newtask", s.handleNewTask)
 	s.mux.HandleFunc("GET /api/projects/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/projects/{id}/queue", s.handleQueueStats)
 	s.mux.HandleFunc("POST /api/tasks/{id}/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/tasks/{id}/runs", s.handleRuns)
 	s.mux.HandleFunc("POST /api/projects/{id}/ban", s.handleBan)
@@ -205,6 +207,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, err := s.engine.Stats(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// handleQueueStats surfaces the sched subsystem's per-project view —
+// open queue depth and outstanding leases — for operators and tests.
+func (s *Server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := s.engine.QueueStats(id)
 	if err != nil {
 		writeErr(w, err)
 		return

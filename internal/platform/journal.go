@@ -1,0 +1,128 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Op names a journal event type.
+type Op string
+
+const (
+	// OpProject records a project creation.
+	OpProject Op = "project"
+	// OpTasks records a batch of newly created tasks.
+	OpTasks Op = "tasks"
+	// OpRun records one accepted task run.
+	OpRun Op = "run"
+	// OpBan records a worker ban.
+	OpBan Op = "ban"
+)
+
+// Event is one entry of the engine's write-ahead log. Events carry the
+// full records the engine produced — ids, timestamps, payloads — so
+// replay restores byte-identical state without consulting the clock.
+type Event struct {
+	Op Op `json:"op"`
+	// Project is set for OpProject.
+	Project *Project `json:"project,omitempty"`
+	// ProjectID is set for OpTasks and OpBan.
+	ProjectID int64 `json:"project_id,omitempty"`
+	// Tasks is set for OpTasks: the newly created tasks, as created
+	// (dedup hits are not journaled).
+	Tasks []Task `json:"tasks,omitempty"`
+	// Run is set for OpRun.
+	Run *TaskRun `json:"run,omitempty"`
+	// Worker is set for OpBan.
+	Worker string `json:"worker,omitempty"`
+}
+
+// Journal is the platform's write-ahead log, an ordered sequence of
+// Events on an internal/storage database. Keys are fixed-width decimal
+// sequence numbers, so the store's prefix scan yields events in append
+// order; each Append is a single atomic frame, so a crash can lose at
+// most the unsynced tail (per the store's sync policy) and never leaves
+// a torn event.
+//
+// The journal deliberately logs logical platform events rather than
+// scheduler internals: leases are ephemeral by design (a restart
+// reclaims them all, which is exactly lease-expiry semantics), while
+// projects, tasks and runs are the durable record.
+type Journal struct {
+	db   *storage.DB
+	mu   sync.Mutex
+	next uint64 // sequence number of the next event to append
+}
+
+// journalPrefix is the key space the journal owns in the store. The
+// fixed-width decimal sequence number makes lexicographic key order equal
+// append order.
+const journalPrefix = "j/"
+
+// journalKey returns the storage key of event seq.
+func journalKey(seq uint64) []byte {
+	return []byte(fmt.Sprintf("%s%016d", journalPrefix, seq))
+}
+
+// OpenJournal binds a journal to db, finding the append position after
+// any existing events. The database may hold other keys; the journal owns
+// the "j/" prefix.
+func OpenJournal(db *storage.DB) (*Journal, error) {
+	// Sequence numbers are contiguous from 0, so the event count is the
+	// append position.
+	n, err := db.Count(journalPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("platform: journal open: %w", err)
+	}
+	return &Journal{db: db, next: uint64(n)}, nil
+}
+
+// Len returns the number of events in the journal.
+func (j *Journal) Len() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Append writes ev as the next journal event.
+func (j *Journal) Append(ev Event) error {
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("platform: journal encode: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.db.Put(journalKey(j.next), buf); err != nil {
+		return fmt.Errorf("platform: journal append: %w", err)
+	}
+	j.next++
+	return nil
+}
+
+// Replay invokes fn on every journal event in append order (the store
+// scans the journal prefix in key order, which the fixed-width sequence
+// keys make append order).
+func (j *Journal) Replay(fn func(Event) error) error {
+	var ferr error
+	err := j.db.Scan(journalPrefix, func(key string, val []byte) bool {
+		var ev Event
+		if ferr = json.Unmarshal(val, &ev); ferr != nil {
+			ferr = fmt.Errorf("platform: journal decode %s: %w", key, ferr)
+			return false
+		}
+		if ferr = fn(ev); ferr != nil {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("platform: journal scan: %w", err)
+	}
+	return ferr
+}
+
+// Sync flushes the journal to stable storage.
+func (j *Journal) Sync() error { return j.db.Sync() }

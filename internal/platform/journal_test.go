@@ -1,0 +1,293 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func openTestJournal(t *testing.T, dir string, breakLock bool) (*storage.DB, *Journal) {
+	t.Helper()
+	db, err := storage.Open(dir, storage.Options{BreakStaleLock: breakLock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(db)
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	return db, j
+}
+
+// TestJournalRecovery is the acceptance test for platform-side
+// crash-and-rerun: a server killed (no clean close, stale LOCK left
+// behind) and restarted on the same data directory serves the same
+// project, task and run state it had before the kill.
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	db, j := openTestJournal(t, dir, false)
+	e1, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e1.EnsureProject(ProjectSpec{Name: "label", Presenter: "image", Redundancy: 2, Strategy: DepthFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []TaskSpec
+	for i := 0; i < 5; i++ {
+		specs = append(specs, TaskSpec{
+			ExternalID: fmt.Sprintf("row-%d", i),
+			Payload:    map[string]string{"url": fmt.Sprintf("img-%d.jpg", i)},
+			Priority:   float64(i % 2),
+		})
+	}
+	tasks, err := e1.AddTasks(p.ID, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a partial workload: task 0 completes, task 1 gets one answer.
+	if _, err := e1.Submit(tasks[0].ID, "w1", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Submit(tasks[0].ID, "w2", "no"); err != nil {
+		t.Fatal(err)
+	}
+	run3, err := e1.Submit(tasks[1].ID, "w1", "maybe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.BanWorker(p.ID, "spammer"); err != nil {
+		t.Fatal(err)
+	}
+	wantTasks, _ := e1.Tasks(p.ID)
+	wantStats, _ := e1.Stats(p.ID)
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill: the process dies without closing the store. The LOCK file
+	// stays behind; SyncAlways means every accepted write is on disk.
+
+	db2, j2 := openTestJournal(t, dir, true)
+	defer db2.Close()
+	e2, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotTasks, err := e2.Tasks(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotTasks) != len(wantTasks) {
+		t.Fatalf("recovered %d tasks, want %d", len(gotTasks), len(wantTasks))
+	}
+	for i := range wantTasks {
+		w, g := wantTasks[i], gotTasks[i]
+		if g.ID != w.ID || g.ExternalID != w.ExternalID || g.State != w.State ||
+			g.NumAnswers != w.NumAnswers || !g.Created.Equal(w.Created) ||
+			!g.Completed.Equal(w.Completed) || g.Payload["url"] != w.Payload["url"] {
+			t.Fatalf("task %d diverged after recovery:\n before %+v\n after  %+v", i, w, g)
+		}
+	}
+	gotStats, err := e2.Stats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("stats diverged: before %+v, after %+v", wantStats, gotStats)
+	}
+	runs, err := e2.Runs(tasks[1].ID)
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("Runs = %v, %v", runs, err)
+	}
+	if runs[0].ID != run3.ID || runs[0].Answer != "maybe" ||
+		!runs[0].Assigned.Equal(run3.Assigned) || !runs[0].Finished.Equal(run3.Finished) {
+		t.Fatalf("run diverged: before %+v, after %+v", run3, runs[0])
+	}
+
+	// Recovered scheduler state: completed task 0 is retired (a third
+	// answer is rejected), task 1 still schedulable but not for w1.
+	if _, err := e2.Submit(tasks[0].ID, "w3", "x"); !errors.Is(err, ErrTaskCompleted) {
+		t.Fatalf("retired task accepted an answer after recovery: %v", err)
+	}
+	if _, err := e2.Submit(tasks[1].ID, "w1", "again"); !errors.Is(err, ErrDuplicateAnswer) {
+		t.Fatalf("duplicate answer accepted after recovery: %v", err)
+	}
+	if _, err := e2.RequestTask(p.ID, "spammer"); !errors.Is(err, ErrWorkerBanned) {
+		t.Fatalf("ban lost after recovery: %v", err)
+	}
+	// Depth-first strategy survived: task 1 (one answer) beats the
+	// untouched tasks for a fresh worker.
+	task, err := e2.RequestTask(p.ID, "w9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.ID != tasks[1].ID {
+		t.Fatalf("strategy lost: w9 got task %d, want %d", task.ID, tasks[1].ID)
+	}
+
+	// The restarted engine keeps journaling: new work lands after the
+	// recovered sequence, with ids continuing where the dead server's
+	// stopped.
+	more, err := e2.AddTasks(p.ID, []TaskSpec{{ExternalID: "row-new"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more[0].ID <= tasks[len(tasks)-1].ID {
+		t.Fatalf("task id regressed after recovery: %d", more[0].ID)
+	}
+}
+
+// TestJournalIdempotentPublish: the paper's client-side crash-and-rerun
+// (republish by ExternalID) composes with platform recovery — a rerun
+// against a recovered server creates nothing new.
+func TestJournalIdempotentPublish(t *testing.T) {
+	dir := t.TempDir()
+	specs := []TaskSpec{{ExternalID: "k1"}, {ExternalID: "k2"}}
+
+	db, j := openTestJournal(t, dir, false)
+	e1, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e1.EnsureProject(ProjectSpec{Name: "p", Redundancy: 1})
+	first, _ := e1.AddTasks(p.ID, specs)
+	db.Close()
+
+	db2, j2 := openTestJournal(t, dir, false)
+	defer db2.Close()
+	e2, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := e2.EnsureProject(ProjectSpec{Name: "p", Redundancy: 1})
+	if p2.ID != p.ID {
+		t.Fatalf("project re-created after recovery: %+v", p2)
+	}
+	again, _ := e2.AddTasks(p2.ID, specs)
+	for i := range first {
+		if again[i].ID != first[i].ID {
+			t.Fatalf("republish created duplicates: %v vs %v", again[i].ID, first[i].ID)
+		}
+	}
+	if n := j2.Len(); n != j.Len() {
+		t.Fatalf("idempotent republish appended events: %d vs %d", n, j.Len())
+	}
+}
+
+// TestOpenJournalPosition: the gallop/binary-search append-position probe
+// lands on the exact event count for a range of journal lengths.
+func TestOpenJournalPosition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 31, 64, 100} {
+		dir := t.TempDir()
+		db, j := openTestJournal(t, dir, false)
+		for i := 0; i < n; i++ {
+			if err := j.Append(Event{Op: OpBan, ProjectID: 1, Worker: fmt.Sprintf("w%d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Close()
+
+		db2, j2 := openTestJournal(t, dir, false)
+		if got := j2.Len(); got != uint64(n) {
+			t.Fatalf("n=%d: recovered journal length %d", n, got)
+		}
+		// Appends continue without clobbering existing events.
+		if err := j2.Append(Event{Op: OpBan, ProjectID: 1, Worker: "tail"}); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		if err := j2.Replay(func(Event) error { count++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if count != n+1 {
+			t.Fatalf("n=%d: replay saw %d events, want %d", n, count, n+1)
+		}
+		db2.Close()
+	}
+}
+
+// TestVirtualClockAdvancesPastReplay: recovering under a fresh virtual
+// clock (which restarts at its epoch) must not mint timestamps that
+// duplicate or precede replayed ones — the clock is advanced past the
+// newest persisted instant, preserving the total order lineage needs.
+func TestVirtualClockAdvancesPastReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, j := openTestJournal(t, dir, false)
+	e1, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e1.EnsureProject(ProjectSpec{Name: "p", Redundancy: 2})
+	tasks, _ := e1.AddTasks(p.ID, []TaskSpec{{ExternalID: "a"}, {ExternalID: "b"}})
+	run, err := e1.Submit(tasks[0].ID, "w1", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, j2 := openTestJournal(t, dir, false)
+	defer db2.Close()
+	e2, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := e2.AddTasks(p.ID, []TaskSpec{{ExternalID: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !more[0].Created.After(run.Finished) {
+		t.Fatalf("post-recovery timestamp %v not after replayed horizon %v",
+			more[0].Created, run.Finished)
+	}
+	run2, err := e2.Submit(tasks[1].ID, "w1", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run2.Finished.After(more[0].Created) {
+		t.Fatalf("timestamps not strictly increasing after recovery: %v then %v",
+			more[0].Created, run2.Finished)
+	}
+}
+
+// TestEngineLeaseTTLOption: EngineOptions.LeaseTTL reaches the scheduler —
+// a lease blocks a redundancy-1 task until the TTL passes, then the task
+// is reclaimed and reassignable.
+func TestEngineLeaseTTLOption(t *testing.T) {
+	clock := vclock.NewVirtual()
+	e, err := NewEngineOpts(EngineOptions{Clock: clock, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e.EnsureProject(ProjectSpec{Name: "p", Redundancy: 1})
+	e.AddTasks(p.ID, []TaskSpec{{ExternalID: "t"}})
+	if _, err := e.RequestTask(p.ID, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RequestTask(p.ID, "w2"); !errors.Is(err, ErrNoTask) {
+		t.Fatalf("leased redundancy-1 task handed out twice: %v", err)
+	}
+	clock.Sleep(2 * time.Minute)
+	task, err := e.RequestTask(p.ID, "w2")
+	if err != nil {
+		t.Fatalf("expired lease not reclaimed: %v", err)
+	}
+	if _, err := e.Submit(task.ID, "w2", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Retirement cleared all scheduler state (the seed's lease leak).
+	st, err := e.QueueStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingTasks != 0 || st.ActiveLeases != 0 || st.AnsweredEntries != 0 {
+		t.Fatalf("retired task left scheduler state: %+v", st)
+	}
+}

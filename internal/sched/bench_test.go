@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// The scan→heap claim: at 10k+ open tasks the heap scheduler must beat the
+// seed engine's per-request linear scan. BenchmarkAcquire_LinearScan10k
+// reproduces the seed's scan (the old Engine.RequestTask loop body) over
+// the same workload so the two are directly comparable:
+//
+//	go test -bench 'Acquire.*10k' ./internal/sched/
+
+func benchScheduler(nTasks int) (*Scheduler, *vclock.Virtual) {
+	clock := vclock.NewVirtual()
+	s := New(clock, Options{LeaseTTL: time.Hour})
+	s.AddProject(1, BreadthFirst)
+	for i := 0; i < nTasks; i++ {
+		s.AddTask(1, int64(i+1), float64(i%5), 1<<30) // effectively never retires
+	}
+	return s, clock
+}
+
+func benchmarkAcquire(b *testing.B, nTasks int) {
+	s, _ := benchScheduler(nTasks)
+	workers := make([]string, 100)
+	for i := range workers {
+		workers[i] = fmt.Sprintf("w-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := workers[i%len(workers)]
+		id, _, err := s.Acquire(1, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Release so the next iteration exercises the heap assignment
+		// path rather than the O(1) lease-reconnect fast path.
+		s.Release(1, id, w)
+	}
+}
+
+func BenchmarkAcquire_Heap1k(b *testing.B)  { benchmarkAcquire(b, 1_000) }
+func BenchmarkAcquire_Heap10k(b *testing.B) { benchmarkAcquire(b, 10_000) }
+func BenchmarkAcquire_Heap50k(b *testing.B) { benchmarkAcquire(b, 50_000) }
+
+// scanTask mirrors the fields the seed engine's linear scan consulted.
+type scanTask struct {
+	id       int64
+	priority float64
+	answers  int
+}
+
+// benchmarkLinearScan is the seed's RequestTask inner loop: visit every
+// task of the project, keep the best per (answers, priority, id).
+func benchmarkLinearScan(b *testing.B, nTasks int) {
+	tasks := make([]*scanTask, nTasks)
+	for i := range tasks {
+		tasks[i] = &scanTask{id: int64(i + 1), priority: float64(i % 5)}
+	}
+	better := func(a, t *scanTask) bool {
+		if a.answers != t.answers {
+			return a.answers < t.answers
+		}
+		if a.priority != t.priority {
+			return a.priority > t.priority
+		}
+		return a.id < t.id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var best *scanTask
+		for _, t := range tasks {
+			if best == nil || better(t, best) {
+				best = t
+			}
+		}
+		if best == nil {
+			b.Fatal("no task")
+		}
+	}
+}
+
+func BenchmarkAcquire_LinearScan1k(b *testing.B)  { benchmarkLinearScan(b, 1_000) }
+func BenchmarkAcquire_LinearScan10k(b *testing.B) { benchmarkLinearScan(b, 10_000) }
+func BenchmarkAcquire_LinearScan50k(b *testing.B) { benchmarkLinearScan(b, 50_000) }
+
+// BenchmarkLifecycle10k measures a full add→acquire→complete sweep that
+// actually drains the queue, exercising heap fix-up and retirement.
+func BenchmarkLifecycle10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clock := vclock.NewVirtual()
+		s := New(clock, Options{LeaseTTL: time.Hour})
+		s.AddProject(1, BreadthFirst)
+		for t := int64(1); t <= 10_000; t++ {
+			s.AddTask(1, t, 0, 1)
+		}
+		b.StartTimer()
+		for t := 0; t < 10_000; t++ {
+			id, _, err := s.Acquire(1, "w")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Complete(1, id, "w", clock.Now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

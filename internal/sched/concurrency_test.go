@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestConcurrentAcquireComplete hammers one scheduler from many goroutines
+// across several projects (run under -race). Invariants checked:
+// every task collects exactly its redundancy of answers, no worker answers
+// a task twice, and the scheduler ends empty.
+func TestConcurrentAcquireComplete(t *testing.T) {
+	const (
+		projects   = 8
+		tasksPer   = 50
+		redundancy = 3
+		workers    = 12
+	)
+	clock := vclock.NewWall()
+	s := New(clock, Options{Shards: 4, LeaseTTL: time.Hour})
+	for p := int64(1); p <= projects; p++ {
+		s.AddProject(p, BreadthFirst)
+		for i := int64(0); i < tasksPer; i++ {
+			if err := s.AddTask(p, p*1000+i, 0, redundancy); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		answers = make(map[int64]map[string]bool) // task → workers
+		retired atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("w%d", w)
+			for p := int64(1); p <= projects; p++ {
+				for {
+					id, _, err := s.Acquire(p, worker)
+					if errors.Is(err, ErrNoTask) {
+						break
+					}
+					if err != nil {
+						t.Errorf("Acquire: %v", err)
+						return
+					}
+					res, err := s.Complete(p, id, worker, clock.Now)
+					if errors.Is(err, ErrDuplicate) || errors.Is(err, ErrUnknownTask) {
+						// Lost a race to other workers; move on.
+						continue
+					}
+					if err != nil {
+						t.Errorf("Complete: %v", err)
+						return
+					}
+					mu.Lock()
+					if answers[id] == nil {
+						answers[id] = make(map[string]bool)
+					}
+					if answers[id][worker] {
+						t.Errorf("worker %s answered task %d twice", worker, id)
+					}
+					answers[id][worker] = true
+					mu.Unlock()
+					if res.Retired {
+						retired.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := retired.Load(), int64(projects*tasksPer); got != want {
+		t.Fatalf("retired %d tasks, want %d", got, want)
+	}
+	for id, ws := range answers {
+		if len(ws) != redundancy {
+			t.Errorf("task %d got %d answers, want %d", id, len(ws), redundancy)
+		}
+	}
+	for p := int64(1); p <= projects; p++ {
+		st, err := s.Stats(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != (QueueStats{}) {
+			t.Errorf("project %d not fully drained: %+v", p, st)
+		}
+	}
+}
+
+// TestConcurrentAddAndAcquire races task publication against assignment.
+func TestConcurrentAddAndAcquire(t *testing.T) {
+	clock := vclock.NewWall()
+	s := New(clock, Options{LeaseTTL: time.Hour})
+	s.AddProject(1, DepthFirst)
+
+	const total = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < total; i++ {
+			if err := s.AddTask(1, i+1, float64(i%7), 1); err != nil {
+				t.Errorf("AddTask: %v", err)
+				return
+			}
+		}
+	}()
+	var got atomic.Int64
+	go func() {
+		defer wg.Done()
+		for got.Load() < total {
+			id, _, err := s.Acquire(1, "solo")
+			if errors.Is(err, ErrNoTask) {
+				continue // publisher not done yet
+			}
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			if _, err := s.Complete(1, id, "solo", clock.Now); err != nil {
+				t.Errorf("Complete: %v", err)
+				return
+			}
+			got.Add(1)
+		}
+	}()
+	wg.Wait()
+	st, _ := s.Stats(1)
+	if st.PendingTasks != 0 {
+		t.Fatalf("left %d pending tasks", st.PendingTasks)
+	}
+}

@@ -13,6 +13,22 @@
 //   - crowdsourced operators: joins, sort, max, filter, count (internal/ops)
 //   - lineage queries (internal/lineage)
 //
+// # Task scheduling
+//
+// Task assignment — the role PyBossa's scheduler played for the original
+// system — is owned by internal/sched: each project has a heap-indexed
+// priority queue (breadth- or depth-first on answer count, then priority,
+// then task id), projects are striped across shard locks so concurrent
+// projects never contend, and every assignment is a lease with a TTL on
+// the injected clock. Expired leases are reclaimed so abandoned tasks
+// become assignable again, and a task that reaches its redundancy is
+// retired from the scheduler entirely. The platform engine can
+// additionally journal every mutation to an internal/storage
+// write-ahead log (platform.Journal + platform.EngineOptions), which is
+// how the reprowd-server binary survives a kill -9 with its task and
+// run state intact — the paper's crash-and-rerun guarantee extended
+// from the client library to the platform side.
+//
 // # Quickstart
 //
 // The paper's Figure 2 — label three images with majority vote — looks
@@ -44,6 +60,7 @@ import (
 	"repro/internal/lineage"
 	"repro/internal/platform"
 	"repro/internal/quality"
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -105,9 +122,27 @@ type (
 	PlatformHTTPClient = platform.HTTPClient
 )
 
+// PlatformEngineOptions configure NewPlatformEngineOpts (lease TTL,
+// scheduler shards, write-ahead journal).
+type PlatformEngineOptions = platform.EngineOptions
+
+// PlatformJournal is the platform's write-ahead log on the embedded store.
+type PlatformJournal = platform.Journal
+
 // NewPlatformEngine creates an in-process platform. A nil clock uses a
 // virtual clock.
 func NewPlatformEngine(clock vclock.Clock) *PlatformEngine { return platform.NewEngine(clock) }
+
+// NewPlatformEngineOpts creates an in-process platform with explicit
+// scheduling/persistence options, replaying the journal if one is set.
+func NewPlatformEngineOpts(opts PlatformEngineOptions) (*PlatformEngine, error) {
+	return platform.NewEngineOpts(opts)
+}
+
+// OpenPlatformJournal binds a platform write-ahead log to db.
+func OpenPlatformJournal(db *storage.DB) (*PlatformJournal, error) {
+	return platform.OpenJournal(db)
+}
 
 // NewPlatformServer wraps an engine in an http.Handler.
 func NewPlatformServer(e *PlatformEngine) *PlatformServer { return platform.NewServer(e) }
