@@ -1,10 +1,14 @@
 // Command reprowd-bench runs the reproduction's experiment suite (E1–E10
-// in DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
+// in DESIGN.md, plus E11 for the journal group-commit pipeline) and
+// prints the tables recorded in EXPERIMENTS.md. Experiments with
+// machine-readable output (E11's concurrent-submit scenario →
+// BENCH_submit.json) write it to -out.
 //
 // Usage:
 //
 //	reprowd-bench                 # run everything at full scale
 //	reprowd-bench -exp e4,e5      # selected experiments
+//	reprowd-bench -exp e11        # concurrent submit × sync policy, emits BENCH_submit.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
 package main
@@ -20,13 +24,14 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 		seed    = flag.Int64("seed", 20160903, "simulation seed")
 		quick   = flag.Bool("quick", false, "run reduced workloads")
+		outDir  = flag.String("out", ".", "directory for machine-readable results (BENCH_*.json)")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Quick: *quick}
+	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *outDir}
 
 	var ids []string
 	if *expFlag == "all" {

@@ -370,6 +370,94 @@ func TestDrainSkipsBannedWorkers(t *testing.T) {
 	}
 }
 
+// TestDrainDropoutReclaim is the lease-TTL acceptance test for the
+// dropout model: workers that request tasks and vanish leave leases
+// behind, and the remaining (patient) workers must wait out the TTL, get
+// the reclaimed slots, and still finish every task.
+func TestDrainDropoutReclaim(t *testing.T) {
+	clock := vclock.NewVirtual()
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{
+		Clock:    clock,
+		LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProject(t, engine, 1, 6)
+	// 3 certain dropouts grab leases and vanish; 2 reliable workers must
+	// reclaim those slots after the one-minute TTL.
+	pool := NewPool(42, clock,
+		Spec{Count: 3, Model: Perfect{}, Prefix: "ghost", Dropout: 1},
+		Spec{Count: 2, Model: Perfect{}, Prefix: "solid"},
+	)
+	stats, err := pool.Drain(engine, p.ID, labelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropouts != 3 {
+		t.Fatalf("dropouts = %d, want 3 (one per ghost)", stats.Dropouts)
+	}
+	for w, n := range stats.PerWorker {
+		if n > 0 && w[:5] == "ghost" {
+			t.Fatalf("dropout worker %s submitted %d answers", w, n)
+		}
+	}
+	if stats.Answers != 6 {
+		t.Fatalf("answers = %d, want 6 (all tasks finished after reclaim)", stats.Answers)
+	}
+	st, _ := engine.Stats(p.ID)
+	if st.CompletedTasks != 6 {
+		t.Fatalf("completed = %d, want 6", st.CompletedTasks)
+	}
+	// Reclaim really was needed: the drain had to outlive the lease TTL.
+	if stats.SimulatedWall < time.Minute {
+		t.Fatalf("drain finished in %v, before any lease could expire", stats.SimulatedWall)
+	}
+	qs, err := engine.QueueStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.PendingTasks != 0 || qs.ActiveLeases != 0 || qs.AnsweredEntries != 0 {
+		t.Fatalf("drain left scheduler state behind: %+v", qs)
+	}
+}
+
+// TestDrainDropoutDeterministic: the dropout path (including retry
+// scheduling) stays reproducible from the seed.
+func TestDrainDropoutDeterministic(t *testing.T) {
+	run := func() string {
+		clock := vclock.NewVirtual()
+		engine, err := platform.NewEngineOpts(platform.EngineOptions{
+			Clock:    clock,
+			LeaseTTL: 2 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := newProject(t, engine, 2, 8)
+		pool := NewPool(7, clock,
+			Spec{Count: 4, Model: Uniform{P: 0.8}, Prefix: "flaky", Dropout: 0.3},
+			Spec{Count: 2, Model: Perfect{}, Prefix: "solid"},
+		)
+		stats, err := pool.Drain(engine, p.ID, labelOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := fmt.Sprintf("answers=%d dropouts=%d;", stats.Answers, stats.Dropouts)
+		tasks, _ := engine.Tasks(p.ID)
+		for _, task := range tasks {
+			runs, _ := engine.Runs(task.ID)
+			for _, r := range runs {
+				out += fmt.Sprintf("%d:%s=%s@%s;", task.ID, r.WorkerID, r.Answer, r.Finished)
+			}
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("dropout drain not deterministic:\n%s\n%s", a, b)
+	}
+}
+
 // TestDrainUnderShortLeaseTTL drains against the sched subsystem's lease
 // semantics with a TTL shorter than every worker's think time: each lease
 // is technically past its deadline by the time the answer arrives, but an

@@ -20,7 +20,15 @@ type Worker struct {
 	// leaving (0 = unlimited). Real crowd workers do a handful of tasks
 	// and move on; this models that churn.
 	MaxTasks int
-	rng      *rand.Rand
+	// Dropout is the probability (per assignment, drawn from the
+	// worker's seeded rng) that the worker requests a task and then
+	// leaves the drain without submitting — the churn case PyBossa-style
+	// platforms see constantly. The abandoned lease stays outstanding
+	// until the scheduler's TTL reclaims it, so a pool with dropout
+	// exercises TTL reclaim under load (remaining workers wait out the
+	// expiry; see Drain).
+	Dropout float64
+	rng     *rand.Rand
 }
 
 // Spec describes a homogeneous group of workers to add to a pool.
@@ -36,6 +44,9 @@ type Spec struct {
 	Prefix string
 	// MaxTasks caps answers per worker per Drain (0 = unlimited).
 	MaxTasks int
+	// Dropout is each worker's probability of abandoning an assignment
+	// (request, never submit); see Worker.Dropout.
+	Dropout float64
 }
 
 // Pool is a set of simulated workers that can drain platform projects.
@@ -68,6 +79,7 @@ func NewPool(seed int64, clock vclock.Clock, specs ...Spec) *Pool {
 				Model:    s.Model,
 				Latency:  lat,
 				MaxTasks: s.MaxTasks,
+				Dropout:  s.Dropout,
 				rng:      rand.New(rand.NewSource(master.Int63())),
 			})
 		}
@@ -84,6 +96,9 @@ type DrainStats struct {
 	Answers int
 	// PerWorker counts answers by worker id.
 	PerWorker map[string]int
+	// Dropouts counts assignments abandoned by dropout workers (the
+	// lease was taken and never submitted against).
+	Dropouts int
 	// SimulatedWall is the simulated time from first assignment to last
 	// submission.
 	SimulatedWall time.Duration
@@ -108,6 +123,28 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(workerEvent)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
+// Patience of workers waiting out other workers' abandoned leases: when
+// the pool contains dropout workers, a worker finding no eligible task
+// retries every noTaskRetry of simulated time, up to maxIdleRetries
+// consecutive failures, so that leases expiring under the scheduler's TTL
+// are reclaimed instead of stranding tasks. Pools without dropout keep
+// the original leave-on-first-ErrNoTask behavior (and its exact event
+// sequence).
+const (
+	noTaskRetry    = 30 * time.Second
+	maxIdleRetries = 240 // 2 simulated hours of patience
+)
+
+// hasDropout reports whether any worker can abandon assignments.
+func (p *Pool) hasDropout() bool {
+	for _, w := range p.Workers {
+		if w.Dropout > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Drain runs the pool against a project until no worker can get another
 // task: every task either reached its redundancy or has been answered by
 // every worker. The simulation is event-driven — the worker who becomes
@@ -119,6 +156,8 @@ func (p *Pool) Drain(client platform.Client, projectID int64, oracle Oracle) (Dr
 		return stats, nil
 	}
 	virt, _ := p.clock.(*vclock.Virtual)
+	patient := p.hasDropout()
+	idle := make([]int, len(p.Workers)) // consecutive fruitless requests
 
 	start := p.clock.Now()
 	var h eventHeap
@@ -136,11 +175,28 @@ func (p *Pool) Drain(client platform.Client, projectID int64, oracle Oracle) (Dr
 			virt.AdvanceTo(ev.at)
 		}
 		task, err := client.RequestTask(projectID, w.ID)
-		if errors.Is(err, platform.ErrNoTask) || errors.Is(err, platform.ErrWorkerBanned) {
-			continue // worker exhausted or banned; do not requeue
+		if errors.Is(err, platform.ErrNoTask) {
+			// Nothing eligible right now. A patient pool waits for
+			// abandoned leases to expire and be reclaimed; otherwise the
+			// worker leaves.
+			if patient && idle[ev.idx] < maxIdleRetries {
+				idle[ev.idx]++
+				heap.Push(&h, workerEvent{at: ev.at.Add(noTaskRetry), idx: ev.idx})
+			}
+			continue
+		}
+		if errors.Is(err, platform.ErrWorkerBanned) {
+			continue // banned; do not requeue
 		}
 		if err != nil {
 			return stats, fmt.Errorf("crowd: worker %s request: %w", w.ID, err)
+		}
+		idle[ev.idx] = 0
+		if w.Dropout > 0 && w.rng.Float64() < w.Dropout {
+			// The worker abandons the assignment and walks away; its
+			// lease stays outstanding until the scheduler reclaims it.
+			stats.Dropouts++
+			continue
 		}
 		think := w.Latency.Draw(w.rng)
 		if think < 0 {

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// E11GroupCommit measures the journal's group-commit pipeline: concurrent
+// submit throughput per (sync policy × goroutine count), with the fsync
+// amortization the batching buys. Under -sync always the single-writer
+// case pays one fsync per run; with G submitters the committer folds a
+// whole group into one flush, so throughput scales with how many events
+// share each disk write rather than with disk latency alone.
+//
+// With Config.OutDir set, the rows are also written as
+// BENCH_submit.json for the perf trajectory.
+func E11GroupCommit(cfg Config) (Result, error) {
+	nRuns := 2000
+	if cfg.Quick {
+		nRuns = 160
+	}
+	res := Result{
+		ID:      "E11",
+		Title:   "journal group commit — concurrent submit throughput",
+		Headers: []string{"sync", "goroutines", "runs", "wall time", "rate", "fsyncs", "events/flush"},
+	}
+
+	type record struct {
+		Sync        string  `json:"sync"`
+		Goroutines  int     `json:"goroutines"`
+		Runs        int     `json:"runs"`
+		WallSeconds float64 `json:"wall_seconds"`
+		OpsPerSec   float64 `json:"ops_per_sec"`
+		Fsyncs      uint64  `json:"fsyncs"`
+		Flushes     uint64  `json:"flushes"`
+		MeanFlush   float64 `json:"mean_flush_events"`
+	}
+	var records []record
+
+	policies := []struct {
+		name string
+		p    storage.SyncPolicy
+	}{{"always", storage.SyncAlways}, {"batch", storage.SyncBatch}, {"never", storage.SyncNever}}
+	if cfg.Quick {
+		policies = policies[:1] // the fsync-bound case is the one that matters
+	}
+
+	for _, pol := range policies {
+		for _, workers := range []int{1, 8} {
+			rec, err := runSubmitScenario(pol.name, pol.p, workers, nRuns)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, []string{
+				rec.Sync, itoa(rec.Goroutines), itoa(rec.Runs),
+				(time.Duration(rec.WallSeconds * float64(time.Second))).Round(time.Microsecond).String(),
+				fmt.Sprintf("%.0f ops/s", rec.OpsPerSec),
+				fmt.Sprintf("%d", rec.Fsyncs),
+				fmt.Sprintf("%.1f", rec.MeanFlush),
+			})
+			records = append(records, record{
+				Sync: rec.Sync, Goroutines: rec.Goroutines, Runs: rec.Runs,
+				WallSeconds: rec.WallSeconds, OpsPerSec: rec.OpsPerSec,
+				Fsyncs: rec.Fsyncs, Flushes: rec.Flushes, MeanFlush: rec.MeanFlush,
+			})
+		}
+	}
+
+	res.Notes = append(res.Notes,
+		"group commit amortizes one fsync over a whole flush group; under sync=always the 8-goroutine row must show fsyncs « runs")
+	if cfg.OutDir != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		path := filepath.Join(cfg.OutDir, "BENCH_submit.json")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			return res, err
+		}
+		res.Notes = append(res.Notes, "wrote "+path)
+	}
+	return res, nil
+}
+
+// submitResult is one scenario's measurement.
+type submitResult struct {
+	Sync        string
+	Goroutines  int
+	Runs        int
+	WallSeconds float64
+	OpsPerSec   float64
+	Fsyncs      uint64
+	Flushes     uint64
+	MeanFlush   float64
+}
+
+// runSubmitScenario drives nRuns submissions through a journaled engine
+// from `workers` goroutines, each submitting to its own slice of tasks
+// (redundancy 1, so every submission is an accept).
+func runSubmitScenario(polName string, pol storage.SyncPolicy, workers, nRuns int) (submitResult, error) {
+	out := submitResult{Sync: polName, Goroutines: workers, Runs: nRuns}
+	dir, err := os.MkdirTemp("", "reprowd-e11-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := storage.Open(dir, storage.Options{Sync: pol})
+	if err != nil {
+		return out, err
+	}
+	defer db.Close()
+	journal, err := platform.OpenJournal(db)
+	if err != nil {
+		return out, err
+	}
+	defer journal.Close()
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{
+		Clock:   vclock.NewWall(),
+		Journal: journal,
+	})
+	if err != nil {
+		return out, err
+	}
+	p, err := engine.EnsureProject(platform.ProjectSpec{Name: "e11", Redundancy: 1})
+	if err != nil {
+		return out, err
+	}
+	specs := make([]platform.TaskSpec, nRuns)
+	for i := range specs {
+		specs[i] = platform.TaskSpec{ExternalID: fmt.Sprintf("t-%d", i)}
+	}
+	tasks, err := engine.AddTasks(p.ID, specs)
+	if err != nil {
+		return out, err
+	}
+
+	// Count only submission traffic, not setup.
+	preSyncs := db.Stats().Syncs
+	preFlushes := journal.Stats()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	per := nRuns / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("w-%d", w)
+			lo, hi := w*per, (w+1)*per
+			if w == workers-1 {
+				hi = nRuns
+			}
+			for i := lo; i < hi; i++ {
+				if _, err := engine.Submit(tasks[i].ID, worker, "yes"); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+
+	js := journal.Stats()
+	out.WallSeconds = wall.Seconds()
+	out.OpsPerSec = float64(nRuns) / wall.Seconds()
+	out.Fsyncs = db.Stats().Syncs - preSyncs
+	out.Flushes = js.Flushes - preFlushes.Flushes
+	if out.Flushes > 0 {
+		out.MeanFlush = float64(js.FlushedEvents-preFlushes.FlushedEvents) / float64(out.Flushes)
+	}
+	return out, nil
+}

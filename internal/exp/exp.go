@@ -23,6 +23,10 @@ type Config struct {
 	Seed int64
 	// Quick shrinks workloads for use inside unit tests and smoke runs.
 	Quick bool
+	// OutDir, when non-empty, is where experiments drop machine-readable
+	// result files (e.g. E11's BENCH_submit.json). Empty writes nothing —
+	// unit tests must not litter the working directory.
+	OutDir string
 }
 
 // Result is one experiment's output table.
@@ -93,6 +97,7 @@ var registry = map[string]runner{
 	"e8":  E8PlatformBindings,
 	"e9":  E9SortMax,
 	"e10": E10Turkit,
+	"e11": E11GroupCommit,
 }
 
 // IDs lists the registered experiment ids in order.

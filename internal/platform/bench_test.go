@@ -3,8 +3,10 @@ package platform
 import (
 	"fmt"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -73,6 +75,79 @@ func BenchmarkRequestSubmit_1kOpenTasks(b *testing.B) { benchRequestTask(b, 1000
 // it must beat sched's BenchmarkAcquire_LinearScan10k (the seed engine's
 // RequestTask loop body alone, over the same open task set).
 func BenchmarkRequestSubmit_10kOpenTasks(b *testing.B) { benchRequestTask(b, 10_000) }
+
+// benchSubmitJournaled measures sustained Submit throughput against a
+// SyncAlways journal — the fsync-bound path group commit exists for.
+// Tasks are pre-created with redundancy 1 and partitioned across the
+// parallel workers, so every Submit is an accepted run with exactly one
+// journal event.
+func benchSubmitJournaled(b *testing.B, parallel bool) {
+	b.Helper()
+	dir := b.TempDir()
+	db, err := storage.Open(dir, storage.Options{Sync: storage.SyncAlways})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	j, err := OpenJournal(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	engine, err := NewEngineOpts(EngineOptions{Clock: vclock.NewWall(), Journal: j})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := engine.EnsureProject(ProjectSpec{Name: "bench", Redundancy: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]TaskSpec, b.N)
+	for i := range specs {
+		specs[i] = TaskSpec{ExternalID: fmt.Sprintf("t-%d", i)}
+	}
+	tasks, err := engine.AddTasks(p.ID, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preSyncs := db.Stats().Syncs
+
+	b.ResetTimer()
+	if parallel {
+		var workerSeq, taskIdx atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			worker := fmt.Sprintf("w-%d", workerSeq.Add(1))
+			for pb.Next() {
+				i := taskIdx.Add(1) - 1 // claim each task exactly once
+				if _, err := engine.Submit(tasks[i].ID, worker, "yes"); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Submit(tasks[i].ID, "w", "yes"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	syncs := db.Stats().Syncs - preSyncs
+	b.ReportMetric(float64(syncs)/float64(b.N), "fsyncs/op")
+}
+
+// BenchmarkSubmitSerialJournaled is the degenerate group size 1: each
+// submission waits for its own flush, so it pays a full fsync — the
+// pre-group-commit cost model, kept as the comparison baseline.
+func BenchmarkSubmitSerialJournaled(b *testing.B) { benchSubmitJournaled(b, false) }
+
+// BenchmarkSubmitParallelJournaled is the acceptance benchmark for the
+// group-commit pipeline: with GOMAXPROCS(=8 in the perf trajectory)
+// submitters, concurrent runs share flushes, so ops/sec must beat the
+// serial (per-event-fsync) path by ≥5× on fsync-bound storage and
+// fsyncs/op must be « 1.
+func BenchmarkSubmitParallelJournaled(b *testing.B) { benchSubmitJournaled(b, true) }
 
 func BenchmarkAddTasks_Bulk1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {

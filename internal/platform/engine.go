@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -25,6 +26,24 @@ import (
 // returns, and NewEngineOpts replays the log on startup, so a restarted
 // server resumes with the task/run state it had when it died — the
 // paper's crash-and-rerun guarantee extended to the platform side.
+//
+// Journaled mutations run in three phases so that the registry lock is
+// never held across a disk flush (the journal group-commits, so N
+// concurrent writers share one fsync):
+//
+//  1. stage, under e.mu: validate, reserve ids and timestamps, record the
+//     in-flight intent (taskFlights/stage maps) so concurrent stagers see
+//     it, and enqueue the journal event — fixing the journal order to the
+//     stage order, which is what replay will see.
+//  2. flush, outside e.mu: wait for the committer's durability ack.
+//  3. finalize, under e.mu again: commit memory and scheduler state with
+//     the values computed at stage time. Using staged values (not
+//     whatever the scheduler would say at finalize time) keeps memory
+//     byte-identical with replay even when groups finalize out of order.
+//
+// Journal-before-commit still holds: nothing is visible to readers until
+// the event is durable, and a failed flush commits nothing (the journal
+// poisons itself, so no later event can land after a gap).
 type Engine struct {
 	mu    sync.RWMutex
 	clock vclock.Clock
@@ -46,6 +65,19 @@ type Engine struct {
 	tasks  map[int64]*Task
 	runs   map[int64][]*TaskRun      // task id → runs, submission order
 	banned map[int64]map[string]bool // project id → banned workers
+
+	// In-flight (staged, journal ack pending) intents. Stagers consult
+	// these so that two submissions racing through the flush window keep
+	// exactly the semantics they would have had fully serialized.
+	taskFlights map[int64]*taskFlight       // task id → staged submissions
+	projStages  map[string]*projectStage    // project name → staged creation
+	extStages   map[int64]map[string]*stage // project id → external id → staged AddTasks
+
+	// submitQ holds staged submissions in stage (= journal = ack) order.
+	// Whichever waiter reaches the finalize lock first commits the whole
+	// acked prefix in one hold — one registry acquisition per flush
+	// group instead of one per run.
+	submitQ []*submitCommit
 
 	// replayHorizon is the newest timestamp seen during journal replay;
 	// a virtual clock is advanced past it so post-recovery events never
@@ -101,6 +133,9 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 		tasks:          make(map[int64]*Task),
 		runs:           make(map[int64][]*TaskRun),
 		banned:         make(map[int64]map[string]bool),
+		taskFlights:    make(map[int64]*taskFlight),
+		projStages:     make(map[string]*projectStage),
+		extStages:      make(map[int64]map[string]*stage),
 	}
 	if opts.Journal != nil {
 		if err := opts.Journal.Replay(e.apply); err != nil {
@@ -130,17 +165,27 @@ func schedStrategy(s Strategy) sched.Strategy {
 	return sched.BreadthFirst
 }
 
-// journalAppend appends ev to the journal, if one is attached (during
-// replay none is yet, so recovery never re-appends). Callers hold e.mu,
-// which serializes appends in application order. Mutations append BEFORE
-// touching engine state wherever the event doesn't depend on the
-// mutation's outcome, so a failed append leaves memory and log agreeing
-// that nothing happened.
-func (e *Engine) journalAppend(ev Event) error {
-	if e.journal == nil {
-		return nil
-	}
-	return e.journal.Append(ev)
+// taskFlight tracks one task's staged-but-unflushed submissions so that
+// concurrent stagers preview the scheduler outcome as if every in-flight
+// run had already committed.
+type taskFlight struct {
+	pending  int                 // staged runs awaiting their journal ack
+	workers  map[string]struct{} // who staged them (duplicate gate)
+	retiring bool                // a staged run will complete the task
+}
+
+// stage is a generic in-flight marker other callers can wait on: done is
+// closed at finalize, after err and any result fields are set.
+type stage struct {
+	done chan struct{}
+	err  error
+}
+
+// projectStage is an in-flight EnsureProject; racers for the same name
+// wait on it and then re-read the registry.
+type projectStage struct {
+	stage
+	p *Project
 }
 
 // EnsureProject implements Client.
@@ -155,22 +200,66 @@ func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
 		spec.Strategy = BreadthFirst
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if id, ok := e.projectsByName[spec.Name]; ok {
-		return *e.projects[id], nil
+	for {
+		if id, ok := e.projectsByName[spec.Name]; ok {
+			p := *e.projects[id]
+			e.mu.Unlock()
+			return p, nil
+		}
+		st, ok := e.projStages[spec.Name]
+		if !ok {
+			break
+		}
+		// Another caller is flushing this name; adopt its outcome.
+		e.mu.Unlock()
+		<-st.done
+		if st.err != nil {
+			return Project{}, st.err
+		}
+		e.mu.Lock()
 	}
+	// Stage: reserve the id and build the record under e.mu.
+	e.nextProjectID++
 	p := &Project{
-		ID:         e.nextProjectID + 1,
+		ID:         e.nextProjectID,
 		Name:       spec.Name,
 		Presenter:  spec.Presenter,
 		Redundancy: spec.Redundancy,
 		Strategy:   spec.Strategy,
 		Created:    e.clock.Now(),
 	}
-	if err := e.journalAppend(Event{Op: OpProject, Project: p}); err != nil {
+	if e.journal == nil {
+		e.insertProject(p)
+		e.mu.Unlock()
+		return *p, nil
+	}
+	st := &projectStage{stage: stage{done: make(chan struct{})}, p: p}
+	e.projStages[spec.Name] = st
+	ticket, err := e.journal.Enqueue(Event{Op: OpProject, Project: p})
+	if err != nil {
+		delete(e.projStages, spec.Name)
+		st.err = err
+		e.mu.Unlock()
+		close(st.done)
 		return Project{}, err
 	}
-	e.insertProject(p)
+	e.mu.Unlock()
+
+	// Flush: wait for the group commit with the registry unlocked.
+	werr := ticket.Wait()
+
+	// Finalize.
+	e.mu.Lock()
+	delete(e.projStages, spec.Name)
+	if werr == nil {
+		e.insertProject(p)
+	}
+	st.err = werr
+	e.mu.Unlock()
+	close(st.done)
+	if werr != nil {
+		return Project{}, werr
+	}
 	return *p, nil
 }
 
@@ -198,16 +287,34 @@ func (e *Engine) FindProject(name string) (Project, bool, error) {
 }
 
 // AddTasks implements Client. Specs with an ExternalID already present in
-// the project map to the existing task, making publication idempotent.
+// the project map to the existing task, making publication idempotent —
+// including against a concurrent AddTasks still waiting on its journal
+// ack, which this call waits out rather than double-creating.
 func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+restage:
 	p, ok := e.projects[projectID]
 	if !ok {
+		e.mu.Unlock()
 		return nil, ErrUnknownProject
 	}
-	// Build the new tasks first, journal them, then insert — a failed
-	// append creates nothing, so log and memory stay in agreement.
+	// If another publish is in flight for any of these external ids, wait
+	// for it to settle and stage again: its tasks will then be committed
+	// (dedup hit) or rolled back (we create them).
+	if stages := e.extStages[projectID]; len(stages) > 0 {
+		for _, spec := range specs {
+			if spec.ExternalID == "" {
+				continue
+			}
+			if st, ok := stages[spec.ExternalID]; ok {
+				e.mu.Unlock()
+				<-st.done
+				e.mu.Lock()
+				goto restage
+			}
+		}
+	}
+	// Stage: build the new tasks and reserve their ids under e.mu.
 	out := make([]Task, 0, len(specs))
 	var created []*Task
 	newByExt := make(map[string]*Task)
@@ -244,19 +351,64 @@ func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
 		created = append(created, t)
 		out = append(out, *t)
 	}
-	if len(created) > 0 {
-		snap := make([]Task, len(created))
-		for i, t := range created {
-			snap[i] = *t
-		}
-		if err := e.journalAppend(Event{Op: OpTasks, ProjectID: projectID, Tasks: snap}); err != nil {
-			return nil, err
-		}
+	if len(created) == 0 {
+		e.mu.Unlock()
+		return out, nil
+	}
+	e.nextTaskID = nextID
+	snap := make([]Task, len(created))
+	for i, t := range created {
+		snap[i] = *t
+	}
+	if e.journal == nil {
+		defer e.mu.Unlock()
 		for _, t := range created {
 			if err := e.insertTask(t); err != nil {
 				return nil, err
 			}
 		}
+		return out, nil
+	}
+	st := &stage{done: make(chan struct{})}
+	for ext := range newByExt {
+		if e.extStages[projectID] == nil {
+			e.extStages[projectID] = make(map[string]*stage)
+		}
+		e.extStages[projectID][ext] = st
+	}
+	unstage := func() {
+		for ext := range newByExt {
+			delete(e.extStages[projectID], ext)
+		}
+	}
+	ticket, err := e.journal.Enqueue(Event{Op: OpTasks, ProjectID: projectID, Tasks: snap})
+	if err != nil {
+		unstage()
+		st.err = err
+		e.mu.Unlock()
+		close(st.done)
+		return nil, err
+	}
+	e.mu.Unlock()
+
+	// Flush.
+	werr := ticket.Wait()
+
+	// Finalize.
+	e.mu.Lock()
+	unstage()
+	if werr == nil {
+		for _, t := range created {
+			if ierr := e.insertTask(t); ierr != nil && werr == nil {
+				werr = ierr
+			}
+		}
+	}
+	st.err = werr
+	e.mu.Unlock()
+	close(st.done)
+	if werr != nil {
+		return nil, werr
 	}
 	return out, nil
 }
@@ -315,19 +467,122 @@ func (e *Engine) RequestTask(projectID int64, workerID string) (Task, error) {
 	return *e.tasks[taskID], nil
 }
 
-// Submit implements Client.
+// submitCommit is one staged submission riding the journal pipeline:
+// everything finalize needs, reserved at stage time.
+type submitCommit struct {
+	run      *TaskRun
+	t        *Task
+	retiring bool
+	ticket   *Ticket
+	done     chan struct{} // closed once finalized (possibly by another waiter)
+	err      error         // flush or commit failure; valid after done
+}
+
+// Submit implements Client. With a journal attached, the registry lock is
+// released while the group commit flushes: the scheduler outcome is
+// previewed and the run id reserved under e.mu (with in-flight
+// submissions counted via taskFlights, so racing previews can't
+// over-admit), the durability wait happens outside it, and memory +
+// scheduler commit only after the journal acks — whole flush groups at a
+// time, by whichever waiter gets there first.
 func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) {
 	if workerID == "" {
 		return TaskRun{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	run, t, retiring, ticket, err := e.stageSubmit(taskID, workerID, answer)
+	if err != nil {
+		e.mu.Unlock()
+		return TaskRun{}, err
+	}
+	if ticket == nil {
+		// No journal: stage and commit are one critical section.
+		err := e.commitSubmit(run, t, retiring)
+		e.mu.Unlock()
+		if err != nil {
+			return TaskRun{}, err
+		}
+		return *run, nil
+	}
+	sc := &submitCommit{run: run, t: t, retiring: retiring, ticket: ticket, done: make(chan struct{})}
+	e.submitQ = append(e.submitQ, sc)
+	e.mu.Unlock()
+
+	// Flush: block on the committer's ack with the registry unlocked;
+	// concurrent submissions pile into the same flush group.
+	ticket.Wait()
+
+	// Finalize. Our whole group acked together, so a waiter ahead of us
+	// may have committed our run already; otherwise drain the acked
+	// prefix (ours included — everything before us acked first).
+	select {
+	case <-sc.done:
+	default:
+		e.drainSubmits()
+		<-sc.done
+	}
+	if sc.err != nil {
+		return TaskRun{}, sc.err
+	}
+	return *run, nil
+}
+
+// drainSubmits finalizes every staged submission whose journal ack has
+// arrived, in stage order, under one registry lock hold. Ack order equals
+// stage order (both fixed under e.mu), so the acked entries always form a
+// prefix of submitQ and committing them in queue order reproduces exactly
+// the journal's — and therefore replay's — history.
+func (e *Engine) drainSubmits() {
+	var ready []*submitCommit
+	e.mu.Lock()
+	for len(e.submitQ) > 0 {
+		sc := e.submitQ[0]
+		select {
+		case <-sc.ticket.Done():
+		default:
+			// Not acked yet — neither is anything behind it.
+			e.mu.Unlock()
+			e.closeReady(ready)
+			return
+		}
+		e.submitQ = e.submitQ[1:]
+		e.unstageSubmit(sc.run.TaskID, sc.run.WorkerID)
+		if err := sc.ticket.Err(); err != nil {
+			sc.err = err
+		} else {
+			sc.err = e.commitSubmit(sc.run, sc.t, sc.retiring)
+		}
+		ready = append(ready, sc)
+	}
+	e.mu.Unlock()
+	e.closeReady(ready)
+}
+
+// closeReady wakes the waiters of finalized submissions.
+func (e *Engine) closeReady(ready []*submitCommit) {
+	for _, sc := range ready {
+		close(sc.done)
+	}
+}
+
+// stageSubmit validates a submission and reserves its outcome under e.mu:
+// the run id, the timestamps, and whether this run completes the task
+// (counting submissions still waiting on their journal ack). With a
+// journal it records the in-flight intent and enqueues the event —
+// under e.mu, so journal order equals stage order equals replay order.
+func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *Task, bool, *Ticket, error) {
 	t, ok := e.tasks[taskID]
 	if !ok {
-		return TaskRun{}, ErrUnknownTask
+		return nil, nil, false, nil, ErrUnknownTask
 	}
 	if e.banned[t.ProjectID][workerID] {
-		return TaskRun{}, ErrWorkerBanned
+		return nil, nil, false, nil, ErrWorkerBanned
+	}
+	fl := e.taskFlights[taskID]
+	if fl != nil {
+		if _, dup := fl.workers[workerID]; dup {
+			return nil, nil, false, nil, ErrDuplicateAnswer
+		}
 	}
 	if t.State == TaskCompleted {
 		// The scheduler has retired the task; its runs are the record of
@@ -335,14 +590,19 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		// precedence of the pre-sched engine.
 		for _, r := range e.runs[taskID] {
 			if r.WorkerID == workerID {
-				return TaskRun{}, ErrDuplicateAnswer
+				return nil, nil, false, nil, ErrDuplicateAnswer
 			}
 		}
-		return TaskRun{}, ErrTaskCompleted
+		return nil, nil, false, nil, ErrTaskCompleted
+	}
+	if fl != nil && fl.retiring {
+		// An in-flight run will retire the task; this submission
+		// semantically arrives after it.
+		return nil, nil, false, nil, ErrTaskCompleted
 	}
 
 	// The clock ticks at most once per submission, and only after
-	// validation passes — sched.Complete calls now() after its own
+	// validation passes — sched.Preview calls now() after its own
 	// duplicate check, and we reuse the memoized value below.
 	var (
 		now     time.Time
@@ -355,24 +615,27 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		}
 		return now
 	}
-	// Journal-before-commit: preview the scheduler outcome, write the run
-	// to the log, then commit. A failed append therefore changes nothing
-	// anywhere — memory, scheduler and journal all agree the submission
-	// never happened. The preview cannot go stale: completions for the
-	// task are serialized under e.mu.
 	res, err := e.sched.Preview(t.ProjectID, taskID, workerID, clockNow)
 	switch err {
 	case nil:
 	case sched.ErrDuplicate:
-		return TaskRun{}, ErrDuplicateAnswer
+		return nil, nil, false, nil, ErrDuplicateAnswer
 	case sched.ErrUnknownTask:
-		return TaskRun{}, ErrTaskCompleted
+		return nil, nil, false, nil, ErrTaskCompleted
 	default:
-		return TaskRun{}, err
+		return nil, nil, false, nil, err
 	}
+	pending := 0
+	if fl != nil {
+		pending = fl.pending
+	}
+	// res.Answers counts committed answers + this one; staged runs ahead
+	// of us will commit first (same order as the journal).
+	retiring := res.Answers+pending >= t.Redundancy
 
+	e.nextRunID++
 	run := &TaskRun{
-		ID:        e.nextRunID + 1,
+		ID:        e.nextRunID,
 		TaskID:    taskID,
 		ProjectID: t.ProjectID,
 		WorkerID:  workerID,
@@ -380,26 +643,65 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		Assigned:  res.AssignedAt,
 		Finished:  clockNow(),
 	}
-	if err := e.journalAppend(Event{Op: OpRun, Run: run}); err != nil {
-		return TaskRun{}, err
+	if e.journal == nil {
+		return run, t, retiring, nil, nil
 	}
-	if _, err := e.sched.Complete(t.ProjectID, taskID, workerID, clockNow); err != nil {
-		// Unreachable while completions hold e.mu; surface loudly rather
-		// than diverge silently from the journal.
-		return TaskRun{}, fmt.Errorf("platform: scheduler commit after journal append: %w", err)
+	if fl == nil {
+		fl = &taskFlight{workers: make(map[string]struct{})}
+		e.taskFlights[taskID] = fl
 	}
-	e.applyRun(run, t, res.Retired)
-	return *run, nil
+	fl.pending++
+	fl.workers[workerID] = struct{}{}
+	if retiring {
+		fl.retiring = true
+	}
+	ticket, err := e.journal.Enqueue(Event{Op: OpRun, Run: run})
+	if err != nil {
+		e.unstageSubmit(taskID, workerID)
+		return nil, nil, false, nil, err
+	}
+	return run, t, retiring, ticket, nil
 }
 
-// applyRun records a completed run against its task. Callers hold e.mu.
+// unstageSubmit drops a staged submission's in-flight marker. Callers
+// hold e.mu.
+func (e *Engine) unstageSubmit(taskID int64, workerID string) {
+	fl := e.taskFlights[taskID]
+	if fl == nil {
+		return
+	}
+	fl.pending--
+	delete(fl.workers, workerID)
+	if fl.pending <= 0 {
+		delete(e.taskFlights, taskID)
+	}
+}
+
+// commitSubmit applies a staged submission to the scheduler and the
+// registry, using the values reserved at stage time. Callers hold e.mu.
+func (e *Engine) commitSubmit(run *TaskRun, t *Task, retiring bool) error {
+	if _, err := e.sched.Complete(t.ProjectID, run.TaskID, run.WorkerID,
+		func() time.Time { return run.Finished }); err != nil {
+		// Unreachable while staging gates admissions; surface loudly
+		// rather than diverge silently from the journal.
+		return fmt.Errorf("platform: scheduler commit after journal append: %w", err)
+	}
+	e.applyRun(run, t, retiring)
+	return nil
+}
+
+// applyRun records a completed run against its task. retired must be the
+// verdict of the run's own admission (staged preview, or sched.Complete
+// on replay) — runs in one flush group can finalize out of order, and
+// only the staged-retiring run carries the completion timestamp replay
+// will reproduce. Callers hold e.mu.
 func (e *Engine) applyRun(run *TaskRun, t *Task, retired bool) {
 	e.runs[run.TaskID] = append(e.runs[run.TaskID], run)
 	if run.ID > e.nextRunID {
 		e.nextRunID = run.ID
 	}
 	t.NumAnswers++
-	if retired || t.NumAnswers >= t.Redundancy {
+	if retired {
 		t.State = TaskCompleted
 		t.Completed = run.Finished
 	}
@@ -476,6 +778,40 @@ func (e *Engine) QueueStats(projectID int64) (sched.QueueStats, error) {
 	return st, err
 }
 
+// PlatformStats is the platform-wide view the stats endpoint serves:
+// registry sizes plus, when a journal is attached, the group-commit
+// pipeline's counters and the backing store's.
+type PlatformStats struct {
+	Projects int `json:"projects"`
+	Tasks    int `json:"tasks"`
+	Runs     int `json:"runs"`
+	// Journal and Storage are nil for an in-memory engine.
+	Journal *JournalStats  `json:"journal,omitempty"`
+	Storage *storage.Stats `json:"storage,omitempty"`
+}
+
+// PlatformStats summarizes the whole engine. (Engine-only helper,
+// surfaced by the REST server's GET /api/stats.)
+func (e *Engine) PlatformStats() PlatformStats {
+	e.mu.RLock()
+	st := PlatformStats{
+		Projects: len(e.projects),
+		Tasks:    len(e.tasks),
+	}
+	for _, runs := range e.runs {
+		st.Runs += len(runs)
+	}
+	j := e.journal
+	e.mu.RUnlock()
+	if j != nil {
+		js := j.Stats()
+		ss := j.StorageStats()
+		st.Journal = &js
+		st.Storage = &ss
+	}
+	return st
+}
+
 // taskWithProject fetches a task and its project in one lock acquisition
 // (used by the preview route).
 func (e *Engine) taskWithProject(taskID int64) (Task, Project, error) {
@@ -497,14 +833,28 @@ func (e *Engine) BanWorker(projectID int64, workerID string) error {
 		return fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.projects[projectID]; !ok {
+		e.mu.Unlock()
 		return ErrUnknownProject
 	}
-	if err := e.journalAppend(Event{Op: OpBan, ProjectID: projectID, Worker: workerID}); err != nil {
+	if e.journal == nil {
+		e.applyBan(projectID, workerID)
+		e.mu.Unlock()
+		return nil
+	}
+	ticket, err := e.journal.Enqueue(Event{Op: OpBan, ProjectID: projectID, Worker: workerID})
+	e.mu.Unlock()
+	if err != nil {
 		return err
 	}
+	// The ban takes effect when durable; submissions staged before it in
+	// the journal land first, exactly as replay will see them.
+	if err := ticket.Wait(); err != nil {
+		return err
+	}
+	e.mu.Lock()
 	e.applyBan(projectID, workerID)
+	e.mu.Unlock()
 	return nil
 }
 

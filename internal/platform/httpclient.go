@@ -138,6 +138,14 @@ func (c *HTTPClient) Stats(projectID int64) (ProjectStats, error) {
 	return st, err
 }
 
+// PlatformStats fetches the server-wide journal/storage counters.
+// (Engine-extra, like QueueStats; not part of the Client interface.)
+func (c *HTTPClient) PlatformStats() (PlatformStats, error) {
+	var st PlatformStats
+	err := c.do(http.MethodGet, "/api/stats", nil, &st)
+	return st, err
+}
+
 // BanWorker implements Client.
 func (c *HTTPClient) BanWorker(projectID int64, workerID string) error {
 	return c.do(http.MethodPost, fmt.Sprintf("/api/projects/%d/ban", projectID),

@@ -18,6 +18,7 @@ import (
 //	POST /api/projects/{id}/newtask   → RequestTask   (?worker=W)
 //	GET  /api/projects/{id}/stats     → Stats
 //	GET  /api/projects/{id}/queue     → QueueStats (scheduler queue depth/leases)
+//	GET  /api/stats                   → PlatformStats (journal + storage counters)
 //	POST /api/tasks/{id}/runs         → Submit        (body: worker, answer)
 //	GET  /api/tasks/{id}/runs         → Runs
 type Server struct {
@@ -36,6 +37,7 @@ func NewServer(engine *Engine) *Server {
 	s.mux.HandleFunc("POST /api/projects/{id}/newtask", s.handleNewTask)
 	s.mux.HandleFunc("GET /api/projects/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/projects/{id}/queue", s.handleQueueStats)
+	s.mux.HandleFunc("GET /api/stats", s.handlePlatformStats)
 	s.mux.HandleFunc("POST /api/tasks/{id}/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/tasks/{id}/runs", s.handleRuns)
 	s.mux.HandleFunc("POST /api/projects/{id}/ban", s.handleBan)
@@ -228,6 +230,13 @@ func (s *Server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, st)
+}
+
+// handlePlatformStats surfaces the journal's group-commit counters and
+// the storage engine's counters — the operator's window into fsync
+// amortization (FlushedEvents/Flushes vs storage Syncs).
+func (s *Server) handlePlatformStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.engine.PlatformStats())
 }
 
 type submitRequest struct {

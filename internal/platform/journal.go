@@ -2,8 +2,12 @@ package platform
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -40,22 +44,107 @@ type Event struct {
 	Worker string `json:"worker,omitempty"`
 }
 
+// ErrJournalClosed is returned by appends against a closed journal.
+var ErrJournalClosed = errors.New("platform: journal is closed")
+
 // Journal is the platform's write-ahead log, an ordered sequence of
 // Events on an internal/storage database. Keys are fixed-width decimal
 // sequence numbers, so the store's prefix scan yields events in append
-// order; each Append is a single atomic frame, so a crash can lose at
-// most the unsynced tail (per the store's sync policy) and never leaves
-// a torn event.
+// order.
+//
+// Appends are group-committed: callers enqueue events under a light mutex
+// and block while a single committer goroutine drains the queue into one
+// storage batch frame, commits it with one fsync (per the store's sync
+// policy), and wakes every waiter in the group. N concurrent appenders
+// therefore share one disk flush instead of paying one each — the classic
+// WAL group commit — and a crash can still lose at most the unflushed
+// tail, never a torn or reordered event: a batch frame applies wholly or
+// not at all, and sequence numbers are assigned at flush time in enqueue
+// order, so the on-disk journal is always a dense prefix 0..Len()-1. An
+// event that cannot be encoded or is over the store's value limit fails
+// only its own append (it never touches the disk). A failed storage
+// flush, in contrast, poisons the journal — events already durable are
+// still acked, everything after fails, including all later appends.
+// Fail-stop is deliberate (the WAL convention): after a failed write the
+// active segment's tail state is unknown, and appending past a
+// possibly-torn frame could corrupt the log, so refusing further appends
+// is what preserves both the durable prefix and the density invariant.
 //
 // The journal deliberately logs logical platform events rather than
 // scheduler internals: leases are ephemeral by design (a restart
 // reclaims them all, which is exactly lease-expiry semantics), while
 // projects, tasks and runs are the durable record.
 type Journal struct {
-	db   *storage.DB
-	mu   sync.Mutex
-	next uint64 // sequence number of the next event to append
+	db      *storage.DB
+	durable bool // store opened with SyncAlways: every flush must reach disk
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Ticket
+	next   uint64 // sequence number of the next event to commit
+	closed bool
+	failed error // sticky flush failure; all later appends return it
+
+	opts JournalOptions
+	wg   sync.WaitGroup
+
+	// Flush counters, readable without j.mu.
+	nFlushes    atomic.Uint64
+	nFlushed    atomic.Uint64
+	maxFlush    atomic.Uint64
+	commitNanos atomic.Uint64
 }
+
+// JournalOptions tune the group-commit pipeline. The zero value is usable.
+type JournalOptions struct {
+	// MaxBatch caps how many events one storage batch frame carries.
+	// Defaults to 1024.
+	MaxBatch int
+	// MaxBatchBytes caps the encoded payload of one batch frame; a group
+	// exceeding it is split across frames (still in order). Defaults to
+	// 8 MiB.
+	MaxBatchBytes int
+	// FlushInterval is how long the committer waits after the first
+	// pending event before draining, letting more appenders join the
+	// group. 0 flushes immediately — lowest latency, and under load the
+	// queue that builds up behind one fsync already forms the next group.
+	FlushInterval time.Duration
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 8 << 20
+	}
+	return o
+}
+
+// Ticket is a pending append: the handle an enqueued event's producer
+// waits on for the committer's durability acknowledgement.
+type Ticket struct {
+	ev      Event
+	done    chan struct{}
+	err     error
+	skipped bool // per-event failure (encode/size): nothing written, journal stays healthy
+	flushed bool // event is durably committed
+}
+
+// Wait blocks until the ticket's event is committed (per the store's sync
+// policy) and returns the flush outcome. It must not be called while
+// holding locks the committer's waiters need.
+func (t *Ticket) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Done exposes the ticket's completion channel for non-blocking acked
+// checks (closed once the flush outcome is decided).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Err returns the flush outcome. Only valid after Done is closed.
+func (t *Ticket) Err() error { return t.err }
 
 // journalPrefix is the key space the journal owns in the store. The
 // fixed-width decimal sequence number makes lexicographic key order equal
@@ -67,40 +156,380 @@ func journalKey(seq uint64) []byte {
 	return []byte(fmt.Sprintf("%s%016d", journalPrefix, seq))
 }
 
-// OpenJournal binds a journal to db, finding the append position after
-// any existing events. The database may hold other keys; the journal owns
-// the "j/" prefix.
+// OpenJournal binds a journal to db with default options, finding the
+// append position after any existing events. The database may hold other
+// keys; the journal owns the "j/" prefix.
 func OpenJournal(db *storage.DB) (*Journal, error) {
-	// Sequence numbers are contiguous from 0, so the event count is the
-	// append position.
-	n, err := db.Count(journalPrefix)
+	return OpenJournalOpts(db, JournalOptions{})
+}
+
+// OpenJournalOpts is OpenJournal with explicit group-commit tuning. It
+// starts the committer goroutine; Close stops it after draining.
+func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
+	next, err := journalNext(db)
 	if err != nil {
 		return nil, fmt.Errorf("platform: journal open: %w", err)
 	}
-	return &Journal{db: db, next: uint64(n)}, nil
+	j := &Journal{
+		db:      db,
+		durable: db.Policy() == storage.SyncAlways,
+		next:    next,
+		opts:    opts.withDefaults(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.wg.Add(1)
+	go j.run()
+	return j, nil
 }
 
-// Len returns the number of events in the journal.
+// journalNext finds the append position. Sequence numbers are dense from 0
+// (flush-time assignment and the sticky-failure rule guarantee no holes),
+// so key presence is monotone in seq: gallop to an absent sequence, then
+// binary-search the boundary — O(log n) point lookups instead of the old
+// full-prefix Count scan over every live key.
+func journalNext(db *storage.DB) (uint64, error) {
+	has := func(seq uint64) (bool, error) {
+		return db.Has(journalKey(seq))
+	}
+	ok, err := has(0)
+	if err != nil || !ok {
+		return 0, err
+	}
+	lo, hi := uint64(0), uint64(1)
+	for {
+		ok, err := has(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	// key[lo] present, key[hi] absent; bisect the boundary.
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := has(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1, nil
+}
+
+// Len returns the number of committed events in the journal.
 func (j *Journal) Len() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.next
 }
 
-// Append writes ev as the next journal event.
-func (j *Journal) Append(ev Event) error {
-	buf, err := json.Marshal(ev)
-	if err != nil {
-		return fmt.Errorf("platform: journal encode: %w", err)
-	}
+// Enqueue hands ev to the committer and returns a Ticket to wait on. It
+// never blocks on the disk, so callers may enqueue while holding their own
+// state lock (which fixes the journal order to their commit order) and
+// wait after releasing it.
+func (j *Journal) Enqueue(ev Event) (*Ticket, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.db.Put(journalKey(j.next), buf); err != nil {
-		return fmt.Errorf("platform: journal append: %w", err)
+	if j.closed {
+		return nil, ErrJournalClosed
 	}
-	j.next++
+	if j.failed != nil {
+		return nil, fmt.Errorf("platform: journal failed: %w", j.failed)
+	}
+	t := &Ticket{ev: ev, done: make(chan struct{})}
+	j.queue = append(j.queue, t)
+	j.cond.Signal()
+	return t, nil
+}
+
+// Append writes ev as the next journal event, returning once the committer
+// has flushed it (group-committed with whatever else was in flight).
+func (j *Journal) Append(ev Event) error {
+	t, err := j.Enqueue(ev)
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+// AppendBatch writes evs as consecutive journal events and waits for all
+// of them; the committer assigns them contiguous sequence numbers. On
+// error a prefix of evs may have committed (exactly as with sequential
+// Append calls — a flush failure poisons the journal, so no later event
+// can land after a gap).
+func (j *Journal) AppendBatch(evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	tickets := make([]*Ticket, len(evs))
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrJournalClosed
+	}
+	if j.failed != nil {
+		err := j.failed
+		j.mu.Unlock()
+		return fmt.Errorf("platform: journal failed: %w", err)
+	}
+	for i, ev := range evs {
+		tickets[i] = &Ticket{ev: ev, done: make(chan struct{})}
+		j.queue = append(j.queue, tickets[i])
+	}
+	j.cond.Signal()
+	j.mu.Unlock()
+	// Flushes complete in order, so waiting each in turn costs nothing
+	// extra; the first error is the batch's outcome.
+	for _, t := range tickets {
+		if err := t.Wait(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// run is the committer loop: drain whatever queued, commit it as one
+// storage batch frame, wake the group, repeat.
+func (j *Journal) run() {
+	defer j.wg.Done()
+	// lastGroup is the previous flush's size (1 ⇒ a lone writer, skip
+	// accumulation); peakGroup is the largest group seen, the estimate of
+	// how many committers are in flight — once the queue reaches it there
+	// is no one left to wait for.
+	lastGroup, peakGroup := 0, 0
+	for {
+		j.mu.Lock()
+		for len(j.queue) == 0 && !j.closed {
+			j.cond.Wait()
+		}
+		if len(j.queue) == 0 && j.closed {
+			j.mu.Unlock()
+			return
+		}
+		switch {
+		case j.opts.FlushInterval > 0 && !j.closed:
+			// Fixed accumulation window: let more appenders join the
+			// group before draining. A queue already at MaxBatch can't
+			// grow its group, so don't make it wait.
+			if len(j.queue) < j.opts.MaxBatch {
+				j.mu.Unlock()
+				time.Sleep(j.opts.FlushInterval)
+				j.mu.Lock()
+			}
+		case lastGroup > 1 && !j.closed:
+			// Adaptive accumulation: a multi-event group just flushed,
+			// so its waiters are re-staging right now — keep collecting
+			// while the queue is still growing (20µs stall tolerance
+			// for stragglers crossing the engine lock), bounded by one
+			// mean commit latency so a burst that ended costs at most a
+			// fraction of the flush it precedes. Cheap fsyncs get tight
+			// windows, disk-bound ones can afford to fill the group. A
+			// lone writer (lastGroup 1) never waits.
+			window := j.meanCommit()
+			if window > 2*time.Millisecond {
+				window = 2 * time.Millisecond
+			}
+			const stallTolerance = 20 * time.Microsecond
+			deadline := time.Now().Add(window)
+			prev, lastGrow := len(j.queue), time.Now()
+			for len(j.queue) < peakGroup {
+				j.mu.Unlock()
+				runtime.Gosched()
+				j.mu.Lock()
+				now := time.Now()
+				if len(j.queue) > prev {
+					prev, lastGrow = len(j.queue), now
+				} else if now.Sub(lastGrow) > stallTolerance || now.After(deadline) {
+					break
+				}
+			}
+		}
+		n := len(j.queue)
+		if n > j.opts.MaxBatch {
+			n = j.opts.MaxBatch
+		}
+		group := j.queue[:n:n]
+		j.queue = j.queue[n:]
+		fail := j.failed
+		base := j.next
+		j.mu.Unlock()
+		lastGroup = len(group)
+		if lastGroup > peakGroup {
+			peakGroup = lastGroup
+		}
+
+		if fail == nil {
+			var committed uint64
+			committed, fail = j.flush(base, group)
+			j.mu.Lock()
+			// The committed events are durable whatever happened after
+			// them: advance past them even on error, and ack their
+			// tickets — memory must commit exactly what replay will
+			// see. Only a storage failure poisons; per-event skips
+			// (already carrying their own err) wrote nothing.
+			j.next = base + committed
+			if fail != nil {
+				j.failed = fail
+			}
+			j.mu.Unlock()
+			for _, t := range group {
+				if !t.flushed && !t.skipped {
+					t.err = fail
+				}
+				close(t.done)
+			}
+			continue
+		}
+		for _, t := range group {
+			t.err = fail
+			close(t.done)
+		}
+	}
+}
+
+// meanCommit is the observed average flush latency (Apply+Sync), the
+// committer's estimate of what one disk round costs right now.
+func (j *Journal) meanCommit() time.Duration {
+	n := j.nFlushes.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(j.commitNanos.Load() / n)
+}
+
+// flush commits group as one batch frame (split only if it exceeds the
+// byte cap), assigning sequence numbers base, base+1, ... in enqueue
+// order and marking each ticket's fate. An event that cannot be encoded
+// or is too large for the store fails only its own ticket (skipped —
+// nothing reached the disk, so the journal stays healthy and dense). It
+// returns how many events committed; a storage error leaves everything
+// after the last whole sub-batch off disk, and the caller poisons the
+// journal.
+func (j *Journal) flush(base uint64, group []*Ticket) (uint64, error) {
+	start := time.Now()
+	defer func() {
+		j.commitNanos.Add(uint64(time.Since(start)))
+	}()
+
+	batch := storage.NewBatch()
+	var pending []*Ticket // tickets in the current sub-batch
+	var committed uint64
+	bytes := 0
+	commit := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		var err error
+		if j.durable {
+			err = j.db.ApplyDurable(batch)
+		} else {
+			err = j.db.Apply(batch)
+		}
+		if err != nil {
+			return fmt.Errorf("platform: journal append: %w", err)
+		}
+		j.nFlushes.Add(1)
+		j.nFlushed.Add(uint64(batch.Len()))
+		if n := uint64(batch.Len()); n > j.maxFlush.Load() {
+			j.maxFlush.Store(n)
+		}
+		committed += uint64(batch.Len())
+		for _, t := range pending {
+			t.flushed = true
+		}
+		pending = pending[:0]
+		batch.Reset()
+		bytes = 0
+		return nil
+	}
+
+	seq := base
+	for _, t := range group {
+		buf, err := json.Marshal(t.ev)
+		if err == nil && len(buf) > storage.MaxValueLen {
+			err = storage.ErrValTooLarge
+		}
+		if err != nil {
+			// Per-event failure: the event never touches the store, so
+			// it simply doesn't get a sequence number.
+			t.skipped = true
+			t.err = fmt.Errorf("platform: journal encode: %w", err)
+			continue
+		}
+		if bytes > 0 && bytes+len(buf) > j.opts.MaxBatchBytes {
+			if err := commit(); err != nil {
+				return committed, err
+			}
+		}
+		batch.Put(journalKey(seq), buf)
+		bytes += len(buf)
+		seq++
+		pending = append(pending, t)
+	}
+	if err := commit(); err != nil {
+		return committed, err
+	}
+	return committed, nil
+}
+
+// Close stops the committer after it drains the queue. Further appends
+// return ErrJournalClosed; Close does not close the underlying store.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	j.wg.Wait()
+	return nil
+}
+
+// JournalStats is a point-in-time summary of the group-commit pipeline.
+type JournalStats struct {
+	// Len is the number of committed events.
+	Len uint64 `json:"len"`
+	// Queued is how many events are waiting for the committer right now.
+	Queued int `json:"queued"`
+	// Flushes counts storage batch frames committed.
+	Flushes uint64 `json:"flushes"`
+	// FlushedEvents counts events across those frames; FlushedEvents /
+	// Flushes is the achieved group size (and, under -sync always, the
+	// fsync amortization factor).
+	FlushedEvents uint64 `json:"flushed_events"`
+	// MaxFlush is the largest single flush group seen.
+	MaxFlush uint64 `json:"max_flush"`
+	// CommitNanos is cumulative wall time spent applying+syncing flushes;
+	// CommitNanos / Flushes is the mean commit latency.
+	CommitNanos uint64 `json:"commit_nanos"`
+}
+
+// Stats returns the journal's flush counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	n, q := j.next, len(j.queue)
+	j.mu.Unlock()
+	return JournalStats{
+		Len:           n,
+		Queued:        q,
+		Flushes:       j.nFlushes.Load(),
+		FlushedEvents: j.nFlushed.Load(),
+		MaxFlush:      j.maxFlush.Load(),
+		CommitNanos:   j.commitNanos.Load(),
+	}
+}
+
+// StorageStats returns the backing store's counters (fsyncs, batch
+// applies, sizes) for the stats endpoint.
+func (j *Journal) StorageStats() storage.Stats { return j.db.Stats() }
 
 // Replay invokes fn on every journal event in append order (the store
 // scans the journal prefix in key order, which the fixed-width sequence
@@ -124,5 +553,5 @@ func (j *Journal) Replay(fn func(Event) error) error {
 	return ferr
 }
 
-// Sync flushes the journal to stable storage.
+// Sync flushes the journal's store to stable storage.
 func (j *Journal) Sync() error { return j.db.Sync() }

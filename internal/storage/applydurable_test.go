@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestApplyDurableSyncsUnderSyncNever: ApplyDurable must reach the disk
+// whatever the store's policy — on a SyncNever store each call issues the
+// fsync the policy would otherwise skip.
+func TestApplyDurableSyncsUnderSyncNever(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	defer db.Close()
+	pre := db.Stats()
+	for i := 0; i < 3; i++ {
+		b := NewBatch().Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if err := db.ApplyDurable(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Applies-pre.Applies != 3 {
+		t.Fatalf("Applies = %d, want 3", st.Applies-pre.Applies)
+	}
+	// Sequential calls have nothing to coalesce with: every one fsyncs.
+	if st.Syncs-pre.Syncs != 3 {
+		t.Fatalf("Syncs = %d, want 3 (one per sequential ApplyDurable)", st.Syncs-pre.Syncs)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, _ := db.Get([]byte(fmt.Sprintf("k%d", i))); !ok {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+}
+
+// TestApplyDurableNoDoubleSyncUnderSyncAlways: when the policy already
+// fsynced the batch's frame (SyncAlways does so inside the append),
+// ApplyDurable must not pay a second fsync — and must not claim a
+// coalescing win either, since no other caller was involved.
+func TestApplyDurableNoDoubleSyncUnderSyncAlways(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncAlways})
+	defer db.Close()
+	pre := db.Stats()
+	for i := 0; i < 4; i++ {
+		b := NewBatch().Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if err := db.ApplyDurable(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if got := st.Syncs - pre.Syncs; got != 4 {
+		t.Fatalf("Syncs = %d, want 4 (policy fsync only, no doubles)", got)
+	}
+	if got := st.SyncElides - pre.SyncElides; got != 0 {
+		t.Fatalf("SyncElides = %d, want 0 (self-covered frames are not coalescing wins)", got)
+	}
+}
+
+// TestApplyDurableConcurrentCoalesces: concurrent committers must never
+// fsync more than once each, and every call accounts as either a sync or
+// an elision. (How many coalesce depends on scheduling; the accounting
+// identity does not.)
+func TestApplyDurableConcurrentCoalesces(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	defer db.Close()
+	pre := db.Stats()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := NewBatch().Put([]byte(fmt.Sprintf("c%03d", i)), []byte("v"))
+			if err := db.ApplyDurable(b); err != nil {
+				t.Errorf("ApplyDurable: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := db.Stats()
+	if st.Applies-pre.Applies != n {
+		t.Fatalf("Applies = %d, want %d", st.Applies-pre.Applies, n)
+	}
+	if got := (st.Syncs - pre.Syncs) + (st.SyncElides - pre.SyncElides); got < n {
+		t.Fatalf("syncs+elides = %d, want ≥ %d (every call must settle durability)", got, n)
+	}
+	if st.Syncs-pre.Syncs > n {
+		t.Fatalf("more fsyncs than callers: %d", st.Syncs-pre.Syncs)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, _ := db.Get([]byte(fmt.Sprintf("c%03d", i))); !ok {
+			t.Fatalf("c%03d missing", i)
+		}
+	}
+}
+
+// TestApplyDurableEmptyAndErrors mirrors Apply's edge behavior.
+func TestApplyDurableEmptyAndErrors(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	defer db.Close()
+	if err := db.ApplyDurable(NewBatch()); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	bad := NewBatch().Put(make([]byte, MaxKeyLen+1), []byte("v"))
+	if err := db.ApplyDurable(bad); err != ErrKeyTooLarge {
+		t.Fatalf("oversized key: %v", err)
+	}
+}

@@ -70,10 +70,54 @@ func (db *DB) Apply(b *Batch) error {
 	if db.opts.ReadOnly {
 		return ErrReadOnly
 	}
+	db.nApplies.Add(1)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
 	return db.appendLocked(kindBatch, nil, b.payload)
+}
+
+// ApplyDurable atomically commits the batch and returns only once its frame
+// is on stable storage, regardless of the store's sync policy. Unlike
+// Apply+Sync, concurrent ApplyDurable calls coalesce their fsyncs: a sync
+// issued for one caller covers every frame appended before it, so the
+// others return without touching the disk again. This is the group-commit
+// primitive the platform journal's committer is built on — N batches in
+// flight share one fsync instead of paying one each.
+func (db *DB) ApplyDurable(b *Batch) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.count == 0 {
+		return nil
+	}
+	if len(b.payload) > MaxValueLen {
+		return ErrValTooLarge
+	}
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	db.nApplies.Add(1)
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if err := db.appendLocked(kindBatch, nil, b.payload); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	// Everything below seq includes this batch's frame. Under SyncAlways
+	// (or after a rotation) appendLocked already synced it — done, and
+	// not an elision: only a fsync issued for ANOTHER caller counts as a
+	// coalescing win.
+	seq := db.seq
+	alreadyDurable := db.durableSeq >= seq
+	db.mu.Unlock()
+	if alreadyDurable {
+		return nil
+	}
+	return db.syncThrough(seq)
 }

@@ -93,6 +93,13 @@ type Stats struct {
 	Gets       uint64
 	Deletes    uint64
 	Syncs      uint64
+	// Applies counts batch frames committed via Apply/ApplyDurable.
+	Applies uint64
+	// SyncElides counts ApplyDurable calls that found their frame
+	// already durable when they went to sync it — another caller's
+	// concurrent fsync covered them, the group-commit win. (A frame the
+	// caller's own policy-fsync covered is not counted.)
+	SyncElides uint64
 }
 
 // DB is an open store. It is safe for concurrent use.
@@ -104,6 +111,7 @@ type DB struct {
 	closed        bool
 	keydir        map[string]loc
 	seq           uint64
+	durableSeq    uint64 // frames with seq < durableSeq are on stable storage
 	activeID      uint32
 	active        *os.File
 	activeSize    int64
@@ -122,6 +130,7 @@ type DB struct {
 	needSync atomic.Bool
 
 	nPuts, nGets, nDeletes, nSyncs atomic.Uint64
+	nApplies, nSyncElides          atomic.Uint64
 }
 
 // Open opens (creating if necessary) the store in dir.
@@ -169,6 +178,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		os.Remove(lockPath)
 		return nil, err
 	}
+	db.durableSeq = db.seq
 	if opts.Sync == SyncBatch {
 		db.stopSync = make(chan struct{})
 		db.syncWG.Add(1)
@@ -450,7 +460,10 @@ func (db *DB) maybeSyncLocked() error {
 	switch db.opts.Sync {
 	case SyncAlways:
 		db.nSyncs.Add(1)
-		return db.active.Sync()
+		if err := db.active.Sync(); err != nil {
+			return err
+		}
+		db.durableSeq = db.seq
 	case SyncBatch:
 		db.needSync.Store(true)
 	}
@@ -462,6 +475,7 @@ func (db *DB) rotateLocked() error {
 	if err := db.active.Sync(); err != nil {
 		return err
 	}
+	db.durableSeq = db.seq
 	if err := db.writeHintForActive(db.activeID, db.activeSize); err != nil {
 		return err
 	}
@@ -604,7 +618,35 @@ func (db *DB) Sync() error {
 	}
 	db.nSyncs.Add(1)
 	db.needSync.Store(false)
-	return db.active.Sync()
+	if err := db.active.Sync(); err != nil {
+		return err
+	}
+	db.durableSeq = db.seq
+	return nil
+}
+
+// syncThrough makes every frame with sequence < seq durable, issuing an
+// fsync only when a previous one (another caller's, the batch loop's, or a
+// rotation's) has not already covered it. This is the coalescing point of
+// the group-commit path: N concurrent committers share one fsync.
+func (db *DB) syncThrough(seq uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.durableSeq >= seq {
+		db.nSyncElides.Add(1)
+		return nil
+	}
+	target := db.seq
+	db.nSyncs.Add(1)
+	if err := db.active.Sync(); err != nil {
+		return err
+	}
+	db.durableSeq = target
+	db.needSync.Store(false)
+	return nil
 }
 
 func (db *DB) syncLoop() {
@@ -620,7 +662,9 @@ func (db *DB) syncLoop() {
 				db.mu.Lock()
 				if !db.closed {
 					db.nSyncs.Add(1)
-					db.active.Sync()
+					if db.active.Sync() == nil {
+						db.durableSeq = db.seq
+					}
 				}
 				db.mu.Unlock()
 			}
@@ -646,8 +690,13 @@ func (db *DB) Stats() Stats {
 		Gets:       db.nGets.Load(),
 		Deletes:    db.nDeletes.Load(),
 		Syncs:      db.nSyncs.Load(),
+		Applies:    db.nApplies.Load(),
+		SyncElides: db.nSyncElides.Load(),
 	}
 }
+
+// Policy returns the sync policy the store was opened with.
+func (db *DB) Policy() SyncPolicy { return db.opts.Sync }
 
 // Dir returns the directory backing the store.
 func (db *DB) Dir() string { return db.dir }
