@@ -1,22 +1,32 @@
 // Command reprowd-bench runs the reproduction's experiment suite (E1–E10
-// in DESIGN.md, plus E11 for the journal group-commit pipeline) and
-// prints the tables recorded in EXPERIMENTS.md. Experiments with
-// machine-readable output (E11's concurrent-submit scenario →
-// BENCH_submit.json) write it to -out.
+// in DESIGN.md, plus E11 for the journal group-commit pipeline and E12
+// for snapshot-checkpointed recovery) and prints the tables recorded in
+// EXPERIMENTS.md. Experiments with machine-readable output (E11 →
+// BENCH_submit.json, E12 → BENCH_recovery.json) write it to -out.
+//
+// The command doubles as the CI perf gate: -baseline compares the fresh
+// BENCH_submit.json against a committed baseline and exits non-zero if
+// any scenario's submit throughput regressed past -max-regress, and
+// -check-recovery enforces E12's bounded-replay invariant on
+// BENCH_recovery.json (a structural count/byte check, immune to machine
+// speed).
 //
 // Usage:
 //
 //	reprowd-bench                 # run everything at full scale
 //	reprowd-bench -exp e4,e5      # selected experiments
 //	reprowd-bench -exp e11        # concurrent submit × sync policy, emits BENCH_submit.json
+//	reprowd-bench -exp e12        # restart replay vs history length, emits BENCH_recovery.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
+//	reprowd-bench -quick -exp e11,e12 -baseline ci/BENCH_baseline.json -check-recovery
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/exp"
@@ -24,13 +34,26 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (e1..e12) or 'all'")
 		seed    = flag.Int64("seed", 20160903, "simulation seed")
 		quick   = flag.Bool("quick", false, "run reduced workloads")
 		outDir  = flag.String("out", ".", "directory for machine-readable results (BENCH_*.json)")
+
+		baseline = flag.String("baseline", "",
+			"baseline BENCH_submit.json to gate against; requires e11 in -exp")
+		maxRegress = flag.Float64("max-regress", 0.30,
+			"fraction of baseline ops/s a scenario may lose before -baseline fails the run")
+		checkRecovery = flag.Bool("check-recovery", false,
+			"fail unless BENCH_recovery.json shows snapshot restarts bounded by the checkpoint interval; requires e12 in -exp")
 	)
 	flag.Parse()
 
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: create -out dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *outDir}
 
 	var ids []string
@@ -58,7 +81,48 @@ func main() {
 		}
 		fmt.Println(res.Format())
 	}
+
+	if *baseline != "" {
+		if err := gateSubmit(*outDir, *baseline, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: baseline gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("baseline gate: ops/s within %.0f%% of %s\n", *maxRegress*100, *baseline)
+		}
+	}
+	if *checkRecovery {
+		if err := gateRecovery(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: recovery gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("recovery gate: snapshot restart bounded by checkpoint interval")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// gateSubmit compares the freshly written BENCH_submit.json against the
+// committed baseline.
+func gateSubmit(outDir, baselinePath string, maxRegress float64) error {
+	current, err := exp.LoadSubmitRecords(filepath.Join(outDir, "BENCH_submit.json"))
+	if err != nil {
+		return fmt.Errorf("load current run (did -exp include e11?): %w", err)
+	}
+	base, err := exp.LoadSubmitRecords(baselinePath)
+	if err != nil {
+		return fmt.Errorf("load baseline: %w", err)
+	}
+	return exp.CheckSubmitRegression(current, base, maxRegress)
+}
+
+// gateRecovery enforces the bounded-replay invariant on the freshly
+// written BENCH_recovery.json.
+func gateRecovery(outDir string) error {
+	records, err := exp.LoadRecoveryRecords(filepath.Join(outDir, "BENCH_recovery.json"))
+	if err != nil {
+		return fmt.Errorf("load recovery records (did -exp include e12?): %w", err)
+	}
+	return exp.CheckRecoveryBounded(records)
 }

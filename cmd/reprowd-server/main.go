@@ -28,14 +28,32 @@
 //     immediately; under load the queue that builds up behind one fsync
 //     already forms the next group.
 //
-// GET /api/stats reports the achieved batching (flushed_events/flushes)
-// and the store's fsync count.
+// The journal is bounded by a snapshot checkpointer: a background
+// goroutine materializes the committed event stream and periodically
+// folds the replayed prefix into a versioned snapshot record in the same
+// store, truncating the covered events (and compacting the store when
+// enough of it is dead). Restart recovery is then load-snapshot +
+// replay-tail — O(live state + tail), not O(full history). Two knobs
+// set the cadence:
+//
+//   - -snapshot-every cuts a checkpoint after that many journal events
+//     (default 4096; 0 disables the event trigger).
+//   - -snapshot-bytes cuts after that much encoded journal growth
+//     (default 16 MiB; 0 disables the byte trigger).
+//
+// Both 0 disables checkpointing entirely (the journal grows unbounded,
+// as before this subsystem existed).
+//
+// GET /api/stats reports the achieved batching (flushed_events/flushes),
+// the store's fsync count, and the checkpointer's counters (checkpoints
+// taken, last snapshot sequence, journal bytes reclaimed).
 //
 // Usage:
 //
 //	reprowd-server -addr :7070
 //	reprowd-server -addr :7070 -data /var/lib/reprowd -sync batch
 //	reprowd-server -data /var/lib/reprowd -journal-flush-interval 2ms
+//	reprowd-server -data /var/lib/reprowd -snapshot-every 10000
 //	reprowd-server -data /var/lib/reprowd -break-stale-lock   # after a kill -9
 package main
 
@@ -74,6 +92,10 @@ func main() {
 			"max events per journal group-commit flush (0 = default 1024)")
 		journalFlushInterval = flag.Duration("journal-flush-interval", 0,
 			"how long the journal committer waits for more events before flushing a group (0 = flush immediately)")
+		snapshotEvery = flag.Uint64("snapshot-every", 4096,
+			"checkpoint the journal into a snapshot after this many events (0 disables the event trigger)")
+		snapshotBytes = flag.Int64("snapshot-bytes", 16<<20,
+			"checkpoint after this many bytes of journal growth (0 disables the byte trigger)")
 	)
 	flag.Parse()
 
@@ -130,13 +152,37 @@ func main() {
 			fail(err)
 		}
 		opts.Journal = journal
-		log.Printf("journal: %s (%d events recovered, sync=%s, group commit: max-batch=%d flush-interval=%s)",
-			*dataDir, journal.Len(), *syncMode, *journalMaxBatch, *journalFlushInterval)
+		// Engine recovery replays from the snapshot manifest's cut point
+		// (not the trunc record, which lags it if a kill landed between
+		// the manifest commit and the truncation).
+		replayStart := uint64(0)
+		if info, ok, err := storage.ReadSnapshotInfo(db, platform.SnapshotPrefix); err != nil {
+			fail(err)
+		} else if ok {
+			replayStart = info.Seq
+		}
+		log.Printf("journal: %s (%d events, %d replayed from snapshot seq %d, sync=%s, group commit: max-batch=%d flush-interval=%s)",
+			*dataDir, journal.Len(), journal.Len()-replayStart, replayStart,
+			*syncMode, *journalMaxBatch, *journalFlushInterval)
 	}
 
 	engine, err := platform.NewEngineOpts(opts)
 	if err != nil {
 		fail(err)
+	}
+	var checkpointer *platform.Checkpointer
+	if journal != nil && (*snapshotEvery > 0 || *snapshotBytes > 0) {
+		// Attach before serving: the checkpointer seeds its materializer
+		// from the engine's recovered state and must not miss an event.
+		checkpointer, err = platform.NewCheckpointer(engine, platform.CheckpointOptions{
+			EveryEvents: *snapshotEvery,
+			EveryBytes:  *snapshotBytes,
+		})
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("snapshots: every %d events / %d bytes (journal tail starts at seq %d)",
+			*snapshotEvery, *snapshotBytes, journal.FirstSeq())
 	}
 	srv := platform.NewServer(engine)
 
@@ -163,8 +209,15 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
+		// Shutdown order matters: drain the journal's committer first (so
+		// every acked event is on disk and observed), then stop the
+		// checkpointer (a cut in progress finishes; staged events it
+		// never cut simply remain as replay tail), then close the store.
 		if journal != nil {
-			journal.Close() // drain the committer before the store goes away
+			journal.Close()
+		}
+		if checkpointer != nil {
+			checkpointer.Close()
 		}
 		if db != nil {
 			if err := db.Close(); err != nil {

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file implements the CI perf/crash gates over the machine-readable
+// experiment outputs: BENCH_submit.json (E11) is compared against a
+// baseline committed in-repo, and BENCH_recovery.json (E12) is checked
+// for the bounded-replay invariant. Throughput comparisons are ratio
+// gates with generous tolerance (CI machines vary); the recovery check is
+// structural (event counts, byte counts) and machine-independent.
+
+// SubmitRecord is one row of E11's BENCH_submit.json.
+type SubmitRecord struct {
+	Sync        string  `json:"sync"`
+	Goroutines  int     `json:"goroutines"`
+	Runs        int     `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Fsyncs      uint64  `json:"fsyncs"`
+	Flushes     uint64  `json:"flushes"`
+	MeanFlush   float64 `json:"mean_flush_events"`
+}
+
+// RecoveryRecord is one row of E12's BENCH_recovery.json.
+type RecoveryRecord struct {
+	History         int     `json:"history_events"`
+	Mode            string  `json:"mode"` // "replay" (journal only) or "snapshot"
+	Interval        int     `json:"snapshot_interval"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	ReplayedEvents  uint64  `json:"replayed_events"`
+	// JournalBytes is the on-disk size of the journal's live event keys —
+	// the payload a restart must decode and replay. Bounded by the
+	// checkpoint interval under snapshotting; O(history) without.
+	JournalBytes int64 `json:"journal_disk_bytes"`
+	// StoreBytes is the whole store directory (journal tail + snapshot +
+	// any not-yet-compacted garbage) — informational; the snapshot record
+	// legitimately holds the full live state, runs included.
+	StoreBytes    int64 `json:"store_disk_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+// LoadSubmitRecords reads a BENCH_submit.json file.
+func LoadSubmitRecords(path string) ([]SubmitRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []SubmitRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// LoadRecoveryRecords reads a BENCH_recovery.json file.
+func LoadRecoveryRecords(path string) ([]RecoveryRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []RecoveryRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CheckSubmitRegression fails if any baseline scenario's submit
+// throughput regressed by more than maxRegress (0.30 = 30%) in current,
+// or disappeared from it. Scenarios present only in current are ignored
+// (a grown benchmark never fails an old baseline).
+func CheckSubmitRegression(current, baseline []SubmitRecord, maxRegress float64) error {
+	key := func(r SubmitRecord) string { return fmt.Sprintf("%s/g%d", r.Sync, r.Goroutines) }
+	cur := make(map[string]SubmitRecord, len(current))
+	for _, r := range current {
+		cur[key(r)] = r
+	}
+	var failures []string
+	for _, base := range baseline {
+		got, ok := cur[key(base)]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("scenario %s missing from current run", key(base)))
+			continue
+		}
+		floor := base.OpsPerSec * (1 - maxRegress)
+		if got.OpsPerSec < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ops/s < floor %.0f (baseline %.0f, tolerance %.0f%%)",
+				key(base), got.OpsPerSec, floor, base.OpsPerSec, maxRegress*100))
+		}
+	}
+	// Structural gate, immune to runner speed: under sync=always with
+	// multiple submitters, group commit must amortize fsyncs — a broken
+	// pipeline (one fsync per event) fails here whatever the absolute
+	// ops/s the machine manages.
+	for _, r := range current {
+		if r.Sync != "always" || r.Goroutines < 2 {
+			continue
+		}
+		if r.Fsyncs*2 > uint64(r.Runs) {
+			failures = append(failures, fmt.Sprintf(
+				"%s/g%d: no fsync amortization: %d fsyncs for %d runs (mean flush %.1f)",
+				r.Sync, r.Goroutines, r.Fsyncs, r.Runs, r.MeanFlush))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("submit throughput regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// CheckRecoveryBounded verifies E12's structural claim on its own
+// output: at the largest history, snapshot-mode restart replays only a
+// tail bounded by the checkpoint interval (2× slack for a cut racing the
+// end of the workload), and the snapshotted store's disk footprint is
+// smaller than the full journal's. These are count/byte comparisons, so
+// the gate holds on any machine speed.
+func CheckRecoveryBounded(records []RecoveryRecord) error {
+	var replay, snap *RecoveryRecord
+	for i := range records {
+		r := &records[i]
+		switch r.Mode {
+		case "replay":
+			if replay == nil || r.History > replay.History {
+				replay = r
+			}
+		case "snapshot":
+			if snap == nil || r.History > snap.History {
+				snap = r
+			}
+		}
+	}
+	if replay == nil || snap == nil {
+		return fmt.Errorf("recovery records incomplete: need both replay and snapshot modes, have %d rows", len(records))
+	}
+	if replay.History != snap.History {
+		return fmt.Errorf("recovery records mismatched: replay history %d vs snapshot history %d", replay.History, snap.History)
+	}
+	if uint64(replay.History) > replay.ReplayedEvents {
+		return fmt.Errorf("journal-only restart replayed %d events for %d-run history — history lost?", replay.ReplayedEvents, replay.History)
+	}
+	bound := uint64(2 * snap.Interval)
+	if snap.ReplayedEvents > bound {
+		return fmt.Errorf("snapshot restart replayed %d events, want <= 2×interval (%d)", snap.ReplayedEvents, bound)
+	}
+	if snap.JournalBytes >= replay.JournalBytes {
+		return fmt.Errorf("snapshotted journal footprint (%d bytes) not smaller than unbounded journal (%d bytes)", snap.JournalBytes, replay.JournalBytes)
+	}
+	return nil
+}

@@ -33,17 +33,7 @@ func E11GroupCommit(cfg Config) (Result, error) {
 		Headers: []string{"sync", "goroutines", "runs", "wall time", "rate", "fsyncs", "events/flush"},
 	}
 
-	type record struct {
-		Sync        string  `json:"sync"`
-		Goroutines  int     `json:"goroutines"`
-		Runs        int     `json:"runs"`
-		WallSeconds float64 `json:"wall_seconds"`
-		OpsPerSec   float64 `json:"ops_per_sec"`
-		Fsyncs      uint64  `json:"fsyncs"`
-		Flushes     uint64  `json:"flushes"`
-		MeanFlush   float64 `json:"mean_flush_events"`
-	}
-	var records []record
+	var records []SubmitRecord
 
 	policies := []struct {
 		name string
@@ -66,7 +56,7 @@ func E11GroupCommit(cfg Config) (Result, error) {
 				fmt.Sprintf("%d", rec.Fsyncs),
 				fmt.Sprintf("%.1f", rec.MeanFlush),
 			})
-			records = append(records, record{
+			records = append(records, SubmitRecord{
 				Sync: rec.Sync, Goroutines: rec.Goroutines, Runs: rec.Runs,
 				WallSeconds: rec.WallSeconds, OpsPerSec: rec.OpsPerSec,
 				Fsyncs: rec.Fsyncs, Flushes: rec.Flushes, MeanFlush: rec.MeanFlush,

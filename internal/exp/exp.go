@@ -98,6 +98,7 @@ var registry = map[string]runner{
 	"e9":  E9SortMax,
 	"e10": E10Turkit,
 	"e11": E11GroupCommit,
+	"e12": E12SnapshotRecovery,
 }
 
 // IDs lists the registered experiment ids in order.

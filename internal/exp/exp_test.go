@@ -59,7 +59,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 11 || ids[0] != "e1" || ids[9] != "e10" || ids[10] != "e11" {
+	if len(ids) != 12 || ids[0] != "e1" || ids[9] != "e10" || ids[11] != "e12" {
 		t.Fatalf("IDs = %v", ids)
 	}
 }

@@ -53,6 +53,10 @@ type Engine struct {
 	// recovery never re-appends.
 	journal *Journal
 
+	// snap is the attached snapshot checkpointer, if any (stats only —
+	// the checkpointer feeds off the journal, not the engine).
+	snap *Checkpointer
+
 	nextProjectID int64
 	nextTaskID    int64
 	nextRunID     int64
@@ -138,7 +142,21 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 		extStages:      make(map[int64]map[string]*stage),
 	}
 	if opts.Journal != nil {
-		if err := opts.Journal.Replay(e.apply); err != nil {
+		// Recovery is load-latest-snapshot + replay-tail: a snapshot cut
+		// at sequence S restores the state of events [0, S) directly, and
+		// only events at or above S replay — bounded by the checkpoint
+		// interval, not the full history. Without a snapshot, start is 0
+		// and this is the old full replay.
+		start := uint64(0)
+		if st, ok, err := loadSnapshotState(opts.Journal.db); err != nil {
+			return nil, fmt.Errorf("platform: snapshot load: %w", err)
+		} else if ok {
+			if err := e.restoreSnapshot(st); err != nil {
+				return nil, fmt.Errorf("platform: snapshot restore: %w", err)
+			}
+			start = st.Seq
+		}
+		if err := opts.Journal.ReplayFrom(start, e.apply); err != nil {
 			return nil, fmt.Errorf("platform: journal replay: %w", err)
 		}
 		// Replay restores recorded timestamps without ticking the clock.
@@ -785,9 +803,11 @@ type PlatformStats struct {
 	Projects int `json:"projects"`
 	Tasks    int `json:"tasks"`
 	Runs     int `json:"runs"`
-	// Journal and Storage are nil for an in-memory engine.
-	Journal *JournalStats  `json:"journal,omitempty"`
-	Storage *storage.Stats `json:"storage,omitempty"`
+	// Journal and Storage are nil for an in-memory engine; Snapshot is
+	// nil unless a checkpointer is attached.
+	Journal  *JournalStats  `json:"journal,omitempty"`
+	Storage  *storage.Stats `json:"storage,omitempty"`
+	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
 }
 
 // PlatformStats summarizes the whole engine. (Engine-only helper,
@@ -801,7 +821,7 @@ func (e *Engine) PlatformStats() PlatformStats {
 	for _, runs := range e.runs {
 		st.Runs += len(runs)
 	}
-	j := e.journal
+	j, snap := e.journal, e.snap
 	e.mu.RUnlock()
 	if j != nil {
 		js := j.Stats()
@@ -809,7 +829,19 @@ func (e *Engine) PlatformStats() PlatformStats {
 		st.Journal = &js
 		st.Storage = &ss
 	}
+	if snap != nil {
+		ss := snap.Stats()
+		st.Snapshot = &ss
+	}
 	return st
+}
+
+// attachCheckpointer records the engine's snapshot checkpointer so the
+// stats endpoint can surface its counters.
+func (e *Engine) attachCheckpointer(c *Checkpointer) {
+	e.mu.Lock()
+	e.snap = c
+	e.mu.Unlock()
 }
 
 // taskWithProject fetches a task and its project in one lock acquisition

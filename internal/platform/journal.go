@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +61,8 @@ var ErrJournalClosed = errors.New("platform: journal is closed")
 // WAL group commit — and a crash can still lose at most the unflushed
 // tail, never a torn or reordered event: a batch frame applies wholly or
 // not at all, and sequence numbers are assigned at flush time in enqueue
-// order, so the on-disk journal is always a dense prefix 0..Len()-1. An
+// order, so the on-disk journal is always the dense range
+// FirstSeq()..Len()-1 (FirstSeq is 0 until a snapshot truncation). An
 // event that cannot be encoded or is over the store's value limit fails
 // only its own append (it never touches the disk). A failed storage
 // flush, in contrast, poisons the journal — events already durable are
@@ -70,6 +72,25 @@ var ErrJournalClosed = errors.New("platform: journal is closed")
 // possibly-torn frame could corrupt the log, so refusing further appends
 // is what preserves both the durable prefix and the density invariant.
 //
+// When the store's sync policy does not promise durability per write
+// (SyncBatch/SyncNever), Enqueue acks immediately instead of waiting for
+// the committer: the event is encoded and validated at enqueue time, its
+// order is fixed by the queue position, and the flush happens behind the
+// acknowledgement — the exact tail-loss window the sync policy already
+// accepts. Only SyncAlways pays the committer round trip, because only
+// SyncAlways promises the event is on disk when the append returns. The
+// widened window has one consequence beyond crash loss: if the deferred
+// flush itself fails (disk full), the already-acked events are lost even
+// though the process survives. The journal's fail-stop poisoning makes
+// that state loud — every later append errors — and the process should
+// be restarted to re-converge memory with the log; callers that cannot
+// accept any acked-but-lost write must run SyncAlways.
+//
+// A snapshot checkpointer (see Checkpointer) may truncate the journal's
+// covered prefix: sequence numbers stay dense in [FirstSeq(), Len()), the
+// truncated events live on folded into the snapshot record, and replay
+// becomes snapshot + tail.
+//
 // The journal deliberately logs logical platform events rather than
 // scheduler internals: leases are ephemeral by design (a restart
 // reclaims them all, which is exactly lease-expiry semantics), while
@@ -78,12 +99,14 @@ type Journal struct {
 	db      *storage.DB
 	durable bool // store opened with SyncAlways: every flush must reach disk
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Ticket
-	next   uint64 // sequence number of the next event to commit
-	closed bool
-	failed error // sticky flush failure; all later appends return it
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Ticket
+	next     uint64 // sequence number of the next event to commit
+	first    uint64 // events below this were folded into a snapshot (truncated)
+	closed   bool
+	failed   error                                // sticky flush failure; all later appends return it
+	observer func(seq uint64, ev Event, size int) // committed-event tap, called from the committer in seq order
 
 	opts JournalOptions
 	wg   sync.WaitGroup
@@ -122,9 +145,15 @@ func (o JournalOptions) withDefaults() JournalOptions {
 }
 
 // Ticket is a pending append: the handle an enqueued event's producer
-// waits on for the committer's durability acknowledgement.
+// waits on for the committer's durability acknowledgement. Under a
+// non-durable sync policy the ticket is acked at enqueue (fastAck) and
+// the committer never touches its caller-visible fields again.
 type Ticket struct {
 	ev      Event
+	buf     []byte // pre-encoded payload (fast-ack path); nil means the committer encodes
+	size    int    // encoded size, set when known (observer accounting)
+	fastAck bool   // acked at enqueue; done already closed, err fixed at nil
+	barrier bool   // writes nothing; acked once everything queued before it has flushed
 	done    chan struct{}
 	err     error
 	skipped bool // per-event failure (encode/size): nothing written, journal stays healthy
@@ -151,9 +180,23 @@ func (t *Ticket) Err() error { return t.err }
 // append order.
 const journalPrefix = "j/"
 
+// journalTruncKey records the first live sequence number after a snapshot
+// truncation ("jm/" deliberately does not share the "j/" event prefix, so
+// scans over events never see it).
+const journalTruncKey = "jm/trunc"
+
 // journalKey returns the storage key of event seq.
 func journalKey(seq uint64) []byte {
 	return []byte(fmt.Sprintf("%s%016d", journalPrefix, seq))
+}
+
+// parseJournalKey extracts the sequence number from an event key.
+func parseJournalKey(key string) (uint64, bool) {
+	if len(key) <= len(journalPrefix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(key[len(journalPrefix):], 10, 64)
+	return seq, err == nil
 }
 
 // OpenJournal binds a journal to db with default options, finding the
@@ -166,7 +209,7 @@ func OpenJournal(db *storage.DB) (*Journal, error) {
 // OpenJournalOpts is OpenJournal with explicit group-commit tuning. It
 // starts the committer goroutine; Close stops it after draining.
 func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
-	next, err := journalNext(db)
+	next, first, err := journalNext(db)
 	if err != nil {
 		return nil, fmt.Errorf("platform: journal open: %w", err)
 	}
@@ -174,6 +217,7 @@ func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
 		db:      db,
 		durable: db.Policy() == storage.SyncAlways,
 		next:    next,
+		first:   first,
 		opts:    opts.withDefaults(),
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -182,36 +226,47 @@ func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
 	return j, nil
 }
 
-// journalNext finds the append position. Sequence numbers are dense from 0
-// (flush-time assignment and the sticky-failure rule guarantee no holes),
-// so key presence is monotone in seq: gallop to an absent sequence, then
-// binary-search the boundary — O(log n) point lookups instead of the old
-// full-prefix Count scan over every live key.
-func journalNext(db *storage.DB) (uint64, error) {
+// journalNext finds the append position and the truncation base. Sequence
+// numbers are dense from the truncation point (flush-time assignment and
+// the sticky-failure rule guarantee no holes, and truncation only removes
+// a prefix), so key presence is monotone in seq above the base: gallop to
+// an absent sequence, then binary-search the boundary — O(log n) point
+// lookups instead of a full-prefix scan over every live key.
+func journalNext(db *storage.DB) (next, first uint64, err error) {
+	if val, ok, gerr := db.Get([]byte(journalTruncKey)); gerr != nil {
+		return 0, 0, gerr
+	} else if ok {
+		n, perr := strconv.ParseUint(string(val), 10, 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("platform: corrupt journal truncation record %q: %w", val, perr)
+		}
+		first = n
+	}
 	has := func(seq uint64) (bool, error) {
 		return db.Has(journalKey(seq))
 	}
-	ok, err := has(0)
+	ok, err := has(first)
 	if err != nil || !ok {
-		return 0, err
+		return first, first, err
 	}
-	lo, hi := uint64(0), uint64(1)
+	lo, off := first, uint64(1)
 	for {
-		ok, err := has(hi)
+		ok, err := has(first + off)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if !ok {
 			break
 		}
-		lo, hi = hi, hi*2
+		lo, off = first+off, off*2
 	}
+	hi := first + off
 	// key[lo] present, key[hi] absent; bisect the boundary.
 	for lo+1 < hi {
 		mid := lo + (hi-lo)/2
 		ok, err := has(mid)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if ok {
 			lo = mid
@@ -219,32 +274,72 @@ func journalNext(db *storage.DB) (uint64, error) {
 			hi = mid
 		}
 	}
-	return lo + 1, nil
+	return lo + 1, first, nil
 }
 
-// Len returns the number of committed events in the journal.
+// Len returns the number of events ever committed to the journal
+// (truncated events included — sequence numbers never restart).
 func (j *Journal) Len() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.next
 }
 
+// FirstSeq returns the first sequence number still present on disk.
+// Events below it were folded into a snapshot by TruncateBefore.
+func (j *Journal) FirstSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.first
+}
+
+// newTicket builds the ticket for ev, pre-encoding and immediately acking
+// it on the fast path (non-durable sync policy): the sync policy already
+// tolerates losing an acked tail on crash, so there is nothing for the
+// caller to wait on — the encode/size validation that could fail the
+// event happens here instead, and the committer flushes behind the ack.
+func (j *Journal) newTicket(ev Event) (*Ticket, error) {
+	t := &Ticket{ev: ev, done: make(chan struct{})}
+	if !j.durable {
+		buf, err := json.Marshal(ev)
+		if err == nil && len(buf) > storage.MaxValueLen {
+			err = storage.ErrValTooLarge
+		}
+		if err != nil {
+			return nil, fmt.Errorf("platform: journal encode: %w", err)
+		}
+		t.buf, t.size, t.fastAck = buf, len(buf), true
+	}
+	return t, nil
+}
+
 // Enqueue hands ev to the committer and returns a Ticket to wait on. It
 // never blocks on the disk, so callers may enqueue while holding their own
 // state lock (which fixes the journal order to their commit order) and
-// wait after releasing it.
+// wait after releasing it. Under SyncBatch/SyncNever the ticket comes
+// back already acked (Wait returns nil immediately): durability was never
+// promised, so the caller does not pay the committer round trip.
 func (j *Journal) Enqueue(ev Event) (*Ticket, error) {
+	t, err := j.newTicket(ev)
+	if err != nil {
+		return nil, err
+	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed {
+		j.mu.Unlock()
 		return nil, ErrJournalClosed
 	}
 	if j.failed != nil {
-		return nil, fmt.Errorf("platform: journal failed: %w", j.failed)
+		err := j.failed
+		j.mu.Unlock()
+		return nil, fmt.Errorf("platform: journal failed: %w", err)
 	}
-	t := &Ticket{ev: ev, done: make(chan struct{})}
 	j.queue = append(j.queue, t)
 	j.cond.Signal()
+	j.mu.Unlock()
+	if t.fastAck {
+		close(t.done)
+	}
 	return t, nil
 }
 
@@ -268,6 +363,13 @@ func (j *Journal) AppendBatch(evs []Event) error {
 		return nil
 	}
 	tickets := make([]*Ticket, len(evs))
+	for i, ev := range evs {
+		t, err := j.newTicket(ev)
+		if err != nil {
+			return err
+		}
+		tickets[i] = t
+	}
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
@@ -278,12 +380,16 @@ func (j *Journal) AppendBatch(evs []Event) error {
 		j.mu.Unlock()
 		return fmt.Errorf("platform: journal failed: %w", err)
 	}
-	for i, ev := range evs {
-		tickets[i] = &Ticket{ev: ev, done: make(chan struct{})}
-		j.queue = append(j.queue, tickets[i])
+	for _, t := range tickets {
+		j.queue = append(j.queue, t)
 	}
 	j.cond.Signal()
 	j.mu.Unlock()
+	for _, t := range tickets {
+		if t.fastAck {
+			close(t.done)
+		}
+	}
 	// Flushes complete in order, so waiting each in turn costs nothing
 	// extra; the first error is the batch's outcome.
 	for _, t := range tickets {
@@ -292,6 +398,31 @@ func (j *Journal) AppendBatch(evs []Event) error {
 		}
 	}
 	return nil
+}
+
+// barrier enqueues a write-nothing ticket that acks once every event
+// queued before it has been flushed (and observed). Fast-acked appends
+// make the queue run ahead of the disk; the checkpointer uses a barrier
+// to cut snapshots at the current end of the committed log rather than
+// wherever the committer happened to be. A closed or poisoned journal
+// returns an already-acked ticket carrying the journal's state as err.
+func (j *Journal) barrier() *Ticket {
+	t := &Ticket{barrier: true, done: make(chan struct{})}
+	j.mu.Lock()
+	if j.closed || j.failed != nil {
+		if j.closed {
+			t.err = ErrJournalClosed
+		} else {
+			t.err = j.failed
+		}
+		j.mu.Unlock()
+		close(t.done)
+		return t
+	}
+	j.queue = append(j.queue, t)
+	j.cond.Signal()
+	j.mu.Unlock()
+	return t
 }
 
 // run is the committer loop: drain whatever queued, commit it as one
@@ -377,8 +508,31 @@ func (j *Journal) run() {
 			if fail != nil {
 				j.failed = fail
 			}
+			// Capture the observer after the flush, not before: an
+			// observer that registered while this flush was blocked on
+			// the store (its seed scan holds the store's read lock)
+			// must still receive these events — they were not yet on
+			// disk when its scan closed.
+			observer := j.observer
 			j.mu.Unlock()
+			if observer != nil {
+				// Deliver the committed events in sequence order — before
+				// waking the waiters, so anything a caller has seen acked
+				// is already staged with the observer. Flushed tickets are
+				// exactly the events that landed, contiguously from base.
+				seq := base
+				for _, t := range group {
+					if t.flushed {
+						observer(seq, t.ev, t.size)
+						seq++
+					}
+				}
+			}
 			for _, t := range group {
+				if t.fastAck {
+					// Acked at enqueue; never touch caller-visible state.
+					continue
+				}
 				if !t.flushed && !t.skipped {
 					t.err = fail
 				}
@@ -387,6 +541,9 @@ func (j *Journal) run() {
 			continue
 		}
 		for _, t := range group {
+			if t.fastAck {
+				continue
+			}
 			t.err = fail
 			close(t.done)
 		}
@@ -451,16 +608,26 @@ func (j *Journal) flush(base uint64, group []*Ticket) (uint64, error) {
 
 	seq := base
 	for _, t := range group {
-		buf, err := json.Marshal(t.ev)
-		if err == nil && len(buf) > storage.MaxValueLen {
-			err = storage.ErrValTooLarge
-		}
-		if err != nil {
-			// Per-event failure: the event never touches the store, so
-			// it simply doesn't get a sequence number.
-			t.skipped = true
-			t.err = fmt.Errorf("platform: journal encode: %w", err)
+		if t.barrier {
+			// Writes nothing and takes no sequence number; its ack (in
+			// queue position) is the ordering guarantee.
 			continue
+		}
+		buf := t.buf // fast-ack tickets arrive pre-encoded and pre-validated
+		if buf == nil {
+			var err error
+			buf, err = json.Marshal(t.ev)
+			if err == nil && len(buf) > storage.MaxValueLen {
+				err = storage.ErrValTooLarge
+			}
+			if err != nil {
+				// Per-event failure: the event never touches the store, so
+				// it simply doesn't get a sequence number.
+				t.skipped = true
+				t.err = fmt.Errorf("platform: journal encode: %w", err)
+				continue
+			}
+			t.size = len(buf)
 		}
 		if bytes > 0 && bytes+len(buf) > j.opts.MaxBatchBytes {
 			if err := commit(); err != nil {
@@ -493,10 +660,58 @@ func (j *Journal) Close() error {
 	return nil
 }
 
+// SetObserver registers fn to receive every committed event — sequence
+// number, decoded event, encoded size — called from the committer
+// goroutine in sequence order after each flush. The snapshot checkpointer
+// uses it to materialize state incrementally without replaying history.
+// fn must be cheap and must not call back into the journal's append path;
+// register it before any traffic so no committed event is missed.
+func (j *Journal) SetObserver(fn func(seq uint64, ev Event, size int)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.observer = fn
+}
+
+// TruncateBefore drops every journal event below seq from the store —
+// the snapshot checkpointer's folding step, called only after a snapshot
+// covering [0, seq) is durably committed. The truncation point is
+// recorded first (so a reopened journal finds its append position without
+// probing from zero), then the covered keys are range-deleted; a crash
+// anywhere in between is safe because recovery replays from the snapshot
+// manifest's cut point, skipping any straggler keys below it. Returns the
+// number of events removed and the live bytes they occupied.
+func (j *Journal) TruncateBefore(seq uint64) (int, int64, error) {
+	j.mu.Lock()
+	if seq > j.next {
+		seq = j.next
+	}
+	first := j.first
+	j.mu.Unlock()
+	if seq <= first {
+		return 0, 0, nil
+	}
+	if err := j.db.Put([]byte(journalTruncKey), []byte(strconv.FormatUint(seq, 10))); err != nil {
+		return 0, 0, fmt.Errorf("platform: journal truncate record: %w", err)
+	}
+	n, bytes, err := j.db.DeleteRange(string(journalKey(0)), string(journalKey(seq)))
+	if err != nil {
+		return n, bytes, fmt.Errorf("platform: journal truncate: %w", err)
+	}
+	j.mu.Lock()
+	if seq > j.first {
+		j.first = seq
+	}
+	j.mu.Unlock()
+	return n, bytes, nil
+}
+
 // JournalStats is a point-in-time summary of the group-commit pipeline.
 type JournalStats struct {
 	// Len is the number of committed events.
 	Len uint64 `json:"len"`
+	// TruncatedThrough is the first sequence number still on disk; events
+	// below it were folded into a snapshot.
+	TruncatedThrough uint64 `json:"truncated_through"`
 	// Queued is how many events are waiting for the committer right now.
 	Queued int `json:"queued"`
 	// Flushes counts storage batch frames committed.
@@ -515,15 +730,16 @@ type JournalStats struct {
 // Stats returns the journal's flush counters.
 func (j *Journal) Stats() JournalStats {
 	j.mu.Lock()
-	n, q := j.next, len(j.queue)
+	n, first, q := j.next, j.first, len(j.queue)
 	j.mu.Unlock()
 	return JournalStats{
-		Len:           n,
-		Queued:        q,
-		Flushes:       j.nFlushes.Load(),
-		FlushedEvents: j.nFlushed.Load(),
-		MaxFlush:      j.maxFlush.Load(),
-		CommitNanos:   j.commitNanos.Load(),
+		Len:              n,
+		TruncatedThrough: first,
+		Queued:           q,
+		Flushes:          j.nFlushes.Load(),
+		FlushedEvents:    j.nFlushed.Load(),
+		MaxFlush:         j.maxFlush.Load(),
+		CommitNanos:      j.commitNanos.Load(),
 	}
 }
 
@@ -535,14 +751,37 @@ func (j *Journal) StorageStats() storage.Stats { return j.db.Stats() }
 // scans the journal prefix in key order, which the fixed-width sequence
 // keys make append order).
 func (j *Journal) Replay(fn func(Event) error) error {
+	return j.ReplayFrom(0, fn)
+}
+
+// ReplayFrom invokes fn on every journal event with sequence >= start, in
+// append order. Recovery from a snapshot cut at seq S replays the tail
+// with start = S; events below start are skipped even if still on disk
+// (a crash between the snapshot commit and the truncation leaves them
+// behind), so nothing the snapshot already covers is applied twice.
+func (j *Journal) ReplayFrom(start uint64, fn func(Event) error) error {
+	return j.replayFrom(start, func(_ uint64, ev Event, _ int) error { return fn(ev) })
+}
+
+// replayFrom is ReplayFrom with the sequence number and encoded size of
+// each event exposed (the checkpointer's seed path accounts both).
+func (j *Journal) replayFrom(start uint64, fn func(seq uint64, ev Event, size int) error) error {
 	var ferr error
 	err := j.db.Scan(journalPrefix, func(key string, val []byte) bool {
+		seq, ok := parseJournalKey(key)
+		if !ok {
+			ferr = fmt.Errorf("platform: malformed journal key %q", key)
+			return false
+		}
+		if seq < start {
+			return true
+		}
 		var ev Event
 		if ferr = json.Unmarshal(val, &ev); ferr != nil {
 			ferr = fmt.Errorf("platform: journal decode %s: %w", key, ferr)
 			return false
 		}
-		if ferr = fn(ev); ferr != nil {
+		if ferr = fn(seq, ev, len(val)); ferr != nil {
 			return false
 		}
 		return true

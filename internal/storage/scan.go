@@ -62,6 +62,85 @@ func (db *DB) Count(prefix string) (int, error) {
 	return n, nil
 }
 
+// DeleteRange removes every key k with lo <= k < hi. Deletions are
+// written as batch frames chunked by payload size, so a huge range never
+// exceeds the store's frame limit, and the write lock is released
+// between chunks so concurrent appenders (the journal's group-commit
+// flush) are never stalled behind a long truncation. Each chunk applies
+// atomically; a crash — or a concurrent writer re-adding a key — mid-way
+// leaves a clean prefix of the deletions (callers that truncate a log
+// bounded by a durable cut record, like the platform journal's snapshot
+// checkpointer, tolerate stragglers by construction). It returns the
+// number of keys removed and the live bytes they accounted for — the
+// store-level "truncate the journal before seq" compaction hook.
+func (db *DB) DeleteRange(lo, hi string) (int, int64, error) {
+	if db.opts.ReadOnly {
+		return 0, 0, ErrReadOnly
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return 0, 0, ErrClosed
+	}
+	type rangeKey struct {
+		key  string
+		acct int64
+	}
+	var keys []rangeKey
+	for k, l := range db.keydir {
+		if k >= lo && k < hi {
+			keys = append(keys, rangeKey{key: k, acct: int64(l.acct)})
+		}
+	}
+	db.mu.Unlock()
+	if len(keys) == 0 {
+		return 0, 0, nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
+	const chunkBytes = 1 << 20
+	var (
+		payload      []byte
+		chunkKeys    int
+		chunkAcct    int64
+		deletedKeys  int
+		deletedBytes int64
+	)
+	// On error, report what the already-applied chunks durably removed —
+	// the caller's accounting must match the log, not the intent.
+	flush := func() error {
+		if len(payload) == 0 {
+			return nil
+		}
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return ErrClosed
+		}
+		if err := db.appendLocked(kindBatch, nil, payload); err != nil {
+			return err
+		}
+		deletedKeys += chunkKeys
+		deletedBytes += chunkAcct
+		payload, chunkKeys, chunkAcct = nil, 0, 0
+		return nil
+	}
+	for _, k := range keys {
+		payload = appendBatchEntry(payload, kindDelete, []byte(k.key), nil)
+		chunkKeys++
+		chunkAcct += k.acct
+		if len(payload) >= chunkBytes {
+			if err := flush(); err != nil {
+				return deletedKeys, deletedBytes, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return deletedKeys, deletedBytes, err
+	}
+	db.nDeletes.Add(uint64(deletedKeys))
+	return deletedKeys, deletedBytes, nil
+}
+
 // DeletePrefix removes every key with the given prefix, atomically (as one
 // batch frame). It returns the number of keys removed.
 func (db *DB) DeletePrefix(prefix string) (int, error) {

@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// Snapshot records are the store's support for checkpointing a log that
+// lives in its key space: an arbitrary blob, chunked across ordinary keys
+// so it respects MaxValueLen, committed by a single durable manifest
+// write. The platform journal uses them to fold its replayed prefix into
+// a materialized-state checkpoint (see internal/platform/snapshot.go),
+// but the facility is generic — any subsystem that owns a key prefix can
+// store versioned snapshots under it.
+//
+// Layout under a caller-chosen prefix P:
+//
+//	P + "latest"              → JSON SnapshotInfo (the manifest)
+//	P + "%016d/%08d" (id, i)  → chunk i of snapshot id
+//
+// Commit protocol: chunks are written first (plain batch appends), then
+// the manifest is committed with ApplyDurable, which fsyncs regardless of
+// the store's sync policy. The manifest is the atomic commit point — a
+// crash before it leaves only orphan chunks (harmless: the old manifest,
+// if any, still names a complete snapshot, and PruneSnapshots removes
+// strays on the next successful checkpoint); a crash after it leaves the
+// new snapshot fully readable. The manifest's CRC covers the reassembled
+// blob, so a manifest that somehow outlives its chunks is detected, not
+// silently half-read.
+
+// SnapshotVersion is the current manifest format version.
+const SnapshotVersion = 1
+
+// snapshotChunkSize caps one chunk's value. Well under MaxValueLen so a
+// chunk always fits a batch frame with room to spare.
+const snapshotChunkSize = 1 << 20
+
+// SnapshotInfo is the manifest naming the current snapshot.
+type SnapshotInfo struct {
+	// Version is the manifest format version (SnapshotVersion).
+	Version int `json:"version"`
+	// ID distinguishes successive snapshots; chunk keys embed it, so a
+	// half-written snapshot can never alias a committed one.
+	ID uint64 `json:"id"`
+	// Seq is the caller's cut point — for the journal, the snapshot
+	// covers events [0, Seq).
+	Seq uint64 `json:"seq"`
+	// Chunks is how many chunk keys hold the blob.
+	Chunks int `json:"chunks"`
+	// Bytes is the reassembled blob's length.
+	Bytes int64 `json:"bytes"`
+	// CRC is the Castagnoli CRC-32 of the reassembled blob.
+	CRC uint32 `json:"crc32c"`
+}
+
+func snapshotManifestKey(prefix string) []byte {
+	return []byte(prefix + "latest")
+}
+
+func snapshotChunkKey(prefix string, id uint64, i int) []byte {
+	return []byte(fmt.Sprintf("%s%016d/%08d", prefix, id, i))
+}
+
+// WriteSnapshotChunks stores data's chunks for snapshot id under prefix
+// without committing a manifest. Exposed separately so crash tests can
+// construct the exact on-disk image a kill -9 between the chunk writes
+// and the manifest commit leaves behind; WriteSnapshot is the composed
+// operation everyone else uses.
+func WriteSnapshotChunks(db *DB, prefix string, id uint64, data []byte) (int, error) {
+	chunks := 0
+	for off := 0; off < len(data) || chunks == 0; off += snapshotChunkSize {
+		end := off + snapshotChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		b := NewBatch()
+		b.Put(snapshotChunkKey(prefix, id, chunks), data[off:end])
+		if err := db.Apply(b); err != nil {
+			return chunks, fmt.Errorf("storage: snapshot chunk %d: %w", chunks, err)
+		}
+		chunks++
+	}
+	return chunks, nil
+}
+
+// WriteSnapshot stores data as snapshot id at cut point seq under prefix
+// and durably commits its manifest. On return the snapshot is crash-safe:
+// ReadSnapshot on any later open reassembles exactly data.
+func WriteSnapshot(db *DB, prefix string, id, seq uint64, data []byte) (SnapshotInfo, error) {
+	chunks, err := WriteSnapshotChunks(db, prefix, id, data)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	info := SnapshotInfo{
+		Version: SnapshotVersion,
+		ID:      id,
+		Seq:     seq,
+		Chunks:  chunks,
+		Bytes:   int64(len(data)),
+		CRC:     crc32.Checksum(data, castagnoli),
+	}
+	buf, err := json.Marshal(info)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("storage: snapshot manifest encode: %w", err)
+	}
+	b := NewBatch()
+	b.Put(snapshotManifestKey(prefix), buf)
+	if err := db.ApplyDurable(b); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("storage: snapshot manifest commit: %w", err)
+	}
+	return info, nil
+}
+
+// ReadSnapshotInfo returns the current manifest under prefix, if any.
+func ReadSnapshotInfo(db *DB, prefix string) (SnapshotInfo, bool, error) {
+	val, ok, err := db.Get(snapshotManifestKey(prefix))
+	if err != nil || !ok {
+		return SnapshotInfo{}, false, err
+	}
+	var info SnapshotInfo
+	if err := json.Unmarshal(val, &info); err != nil {
+		return SnapshotInfo{}, false, fmt.Errorf("storage: snapshot manifest decode: %w", err)
+	}
+	if info.Version != SnapshotVersion {
+		return SnapshotInfo{}, false, fmt.Errorf("storage: snapshot manifest version %d (want %d)", info.Version, SnapshotVersion)
+	}
+	return info, true, nil
+}
+
+// ReadSnapshot reassembles the current snapshot under prefix. ok is false
+// when no manifest exists. A manifest whose chunks are missing or whose
+// reassembled bytes fail the CRC is an error, not a silent miss — callers
+// that truncated their log against this snapshot cannot fall back to a
+// full replay, so the failure must be loud.
+func ReadSnapshot(db *DB, prefix string) (SnapshotInfo, []byte, bool, error) {
+	info, ok, err := ReadSnapshotInfo(db, prefix)
+	if err != nil || !ok {
+		return SnapshotInfo{}, nil, false, err
+	}
+	data := make([]byte, 0, info.Bytes)
+	for i := 0; i < info.Chunks; i++ {
+		val, ok, err := db.Get(snapshotChunkKey(prefix, info.ID, i))
+		if err != nil {
+			return info, nil, false, err
+		}
+		if !ok {
+			return info, nil, false, fmt.Errorf("%w: snapshot %d missing chunk %d/%d", ErrCorrupt, info.ID, i, info.Chunks)
+		}
+		data = append(data, val...)
+	}
+	if int64(len(data)) != info.Bytes || crc32.Checksum(data, castagnoli) != info.CRC {
+		return info, nil, false, fmt.Errorf("%w: snapshot %d bytes/CRC mismatch", ErrCorrupt, info.ID)
+	}
+	return info, data, true, nil
+}
+
+// PruneSnapshots deletes every chunk under prefix that does not belong to
+// snapshot keepID — superseded snapshots and orphans from checkpoint
+// attempts that died before their manifest. Returns how many chunk keys
+// were removed.
+func PruneSnapshots(db *DB, prefix string, keepID uint64) (int, error) {
+	keys, err := db.Keys(prefix)
+	if err != nil {
+		return 0, err
+	}
+	manifest := string(snapshotManifestKey(prefix))
+	b := NewBatch()
+	for _, k := range keys {
+		if k == manifest {
+			continue
+		}
+		rest := strings.TrimPrefix(k, prefix)
+		idStr, _, found := strings.Cut(rest, "/")
+		if !found {
+			continue
+		}
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil || id == keepID {
+			continue
+		}
+		b.Delete([]byte(k))
+	}
+	if b.Len() == 0 {
+		return 0, nil
+	}
+	if err := db.Apply(b); err != nil {
+		return 0, err
+	}
+	return b.Len(), nil
+}

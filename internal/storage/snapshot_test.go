@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func openSnapDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestSnapshotRoundTrip: a multi-chunk snapshot reassembles byte-identically
+// and survives a close/reopen.
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, snapshotChunkSize*2+12345)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	info, err := WriteSnapshot(db, "s/", 3, 42, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Chunks != 3 || info.Seq != 42 || info.ID != 3 {
+		t.Fatalf("manifest: %+v", info)
+	}
+	got, blob, ok, err := ReadSnapshot(db, "s/")
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if got != info || !bytes.Equal(blob, data) {
+		t.Fatalf("round trip diverged: %+v", got)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	_, blob2, ok, err := ReadSnapshot(db2, "s/")
+	if err != nil || !ok || !bytes.Equal(blob2, data) {
+		t.Fatalf("reopen: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSnapshotEmptyAndAbsent: a zero-length snapshot still commits one
+// (empty) chunk, and a store without a manifest reads as absent.
+func TestSnapshotEmptyAndAbsent(t *testing.T) {
+	db := openSnapDB(t)
+	if _, _, ok, err := ReadSnapshot(db, "s/"); ok || err != nil {
+		t.Fatalf("absent snapshot: ok=%v err=%v", ok, err)
+	}
+	info, err := WriteSnapshot(db, "s/", 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Chunks != 1 || info.Bytes != 0 {
+		t.Fatalf("empty snapshot manifest: %+v", info)
+	}
+	_, blob, ok, err := ReadSnapshot(db, "s/")
+	if err != nil || !ok || len(blob) != 0 {
+		t.Fatalf("empty snapshot read: %v %v %v", blob, ok, err)
+	}
+}
+
+// TestSnapshotOrphanChunksIgnoredAndPruned: chunks without a manifest — the
+// image a checkpoint killed before its commit point leaves — do not shadow
+// the committed snapshot, and PruneSnapshots removes them.
+func TestSnapshotOrphanChunksIgnoredAndPruned(t *testing.T) {
+	db := openSnapDB(t)
+	want := []byte("committed state")
+	if _, err := WriteSnapshot(db, "s/", 1, 10, want); err != nil {
+		t.Fatal(err)
+	}
+	// A later attempt dies after its chunks, before its manifest.
+	if _, err := WriteSnapshotChunks(db, "s/", 2, []byte("torn attempt")); err != nil {
+		t.Fatal(err)
+	}
+	_, blob, ok, err := ReadSnapshot(db, "s/")
+	if err != nil || !ok || !bytes.Equal(blob, want) {
+		t.Fatalf("orphan chunks shadowed the committed snapshot: %q ok=%v err=%v", blob, ok, err)
+	}
+	n, err := PruneSnapshots(db, "s/", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("pruned %d orphan chunks, want 1", n)
+	}
+	// The live snapshot survives pruning.
+	if _, blob, ok, _ := ReadSnapshot(db, "s/"); !ok || !bytes.Equal(blob, want) {
+		t.Fatal("prune removed the live snapshot")
+	}
+}
+
+// TestSnapshotMissingChunkIsLoud: a manifest whose chunks were lost must
+// error, because callers may have truncated their log against it.
+func TestSnapshotMissingChunkIsLoud(t *testing.T) {
+	db := openSnapDB(t)
+	if _, err := WriteSnapshot(db, "s/", 1, 5, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(snapshotChunkKey("s/", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadSnapshot(db, "s/"); err == nil {
+		t.Fatal("missing chunk read silently")
+	}
+}
+
+// TestDeleteRange: half-open range semantics, byte accounting, and
+// persistence across reopen.
+func TestDeleteRange(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("j/%016d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Put([]byte("other"), []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	n, bytes, err := db.DeleteRange(fmt.Sprintf("j/%016d", 0), fmt.Sprintf("j/%016d", 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 || bytes <= 0 {
+		t.Fatalf("DeleteRange = %d keys, %d bytes", n, bytes)
+	}
+	left, err := db.Count("j/")
+	if err != nil || left != 15 {
+		t.Fatalf("Count after range delete = %d, %v", left, err)
+	}
+	if ok, _ := db.Has([]byte(fmt.Sprintf("j/%016d", 25))); !ok {
+		t.Fatal("hi bound was deleted (range must be half-open)")
+	}
+	// Idempotent on an already-empty range.
+	if n, _, err := db.DeleteRange(fmt.Sprintf("j/%016d", 0), fmt.Sprintf("j/%016d", 25)); err != nil || n != 0 {
+		t.Fatalf("re-delete = %d, %v", n, err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if left, _ := db2.Count("j/"); left != 15 {
+		t.Fatalf("reopen saw %d j/ keys, want 15", left)
+	}
+	if v, ok, _ := db2.Get([]byte("other")); !ok || string(v) != "keep" {
+		t.Fatal("unrelated key damaged by DeleteRange")
+	}
+}
