@@ -1,15 +1,18 @@
 // Command reprowd-bench runs the reproduction's experiment suite (E1–E10
-// in DESIGN.md, plus E11 for the journal group-commit pipeline and E12
-// for snapshot-checkpointed recovery) and prints the tables recorded in
-// EXPERIMENTS.md. Experiments with machine-readable output (E11 →
-// BENCH_submit.json, E12 → BENCH_recovery.json) write it to -out.
+// in DESIGN.md, plus E11 for the journal group-commit pipeline, E12 for
+// snapshot-checkpointed recovery, and E13 for journal-shipping
+// replication) and prints the tables recorded in EXPERIMENTS.md.
+// Experiments with machine-readable output (E11 → BENCH_submit.json,
+// E12 → BENCH_recovery.json, E13 → BENCH_repl.json) write it to -out.
 //
 // The command doubles as the CI perf gate: -baseline compares the fresh
 // BENCH_submit.json against a committed baseline and exits non-zero if
-// any scenario's submit throughput regressed past -max-regress, and
+// any scenario's submit throughput regressed past -max-regress,
 // -check-recovery enforces E12's bounded-replay invariant on
-// BENCH_recovery.json (a structural count/byte check, immune to machine
-// speed).
+// BENCH_recovery.json, and -check-repl enforces E13's replication
+// invariants (snapshot-bootstrapped catch-up, zero final lag,
+// byte-identical follower) on BENCH_repl.json — all structural
+// count/byte checks, immune to machine speed.
 //
 // Usage:
 //
@@ -17,9 +20,10 @@
 //	reprowd-bench -exp e4,e5      # selected experiments
 //	reprowd-bench -exp e11        # concurrent submit × sync policy, emits BENCH_submit.json
 //	reprowd-bench -exp e12        # restart replay vs history length, emits BENCH_recovery.json
+//	reprowd-bench -exp e13        # follower catch-up + steady-state lag, emits BENCH_repl.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
-//	reprowd-bench -quick -exp e11,e12 -baseline ci/BENCH_baseline.json -check-recovery
+//	reprowd-bench -quick -exp e11,e12,e13 -baseline ci/BENCH_baseline.json -check-recovery -check-repl
 package main
 
 import (
@@ -45,6 +49,8 @@ func main() {
 			"fraction of baseline ops/s a scenario may lose before -baseline fails the run")
 		checkRecovery = flag.Bool("check-recovery", false,
 			"fail unless BENCH_recovery.json shows snapshot restarts bounded by the checkpoint interval; requires e12 in -exp")
+		checkRepl = flag.Bool("check-repl", false,
+			"fail unless BENCH_repl.json shows snapshot-bootstrapped catch-up and a byte-identical follower; requires e13 in -exp")
 	)
 	flag.Parse()
 
@@ -98,6 +104,14 @@ func main() {
 			fmt.Println("recovery gate: snapshot restart bounded by checkpoint interval")
 		}
 	}
+	if *checkRepl {
+		if err := gateRepl(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: replication gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("replication gate: snapshot-bootstrapped catch-up, byte-identical follower")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -125,4 +139,14 @@ func gateRecovery(outDir string) error {
 		return fmt.Errorf("load recovery records (did -exp include e12?): %w", err)
 	}
 	return exp.CheckRecoveryBounded(records)
+}
+
+// gateRepl enforces the replication invariants on the freshly written
+// BENCH_repl.json.
+func gateRepl(outDir string) error {
+	records, err := exp.LoadReplRecords(filepath.Join(outDir, "BENCH_repl.json"))
+	if err != nil {
+		return fmt.Errorf("load replication records (did -exp include e13?): %w", err)
+	}
+	return exp.CheckReplBounded(records)
 }

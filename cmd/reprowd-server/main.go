@@ -48,6 +48,19 @@
 // the store's fsync count, and the checkpointer's counters (checkpoints
 // taken, last snapshot sequence, journal bytes reclaimed).
 //
+// With -data set the server is also a replication leader: committed
+// journal events stream to followers over GET /api/repl/stream and the
+// latest snapshot record over GET /api/repl/snapshot. A follower
+// (-follow <leader-url>) bootstraps from the leader's snapshot + journal
+// tail — the same bounded recovery path a restart uses — applies the
+// live stream through the replay path (byte-identical state by
+// construction), and serves the read API with writes redirected to the
+// leader. POST /api/repl/promote turns a caught-up follower into a
+// leader: with -data set, its state is cut as a snapshot into that
+// directory and a fresh journal continues the same sequence numbering.
+// GET /api/healthz reports role, catch-up state and replication lag for
+// load balancers.
+//
 // Usage:
 //
 //	reprowd-server -addr :7070
@@ -55,6 +68,8 @@
 //	reprowd-server -data /var/lib/reprowd -journal-flush-interval 2ms
 //	reprowd-server -data /var/lib/reprowd -snapshot-every 10000
 //	reprowd-server -data /var/lib/reprowd -break-stale-lock   # after a kill -9
+//	reprowd-server -addr :7071 -follow http://leader:7070 -data /var/lib/reprowd-f1
+//	curl -X POST http://replica:7071/api/repl/promote      # failover
 package main
 
 import (
@@ -69,6 +84,7 @@ import (
 	"time"
 
 	"repro/internal/platform"
+	"repro/internal/repl"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -96,6 +112,8 @@ func main() {
 			"checkpoint the journal into a snapshot after this many events (0 disables the event trigger)")
 		snapshotBytes = flag.Int64("snapshot-bytes", 16<<20,
 			"checkpoint after this many bytes of journal growth (0 disables the byte trigger)")
+		follow = flag.String("follow", "",
+			"run as a read replica of the leader at this URL; -data then names the promotion target")
 	)
 	flag.Parse()
 
@@ -113,16 +131,68 @@ func main() {
 	var (
 		db      *storage.DB
 		journal *platform.Journal
+		node    *repl.Node
 	)
 	// log.Fatal skips deferred calls, and an open store holds a LOCK
 	// file that only Close removes — so every fatal path after Open must
 	// release the store, or a benign startup failure (port in use, bad
 	// journal) would force the operator into -break-stale-lock next run.
 	fail := func(err error) {
+		if node != nil {
+			node.Close()
+		}
 		if db != nil {
 			db.Close()
 		}
 		log.Fatal(err)
+	}
+	if *follow != "" {
+		// Follower: no local store at startup — state comes from the
+		// leader's snapshot + stream, and -data is only claimed if this
+		// replica is later promoted.
+		policy, err := parseSync(*syncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := repl.NewFollowerNode(repl.FollowerOptions{
+			LeaderURL: *follow,
+			Clock:     clock,
+			LeaseTTL:  *leaseTTL,
+			Shards:    *shards,
+			DataDir:   *dataDir,
+			Storage: storage.Options{
+				Sync:           policy,
+				SyncInterval:   50 * time.Millisecond,
+				BreakStaleLock: *breakStaleLock,
+			},
+			Journal: platform.JournalOptions{
+				MaxBatch:      *journalMaxBatch,
+				FlushInterval: *journalFlushInterval,
+			},
+			// A promoted follower is a full leader: its seeded journal
+			// keeps checkpointing on the same cadence flags.
+			Checkpoint: platform.CheckpointOptions{
+				EveryEvents: *snapshotEvery,
+				EveryBytes:  *snapshotBytes,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node = n
+		engine := node.Engine()
+		srv := platform.NewServer(engine)
+		srv.Handle("/api/repl/", node.Handler())
+		st := engine.ReplStats()
+		log.Printf("reprowd replica listening on %s (leader: %s, bootstrap snapshot seq %d)",
+			*addr, *follow, st.SnapshotSeq)
+		log.Printf("reads served locally; writes redirect to the leader; POST /api/repl/promote to fail over")
+		serve(*addr, srv, func() {
+			if err := node.Close(); err != nil {
+				log.Printf("closing replication node: %v", err)
+			}
+		}, fail)
+		return
 	}
 	if *dataDir != "" {
 		policy, err := parseSync(*syncMode)
@@ -185,30 +255,24 @@ func main() {
 			*snapshotEvery, *snapshotBytes, journal.FirstSeq())
 	}
 	srv := platform.NewServer(engine)
+	if journal != nil {
+		// A journaled server is a replication leader: followers stream
+		// the committed journal and bootstrap from the snapshot record.
+		node = repl.NewLeaderNode(engine, journal, db)
+		srv.Handle("/api/repl/", node.Handler())
+	}
 
 	persisted := "in-memory"
 	if *dataDir != "" {
 		persisted = *dataDir
 	}
 	log.Printf("reprowd platform listening on %s (virtual time: %v, state: %s)", *addr, *virtualTime, persisted)
-	log.Printf("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats | GET /api/projects/{id}/queue")
+	log.Printf("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats | GET /api/projects/{id}/queue | GET /api/healthz")
+	if node != nil {
+		log.Printf("replication: GET /api/repl/stream | GET /api/repl/snapshot | GET /api/repl/status (start a replica with -follow)")
+	}
 
-	// An ordinary stop (Ctrl-C, SIGTERM) must flush the journal and
-	// release the store's LOCK file; only a hard kill should leave a
-	// stale lock for -break-stale-lock.
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		fail(err)
-	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(ctx)
+	serve(*addr, srv, func() {
 		// Shutdown order matters: drain the journal's committer first (so
 		// every acked event is on disk and observed), then stop the
 		// checkpointer (a cut in progress finishes; staged events it
@@ -219,11 +283,36 @@ func main() {
 		if checkpointer != nil {
 			checkpointer.Close()
 		}
+		if node != nil {
+			node.Close()
+		}
 		if db != nil {
 			if err := db.Close(); err != nil {
 				log.Printf("closing store: %v", err)
 			}
 		}
+	}, fail)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains it and
+// runs shutdown. An ordinary stop must flush journals and release store
+// LOCK files; only a hard kill should leave a stale lock for
+// -break-stale-lock.
+func serve(addr string, handler http.Handler, shutdown func(), fail func(error)) {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		shutdown()
 	}
 }
 

@@ -515,3 +515,125 @@ func TestDrainUnderShortLeaseTTL(t *testing.T) {
 		t.Fatalf("drain left scheduler state behind: %+v", qs)
 	}
 }
+
+// TestDrainReturnDelayReconnect: abandon-and-return workers come back
+// within the lease TTL, reconnect to the task they abandoned (the lease
+// is still theirs) and finish it — so a pool of returners completes the
+// project without any TTL reclaim.
+func TestDrainReturnDelayReconnect(t *testing.T) {
+	clock := vclock.NewVirtual()
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{
+		Clock:    clock,
+		LeaseTTL: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProject(t, engine, 1, 6)
+	pool := NewPool(42, clock,
+		Spec{Count: 3, Model: Perfect{}, Prefix: "returner", Dropout: 0.5, ReturnDelay: time.Minute},
+	)
+	stats, err := pool.Drain(engine, p.ID, labelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropouts == 0 || stats.Returns == 0 {
+		t.Fatalf("drain exercised no churn: %+v", stats)
+	}
+	if stats.Returns > stats.Dropouts {
+		t.Fatalf("returns %d exceed dropouts %d", stats.Returns, stats.Dropouts)
+	}
+	if stats.Answers != 6 {
+		t.Fatalf("answers = %d, want 6", stats.Answers)
+	}
+	st, _ := engine.Stats(p.ID)
+	if st.CompletedTasks != 6 {
+		t.Fatalf("completed = %d, want 6", st.CompletedTasks)
+	}
+	// The proof this rode the reconnect path, not TTL reclaim: every
+	// abandoned lease was still live (TTL 10m, returns after 1m) when its
+	// worker came back, yet nothing was stranded.
+	if stats.SimulatedWall >= 10*time.Minute {
+		t.Fatalf("drain took %v — leases expired, so reclaim (not reconnect) finished it", stats.SimulatedWall)
+	}
+	qs, err := engine.QueueStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.PendingTasks != 0 || qs.ActiveLeases != 0 {
+		t.Fatalf("drain left scheduler state behind: %+v", qs)
+	}
+}
+
+// TestDrainReturnDelayDeterministic: the return path stays reproducible
+// from the seed.
+func TestDrainReturnDelayDeterministic(t *testing.T) {
+	run := func() string {
+		clock := vclock.NewVirtual()
+		engine, err := platform.NewEngineOpts(platform.EngineOptions{
+			Clock:    clock,
+			LeaseTTL: 2 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := newProject(t, engine, 2, 8)
+		pool := NewPool(7, clock,
+			Spec{Count: 4, Model: Uniform{P: 0.8}, Prefix: "flaky", Dropout: 0.3, ReturnDelay: 45 * time.Second},
+			Spec{Count: 2, Model: Perfect{}, Prefix: "solid"},
+		)
+		stats, err := pool.Drain(engine, p.ID, labelOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := fmt.Sprintf("answers=%d dropouts=%d returns=%d;", stats.Answers, stats.Dropouts, stats.Returns)
+		tasks, _ := engine.Tasks(p.ID)
+		for _, task := range tasks {
+			runs, _ := engine.Runs(task.ID)
+			for _, r := range runs {
+				out += fmt.Sprintf("%d:%s=%s@%s;", task.ID, r.WorkerID, r.Answer, r.Finished)
+			}
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("return-delay drain not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestDrainCertainDropoutWithReturnTerminates: a worker who always
+// abandons but always returns must not loop forever — re-entries are
+// capped, the lease eventually expires, and a reliable worker reclaims
+// the tasks.
+func TestDrainCertainDropoutWithReturnTerminates(t *testing.T) {
+	clock := vclock.NewVirtual()
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{
+		Clock:    clock,
+		LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProject(t, engine, 1, 3)
+	pool := NewPool(3, clock,
+		Spec{Count: 1, Model: Perfect{}, Prefix: "ghost", Dropout: 1, ReturnDelay: 90 * time.Second},
+		Spec{Count: 1, Model: Perfect{}, Prefix: "solid"},
+	)
+	stats, err := pool.Drain(engine, p.ID, labelOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Returns == 0 {
+		t.Fatalf("ghost never returned: %+v", stats)
+	}
+	if stats.Returns > maxIdleRetries {
+		t.Fatalf("returns %d exceed the re-entry cap %d", stats.Returns, maxIdleRetries)
+	}
+	st, _ := engine.Stats(p.ID)
+	if st.CompletedTasks != 3 {
+		t.Fatalf("completed = %d, want 3", st.CompletedTasks)
+	}
+	if n := stats.PerWorker["ghost-0"]; n != 0 {
+		t.Fatalf("certain dropout submitted %d answers", n)
+	}
+}

@@ -28,7 +28,15 @@ type Worker struct {
 	// exercises TTL reclaim under load (remaining workers wait out the
 	// expiry; see Drain).
 	Dropout float64
-	rng     *rand.Rand
+	// ReturnDelay turns dropout's abandon-and-leave into
+	// abandon-and-return: a worker who drops an assignment comes back
+	// after this much simulated time and requests again. A return within
+	// the scheduler's lease TTL reconnects to the same abandoned task
+	// (the lease is still the worker's), exercising the reconnect path
+	// under churn; a longer delay finds the lease reclaimed and competes
+	// for whatever is open. Zero keeps abandon-and-leave.
+	ReturnDelay time.Duration
+	rng         *rand.Rand
 }
 
 // Spec describes a homogeneous group of workers to add to a pool.
@@ -47,6 +55,9 @@ type Spec struct {
 	// Dropout is each worker's probability of abandoning an assignment
 	// (request, never submit); see Worker.Dropout.
 	Dropout float64
+	// ReturnDelay makes dropout workers return and request again after
+	// this much simulated time; see Worker.ReturnDelay.
+	ReturnDelay time.Duration
 }
 
 // Pool is a set of simulated workers that can drain platform projects.
@@ -75,12 +86,13 @@ func NewPool(seed int64, clock vclock.Clock, specs ...Spec) *Pool {
 		}
 		for i := 0; i < s.Count; i++ {
 			p.Workers = append(p.Workers, &Worker{
-				ID:       fmt.Sprintf("%s-%d", prefix, i),
-				Model:    s.Model,
-				Latency:  lat,
-				MaxTasks: s.MaxTasks,
-				Dropout:  s.Dropout,
-				rng:      rand.New(rand.NewSource(master.Int63())),
+				ID:          fmt.Sprintf("%s-%d", prefix, i),
+				Model:       s.Model,
+				Latency:     lat,
+				MaxTasks:    s.MaxTasks,
+				Dropout:     s.Dropout,
+				ReturnDelay: s.ReturnDelay,
+				rng:         rand.New(rand.NewSource(master.Int63())),
 			})
 		}
 	}
@@ -99,6 +111,9 @@ type DrainStats struct {
 	// Dropouts counts assignments abandoned by dropout workers (the
 	// lease was taken and never submitted against).
 	Dropouts int
+	// Returns counts re-entries: a dropout worker with a ReturnDelay
+	// coming back and requesting again after abandoning an assignment.
+	Returns int
 	// SimulatedWall is the simulated time from first assignment to last
 	// submission.
 	SimulatedWall time.Duration
@@ -157,7 +172,8 @@ func (p *Pool) Drain(client platform.Client, projectID int64, oracle Oracle) (Dr
 	}
 	virt, _ := p.clock.(*vclock.Virtual)
 	patient := p.hasDropout()
-	idle := make([]int, len(p.Workers)) // consecutive fruitless requests
+	idle := make([]int, len(p.Workers))    // consecutive fruitless requests
+	returns := make([]int, len(p.Workers)) // abandon-and-return re-entries
 
 	start := p.clock.Now()
 	var h eventHeap
@@ -193,9 +209,18 @@ func (p *Pool) Drain(client platform.Client, projectID int64, oracle Oracle) (Dr
 		}
 		idle[ev.idx] = 0
 		if w.Dropout > 0 && w.rng.Float64() < w.Dropout {
-			// The worker abandons the assignment and walks away; its
-			// lease stays outstanding until the scheduler reclaims it.
+			// The worker abandons the assignment; its lease stays
+			// outstanding until the scheduler reclaims it. With a
+			// ReturnDelay the worker comes back and requests again —
+			// reconnecting to the same task while the lease lives —
+			// otherwise it walks away for good. Re-entries are capped so
+			// a worker who always abandons (Dropout 1) still terminates.
 			stats.Dropouts++
+			if w.ReturnDelay > 0 && returns[ev.idx] < maxIdleRetries {
+				returns[ev.idx]++
+				stats.Returns++
+				heap.Push(&h, workerEvent{at: ev.at.Add(w.ReturnDelay), idx: ev.idx})
+			}
 			continue
 		}
 		think := w.Latency.Draw(w.rng)

@@ -44,6 +44,27 @@ type RecoveryRecord struct {
 	SnapshotBytes int64 `json:"snapshot_bytes"`
 }
 
+// ReplRecord is E13's BENCH_repl.json row.
+type ReplRecord struct {
+	History  int `json:"history_events"`
+	Interval int `json:"snapshot_interval"`
+	// SnapshotSeq is the cut point of the snapshot the follower
+	// bootstrapped from; TailEvents is what it had to stream on top.
+	SnapshotSeq    uint64  `json:"bootstrap_snapshot_seq"`
+	TailEvents     uint64  `json:"bootstrap_tail_events"`
+	CatchupSeconds float64 `json:"catchup_seconds"`
+	// Steady-state lag (committed leader events not yet applied) sampled
+	// while the leader absorbed SteadyEvents of concurrent submit load.
+	SteadyEvents int     `json:"steady_events"`
+	MaxLag       uint64  `json:"max_lag_events"`
+	MeanLag      float64 `json:"mean_lag_events"`
+	FinalLag     uint64  `json:"final_lag_events"`
+	Rebootstraps uint64  `json:"rebootstraps"`
+	// ByteIdentical is the acceptance bar: the follower's exported state
+	// equals the leader's, byte for byte.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
 // LoadSubmitRecords reads a BENCH_submit.json file.
 func LoadSubmitRecords(path string) ([]SubmitRecord, error) {
 	buf, err := os.ReadFile(path)
@@ -110,6 +131,54 @@ func CheckSubmitRegression(current, baseline []SubmitRecord, maxRegress float64)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("submit throughput regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// LoadReplRecords reads a BENCH_repl.json file.
+func LoadReplRecords(path string) ([]ReplRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []ReplRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CheckReplBounded verifies E13's structural claims on its own output:
+// the follower bootstrapped from a snapshot and streamed only a tail
+// bounded by the checkpoint interval (2× slack for a cut racing the end
+// of the history), converged to zero lag, and ended byte-identical to
+// the leader. Count comparisons only — the gate holds on any machine
+// speed.
+func CheckReplBounded(records []ReplRecord) error {
+	if len(records) == 0 {
+		return fmt.Errorf("no replication records")
+	}
+	var failures []string
+	for _, r := range records {
+		if !r.ByteIdentical {
+			failures = append(failures, fmt.Sprintf(
+				"history %d: follower state not byte-identical to leader", r.History))
+		}
+		if r.SnapshotSeq == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"history %d: follower bootstrapped without a snapshot", r.History))
+		}
+		if bound := uint64(2 * r.Interval); r.TailEvents > bound {
+			failures = append(failures, fmt.Sprintf(
+				"history %d: bootstrap tail %d events, want <= 2×interval (%d)", r.History, r.TailEvents, bound))
+		}
+		if r.FinalLag != 0 {
+			failures = append(failures, fmt.Sprintf(
+				"history %d: follower finished %d events behind the leader", r.History, r.FinalLag))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("replication gate:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

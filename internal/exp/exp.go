@@ -99,6 +99,7 @@ var registry = map[string]runner{
 	"e10": E10Turkit,
 	"e11": E11GroupCommit,
 	"e12": E12SnapshotRecovery,
+	"e13": E13Replication,
 }
 
 // IDs lists the registered experiment ids in order.

@@ -45,9 +45,10 @@ import (
 // the event is durable, and a failed flush commits nothing (the journal
 // poisons itself, so no later event can land after a gap).
 type Engine struct {
-	mu    sync.RWMutex
-	clock vclock.Clock
-	sched *sched.Scheduler
+	mu        sync.RWMutex
+	clock     vclock.Clock
+	sched     *sched.Scheduler
+	schedOpts sched.Options // kept to rebuild the scheduler on replica reset
 
 	// journal is assigned only after replay completes, so apply() during
 	// recovery never re-appends.
@@ -56,6 +57,18 @@ type Engine struct {
 	// snap is the attached snapshot checkpointer, if any (stats only —
 	// the checkpointer feeds off the journal, not the engine).
 	snap *Checkpointer
+
+	// readOnly marks a replica engine: every externally mutating call
+	// (EnsureProject, AddTasks, RequestTask, Submit, BanWorker) returns
+	// ErrReadOnly, and state changes arrive only through ApplyReplicated —
+	// the leader's journal stream applied via the replay path. leaderURL,
+	// when known, lets the HTTP layer redirect rejected writes.
+	readOnly  bool
+	leaderURL string
+
+	// replStats, when set, reports the replication subsystem's view
+	// (role, applied/leader sequence, lag) for /api/stats and healthz.
+	replStats func() ReplStats
 
 	nextProjectID int64
 	nextTaskID    int64
@@ -124,12 +137,14 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 	if clock == nil {
 		clock = vclock.NewVirtual()
 	}
+	schedOpts := sched.Options{
+		Shards:   opts.Shards,
+		LeaseTTL: opts.LeaseTTL,
+	}
 	e := &Engine{
-		clock: clock,
-		sched: sched.New(clock, sched.Options{
-			Shards:   opts.Shards,
-			LeaseTTL: opts.LeaseTTL,
-		}),
+		clock:          clock,
+		sched:          sched.New(clock, schedOpts),
+		schedOpts:      schedOpts,
 		projects:       make(map[int64]*Project),
 		projectsByName: make(map[string]int64),
 		projectTasks:   make(map[int64][]int64),
@@ -218,6 +233,10 @@ func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
 		spec.Strategy = BreadthFirst
 	}
 	e.mu.Lock()
+	if e.readOnly {
+		e.mu.Unlock()
+		return Project{}, ErrReadOnly
+	}
 	for {
 		if id, ok := e.projectsByName[spec.Name]; ok {
 			p := *e.projects[id]
@@ -310,6 +329,10 @@ func (e *Engine) FindProject(name string) (Project, bool, error) {
 // ack, which this call waits out rather than double-creating.
 func (e *Engine) AddTasks(projectID int64, specs []TaskSpec) ([]Task, error) {
 	e.mu.Lock()
+	if e.readOnly {
+		e.mu.Unlock()
+		return nil, ErrReadOnly
+	}
 restage:
 	p, ok := e.projects[projectID]
 	if !ok {
@@ -466,6 +489,11 @@ func (e *Engine) RequestTask(projectID int64, workerID string) (Task, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.readOnly {
+		// Assignment takes a lease — scheduler state the leader would
+		// never see — so a replica must not hand out tasks.
+		return Task{}, ErrReadOnly
+	}
 	if _, ok := e.projects[projectID]; !ok {
 		return Task{}, ErrUnknownProject
 	}
@@ -508,6 +536,10 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		return TaskRun{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
 	}
 	e.mu.Lock()
+	if e.readOnly {
+		e.mu.Unlock()
+		return TaskRun{}, ErrReadOnly
+	}
 	run, t, retiring, ticket, err := e.stageSubmit(taskID, workerID, answer)
 	if err != nil {
 		e.mu.Unlock()
@@ -804,10 +836,54 @@ type PlatformStats struct {
 	Tasks    int `json:"tasks"`
 	Runs     int `json:"runs"`
 	// Journal and Storage are nil for an in-memory engine; Snapshot is
-	// nil unless a checkpointer is attached.
+	// nil unless a checkpointer is attached; Repl is nil unless a
+	// replication node (leader or follower) is attached.
 	Journal  *JournalStats  `json:"journal,omitempty"`
 	Storage  *storage.Stats `json:"storage,omitempty"`
 	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
+	Repl     *ReplStats     `json:"repl,omitempty"`
+}
+
+// ReplStats is the replication subsystem's view of this node, surfaced on
+// GET /api/stats and /api/healthz. The platform package defines the wire
+// shape; internal/repl fills it in.
+type ReplStats struct {
+	// Role is "leader", "follower", or "standalone" (no replication).
+	Role string `json:"role"`
+	// Ready reports whether the node can serve its role: a leader after
+	// recovery, a follower once bootstrapped and streaming.
+	Ready bool `json:"ready"`
+	// AppliedSeq is the next journal sequence this node's state reflects:
+	// the journal length on a leader, the applied stream position on a
+	// follower.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LeaderSeq is the leader's journal length as last observed by a
+	// follower (0 on a leader).
+	LeaderSeq uint64 `json:"leader_seq,omitempty"`
+	// Lag is LeaderSeq - AppliedSeq on a follower: committed leader
+	// events not yet applied here.
+	Lag uint64 `json:"lag"`
+	// LeaderURL is the leader a follower streams from.
+	LeaderURL string `json:"leader_url,omitempty"`
+	// Connected reports whether a follower's stream loop reached the
+	// leader on its most recent attempt.
+	Connected bool `json:"connected,omitempty"`
+	// SnapshotSeq is the cut point of the snapshot a follower
+	// bootstrapped from (0 = bootstrapped from an empty leader).
+	SnapshotSeq uint64 `json:"bootstrap_snapshot_seq,omitempty"`
+	// Rebootstraps counts the times a follower had to discard its state
+	// and reload a newer leader snapshot because the journal events it
+	// needed were truncated (a symptom of lagging past the leader's
+	// checkpoint interval).
+	Rebootstraps uint64 `json:"rebootstraps,omitempty"`
+	// ActiveStreams counts follower streams a leader is serving now.
+	ActiveStreams int64 `json:"active_streams,omitempty"`
+	// EventsStreamed counts events a leader has shipped to followers.
+	EventsStreamed uint64 `json:"events_streamed,omitempty"`
+	// LastError is the follower loop's most recent failure ("" = none).
+	// A snapshot-required error means the follower fell behind a journal
+	// truncation and must be restarted to re-bootstrap.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // PlatformStats summarizes the whole engine. (Engine-only helper,
@@ -821,7 +897,7 @@ func (e *Engine) PlatformStats() PlatformStats {
 	for _, runs := range e.runs {
 		st.Runs += len(runs)
 	}
-	j, snap := e.journal, e.snap
+	j, snap, repl := e.journal, e.snap, e.replStats
 	e.mu.RUnlock()
 	if j != nil {
 		js := j.Stats()
@@ -833,7 +909,92 @@ func (e *Engine) PlatformStats() PlatformStats {
 		ss := snap.Stats()
 		st.Snapshot = &ss
 	}
+	if repl != nil {
+		rs := repl()
+		st.Repl = &rs
+	}
 	return st
+}
+
+// SetReplStatsFunc registers the replication subsystem's stats provider,
+// surfaced on /api/stats and /api/healthz.
+func (e *Engine) SetReplStatsFunc(fn func() ReplStats) {
+	e.mu.Lock()
+	e.replStats = fn
+	e.mu.Unlock()
+}
+
+// ReplStats reports the replication view: the registered provider's, or a
+// synthesized standalone entry (role from whether a journal is attached).
+func (e *Engine) ReplStats() ReplStats {
+	e.mu.RLock()
+	fn, j := e.replStats, e.journal
+	e.mu.RUnlock()
+	if fn != nil {
+		return fn()
+	}
+	st := ReplStats{Role: "standalone", Ready: true}
+	if j != nil {
+		st.AppliedSeq = j.Len()
+	}
+	return st
+}
+
+// SetReadOnly puts the engine in replica mode: external mutations return
+// ErrReadOnly (the HTTP layer redirects them to leaderURL when non-empty)
+// and state advances only through ApplyReplicated.
+func (e *Engine) SetReadOnly(leaderURL string) {
+	e.mu.Lock()
+	e.readOnly = true
+	e.leaderURL = leaderURL
+	e.mu.Unlock()
+}
+
+// ReadOnly reports replica mode and the leader to redirect writes to.
+func (e *Engine) ReadOnly() (bool, string) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.readOnly, e.leaderURL
+}
+
+// ApplyReplicated applies one event shipped from the leader's journal
+// through the same replay path a restart uses, which is what makes a
+// caught-up follower byte-identical to the leader by construction. It is
+// replica-only: a journaled engine already owns its history and must
+// never apply someone else's on top.
+func (e *Engine) ApplyReplicated(ev Event) error {
+	e.mu.RLock()
+	journaled, ro := e.journal != nil, e.readOnly
+	e.mu.RUnlock()
+	if journaled || !ro {
+		return fmt.Errorf("platform: ApplyReplicated on a non-replica engine")
+	}
+	return e.apply(ev)
+}
+
+// Promote turns a read replica into a leader: the virtual clock (if any)
+// is advanced past every replicated timestamp — exactly what recovery
+// does after replay, and for the same reason — writes are accepted again,
+// and j (which may be nil for an ephemeral promotion) becomes the
+// engine's journal. The caller is responsible for seeding j's store so
+// its sequence numbers continue where the replica stopped applying
+// (SeedJournalCut + a snapshot record at the same cut).
+func (e *Engine) Promote(j *Journal) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.readOnly {
+		return fmt.Errorf("platform: promote: engine is not a replica")
+	}
+	if e.journal != nil {
+		return fmt.Errorf("platform: promote: engine already has a journal")
+	}
+	if v, ok := e.clock.(*vclock.Virtual); ok {
+		v.AdvanceTo(e.replayHorizon)
+	}
+	e.readOnly = false
+	e.leaderURL = ""
+	e.journal = j
+	return nil
 }
 
 // attachCheckpointer records the engine's snapshot checkpointer so the
@@ -865,6 +1026,10 @@ func (e *Engine) BanWorker(projectID int64, workerID string) error {
 		return fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
 	}
 	e.mu.Lock()
+	if e.readOnly {
+		e.mu.Unlock()
+		return ErrReadOnly
+	}
 	if _, ok := e.projects[projectID]; !ok {
 		e.mu.Unlock()
 		return ErrUnknownProject

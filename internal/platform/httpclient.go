@@ -8,70 +8,161 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // HTTPClient implements Client against a Server over real HTTP. Reprowd's
 // core never knows whether it is talking to an in-process Engine or to a
 // remote platform through this client; experiment E8 measures the cost of
 // the wire and the semantic equivalence of the two bindings.
+//
+// Requests carry a timeout and transient failures — connection errors and
+// 502/503/504 responses — are retried with exponential backoff, so a
+// brief server restart (a leader bouncing, a follower being promoted)
+// looks like latency, not an error. Retries are safe against this API:
+// GETs are read-only, EnsureProject/AddTasks are idempotent by design
+// (name / ExternalID dedup), and a replayed Submit whose first attempt
+// actually landed is rejected as a duplicate answer by the engine rather
+// than double-counted.
 type HTTPClient struct {
 	base string
 	hc   *http.Client
+	opts HTTPClientOptions
+}
+
+// HTTPClientOptions tune the client's timeout/retry behavior. The zero
+// value gets the defaults below.
+type HTTPClientOptions struct {
+	// Timeout bounds one request attempt end to end. Defaults to 30s;
+	// negative disables it. Ignored when NewHTTPClientOpts is given an
+	// *http.Client that already sets its own timeout.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed request is retried beyond the
+	// first attempt. Defaults to 3; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling each
+	// attempt. Defaults to 100ms.
+	RetryBackoff time.Duration
+}
+
+func (o HTTPClientOptions) withDefaults() HTTPClientOptions {
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
 }
 
 var _ Client = (*HTTPClient)(nil)
 
 // NewHTTPClient returns a client for the server at baseURL (e.g.
-// "http://localhost:7000"). A nil hc uses http.DefaultClient.
+// "http://localhost:7000") with default timeout/retry behavior. A nil hc
+// builds a private http.Client.
 func NewHTTPClient(baseURL string, hc *http.Client) *HTTPClient {
+	return NewHTTPClientOpts(baseURL, hc, HTTPClientOptions{})
+}
+
+// NewHTTPClientOpts is NewHTTPClient with explicit timeout/retry tuning.
+// A non-nil hc is used as given (its transport, cookies, redirects); if
+// it sets no timeout of its own, a copy with opts.Timeout is used so the
+// caller's client is never mutated.
+func NewHTTPClientOpts(baseURL string, hc *http.Client, opts HTTPClientOptions) *HTTPClient {
+	opts = opts.withDefaults()
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{}
 	}
-	return &HTTPClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	if hc.Timeout == 0 && opts.Timeout > 0 {
+		cp := *hc
+		cp.Timeout = opts.Timeout
+		hc = &cp
+	}
+	return &HTTPClient{base: strings.TrimRight(baseURL, "/"), hc: hc, opts: opts}
+}
+
+// retryableStatus reports whether an HTTP status indicates a transient
+// server condition worth retrying: a proxy failing to reach a bouncing
+// backend (502/504) or an explicit "try again" (503). Other 5xx are not
+// retried — a 500 means the request was processed and failed.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
 }
 
 // do performs a request and decodes the JSON response into out (when out is
 // non-nil), translating wire error codes back into platform sentinel errors.
+// Transient failures are retried up to opts.MaxRetries times with doubling
+// backoff; each attempt rebuilds the request body from scratch.
 func (c *HTTPClient) do(method, path string, body, out any) error {
-	var rdr io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		buf, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("platform: encode request: %w", err)
 		}
+	}
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		retry, err := c.attempt(method, path, buf, body != nil, out)
+		if err == nil || !retry || attempt >= c.opts.MaxRetries {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// attempt is one wire round of do. retry reports whether the failure is
+// transient (connection error or retryable 5xx).
+func (c *HTTPClient) attempt(method, path string, buf []byte, hasBody bool, out any) (retry bool, err error) {
+	var rdr io.Reader
+	if hasBody {
 		rdr = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequest(method, c.base+path, rdr)
 	if err != nil {
-		return err
+		return false, err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("platform: %s %s: %w", method, path, err)
+		// Connection refused/reset, timeout, DNS: the transport never got
+		// a response, so the server is restarting or unreachable.
+		return true, fmt.Errorf("platform: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 
 	if resp.StatusCode == http.StatusNoContent {
-		return ErrNoTask
+		return false, ErrNoTask
 	}
 	if resp.StatusCode >= 400 {
 		var ae apiError
 		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
-			return fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
+			return retryableStatus(resp.StatusCode),
+				fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
 		}
-		return codeToError(ae.Code, ae.Error)
+		werr := codeToError(ae.Code, ae.Error)
+		// A typed platform error (unknown task, duplicate answer, ...) is
+		// a definitive verdict, not an outage — except read_only with no
+		// redirect, which resolves once a promotion lands.
+		return retryableStatus(resp.StatusCode) && werr == ErrReadOnly, werr
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("platform: decode response: %w", err)
+		return false, fmt.Errorf("platform: decode response: %w", err)
 	}
-	return nil
+	return false, nil
 }
 
 // EnsureProject implements Client.

@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// flakyFront wraps a real platform server, failing the first fail
+// requests with status before letting traffic through — a leader
+// restarting behind a proxy.
+func flakyFront(t *testing.T, fail int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	engine := NewEngine(vclock.NewVirtual())
+	srv := NewServer(engine)
+	var seen atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) <= int64(fail) {
+			http.Error(w, "rebooting", status)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &seen
+}
+
+// TestHTTPClientRetriesTransient5xx: 502/503/504 are retried with
+// backoff until the backend recovers, invisibly to the caller.
+func TestHTTPClientRetriesTransient5xx(t *testing.T) {
+	hs, seen := flakyFront(t, 2, http.StatusServiceUnavailable)
+	client := NewHTTPClientOpts(hs.URL, nil, HTTPClientOptions{
+		RetryBackoff: time.Millisecond,
+	})
+	p, err := client.EnsureProject(ProjectSpec{Name: "retry", Redundancy: 1})
+	if err != nil {
+		t.Fatalf("EnsureProject through flaky front: %v", err)
+	}
+	if p.Name != "retry" {
+		t.Fatalf("project %+v", p)
+	}
+	if got := seen.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestHTTPClientRetryBudgetExhausted: a persistent outage surfaces after
+// MaxRetries+1 attempts, not an infinite loop.
+func TestHTTPClientRetryBudgetExhausted(t *testing.T) {
+	hs, seen := flakyFront(t, 1<<30, http.StatusBadGateway)
+	client := NewHTTPClientOpts(hs.URL, nil, HTTPClientOptions{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	})
+	if _, err := client.EnsureProject(ProjectSpec{Name: "down"}); err == nil {
+		t.Fatal("expected an error from a dead backend")
+	}
+	if got := seen.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestHTTPClientNoRetryOnVerdicts: typed platform errors (4xx and plain
+// 500) are verdicts, never retried — a duplicate answer must not burn the
+// retry budget or, worse, mask itself.
+func TestHTTPClientNoRetryOnVerdicts(t *testing.T) {
+	engine := NewEngine(vclock.NewVirtual())
+	srv := NewServer(engine)
+	var seen atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		srv.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+	client := NewHTTPClientOpts(hs.URL, nil, HTTPClientOptions{RetryBackoff: time.Millisecond})
+	if _, err := client.Stats(404); !errors.Is(err, ErrUnknownProject) {
+		t.Fatalf("err = %v, want ErrUnknownProject", err)
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on a 404 verdict)", got)
+	}
+}
+
+// TestHTTPClientRetriesConnectionRefused: a dead-then-revived listener
+// (the follower-survives-leader-restart case) is bridged by the
+// connection-error retry path.
+func TestHTTPClientRetriesConnectionRefused(t *testing.T) {
+	engine := NewEngine(vclock.NewVirtual())
+	srv := NewServer(engine)
+	hs := httptest.NewUnstartedServer(srv)
+	addr := hs.Listener.Addr().String()
+	// Close the listener so the first attempts are refused outright, then
+	// revive it on the same port mid-backoff.
+	hs.Listener.Close()
+	started := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			started <- err
+			return
+		}
+		hs.Listener = l
+		hs.Start()
+		started <- nil
+	}()
+	defer func() {
+		if err := <-started; err == nil {
+			hs.Close()
+		}
+	}()
+	client := NewHTTPClientOpts("http://"+addr, nil, HTTPClientOptions{
+		MaxRetries:   8,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if _, err := client.EnsureProject(ProjectSpec{Name: "revived"}); err != nil {
+		t.Fatalf("EnsureProject across server restart: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // Server exposes an Engine over a JSON REST API shaped like PyBossa's task
@@ -19,8 +20,12 @@ import (
 //	GET  /api/projects/{id}/stats     → Stats
 //	GET  /api/projects/{id}/queue     → QueueStats (scheduler queue depth/leases)
 //	GET  /api/stats                   → PlatformStats (journal + storage counters)
+//	GET  /api/healthz                 → readiness (role, catch-up state, lag)
 //	POST /api/tasks/{id}/runs         → Submit        (body: worker, answer)
 //	GET  /api/tasks/{id}/runs         → Runs
+//
+// Additional subsystems (the replication endpoints under /api/repl/) are
+// mounted with Handle.
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
@@ -29,6 +34,7 @@ type Server struct {
 // NewServer wraps engine in an HTTP handler.
 func NewServer(engine *Engine) *Server {
 	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/healthz", s.handleHealthz)
 	s.mux.HandleFunc("PUT /api/projects", s.handleEnsureProject)
 	s.mux.HandleFunc("GET /api/projects", s.handleListProjects)
 	s.mux.HandleFunc("GET /api/projects/find", s.handleFindProject)
@@ -47,6 +53,25 @@ func NewServer(engine *Engine) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handle mounts an additional handler on the server's mux (the
+// replication endpoints live in internal/repl and are attached here, so
+// the platform package never has to import them).
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// handleHealthz is the load-balancer readiness probe: 200 with the
+// replication view when the node can serve its role, 503 while a follower
+// is still bootstrapping or has lost its stream (the body says which).
+// Leaders and standalone nodes are ready by construction — they only
+// listen after recovery completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.ReplStats()
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
+}
 
 // apiError is the JSON error body.
 type apiError struct {
@@ -70,6 +95,8 @@ func errorCode(err error) (string, int) {
 		return "task_completed", http.StatusConflict
 	case errors.Is(err, ErrWorkerBanned):
 		return "worker_banned", http.StatusForbidden
+	case errors.Is(err, ErrReadOnly):
+		return "read_only", http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return "bad_request", http.StatusBadRequest
 	default:
@@ -94,12 +121,28 @@ func codeToError(code, msg string) error {
 		return ErrWorkerBanned
 	case "bad_request":
 		return ErrBadRequest
+	case "read_only":
+		return ErrReadOnly
 	default:
 		return errors.New("platform: remote error: " + msg)
 	}
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr writes err as the JSON error body. A write rejected by a read
+// replica that knows its leader becomes a 307 redirect there instead —
+// the client (Go's http.Client included) replays the request, method and
+// body intact, against the leader.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, ErrReadOnly) {
+		if _, leader := s.engine.ReadOnly(); leader != "" {
+			target := strings.TrimRight(leader, "/") + r.URL.Path
+			if r.URL.RawQuery != "" {
+				target += "?" + r.URL.RawQuery
+			}
+			http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+			return
+		}
+	}
 	code, status := errorCode(err)
 	if status == http.StatusNoContent {
 		w.WriteHeader(status)
@@ -126,12 +169,12 @@ func pathID(r *http.Request) (int64, error) {
 func (s *Server) handleEnsureProject(w http.ResponseWriter, r *http.Request) {
 	var spec ProjectSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeErr(w, ErrBadRequest)
+		s.writeErr(w, r, ErrBadRequest)
 		return
 	}
 	p, err := s.engine.EnsureProject(spec)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, p)
@@ -145,11 +188,11 @@ func (s *Server) handleFindProject(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	p, ok, err := s.engine.FindProject(name)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if !ok {
-		writeErr(w, ErrUnknownProject)
+		s.writeErr(w, r, ErrUnknownProject)
 		return
 	}
 	writeJSON(w, p)
@@ -158,17 +201,17 @@ func (s *Server) handleFindProject(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	var specs []TaskSpec
 	if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
-		writeErr(w, ErrBadRequest)
+		s.writeErr(w, r, ErrBadRequest)
 		return
 	}
 	tasks, err := s.engine.AddTasks(id, specs)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, tasks)
@@ -177,12 +220,12 @@ func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	tasks, err := s.engine.Tasks(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, tasks)
@@ -191,12 +234,12 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNewTask(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	task, err := s.engine.RequestTask(id, r.URL.Query().Get("worker"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, task)
@@ -205,12 +248,12 @@ func (s *Server) handleNewTask(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	st, err := s.engine.Stats(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, st)
@@ -221,12 +264,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	st, err := s.engine.QueueStats(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, st)
@@ -247,17 +290,17 @@ type submitRequest struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, ErrBadRequest)
+		s.writeErr(w, r, ErrBadRequest)
 		return
 	}
 	run, err := s.engine.Submit(id, req.WorkerID, req.Answer)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, run)
@@ -270,16 +313,16 @@ type banRequest struct {
 func (s *Server) handleBan(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	var req banRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, ErrBadRequest)
+		s.writeErr(w, r, ErrBadRequest)
 		return
 	}
 	if err := s.engine.BanWorker(id, req.WorkerID); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]bool{"banned": true})
@@ -291,12 +334,12 @@ func (s *Server) handleBan(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	task, project, err := s.engine.taskWithProject(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -313,12 +356,12 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	runs, err := s.engine.Runs(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, runs)

@@ -108,6 +108,12 @@ type Journal struct {
 	failed   error                                // sticky flush failure; all later appends return it
 	observer func(seq uint64, ev Event, size int) // committed-event tap, called from the committer in seq order
 
+	// taps are additional committed-event observers (replication feeds),
+	// keyed by registration id so each can be removed independently. They
+	// receive events after the primary observer, in sequence order.
+	taps    map[uint64]func(seq uint64, ev Event, size int)
+	nextTap uint64
+
 	opts JournalOptions
 	wg   sync.WaitGroup
 
@@ -508,14 +514,20 @@ func (j *Journal) run() {
 			if fail != nil {
 				j.failed = fail
 			}
-			// Capture the observer after the flush, not before: an
+			// Capture the observers after the flush, not before: an
 			// observer that registered while this flush was blocked on
 			// the store (its seed scan holds the store's read lock)
 			// must still receive these events — they were not yet on
 			// disk when its scan closed.
-			observer := j.observer
+			observers := make([]func(uint64, Event, int), 0, 1+len(j.taps))
+			if j.observer != nil {
+				observers = append(observers, j.observer)
+			}
+			for _, tap := range j.taps {
+				observers = append(observers, tap)
+			}
 			j.mu.Unlock()
-			if observer != nil {
+			for _, observer := range observers {
 				// Deliver the committed events in sequence order — before
 				// waking the waiters, so anything a caller has seen acked
 				// is already staged with the observer. Flushed tickets are
@@ -670,6 +682,55 @@ func (j *Journal) SetObserver(fn func(seq uint64, ev Event, size int)) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.observer = fn
+}
+
+// AddTap registers an additional committed-event observer alongside the
+// primary one (the replication feed's hook) and returns a function that
+// removes it. Taps receive every event committed after registration, in
+// sequence order, from the committer goroutine — the same contract as
+// SetObserver, with the same obligations: be cheap, never call back into
+// the append path. Events committed before registration are read from
+// disk with EventsFrom; a reader that scans first and taps second can
+// see an overlap, never a gap, and dedupes by sequence number.
+func (j *Journal) AddTap(fn func(seq uint64, ev Event, size int)) (cancel func()) {
+	j.mu.Lock()
+	if j.taps == nil {
+		j.taps = make(map[uint64]func(uint64, Event, int))
+	}
+	id := j.nextTap
+	j.nextTap++
+	j.taps[id] = fn
+	j.mu.Unlock()
+	return func() {
+		j.mu.Lock()
+		delete(j.taps, id)
+		j.mu.Unlock()
+	}
+}
+
+// EventsFrom invokes fn on every committed event with sequence >= start in
+// append order, exposing each event's sequence number and encoded size —
+// the replication feed's catch-up read. Events below FirstSeq have been
+// folded into a snapshot and are not visible here; callers needing them
+// must bootstrap from the snapshot record instead. The underlying scan
+// holds the store's read lock, so fn must not block on slow consumers —
+// collect and ship after returning.
+func (j *Journal) EventsFrom(start uint64, fn func(seq uint64, ev Event, size int) error) error {
+	return j.replayFrom(start, fn)
+}
+
+// SeedJournalCut prepares an empty store to host a journal whose history
+// begins at seq: the truncation record is written so OpenJournal starts
+// appending there, exactly as if events [0, seq) had been committed and
+// folded into a snapshot. This is the promotion path's continuity hook —
+// a follower promoted at applied sequence S writes its state as a
+// snapshot at S and seeds its fresh journal at S, so sequence numbers
+// keep their meaning across the leadership change.
+func SeedJournalCut(db *storage.DB, seq uint64) error {
+	if err := db.Put([]byte(journalTruncKey), []byte(strconv.FormatUint(seq, 10))); err != nil {
+		return fmt.Errorf("platform: seed journal cut: %w", err)
+	}
+	return nil
 }
 
 // TruncateBefore drops every journal event below seq from the store —

@@ -120,6 +120,10 @@ var (
 	ErrTaskCompleted   = errors.New("platform: task already has its full redundancy of answers")
 	ErrWorkerBanned    = errors.New("platform: worker is banned from this project")
 	ErrBadRequest      = errors.New("platform: bad request")
+	// ErrReadOnly is returned by mutating calls against a read replica.
+	// The HTTP layer turns it into a redirect to the leader when the
+	// replica knows one.
+	ErrReadOnly = errors.New("platform: engine is read-only (follower); write to the leader")
 )
 
 // Client is the platform binding used by everything above this package.

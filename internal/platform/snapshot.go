@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -303,6 +304,74 @@ func (e *Engine) exportState(seq uint64) *snapshotState {
 	return e.exportMaterializer().state(seq)
 }
 
+// ExportState serializes the engine's materialized state as a snapshot
+// record cut at journal sequence seq — the same deterministic encoding a
+// checkpointer cut produces, so two engines that applied the same event
+// prefix export equal bytes. The replication subsystem uses it for the
+// leader-vs-follower byte-identical proof and for promotion (a promoted
+// follower seeds its own store with this record). The caller asserts seq:
+// the engine must actually reflect events [0, seq), which holds for a
+// leader quiesced at journal length seq and for a follower whose applied
+// position is seq.
+func (e *Engine) ExportState(seq uint64) ([]byte, error) {
+	return e.exportState(seq).encode()
+}
+
+// RestoreState loads an encoded snapshot record into a fresh engine — the
+// follower's bootstrap path, identical to what NewEngineOpts does with a
+// local snapshot — and returns the cut sequence the stream must resume
+// from.
+func (e *Engine) RestoreState(data []byte) (uint64, error) {
+	st, err := decodeSnapshotState(data)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	fresh := len(e.projects) == 0 && len(e.tasks) == 0
+	e.mu.RUnlock()
+	if !fresh {
+		return 0, fmt.Errorf("platform: restore state: engine is not empty")
+	}
+	if err := e.restoreSnapshot(st); err != nil {
+		return 0, err
+	}
+	return st.Seq, nil
+}
+
+// ResetReplicaState discards a read replica's entire state and loads the
+// given snapshot record in its place — the follower's re-bootstrap
+// ("install snapshot") path, taken when the leader has truncated journal
+// events the replica still needed: the gap lives on only inside the
+// leader's newer snapshot, so the replica starts over from that snapshot
+// instead of dying. The swap happens under one registry hold — readers
+// see the old state, then the new, never an empty in-between. Returns
+// the new snapshot's cut sequence, which the stream resumes from.
+func (e *Engine) ResetReplicaState(data []byte) (uint64, error) {
+	st, err := decodeSnapshotState(data)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.readOnly || e.journal != nil {
+		return 0, fmt.Errorf("platform: reset state: engine is not a replica")
+	}
+	e.sched = sched.New(e.clock, e.schedOpts)
+	e.nextProjectID, e.nextTaskID, e.nextRunID = 0, 0, 0
+	e.projects = make(map[int64]*Project)
+	e.projectsByName = make(map[string]int64)
+	e.projectTasks = make(map[int64][]int64)
+	e.externalIDs = make(map[int64]map[string]int64)
+	e.tasks = make(map[int64]*Task)
+	e.runs = make(map[int64][]*TaskRun)
+	e.banned = make(map[int64]map[string]bool)
+	e.replayHorizon = time.Time{}
+	if err := e.restoreSnapshotLocked(st); err != nil {
+		return 0, err
+	}
+	return st.Seq, nil
+}
+
 // restoreSnapshot loads a snapshot's state into a fresh engine, exactly
 // as replaying the covered events would have: registries take the records
 // verbatim, and the scheduler is rebuilt by re-admitting each live task
@@ -312,6 +381,13 @@ func (e *Engine) exportState(seq uint64) *snapshotState {
 func (e *Engine) restoreSnapshot(st *snapshotState) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.restoreSnapshotLocked(st)
+}
+
+// restoreSnapshotLocked is restoreSnapshot with e.mu already held (the
+// replica reset path swaps state out and in under one hold, so readers
+// never observe the empty intermediate).
+func (e *Engine) restoreSnapshotLocked(st *snapshotState) error {
 	for i := range st.Projects {
 		p := st.Projects[i]
 		e.observeReplayTime(p.Created)

@@ -1,0 +1,245 @@
+package repl
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+// writeStatsJSON writes a ReplStats body (Content-Type already set).
+func writeStatsJSON(w http.ResponseWriter, st platform.ReplStats) {
+	json.NewEncoder(w).Encode(st)
+}
+
+// Node is one replication participant: a leader serving the journal feed,
+// or a follower pumping it — and, after Promote, both in succession. It
+// owns the /api/repl/* HTTP surface (mounted on the platform server with
+// Server.Handle) and provides the ReplStats the platform's /api/stats and
+// /api/healthz report:
+//
+//	GET  /api/repl/stream?from=N   → committed events, long-poll (leader)
+//	GET  /api/repl/snapshot        → latest snapshot record (leader)
+//	GET  /api/repl/status          → this node's ReplStats
+//	POST /api/repl/promote         → follower → leader transition
+type Node struct {
+	engine *platform.Engine
+	mux    *http.ServeMux
+
+	mu        sync.Mutex
+	role      string
+	leader    *Leader   // non-nil while serving the feed
+	follower  *Follower // non-nil while following
+	promoting bool      // a Promote is in flight; serializes racing requests
+	warn      string    // non-fatal degradation (promotion checkpointer failure)
+	closed    bool
+
+	// Resources acquired by a durable promotion, closed by Close.
+	ownedJournal *platform.Journal
+	ownedCP      *platform.Checkpointer
+	ownedDB      *storage.DB
+}
+
+// NewLeaderNode wires a journaled engine as a replication leader. The
+// engine, journal and db stay owned by the caller (the server already
+// manages their shutdown); Close only detaches the feed's tap.
+func NewLeaderNode(engine *platform.Engine, j *platform.Journal, db *storage.DB) *Node {
+	n := &Node{engine: engine, role: RoleLeader, leader: NewLeader(j, db)}
+	n.init()
+	return n
+}
+
+// NewFollowerNode bootstraps a follower (see StartFollower) and wires it
+// as a node. The replica engine is created internally; read it with
+// Engine to build the platform server.
+func NewFollowerNode(opts FollowerOptions) (*Node, error) {
+	f, err := StartFollower(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{engine: f.Engine(), role: RoleFollower, follower: f}
+	n.init()
+	return n, nil
+}
+
+func (n *Node) init() {
+	n.engine.SetReplStatsFunc(n.Stats)
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("GET /api/repl/stream", n.handleStream)
+	n.mux.HandleFunc("GET /api/repl/snapshot", n.handleSnapshot)
+	n.mux.HandleFunc("GET /api/repl/status", n.handleStatus)
+	n.mux.HandleFunc("POST /api/repl/promote", n.handlePromote)
+}
+
+// Engine returns the engine this node serves (the replica's on a
+// follower).
+func (n *Node) Engine() *platform.Engine { return n.engine }
+
+// Handler returns the /api/repl/* surface for mounting on the platform
+// server: srv.Handle("/api/repl/", node.Handler()).
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Role returns the node's current role.
+func (n *Node) Role() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Follower returns the follower half while the node is one (nil after
+// promotion).
+func (n *Node) Follower() *Follower {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.follower
+}
+
+// Stats reports the node's replication view (the engine's stats provider).
+func (n *Node) Stats() platform.ReplStats {
+	n.mu.Lock()
+	leader, follower, warn := n.leader, n.follower, n.warn
+	n.mu.Unlock()
+	var st platform.ReplStats
+	switch {
+	case follower != nil:
+		st = follower.stats()
+	case leader != nil:
+		st = leader.stats()
+	default:
+		// Promoted without a data dir: writable, but no feed to serve.
+		st = platform.ReplStats{Role: RoleLeader, Ready: true}
+	}
+	if warn != "" && st.LastError == "" {
+		st.LastError = warn
+	}
+	return st
+}
+
+// currentLeader returns the feed if this node is serving one.
+func (n *Node) currentLeader() *Leader {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	return n.leader
+}
+
+func (n *Node) handleStream(w http.ResponseWriter, r *http.Request) {
+	l := n.currentLeader()
+	if l == nil {
+		httpError(w, http.StatusServiceUnavailable, "not_leader", ErrNotLeader.Error())
+		return
+	}
+	l.handleStream(w, r)
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	l := n.currentLeader()
+	if l == nil {
+		httpError(w, http.StatusServiceUnavailable, "not_leader", ErrNotLeader.Error())
+		return
+	}
+	l.handleSnapshot(w, r)
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeStatsJSON(w, n.Stats())
+}
+
+// handlePromote is POST /api/repl/promote: the operator's failover
+// trigger on a follower.
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if err := n.Promote(); err != nil {
+		status := http.StatusInternalServerError
+		if err == ErrNotFollower {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "promote_failed", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeStatsJSON(w, n.Stats())
+}
+
+// Promote turns a caught-up follower into a leader (see
+// Follower.promote): the stream stops, the replica state is cut as a
+// snapshot at the applied sequence into FollowerOptions.DataDir (when
+// set) with a fresh journal seeded to continue the same numbering, and
+// the engine accepts writes again. Idempotent failure mode: a node that
+// is not (or no longer) a follower returns ErrNotFollower.
+func (n *Node) Promote() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	f := n.follower
+	if f == nil || n.promoting {
+		// Already a leader, or a racing Promote holds the transition: two
+		// promotions against one DataDir would double-seed the store.
+		n.mu.Unlock()
+		return ErrNotFollower
+	}
+	n.promoting = true
+	n.mu.Unlock()
+	p, err := f.promote()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.promoting = false
+	if err != nil {
+		// The follower's stream is stopped either way (promote's first
+		// act); the node stays a follower for stats purposes, and the
+		// operator retries or restarts.
+		return err
+	}
+	n.role = RoleLeader
+	n.follower = nil
+	n.leader = p.leader
+	n.ownedJournal = p.j
+	n.ownedCP = p.cp
+	n.ownedDB = p.db
+	if p.warn != nil {
+		n.warn = p.warn.Error()
+	}
+	return nil
+}
+
+// Close stops the node: the follower loop (if any) halts, the feed tap
+// detaches, and any store/journal acquired by promotion is flushed and
+// closed. Safe to call once the HTTP server has stopped routing to it.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	leader, follower := n.leader, n.follower
+	j, cp, db := n.ownedJournal, n.ownedCP, n.ownedDB
+	n.mu.Unlock()
+	if follower != nil {
+		follower.Close()
+	}
+	if leader != nil {
+		leader.Close()
+	}
+	// Same order as server shutdown: drain the journal's committer, stop
+	// the checkpointer (a cut in progress finishes), close the store.
+	var err error
+	if j != nil {
+		err = j.Close()
+	}
+	if cp != nil {
+		cp.Close()
+	}
+	if db != nil {
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,208 @@
+// Package repl is the platform's journal-shipping replication subsystem.
+//
+// PR 1–3 made a single node's state a pure function of its journal: every
+// mutation is a committed event, snapshots fold replayed prefixes, and
+// recovery is load-snapshot + replay-tail, byte-identical to full replay.
+// This package turns that same history into a replication substrate — no
+// second source of truth is invented:
+//
+//   - A Leader serves the journal over HTTP: GET /api/repl/stream long-polls
+//     committed events from a given sequence (fed by the journal's
+//     committed-event tap, so a stream never sees an unacked write), and
+//     GET /api/repl/snapshot serves the latest snapshot record.
+//   - A Follower bootstraps exactly like a restart does — fetch the
+//     snapshot, replay the tail — then applies the live stream through the
+//     engine's replay path. Catch-up is therefore O(live state + tail),
+//     bounded by the leader's checkpoint interval, never O(full history),
+//     and a caught-up follower is byte-identical to the leader by
+//     construction (and by test). The follower's engine is read-only:
+//     writes are rejected with a redirect to the leader, while the read
+//     API (projects, tasks, runs, stats, queue) serves locally.
+//   - Promote turns a caught-up follower into a leader: its state is cut
+//     as a snapshot at the applied sequence, a fresh journal is seeded to
+//     continue the same sequence numbering, and writes are accepted again
+//     — surviving followers can re-point and resume their streams without
+//     re-bootstrapping.
+//   - Ring is the consistent-hash partition map a front-end uses to route
+//     projects across leaders, hashing the same shard key internal/sched
+//     stripes by.
+//
+// A Node ties one role together and serves the /api/repl/* endpoints; the
+// platform server's /api/stats and /api/healthz surface its view
+// (role, applied/leader sequence, replication lag, readiness).
+package repl
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Roles a Node reports.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
+// Errors surfaced by the subsystem.
+var (
+	// ErrSnapshotRequired means the requested stream position was folded
+	// into a snapshot and truncated from the leader's journal; the
+	// follower must re-bootstrap from the snapshot record.
+	ErrSnapshotRequired = errors.New("repl: requested sequence truncated; bootstrap from snapshot")
+	// ErrNotLeader is returned by replication reads against a follower.
+	ErrNotLeader = errors.New("repl: node is not a leader")
+	// ErrNotFollower is returned by Promote against a leader.
+	ErrNotFollower = errors.New("repl: node is not a follower")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("repl: node is closed")
+)
+
+// Ring is a consistent-hash partition map: a fixed set of node names, each
+// owning vnodes points on a hash circle, with every project id routed to
+// the first point at or after its hash. It answers the question a
+// front-end asks when projects are partitioned across leaders — "which
+// leader owns project P?" — with the two properties that matter: every
+// router with the same membership agrees, and membership changes move
+// only ~1/n of the keyspace. The key hash is the same Fibonacci
+// multiplicative hash internal/sched stripes projects across shards with,
+// so a ring over one node degenerates to exactly the scheduler's shard
+// key space.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultVnodes is how many points each node owns when NewRing is given
+// a non-positive count. 128 keeps the max/min load ratio near 1.1 for
+// small clusters without making Lookup's binary search noticeable.
+const DefaultVnodes = 128
+
+// NewRing builds a ring with vnodes points per node (<= 0 uses
+// DefaultVnodes).
+func NewRing(vnodes int, nodes ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// shardKey is the hash internal/sched uses to stripe project ids across
+// shards (Fibonacci/multiplicative), reused verbatim so the ring
+// partitions the identical key space.
+func shardKey(projectID int64) uint64 {
+	return uint64(projectID) * 0x9E3779B97F4A7C15
+}
+
+// pointHash spreads a node's virtual points over the circle. FNV-1a over
+// the node name and point index, finished with a splitmix64 avalanche —
+// FNV alone clusters similar inputs (adjacent point indexes differ in a
+// few low bits), which skews ring balance badly. Stable across processes
+// (no seed), so every router derives the same map from the same
+// membership.
+func pointHash(node string, i int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for j := 0; j < len(node); j++ {
+		h ^= uint64(node[j])
+		h *= prime64
+	}
+	for _, b := range []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)} {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is splitmix64's finalizer: a full-avalanche bijection over
+// uint64.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add inserts a node (a no-op if present).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node (a no-op if absent). Keys it owned move to their
+// successors; everything else stays put.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes lists the members, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup routes a project id to its owning node ("" on an empty ring).
+func (r *Ring) Lookup(projectID int64) string {
+	return r.lookupHash(shardKey(projectID))
+}
+
+// LookupString routes an arbitrary string key (a project name, before an
+// id exists) to its owning node.
+func (r *Ring) LookupString(key string) string {
+	return r.lookupHash(pointHash(key, 0))
+}
+
+func (r *Ring) lookupHash(h uint64) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].node
+}

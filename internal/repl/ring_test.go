@@ -1,0 +1,90 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: two routers with the same membership agree on
+// every key — the property a fleet of front-ends depends on.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(0, "n1", "n2", "n3")
+	b := NewRing(0, "n3", "n1", "n2") // different insertion order
+	for id := int64(1); id <= 5000; id++ {
+		if ga, gb := a.Lookup(id), b.Lookup(id); ga != gb {
+			t.Fatalf("project %d: ring a says %s, ring b says %s", id, ga, gb)
+		}
+	}
+	if a.LookupString("er-pairs") != b.LookupString("er-pairs") {
+		t.Fatal("string routing disagrees across equal rings")
+	}
+}
+
+// TestRingBalance: virtual nodes spread sequential project ids (the id
+// scheme the engine actually hands out) across members without a
+// pathological skew.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(0, nodes...)
+	counts := make(map[string]int)
+	const keys = 20000
+	for id := int64(1); id <= keys; id++ {
+		counts[r.Lookup(id)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of the keyspace: %v", n, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing a node moves only its own keys —
+// everything owned by a surviving node stays put, so a leader failure
+// never reshuffles healthy partitions.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(0, "n1", "n2", "n3", "n4")
+	before := make(map[int64]string)
+	for id := int64(1); id <= 10000; id++ {
+		before[id] = r.Lookup(id)
+	}
+	r.Remove("n2")
+	moved := 0
+	for id, owner := range before {
+		got := r.Lookup(id)
+		if owner != "n2" {
+			if got != owner {
+				t.Fatalf("project %d moved %s -> %s though %s survived", id, owner, got, owner)
+			}
+			continue
+		}
+		if got == "n2" {
+			t.Fatalf("project %d still routed to removed node", id)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned nothing; balance test should have caught this")
+	}
+	if got := len(r.Nodes()); got != 3 {
+		t.Fatalf("membership %d, want 3", got)
+	}
+	// Re-adding restores the original map exactly (hash is unseeded).
+	r.Add("n2")
+	for id, owner := range before {
+		if got := r.Lookup(id); got != owner {
+			t.Fatalf("project %d: %s after re-add, want %s", id, got, owner)
+		}
+	}
+	if fmt.Sprint(r.Nodes()) != "[n1 n2 n3 n4]" {
+		t.Fatalf("nodes %v", r.Nodes())
+	}
+}
+
+// TestRingEmpty: lookups on an empty ring return "".
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup(42); got != "" {
+		t.Fatalf("empty ring routed to %q", got)
+	}
+}
