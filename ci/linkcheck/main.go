@@ -1,0 +1,127 @@
+// Command linkcheck is the docs CI gate: it walks a repository tree,
+// extracts every inline Markdown link and image from *.md files, and
+// fails (exit 1) if a relative link points at a file that does not
+// exist. External links (http/https/mailto) and pure anchors (#...) are
+// skipped — this is an intra-repo integrity check, not a crawler — and
+// anchors on relative links are stripped before the existence check.
+// Standard library only, so CI can `go run ./ci/linkcheck .` with no
+// extra dependencies.
+//
+// Usage:
+//
+//	go run ./ci/linkcheck [dir]   # default "."
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links and images: [text](target) /
+// ![alt](target), with an optional "title". Reference-style definitions
+// ([ref]: target) are matched by refRE.
+var (
+	linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+	refRE  = regexp.MustCompile(`(?m)^\s*\[[^\]]+\]:\s+(\S+)`)
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, files, links, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Fprintf(os.Stderr, "linkcheck: %s\n", b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) across %d markdown files\n", len(broken), files)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d files, %d intra-repo links, all resolve\n", files, links)
+}
+
+// check walks root and returns a description of every broken relative
+// link, plus counts for the summary line.
+func check(root string) (broken []string, files, links int, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and dependency trees; everything else is
+			// fair game (docs/, ci/, the repo root).
+			switch d.Name() {
+			case ".git", "node_modules", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		files++
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, target := range targets(string(buf)) {
+			if skipTarget(target) {
+				continue
+			}
+			links++
+			if msg := resolve(path, target); msg != "" {
+				broken = append(broken, msg)
+			}
+		}
+		return nil
+	})
+	return broken, files, links, err
+}
+
+// targets extracts every link target in a Markdown document.
+func targets(doc string) []string {
+	var out []string
+	for _, m := range linkRE.FindAllStringSubmatch(doc, -1) {
+		out = append(out, m[1])
+	}
+	for _, m := range refRE.FindAllStringSubmatch(doc, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// skipTarget reports whether a link target is outside this check's
+// scope: absolute URLs, mail links, and in-page anchors.
+func skipTarget(t string) bool {
+	return strings.Contains(t, "://") ||
+		strings.HasPrefix(t, "mailto:") ||
+		strings.HasPrefix(t, "#")
+}
+
+// resolve checks one relative target against the filesystem, returning a
+// human-readable failure ("" = fine). Anchors are stripped: linking into
+// a section of an existing file is fine; linking into a missing file is
+// not.
+func resolve(fromFile, target string) string {
+	clean := target
+	if i := strings.IndexByte(clean, '#'); i >= 0 {
+		clean = clean[:i]
+	}
+	if clean == "" {
+		return ""
+	}
+	full := filepath.Join(filepath.Dir(fromFile), filepath.FromSlash(clean))
+	if _, err := os.Stat(full); err != nil {
+		return fmt.Sprintf("%s: link %q → %s does not exist", fromFile, target, full)
+	}
+	return ""
+}

@@ -1,18 +1,21 @@
 // Command reprowd-bench runs the reproduction's experiment suite (E1–E10
 // in DESIGN.md, plus E11 for the journal group-commit pipeline, E12 for
-// snapshot-checkpointed recovery, and E13 for journal-shipping
-// replication) and prints the tables recorded in EXPERIMENTS.md.
-// Experiments with machine-readable output (E11 → BENCH_submit.json,
-// E12 → BENCH_recovery.json, E13 → BENCH_repl.json) write it to -out.
+// snapshot-checkpointed recovery, E13 for journal-shipping replication,
+// and E14 for the ring-routed gateway) and prints the tables recorded in
+// EXPERIMENTS.md. Experiments with machine-readable output (E11 →
+// BENCH_submit.json, E12 → BENCH_recovery.json, E13 → BENCH_repl.json,
+// E14 → BENCH_gate.json) write it to -out.
 //
 // The command doubles as the CI perf gate: -baseline compares the fresh
 // BENCH_submit.json against a committed baseline and exits non-zero if
 // any scenario's submit throughput regressed past -max-regress,
 // -check-recovery enforces E12's bounded-replay invariant on
-// BENCH_recovery.json, and -check-repl enforces E13's replication
-// invariants (snapshot-bootstrapped catch-up, zero final lag,
-// byte-identical follower) on BENCH_repl.json — all structural
-// count/byte checks, immune to machine speed.
+// BENCH_recovery.json, -check-repl enforces E13's replication invariants
+// (snapshot-bootstrapped catch-up, zero final lag, byte-identical
+// follower) on BENCH_repl.json, and -check-gate enforces E14's routing
+// invariants (partition-disjoint writes, follower-served reads,
+// byte-identical results through the gateway) on BENCH_gate.json — all
+// structural count/byte checks, immune to machine speed.
 //
 // Usage:
 //
@@ -21,9 +24,11 @@
 //	reprowd-bench -exp e11        # concurrent submit × sync policy, emits BENCH_submit.json
 //	reprowd-bench -exp e12        # restart replay vs history length, emits BENCH_recovery.json
 //	reprowd-bench -exp e13        # follower catch-up + steady-state lag, emits BENCH_repl.json
+//	reprowd-bench -exp e14        # gateway routing + read fan-out, emits BENCH_gate.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
-//	reprowd-bench -quick -exp e11,e12,e13 -baseline ci/BENCH_baseline.json -check-recovery -check-repl
+//	reprowd-bench -quick -exp e11,e12,e13,e14 -baseline ci/BENCH_baseline.json \
+//	    -check-recovery -check-repl -check-gate
 package main
 
 import (
@@ -51,6 +56,8 @@ func main() {
 			"fail unless BENCH_recovery.json shows snapshot restarts bounded by the checkpoint interval; requires e12 in -exp")
 		checkRepl = flag.Bool("check-repl", false,
 			"fail unless BENCH_repl.json shows snapshot-bootstrapped catch-up and a byte-identical follower; requires e13 in -exp")
+		checkGate = flag.Bool("check-gate", false,
+			"fail unless BENCH_gate.json shows partition-disjoint writes, follower-served reads, and gateway reads byte-identical to leader reads; requires e14 in -exp")
 	)
 	flag.Parse()
 
@@ -112,6 +119,14 @@ func main() {
 			fmt.Println("replication gate: snapshot-bootstrapped catch-up, byte-identical follower")
 		}
 	}
+	if *checkGate {
+		if err := gateGateway(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: gateway gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("gateway gate: partition-disjoint writes, follower-served byte-identical reads")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -149,4 +164,14 @@ func gateRepl(outDir string) error {
 		return fmt.Errorf("load replication records (did -exp include e13?): %w", err)
 	}
 	return exp.CheckReplBounded(records)
+}
+
+// gateGateway enforces the ring-routing invariants on the freshly
+// written BENCH_gate.json.
+func gateGateway(outDir string) error {
+	records, err := exp.LoadGateRecords(filepath.Join(outDir, "BENCH_gate.json"))
+	if err != nil {
+		return fmt.Errorf("load gateway records (did -exp include e14?): %w", err)
+	}
+	return exp.CheckGateRouting(records)
 }

@@ -61,6 +61,14 @@
 // GET /api/healthz reports role, catch-up state and replication lag for
 // load balancers.
 //
+// In a partitioned deployment (several leaders fronted by reprowd-gate),
+// every server is additionally started with -ring (the comma-separated
+// names of all leaders) and -ring-self (this node's name): the engine
+// then allocates only ids whose shard key this node owns on the
+// consistent-hash ring, which keeps ids globally unique across leaders
+// and lets the gateway route any project or task id straight to its
+// owner. See docs/OPERATIONS.md for the full bringup walkthrough.
+//
 // Usage:
 //
 //	reprowd-server -addr :7070
@@ -70,6 +78,7 @@
 //	reprowd-server -data /var/lib/reprowd -break-stale-lock   # after a kill -9
 //	reprowd-server -addr :7071 -follow http://leader:7070 -data /var/lib/reprowd-f1
 //	curl -X POST http://replica:7071/api/repl/promote      # failover
+//	reprowd-server -addr :7070 -data /var/lib/reprowd-n1 -ring n1,n2 -ring-self n1
 package main
 
 import (
@@ -80,6 +89,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -114,8 +124,17 @@ func main() {
 			"checkpoint after this many bytes of journal growth (0 disables the byte trigger)")
 		follow = flag.String("follow", "",
 			"run as a read replica of the leader at this URL; -data then names the promotion target")
+		ringNodes = flag.String("ring", "",
+			"comma-separated leader names of the partitioned deployment (all servers and the gateway must agree)")
+		ringSelf = flag.String("ring-self", "",
+			"this node's name in -ring; new ids are drawn only from the ring partition it owns")
 	)
 	flag.Parse()
+
+	ownsID, err := ringOwnership(*ringNodes, *ringSelf)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var clock vclock.Clock = vclock.NewWall()
 	if *virtualTime {
@@ -126,6 +145,7 @@ func main() {
 		Clock:    clock,
 		LeaseTTL: *leaseTTL,
 		Shards:   *shards,
+		OwnsID:   ownsID,
 	}
 
 	var (
@@ -175,6 +195,8 @@ func main() {
 				EveryEvents: *snapshotEvery,
 				EveryBytes:  *snapshotBytes,
 			},
+			// Inert while following; governs id allocation if promoted.
+			OwnsID: ownsID,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -314,6 +336,34 @@ func serve(addr string, handler http.Handler, shutdown func(), fail func(error))
 		httpSrv.Shutdown(ctx)
 		shutdown()
 	}
+}
+
+// ringOwnership builds the id-allocation filter for a partitioned
+// deployment: with -ring n1,n2,... and -ring-self nK, this node only
+// allocates ids whose shard key it owns on the ring — ids stay globally
+// unique across leaders and a ring-routed gateway (reprowd-gate, given
+// the same names) can route any id straight to its creator. Both flags
+// empty means standalone (every id accepted).
+func ringOwnership(nodes, self string) (func(int64) bool, error) {
+	if nodes == "" && self == "" {
+		return nil, nil
+	}
+	if nodes == "" || self == "" {
+		return nil, fmt.Errorf("reprowd-server: -ring and -ring-self must be set together")
+	}
+	var names []string
+	found := false
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+			found = found || n == self
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("reprowd-server: -ring-self %q is not in -ring %q", self, nodes)
+	}
+	ring := repl.NewRing(0, names...)
+	return func(id int64) bool { return ring.Lookup(id) == self }, nil
 }
 
 func parseSync(mode string) (storage.SyncPolicy, error) {

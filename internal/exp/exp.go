@@ -100,6 +100,7 @@ var registry = map[string]runner{
 	"e11": E11GroupCommit,
 	"e12": E12SnapshotRecovery,
 	"e13": E13Replication,
+	"e14": E14Gateway,
 }
 
 // IDs lists the registered experiment ids in order.

@@ -59,7 +59,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 || ids[0] != "e1" || ids[9] != "e10" || ids[12] != "e13" {
+	if len(ids) != 14 || ids[0] != "e1" || ids[9] != "e10" || ids[13] != "e14" {
 		t.Fatalf("IDs = %v", ids)
 	}
 }

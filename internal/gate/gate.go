@@ -1,0 +1,498 @@
+// Package gate is the platform's ring-routed front door: a stateless HTTP
+// gateway that makes N partitioned reprowd nodes look like one server.
+//
+// A Gateway fronts a set of leaders (each owning a ring partition of the
+// project keyspace, see repl.Ring) and their read replicas. It speaks the
+// exact REST surface platform.Server does, so any platform.HTTPClient —
+// and therefore any reprowd.Context — works unchanged against it:
+//
+//   - Writes (EnsureProject, AddTasks, RequestTask, Submit, BanWorker)
+//     are routed to the owning leader: by the client's echoed shard-key
+//     hint when present (platform.HeaderShardKey), else by ring lookup
+//     over the id in the path — valid because leaders allocate only ids
+//     they own (platform.EngineOptions.OwnsID) — with new project names
+//     placed by ring hash of the name. An unhealthy owner is retried on
+//     the next ring candidate, and an id the routed node does not know
+//     (ring membership drifted since creation) falls back to asking the
+//     remaining leaders, after which the discovered owner is cached.
+//   - Reads (Tasks, Runs, Stats, QueueStats, preview) fan out to the
+//     owner's followers, round-robin over those whose replication lag is
+//     at or below Options.MaxLag, falling back to the leader when no
+//     follower qualifies. List/find endpoints merge across partitions.
+//   - Topology change is absorbed, not configured twice: a background
+//     prober polls every node's GET /api/healthz for role, readiness,
+//     lag and leader association, the leader ring is rebuilt when roles
+//     move, a 307 from a demoted node is followed and triggers an
+//     immediate re-probe, and membership itself hot-reloads through
+//     SetTopology (the reprowd-gate command wires a -topology file and
+//     POST /api/gate/topology to it) without dropping in-flight traffic.
+//
+// Concurrency model: one RWMutex guards the topology view (node states,
+// ring, learned route cache); request handling takes it shared and
+// briefly, never across a network call. Per-node and gateway counters are
+// atomics. The prober is a single goroutine (plus one goroutine per node
+// per round); SetTopology may be called from any goroutine, including
+// concurrently with request traffic. The gateway keeps no durable state —
+// everything it knows is re-learned from probes and response headers, so
+// restarting it (or running several behind a TCP balancer) is always
+// safe.
+package gate
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/repl"
+)
+
+// NodeConfig names one platform node the gateway fronts. Name must match
+// the node's name in the servers' -ring flag (ring hashing is over these
+// names, and every router and allocator must agree on them); URL is the
+// node's base URL, and for followers it must equal the -follow URL they
+// were started with (the gateway associates followers to leaders by
+// comparing it against the leader_url their healthz reports).
+type NodeConfig struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Topology is the gateway's membership: every node it may route to.
+// Roles are not configured — the prober discovers them, so a promotion or
+// a restart with different flags changes routing without a config edit.
+type Topology struct {
+	Nodes []NodeConfig `json:"nodes"`
+}
+
+// Validate checks the topology: at least one node, unique non-empty
+// names, parseable http(s) URLs.
+func (t Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("gate: topology has no nodes")
+	}
+	seen := make(map[string]struct{}, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("gate: node with empty name (url %q)", n.URL)
+		}
+		if _, dup := seen[n.Name]; dup {
+			return fmt.Errorf("gate: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = struct{}{}
+		u, err := url.Parse(n.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("gate: node %q: bad url %q", n.Name, n.URL)
+		}
+	}
+	return nil
+}
+
+// Options configure New. Topology is required; everything else defaults.
+type Options struct {
+	Topology Topology
+	// MaxLag is the read fan-out threshold: a follower serves reads only
+	// while its replication lag (committed leader events not yet applied)
+	// is at or below this. Default 256.
+	MaxLag uint64
+	// ProbeInterval is the healthz polling cadence. Default 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one healthz probe. Default 2s.
+	ProbeTimeout time.Duration
+	// HTTP is the forwarding client. A copy is used with automatic
+	// redirect-following disabled (the gateway follows 307s itself, so it
+	// can refresh its ring view when one appears). Nil builds a client
+	// with a 30s timeout.
+	HTTP *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLag == 0 {
+		o.MaxLag = DefaultMaxLag
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// DefaultMaxLag is the default follower read-lag threshold.
+const DefaultMaxLag uint64 = 256
+
+// maxRoutes bounds the learned owner cache; at the cap it resets (it is
+// soft state — routing falls back to ring lookup + discovery).
+const maxRoutes = 1 << 16
+
+// nodeState is the gateway's live view of one node: config plus the last
+// probe's verdict and per-node traffic counters. Probe fields are guarded
+// by Gateway.mu; counters are atomics (bumped on the request path without
+// the lock).
+type nodeState struct {
+	cfg nodeConfigNorm
+
+	// Last probe view (Gateway.mu).
+	role      string // platform role; "" until first successful probe
+	ready     bool
+	lag       uint64
+	leaderURL string // normalized; follower association
+	reachable bool
+	lastErr   string
+
+	reads    atomic.Uint64
+	writes   atomic.Uint64
+	failures atomic.Uint64
+}
+
+// nodeConfigNorm is a NodeConfig with its URL normalized (no trailing
+// slash) for comparisons against healthz leader_url values.
+type nodeConfigNorm struct {
+	name string
+	url  string
+}
+
+func normalize(cfg NodeConfig) nodeConfigNorm {
+	return nodeConfigNorm{name: cfg.Name, url: strings.TrimRight(cfg.URL, "/")}
+}
+
+// Stats are the gateway-wide routing counters (all atomics; read them
+// through Snapshot).
+type Stats struct {
+	WritesRouted  atomic.Uint64 // write requests relayed to a leader
+	ReadsFollower atomic.Uint64 // reads served by a follower
+	ReadsLeader   atomic.Uint64 // reads that fell back to a leader
+	Fanouts       atomic.Uint64 // cross-partition merge reads (list/find/stats)
+	Retries       atomic.Uint64 // attempts moved to the next candidate
+	Misses        atomic.Uint64 // 404s that triggered owner discovery
+	Redirects     atomic.Uint64 // 307s followed (and probed)
+	Reloads       atomic.Uint64 // topology replacements
+	Probes        atomic.Uint64 // completed probe rounds
+}
+
+// StatsSnapshot is the JSON shape of Stats.
+type StatsSnapshot struct {
+	WritesRouted  uint64 `json:"writes_routed"`
+	ReadsFollower uint64 `json:"reads_follower"`
+	ReadsLeader   uint64 `json:"reads_leader"`
+	Fanouts       uint64 `json:"fanouts"`
+	Retries       uint64 `json:"retries"`
+	Misses        uint64 `json:"misses"`
+	Redirects     uint64 `json:"redirects_followed"`
+	Reloads       uint64 `json:"topology_reloads"`
+	Probes        uint64 `json:"probe_rounds"`
+}
+
+// NodeStatus is one node's view in Status.
+type NodeStatus struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Role      string `json:"role,omitempty"`
+	Ready     bool   `json:"ready"`
+	Reachable bool   `json:"reachable"`
+	Lag       uint64 `json:"lag,omitempty"`
+	LeaderURL string `json:"leader_url,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	Reads     uint64 `json:"reads"`
+	Writes    uint64 `json:"writes"`
+	Failures  uint64 `json:"failures"`
+}
+
+// Status is the gateway's own health/stats view (GET /api/healthz and
+// /api/gate/stats).
+type Status struct {
+	Role  string        `json:"role"` // always "gateway"
+	Ready bool          `json:"ready"`
+	Nodes []NodeStatus  `json:"nodes"`
+	Stats StatsSnapshot `json:"stats"`
+}
+
+// Gateway routes the platform REST surface across a partitioned
+// deployment. Create with New, mount as an http.Handler, Close when done.
+type Gateway struct {
+	opts    Options
+	hc      *http.Client // forwarding; CheckRedirect disabled
+	probeHC *http.Client // probing; short timeout
+
+	mu     sync.RWMutex
+	nodes  map[string]*nodeState // by name
+	order  []string              // config order, for stable status output
+	ring   *repl.Ring            // current leaders
+	routes map[string]string     // learned scope ("p/5","t/9","n/<name>") → leader name
+
+	rr    atomic.Uint64 // follower round-robin cursor
+	stats Stats
+
+	probeKick chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a gateway over opts.Topology and runs one synchronous probe
+// round so routing works immediately when every node is up (nodes that
+// are down stay unknown until the background prober reaches them; the
+// gateway still starts — it answers 503 for their partitions meanwhile).
+func New(opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	if err := opts.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	hc := opts.HTTP
+	if hc == nil {
+		// A gateway multiplexes many client connections onto few backends;
+		// the transport default of 2 idle conns per host would reconnect
+		// on nearly every concurrent request.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 128
+		hc = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	}
+	fwd := *hc
+	fwd.CheckRedirect = func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }
+	g := &Gateway{
+		opts:      opts,
+		hc:        &fwd,
+		probeHC:   &http.Client{Timeout: opts.ProbeTimeout, Transport: hc.Transport},
+		nodes:     make(map[string]*nodeState),
+		ring:      repl.NewRing(0),
+		routes:    make(map[string]string),
+		probeKick: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	g.installTopology(opts.Topology)
+	g.probeRound()
+	go g.loop()
+	return g, nil
+}
+
+// Close stops the prober. In-flight requests finish; the gateway keeps
+// answering with its last view (it is stateless — closing is only about
+// the background goroutine).
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		close(g.stop)
+		<-g.done
+	})
+}
+
+// installTopology swaps the membership in, preserving the probe view and
+// counters of nodes whose name+URL survived. Callers must not hold g.mu.
+func (g *Gateway) installTopology(t Topology) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	nodes := make(map[string]*nodeState, len(t.Nodes))
+	order := make([]string, 0, len(t.Nodes))
+	for _, cfg := range t.Nodes {
+		norm := normalize(cfg)
+		if old, ok := g.nodes[norm.name]; ok && old.cfg.url == norm.url {
+			nodes[norm.name] = old
+		} else {
+			nodes[norm.name] = &nodeState{cfg: norm}
+		}
+		order = append(order, norm.name)
+	}
+	g.nodes = nodes
+	g.order = order
+	// Learned routes may point at removed nodes; targetsFor filters those
+	// out lazily, so the cache can stay.
+	g.rebuildRingLocked()
+}
+
+// SetTopology replaces the membership (POST /api/gate/topology and the
+// reprowd-gate -topology file reload both land here) and synchronously
+// probes the new view so routing is correct when it returns. Safe under
+// concurrent traffic: requests between the swap and the probe's end see
+// newly added nodes as unknown and keep routing around them.
+func (g *Gateway) SetTopology(t Topology) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	g.installTopology(t)
+	g.stats.Reloads.Add(1)
+	g.probeRound()
+	return nil
+}
+
+// Topology returns the current membership, in configuration order.
+func (g *Gateway) Topology() Topology {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	t := Topology{Nodes: make([]NodeConfig, 0, len(g.order))}
+	for _, name := range g.order {
+		n := g.nodes[name]
+		t.Nodes = append(t.Nodes, NodeConfig{Name: n.cfg.name, URL: n.cfg.url})
+	}
+	return t
+}
+
+// loop is the background prober: poll every node each interval, or
+// immediately when a request path kicks it (a 307, a transport failure).
+func (g *Gateway) loop() {
+	defer close(g.done)
+	ticker := time.NewTicker(g.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+		case <-g.probeKick:
+		}
+		g.probeRound()
+	}
+}
+
+// kickProbe schedules an immediate probe round (coalesced).
+func (g *Gateway) kickProbe() {
+	select {
+	case g.probeKick <- struct{}{}:
+	default:
+	}
+}
+
+// probeRound polls every node's healthz concurrently and folds the
+// results into the view, rebuilding the leader ring if roles moved.
+func (g *Gateway) probeRound() {
+	g.mu.RLock()
+	targets := make([]*nodeState, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		targets = append(targets, n)
+	}
+	g.mu.RUnlock()
+
+	type verdict struct {
+		n   *nodeState
+		st  platform.ReplStats
+		err error
+	}
+	results := make(chan verdict, len(targets))
+	for _, n := range targets {
+		go func(n *nodeState) {
+			st, err := repl.ProbeHealth(g.probeHC, n.cfg.url)
+			results <- verdict{n, st, err}
+		}(n)
+	}
+	// Collect every verdict BEFORE taking the lock: a dead node makes its
+	// probe wait out ProbeTimeout, and holding the exclusive lock that
+	// long would stall all request routing exactly during an outage.
+	verdicts := make([]verdict, 0, len(targets))
+	for range targets {
+		verdicts = append(verdicts, <-results)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, v := range verdicts {
+		// The node may have been removed by a concurrent reload; updating
+		// its detached state is harmless.
+		if v.err != nil {
+			v.n.reachable = false
+			v.n.lastErr = v.err.Error()
+			continue
+		}
+		v.n.reachable = true
+		v.n.lastErr = v.st.LastError
+		v.n.role = v.st.Role
+		v.n.ready = v.st.Ready
+		v.n.lag = v.st.Lag
+		v.n.leaderURL = strings.TrimRight(v.st.LeaderURL, "/")
+	}
+	g.rebuildRingLocked()
+	g.stats.Probes.Add(1)
+}
+
+// isLeaderRole reports whether a probed role accepts writes. A
+// "standalone" node (no replication attached) is a single-partition
+// leader as far as routing is concerned.
+func isLeaderRole(role string) bool {
+	return role == repl.RoleLeader || role == "standalone"
+}
+
+// rebuildRingLocked rebuilds the leader ring when the leader set changed.
+// Membership is by role, not by health: a leader that stopped answering
+// probes keeps its partition (requests walk to ring successors), because
+// evicting it would remap ~1/n of the keyspace on every blip. Callers
+// hold g.mu.
+func (g *Gateway) rebuildRingLocked() {
+	leaders := make([]string, 0, len(g.nodes))
+	for name, n := range g.nodes {
+		if isLeaderRole(n.role) {
+			leaders = append(leaders, name)
+		}
+	}
+	have := g.ring.Nodes()
+	if len(have) == len(leaders) {
+		same := true
+		set := make(map[string]struct{}, len(have))
+		for _, n := range have {
+			set[n] = struct{}{}
+		}
+		for _, n := range leaders {
+			if _, ok := set[n]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	g.ring = repl.NewRing(0, leaders...)
+}
+
+// Snapshot reports the gateway's health, per-node views and counters.
+func (g *Gateway) Snapshot() Status {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st := Status{Role: "gateway"}
+	for _, name := range g.order {
+		n := g.nodes[name]
+		st.Nodes = append(st.Nodes, NodeStatus{
+			Name:      n.cfg.name,
+			URL:       n.cfg.url,
+			Role:      n.role,
+			Ready:     n.ready,
+			Reachable: n.reachable,
+			Lag:       n.lag,
+			LeaderURL: n.leaderURL,
+			LastError: n.lastErr,
+			Reads:     n.reads.Load(),
+			Writes:    n.writes.Load(),
+			Failures:  n.failures.Load(),
+		})
+		if isLeaderRole(n.role) && n.reachable && n.ready {
+			st.Ready = true
+		}
+	}
+	st.Stats = StatsSnapshot{
+		WritesRouted:  g.stats.WritesRouted.Load(),
+		ReadsFollower: g.stats.ReadsFollower.Load(),
+		ReadsLeader:   g.stats.ReadsLeader.Load(),
+		Fanouts:       g.stats.Fanouts.Load(),
+		Retries:       g.stats.Retries.Load(),
+		Misses:        g.stats.Misses.Load(),
+		Redirects:     g.stats.Redirects.Load(),
+		Reloads:       g.stats.Reloads.Load(),
+		Probes:        g.stats.Probes.Load(),
+	}
+	return st
+}
+
+// learnRoute caches scope → owning leader name.
+func (g *Gateway) learnRoute(scope, leader string) {
+	if scope == "" || leader == "" {
+		return
+	}
+	g.mu.Lock()
+	if len(g.routes) >= maxRoutes {
+		g.routes = make(map[string]string)
+	}
+	g.routes[scope] = leader
+	g.mu.Unlock()
+}

@@ -1,0 +1,635 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/repl"
+)
+
+// maxBodyBytes caps a buffered request body. Bodies are buffered so a
+// failed attempt can be replayed against the next candidate.
+const maxBodyBytes = 32 << 20
+
+// maxErrBody caps how much of an upstream error response is buffered
+// while deciding whether to keep trying other nodes.
+const maxErrBody = 64 << 10
+
+// ServeHTTP implements http.Handler: the full platform REST surface,
+// routed, plus the gateway's own /api/healthz and /api/gate/* endpoints.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/api/healthz" && r.Method == http.MethodGet:
+		g.handleHealthz(w)
+		return
+	case strings.HasPrefix(r.URL.Path, "/api/gate/"):
+		g.handleGate(w, r)
+		return
+	}
+	pl := classify(r)
+	switch pl.class {
+	case classWrite:
+		g.handleWrite(w, r, pl)
+	case classRead:
+		g.handleRead(w, r, pl)
+	case classEnsure:
+		g.handleEnsure(w, r)
+	case classListProjects:
+		g.handleListProjects(w, r)
+	case classFind:
+		g.handleFind(w, r, pl)
+	case classNodeStats:
+		g.handleNodeStats(w, r)
+	default:
+		writeGateErr(w, http.StatusNotFound, "unknown_route",
+			"gate: no such route (replication endpoints are served by the nodes directly)")
+	}
+}
+
+// --- plumbing ---
+
+// apiError mirrors the platform's JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeGateErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: msg, Code: code})
+}
+
+// hopHeaders are not forwarded in either direction.
+var hopHeaders = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
+	"Proxy-Authorization": true, "Te": true, "Trailer": true,
+	"Transfer-Encoding": true, "Upgrade": true,
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// readBody buffers the request body for candidate replay.
+func readBody(r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("request body over %d bytes", maxBodyBytes)
+	}
+	return body, nil
+}
+
+// send forwards the (buffered) request to a base URL.
+func (g *Gateway) send(r *http.Request, base string, body []byte) (*http.Response, error) {
+	u := base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(req.Header, r.Header)
+	return g.hc.Do(req)
+}
+
+// relay streams an upstream response back to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// buffered is a fully read upstream response, kept aside while other
+// candidates are tried, relayable later.
+type buffered struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func bufferResp(resp *http.Response) buffered {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+	return buffered{status: resp.StatusCode, header: resp.Header.Clone(), body: body}
+}
+
+func (b buffered) relay(w http.ResponseWriter) {
+	copyHeaders(w.Header(), b.header)
+	w.WriteHeader(b.status)
+	w.Write(b.body)
+}
+
+// errCode decodes the platform error code out of a buffered response.
+func (b buffered) errCode() string {
+	var ae apiError
+	if err := json.Unmarshal(b.body, &ae); err != nil {
+		return ""
+	}
+	return ae.Code
+}
+
+// isMissCode reports a typed "this node does not know the id/name" —
+// the signal to go discover the owner elsewhere (ring drift).
+func isMissCode(code string) bool {
+	return code == "unknown_project" || code == "unknown_task"
+}
+
+// retryableStatus mirrors the HTTP client's transient set.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// attemptOutcome classifies one forwarded attempt.
+type attemptOutcome int
+
+const (
+	outcomeDone      attemptOutcome = iota // response relayed to the client
+	outcomeRetryable                       // node down/overloaded: try the next candidate
+	outcomeMiss                            // typed 404: this partition doesn't know the id
+)
+
+// keeps holds the most recent buffered upstream responses per outcome
+// class while other candidates are tried. Misses and transient errors
+// are kept apart: which one the client finally sees depends on whether
+// every partition got to give a definitive answer (see run).
+type keeps struct {
+	miss buffered // typed 404 (unknown_project/unknown_task)
+	err  buffered // retryable 5xx
+}
+
+// attempt forwards the request to one target and classifies the result.
+// A 307 from a demoted node is followed once (the redirect target is the
+// leader the node itself points at) and triggers a ring re-probe either
+// way.
+func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body []byte, keep *keeps) (attemptOutcome, target) {
+	resp, err := g.send(r, t.node.cfg.url, body)
+	if err != nil {
+		t.node.failures.Add(1)
+		g.kickProbe()
+		return outcomeRetryable, t
+	}
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		// The node is (now) a follower and names its leader; our role view
+		// is stale. Follow the redirect and refresh the ring.
+		loc := resp.Header.Get("Location")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		g.stats.Redirects.Add(1)
+		g.kickProbe()
+		if loc == "" {
+			return outcomeRetryable, t
+		}
+		if redirected, ok := g.nodeByLocation(loc); ok {
+			t = redirected
+		}
+		resp, err = g.hc.Do(redirectRequest(r, loc, body))
+		if err != nil {
+			t.node.failures.Add(1)
+			return outcomeRetryable, t
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect {
+			// Two hops means the topology is churning; let a candidate walk
+			// or the client's retry land after the next probe.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return outcomeRetryable, t
+		}
+	}
+	if retryableStatus(resp.StatusCode) {
+		keep.err = bufferResp(resp)
+		t.node.failures.Add(1)
+		g.kickProbe()
+		return outcomeRetryable, t
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		b := bufferResp(resp)
+		if isMissCode(b.errCode()) {
+			keep.miss = b
+			return outcomeMiss, t
+		}
+		b.relay(w)
+		return outcomeDone, t
+	}
+	relay(w, resp)
+	return outcomeDone, t
+}
+
+// redirectRequest rebuilds the buffered request against an absolute
+// redirect target.
+func redirectRequest(r *http.Request, loc string, body []byte) *http.Request {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, loc, rd)
+	if err != nil {
+		// Unreachable for a Location the stdlib produced; fall back to a
+		// request that will fail cleanly.
+		req, _ = http.NewRequest(r.Method, "http://invalid.invalid/", nil)
+		return req
+	}
+	copyHeaders(req.Header, r.Header)
+	return req
+}
+
+// isLeaderNode reads a node's probed role under the lock.
+func (g *Gateway) isLeaderNode(n *nodeState) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return isLeaderRole(n.role)
+}
+
+// nodeByLocation maps a redirect Location onto a known node.
+func (g *Gateway) nodeByLocation(loc string) (target, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for name, n := range g.nodes {
+		if strings.HasPrefix(loc, n.cfg.url+"/") || loc == n.cfg.url {
+			return target{node: n, partition: name}, true
+		}
+	}
+	return target{}, false
+}
+
+// run drives a request through its candidate targets: relay the first
+// definitive response; on typed 404s, widen to the remaining leaders
+// (owner discovery after ring drift); if everything is down, surface the
+// most recent upstream error.
+func (g *Gateway) run(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool) {
+	body, err := readBody(r)
+	if err != nil {
+		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request", err.Error())
+		return
+	}
+	g.runWith(w, r, pl, targets, isWrite, body)
+}
+
+// runWith is run with the request body already buffered.
+func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool, body []byte) {
+	if len(targets) == 0 {
+		writeGateErr(w, http.StatusBadGateway, "no_leader",
+			"gate: no leader known for this partition (topology empty or all nodes unprobed)")
+		return
+	}
+	var keep keeps
+	var sawMiss bool
+	// leaderDown records a leader that never gave a definitive answer. A
+	// typed 404 is only the truth when every leader got to speak — the
+	// unreachable one might be the id's real owner, and telling the
+	// client "unknown task" during a failover window would make it drop
+	// the write for good (typed errors are not retried).
+	var leaderDown bool
+	tried := make(map[string]bool, len(targets))
+	for i, t := range targets {
+		if i > 0 {
+			g.stats.Retries.Add(1)
+		}
+		tried[t.partition] = true
+		outcome, served := g.attempt(w, r, t, body, &keep)
+		switch outcome {
+		case outcomeDone:
+			g.finish(pl, served, isWrite)
+			return
+		case outcomeRetryable:
+			if g.isLeaderNode(served.node) {
+				leaderDown = true
+			}
+		case outcomeMiss:
+			sawMiss = true
+			// A *leader* answering "unknown id" is healthy and definitive
+			// for its partition: stop walking its chain and go ask the
+			// other partitions. A follower's 404 may just be replication
+			// lag — keep walking toward the leader.
+			if g.isLeaderNode(served.node) {
+				goto discover
+			}
+		}
+	}
+discover:
+	if sawMiss {
+		g.stats.Misses.Add(1)
+		for _, t := range g.leaderTargets(tried) {
+			outcome, served := g.attempt(w, r, t, body, &keep)
+			if outcome == outcomeDone {
+				g.finish(pl, served, isWrite)
+				return
+			}
+			if outcome == outcomeRetryable && g.isLeaderNode(served.node) {
+				leaderDown = true
+			}
+		}
+		if !leaderDown {
+			// Every leader answered and nobody knows the id: the buffered
+			// typed 404 is the true answer.
+			keep.miss.relay(w)
+			return
+		}
+	}
+	if keep.err.status != 0 {
+		keep.err.relay(w)
+		return
+	}
+	writeGateErr(w, http.StatusBadGateway, "unreachable",
+		"gate: no node that could answer definitively is reachable")
+}
+
+// finish books a successfully relayed request: counters and the learned
+// owner route.
+func (g *Gateway) finish(pl plan, served target, isWrite bool) {
+	if isWrite {
+		served.node.writes.Add(1)
+		g.stats.WritesRouted.Add(1)
+	} else {
+		served.node.reads.Add(1)
+		g.mu.RLock()
+		follower := served.node.role == repl.RoleFollower
+		g.mu.RUnlock()
+		if follower {
+			g.stats.ReadsFollower.Add(1)
+		} else {
+			g.stats.ReadsLeader.Add(1)
+		}
+	}
+	g.learnRoute(pl.scope, served.partition)
+}
+
+// --- the routed handlers ---
+
+func (g *Gateway) handleWrite(w http.ResponseWriter, r *http.Request, pl plan) {
+	g.run(w, r, pl, g.writeTargets(pl), true)
+}
+
+func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request, pl plan) {
+	g.run(w, r, pl, g.readTargets(pl), false)
+}
+
+// handleEnsure places PUT /api/projects. The project name decides the
+// partition; before creating on the ring owner the gateway asks the other
+// leaders whether the name already lives elsewhere (it would, if the ring
+// has grown since it was created) so an ensure stays an ensure instead of
+// minting a duplicate.
+func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request", err.Error())
+		return
+	}
+	var spec struct {
+		Name string `json:"name"`
+	}
+	// Undecodable bodies route anywhere — the node's own validation
+	// produces the right 400.
+	json.Unmarshal(body, &spec)
+	pl := plan{class: classEnsure, name: spec.Name}
+	if spec.Name != "" {
+		pl.scope = "n/" + spec.Name
+		g.mu.RLock()
+		_, cached := g.routes[pl.scope]
+		leaders := len(g.ring.Nodes())
+		g.mu.RUnlock()
+		if !cached && leaders > 1 {
+			if owner, ok := g.findOwner(r, spec.Name); ok {
+				g.learnRoute(pl.scope, owner)
+			}
+		}
+	}
+	g.runWith(w, r, pl, g.writeTargets(pl), true, body)
+}
+
+// findOwner asks every leader whether it already has the named project.
+func (g *Gateway) findOwner(r *http.Request, name string) (string, bool) {
+	g.stats.Fanouts.Add(1)
+	for _, t := range g.leaderTargets(nil) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			t.node.cfg.url+"/api/projects/find?name="+url.QueryEscape(name), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.hc.Do(req)
+		if err != nil {
+			continue
+		}
+		found := resp.StatusCode == http.StatusOK
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if found {
+			return t.partition, true
+		}
+	}
+	return "", false
+}
+
+// handleFind serves GET /api/projects/find by walking the partitions in
+// ring order (the name's owner first, so the common case is one hop).
+func (g *Gateway) handleFind(w http.ResponseWriter, r *http.Request, pl plan) {
+	g.stats.Fanouts.Add(1)
+	g.mu.RLock()
+	chain := g.ownerChainLocked(pl)
+	g.mu.RUnlock()
+	var keep keeps
+	var sawMiss, leaderDown bool
+	for _, leader := range chain {
+		partitionAnswered := false
+		for _, t := range g.partitionReadTargets(leader) {
+			outcome, served := g.attempt(w, r, t, nil, &keep)
+			if outcome == outcomeDone {
+				g.finish(pl, served, false)
+				return
+			}
+			if outcome == outcomeMiss {
+				sawMiss = true
+				if g.isLeaderNode(served.node) {
+					partitionAnswered = true
+					break // definitive for this partition; ask the next
+				}
+			}
+		}
+		if !partitionAnswered {
+			leaderDown = true
+		}
+	}
+	if sawMiss && !leaderDown {
+		keep.miss.relay(w)
+		return
+	}
+	if keep.err.status != 0 {
+		keep.err.relay(w)
+		return
+	}
+	writeGateErr(w, http.StatusBadGateway, "unreachable",
+		"gate: no partition that could answer definitively is reachable")
+}
+
+// handleListProjects merges GET /api/projects across every partition.
+// Each partition is served by a caught-up follower when one exists. Any
+// partition that cannot answer fails the merge — a silently partial
+// project list would read as truth.
+func (g *Gateway) handleListProjects(w http.ResponseWriter, r *http.Request) {
+	g.stats.Fanouts.Add(1)
+	g.mu.RLock()
+	leaders := g.ring.Nodes()
+	g.mu.RUnlock()
+	if len(leaders) == 0 {
+		writeGateErr(w, http.StatusBadGateway, "no_leader", "gate: no leaders known")
+		return
+	}
+	var merged []platform.Project
+	for _, leader := range leaders {
+		var ok bool
+		for _, t := range g.partitionReadTargets(leader) {
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+				t.node.cfg.url+"/api/projects", nil)
+			if err != nil {
+				continue
+			}
+			resp, err := g.hc.Do(req)
+			if err != nil {
+				t.node.failures.Add(1)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				continue
+			}
+			var part []platform.Project
+			err = json.NewDecoder(resp.Body).Decode(&part)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			merged = append(merged, part...)
+			t.node.reads.Add(1)
+			ok = true
+			break
+		}
+		if !ok {
+			writeGateErr(w, http.StatusBadGateway, "partial",
+				fmt.Sprintf("gate: partition %q did not answer; refusing to return a partial project list", leader))
+			return
+		}
+	}
+	// Ids are globally unique across partitions (ring-owned allocation),
+	// so id order is a total order for the merged view.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(merged)
+}
+
+// handleNodeStats serves GET /api/stats as the deployment-wide view: the
+// gateway's own status plus every node's platform stats, keyed by node
+// name.
+func (g *Gateway) handleNodeStats(w http.ResponseWriter, r *http.Request) {
+	g.stats.Fanouts.Add(1)
+	g.mu.RLock()
+	names := append([]string(nil), g.order...)
+	urls := make(map[string]string, len(names))
+	for _, name := range names {
+		urls[name] = g.nodes[name].cfg.url
+	}
+	g.mu.RUnlock()
+	// Concurrent, on the short-timeout probe client: a blackholed node
+	// must cost one probe timeout, not a 30s forward timeout per node.
+	type nodeStats struct {
+		name string
+		raw  json.RawMessage
+	}
+	results := make(chan nodeStats, len(names))
+	for _, name := range names {
+		go func(name, url string) {
+			out := nodeStats{name: name}
+			defer func() { results <- out }()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+"/api/stats", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.probeHC.Do(req)
+			if err != nil {
+				return
+			}
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(raw) {
+				return
+			}
+			out.raw = raw
+		}(name, urls[name])
+	}
+	nodes := make(map[string]json.RawMessage, len(names))
+	for range names {
+		if st := <-results; st.raw != nil {
+			nodes[st.name] = st.raw
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Gateway Status                     `json:"gateway"`
+		Nodes   map[string]json.RawMessage `json:"nodes"`
+	}{g.Snapshot(), nodes})
+}
+
+// --- gateway-local endpoints ---
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter) {
+	st := g.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
+}
+
+func (g *Gateway) handleGate(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/api/gate/stats" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(g.Snapshot())
+	case r.URL.Path == "/api/gate/topology" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(g.Topology())
+	case r.URL.Path == "/api/gate/topology" && r.Method == http.MethodPost:
+		var t Topology
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&t); err != nil {
+			writeGateErr(w, http.StatusBadRequest, "bad_request", "gate: decode topology: "+err.Error())
+			return
+		}
+		if err := g.SetTopology(t); err != nil {
+			writeGateErr(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(g.Snapshot())
+	default:
+		writeGateErr(w, http.StatusNotFound, "unknown_route", "gate: no such admin route")
+	}
+}

@@ -70,6 +70,11 @@ type Engine struct {
 	// (role, applied/leader sequence, lag) for /api/stats and healthz.
 	replStats func() ReplStats
 
+	// ownsID, when set, restricts id allocation to values the predicate
+	// accepts (see EngineOptions.OwnsID). Immutable after construction,
+	// so reads need no lock beyond the allocation sites' e.mu.
+	ownsID func(id int64) bool
+
 	nextProjectID int64
 	nextTaskID    int64
 	nextRunID     int64
@@ -117,6 +122,17 @@ type EngineOptions struct {
 	// every mutation to. Any state already in the journal is replayed
 	// into the engine before NewEngineOpts returns.
 	Journal *Journal
+	// OwnsID, when non-nil, filters id allocation: new project, task and
+	// run ids are drawn only from values the predicate accepts. A leader
+	// in a partitioned deployment passes repl.Ring ownership of
+	// ShardKey(id) here, which gives two properties the ring-routed
+	// gateway relies on: ids are globally unique across leaders (each id
+	// is owned by exactly one node, and only that node allocates it), and
+	// Ring.Lookup(id) finds the node that created — and therefore owns —
+	// the project or task. Replayed and replicated events keep their
+	// recorded ids regardless of the predicate (history outranks
+	// membership changes).
+	OwnsID func(id int64) bool
 }
 
 // NewEngine returns an empty platform. A nil clock defaults to a virtual
@@ -145,6 +161,7 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 		clock:          clock,
 		sched:          sched.New(clock, schedOpts),
 		schedOpts:      schedOpts,
+		ownsID:         opts.OwnsID,
 		projects:       make(map[int64]*Project),
 		projectsByName: make(map[string]int64),
 		projectTasks:   make(map[int64][]int64),
@@ -189,6 +206,25 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 }
 
 var _ Client = (*Engine)(nil)
+
+// nextOwnedID advances cur to the next id the engine may allocate: the
+// next integer without an OwnsID filter, otherwise the next accepted one.
+// The scan is bounded: a filter that rejects everything (a ring this node
+// is not a member of) would otherwise hang allocation, so after maxIDScan
+// rejections the candidate is allocated anyway — a misrouted id degrades
+// gateway routing to its discovery fallback, which beats deadlock.
+// Callers hold e.mu.
+func (e *Engine) nextOwnedID(cur int64) int64 {
+	cur++
+	if e.ownsID == nil {
+		return cur
+	}
+	const maxIDScan = 1 << 20
+	for i := 0; i < maxIDScan && !e.ownsID(cur); i++ {
+		cur++
+	}
+	return cur
+}
 
 // schedStrategy maps the wire strategy onto the scheduler's.
 func schedStrategy(s Strategy) sched.Strategy {
@@ -256,7 +292,7 @@ func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
 		e.mu.Lock()
 	}
 	// Stage: reserve the id and build the record under e.mu.
-	e.nextProjectID++
+	e.nextProjectID = e.nextOwnedID(e.nextProjectID)
 	p := &Project{
 		ID:         e.nextProjectID,
 		Name:       spec.Name,
@@ -375,7 +411,7 @@ restage:
 		if red <= 0 {
 			red = p.Redundancy
 		}
-		nextID++
+		nextID = e.nextOwnedID(nextID)
 		t := &Task{
 			ID:         nextID,
 			ProjectID:  projectID,
@@ -683,7 +719,7 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 	// of us will commit first (same order as the journal).
 	retiring := res.Answers+pending >= t.Redundancy
 
-	e.nextRunID++
+	e.nextRunID = e.nextOwnedID(e.nextRunID)
 	run := &TaskRun{
 		ID:        e.nextRunID,
 		TaskID:    taskID,
@@ -1003,6 +1039,18 @@ func (e *Engine) attachCheckpointer(c *Checkpointer) {
 	e.mu.Lock()
 	e.snap = c
 	e.mu.Unlock()
+}
+
+// taskProject resolves a task id to its project id (for the HTTP layer's
+// shard-key echo; false when the task is unknown).
+func (e *Engine) taskProject(taskID int64) (int64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tasks[taskID]
+	if !ok {
+		return 0, false
+	}
+	return t.ProjectID, true
 }
 
 // taskWithProject fetches a task and its project in one lock acquisition

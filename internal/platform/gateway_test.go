@@ -1,0 +1,128 @@
+package platform
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestOwnsIDAllocation pins the partitioned-deployment allocation rule:
+// with an OwnsID filter, every project, task and run id the engine hands
+// out satisfies the predicate — which is what makes ids globally unique
+// across ring-disjoint leaders and ring lookup a valid router.
+func TestOwnsIDAllocation(t *testing.T) {
+	even := func(id int64) bool { return id%2 == 0 }
+	e, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), OwnsID: even})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.EnsureProject(ProjectSpec{Name: "owned", Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !even(p.ID) {
+		t.Fatalf("project id %d not owned", p.ID)
+	}
+	specs := make([]TaskSpec, 10)
+	for i := range specs {
+		specs[i] = TaskSpec{ExternalID: fmt.Sprintf("t%d", i)}
+	}
+	tasks, err := e.AddTasks(p.ID, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, task := range tasks {
+		if !even(task.ID) {
+			t.Fatalf("task id %d not owned", task.ID)
+		}
+		if seen[task.ID] {
+			t.Fatalf("task id %d allocated twice", task.ID)
+		}
+		seen[task.ID] = true
+		run, err := e.Submit(task.ID, "w1", "yes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !even(run.ID) {
+			t.Fatalf("run id %d not owned", run.ID)
+		}
+	}
+}
+
+// TestGatewayModeClientEchoesShardKey pins the routing-hint protocol: a
+// gateway-mode client replays the shard key the server echoed — for the
+// project on project-scoped calls, and for the project of a task on
+// task-scoped calls (Submit/Runs), where the hint is the only way a
+// ring router can know the partition without asking around.
+func TestGatewayModeClientEchoesShardKey(t *testing.T) {
+	engine := NewEngine(vclock.NewVirtual())
+	srv := NewServer(engine)
+	var mu sync.Mutex
+	hints := map[string]string{} // "METHOD path" → shard-key header seen
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hints[r.Method+" "+r.URL.Path] = r.Header.Get(HeaderShardKey)
+		mu.Unlock()
+		srv.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	c := NewGatewayHTTPClient(hs.URL, nil)
+	p, err := c.EnsureProject(ProjectSpec{Name: "hinted", Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strconv.FormatUint(ShardKey(p.ID), 10)
+	tasks, err := c.AddTasks(p.ID, []TaskSpec{{ExternalID: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(tasks[0].ID, "w1", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Runs(tasks[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, call := range []string{
+		fmt.Sprintf("POST /api/projects/%d/tasks", p.ID),
+		fmt.Sprintf("POST /api/tasks/%d/runs", tasks[0].ID),
+		fmt.Sprintf("GET /api/tasks/%d/runs", tasks[0].ID),
+	} {
+		if got := hints[call]; got != want {
+			t.Fatalf("%s carried hint %q, want %q (all: %v)", call, got, want, hints)
+		}
+	}
+}
+
+// TestPlainClientSendsNoHints guards the default: outside gateway mode
+// the client must not grow a hint cache or stamp requests.
+func TestPlainClientSendsNoHints(t *testing.T) {
+	engine := NewEngine(vclock.NewVirtual())
+	srv := NewServer(engine)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(HeaderShardKey); got != "" {
+			t.Errorf("plain client sent %s: %q", HeaderShardKey, got)
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+	c := NewHTTPClient(hs.URL, nil)
+	p, err := c.EnsureProject(ProjectSpec{Name: "plain", Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTasks(p.ID, []TaskSpec{{ExternalID: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.routeKeys != nil {
+		t.Fatal("plain client grew a route cache")
+	}
+}

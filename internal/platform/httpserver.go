@@ -8,6 +8,27 @@ import (
 	"strings"
 )
 
+// HeaderShardKey is the routing-hint header pair the platform speaks with
+// internal/gate's ring-routed gateway:
+//
+//   - The server sets it on every response whose request resolved a
+//     project: the value is ShardKey(projectID), decimal. Task-scoped
+//     responses (Submit, Runs, preview) carry their task's project key.
+//   - A gateway-mode HTTPClient replays the value on later requests for
+//     the same project or task, so a gateway can route the request with a
+//     single ring lookup — no path parsing, no body peeking ("blind"
+//     routing).
+const HeaderShardKey = "X-Reprowd-Shard-Key"
+
+// ShardKey is the canonical routing hash over a platform id — the same
+// Fibonacci multiplicative hash internal/sched stripes projects across
+// shard locks with, reused by repl.Ring to partition projects across
+// leaders. Defined here (the lowest layer repl and gate both import) so
+// every component derives the identical key space.
+func ShardKey(id int64) uint64 {
+	return uint64(id) * 0x9E3779B97F4A7C15
+}
+
 // Server exposes an Engine over a JSON REST API shaped like PyBossa's task
 // endpoints. Routes:
 //
@@ -158,6 +179,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// echoShard stamps the response with the project's routing key (see
+// HeaderShardKey). Must run before the body is written.
+func echoShard(w http.ResponseWriter, projectID int64) {
+	w.Header().Set(HeaderShardKey, strconv.FormatUint(ShardKey(projectID), 10))
+}
+
 func pathID(r *http.Request) (int64, error) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
@@ -177,6 +204,7 @@ func (s *Server) handleEnsureProject(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, p.ID)
 	writeJSON(w, p)
 }
 
@@ -195,6 +223,7 @@ func (s *Server) handleFindProject(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, ErrUnknownProject)
 		return
 	}
+	echoShard(w, p.ID)
 	writeJSON(w, p)
 }
 
@@ -214,6 +243,7 @@ func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, id)
 	writeJSON(w, tasks)
 }
 
@@ -228,6 +258,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, id)
 	writeJSON(w, tasks)
 }
 
@@ -242,6 +273,7 @@ func (s *Server) handleNewTask(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, id)
 	writeJSON(w, task)
 }
 
@@ -256,6 +288,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, id)
 	writeJSON(w, st)
 }
 
@@ -272,6 +305,7 @@ func (s *Server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, id)
 	writeJSON(w, st)
 }
 
@@ -303,6 +337,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, run.ProjectID)
 	writeJSON(w, run)
 }
 
@@ -325,6 +360,7 @@ func (s *Server) handleBan(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, id)
 	writeJSON(w, map[string]bool{"banned": true})
 }
 
@@ -342,6 +378,7 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
+	echoShard(w, project.ID)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := previewTemplate.Execute(w, struct {
 		Task    Task
@@ -363,6 +400,9 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeErr(w, r, err)
 		return
+	}
+	if t, ok := s.engine.taskProject(id); ok {
+		echoShard(w, t)
 	}
 	writeJSON(w, runs)
 }

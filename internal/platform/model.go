@@ -3,10 +3,24 @@
 //
 // The original system bound to PyBossa, an external web service. This
 // package provides the same task lifecycle — projects, tasks with
-// redundancy-N assignment, task runs (answers) — as an embeddable engine,
-// plus a net/http JSON REST server and a matching HTTP client so the
-// binding can also be exercised over a real wire. Everything above this
+// redundancy-N assignment, task runs (answers) — as an embeddable Engine,
+// plus a net/http JSON REST Server and a matching HTTPClient so the
+// binding can also be exercised over a real wire (and, in the client's
+// gateway mode, through the internal/gate router). Everything above this
 // package talks to the Client interface and cannot tell the difference.
+// Durability lives here too: the Journal write-ahead-logs every mutation
+// onto internal/storage with group commit, and the Checkpointer folds the
+// committed prefix into snapshot records so recovery replays only a tail.
+//
+// Concurrency model: the Engine guards its registry with one RWMutex
+// taken shared on the read path, delegates assignment to internal/sched's
+// striped locks, and never holds the registry lock across a disk flush —
+// journaled mutations stage under the lock, flush outside it, and
+// finalize whole acked groups in one hold (see Engine's doc comment).
+// The Journal serializes durability through a single committer goroutine;
+// the Checkpointer materializes state on its own goroutine off the
+// journal's committed-event tap. Engine, Journal, Server and HTTPClient
+// are all safe for concurrent use.
 package platform
 
 import (

@@ -56,6 +56,12 @@ type FollowerOptions struct {
 	// the checkpointer, exactly like the server's -snapshot-every 0
 	// -snapshot-bytes 0.
 	Checkpoint platform.CheckpointOptions
+	// OwnsID, when non-nil, is the replica engine's id-allocation filter
+	// (see platform.EngineOptions.OwnsID). Inert while following —
+	// replicated events keep their recorded ids — it takes effect after a
+	// promotion, keeping the promoted leader's new ids inside the ring
+	// partition it owns.
+	OwnsID func(id int64) bool
 }
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
@@ -116,6 +122,7 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 		Clock:    opts.Clock,
 		LeaseTTL: opts.LeaseTTL,
 		Shards:   opts.Shards,
+		OwnsID:   opts.OwnsID,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,39 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// ProbeHealth fetches a node's GET /api/healthz and returns its
+// replication view — the primitive a router (internal/gate) builds its
+// topology picture from. The endpoint answers 200 when the node can serve
+// its role and 503 while it cannot (a follower still bootstrapping); both
+// carry the same ReplStats body, so both decode successfully and the
+// caller reads st.Ready for the verdict. Any other status, a transport
+// failure, or an undecodable body returns an error: the node is
+// unreachable or not a reprowd server at all.
+func ProbeHealth(hc *http.Client, baseURL string) (platform.ReplStats, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(strings.TrimRight(baseURL, "/") + "/api/healthz")
+	if err != nil {
+		return platform.ReplStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return platform.ReplStats{}, fmt.Errorf("repl: probe %s: HTTP %d", baseURL, resp.StatusCode)
+	}
+	var st platform.ReplStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return platform.ReplStats{}, fmt.Errorf("repl: probe %s: decode healthz: %w", baseURL, err)
+	}
+	return st, nil
+}

@@ -30,12 +30,23 @@
 // A Node ties one role together and serves the /api/repl/* endpoints; the
 // platform server's /api/stats and /api/healthz surface its view
 // (role, applied/leader sequence, replication lag, readiness).
+// ProbeHealth is the client side of that healthz surface, used by
+// internal/gate's prober.
+//
+// Concurrency model: every exported type is safe for concurrent use. A
+// Leader serves any number of follower streams, each long-poll riding
+// its own request goroutine over the journal's multi-tap; a Follower
+// runs one stream-pump goroutine applying events strictly in sequence;
+// Node serializes role transitions (Promote) under its mutex; Ring
+// guards its points with an RWMutex and is cheap to read concurrently.
 package repl
 
 import (
 	"errors"
 	"sort"
 	"sync"
+
+	"repro/internal/platform"
 )
 
 // Roles a Node reports.
@@ -99,10 +110,10 @@ func NewRing(vnodes int, nodes ...string) *Ring {
 }
 
 // shardKey is the hash internal/sched uses to stripe project ids across
-// shards (Fibonacci/multiplicative), reused verbatim so the ring
-// partitions the identical key space.
+// shards (Fibonacci/multiplicative), taken from the platform's canonical
+// definition so the ring partitions the identical key space.
 func shardKey(projectID int64) uint64 {
-	return uint64(projectID) * 0x9E3779B97F4A7C15
+	return platform.ShardKey(projectID)
 }
 
 // pointHash spreads a node's virtual points over the circle. FNV-1a over
@@ -194,15 +205,70 @@ func (r *Ring) LookupString(key string) string {
 	return r.lookupHash(pointHash(key, 0))
 }
 
+// LookupKey routes a precomputed shard key — e.g. one a client echoed
+// back from the platform's HeaderShardKey — to its owning node.
+func (r *Ring) LookupKey(key uint64) string {
+	return r.lookupHash(key)
+}
+
+// Candidates returns up to max distinct nodes in ring order starting at
+// the owner of projectID — the owner first, then the failover successors
+// a router walks when the owner is unhealthy. max <= 0 returns every
+// node.
+func (r *Ring) Candidates(projectID int64, max int) []string {
+	return r.candidatesHash(shardKey(projectID), max)
+}
+
+// CandidatesKey is Candidates over a precomputed shard key.
+func (r *Ring) CandidatesKey(key uint64, max int) []string {
+	return r.candidatesHash(key, max)
+}
+
+// CandidatesString is Candidates over a string key (a project name).
+func (r *Ring) CandidatesString(key string, max int) []string {
+	return r.candidatesHash(pointHash(key, 0), max)
+}
+
 func (r *Ring) lookupHash(h uint64) string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 {
 		return ""
 	}
+	return r.points[r.searchLocked(h)].node
+}
+
+// searchLocked finds the first ring point at or after h (wrapping).
+// Callers hold r.mu and guarantee a non-empty ring.
+func (r *Ring) searchLocked(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap around the circle
 	}
-	return r.points[i].node
+	return i
+}
+
+func (r *Ring) candidatesHash(h uint64, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]struct{}, max)
+	for i, start := r.searchLocked(h), 0; start < len(r.points) && len(out) < max; start++ {
+		p := r.points[i]
+		if _, dup := seen[p.node]; !dup {
+			seen[p.node] = struct{}{}
+			out = append(out, p.node)
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
 }

@@ -28,6 +28,13 @@
 // model — it deals in project ids, task ids, priorities and worker ids —
 // so it can be tested and benchmarked in isolation and reused by other
 // front ends.
+//
+// Concurrency model: a Scheduler is safe for concurrent use; each
+// project lives on exactly one shard (chosen by the same Fibonacci hash
+// platform.ShardKey exposes, which repl.Ring also partitions by), each
+// shard has its own mutex, and no operation takes more than one shard
+// lock — so throughput scales with distinct projects and two workers on
+// different projects never contend.
 package sched
 
 import (

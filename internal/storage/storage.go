@@ -12,6 +12,14 @@
 // The original Reprowd used SQLite for this role; see DESIGN.md for why this
 // substitution preserves the paper-relevant behaviour (durable, point-
 // addressable persistence of the task/result columns).
+//
+// Concurrency model: a DB is safe for concurrent use — reads take a
+// shared RWMutex over the key directory and read frames at their
+// recorded offsets; writes serialize under the exclusive side for the
+// append+index update. ApplyDurable additionally coalesces fsyncs across
+// concurrent callers (durableSeq tracking), which is the primitive the
+// journal's group commit is built on. A directory LOCK file enforces the
+// single-process-owner rule; compaction runs inline under the write lock.
 package storage
 
 import (

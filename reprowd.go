@@ -152,6 +152,14 @@ func NewPlatformHTTPClient(baseURL string) *PlatformHTTPClient {
 	return platform.NewHTTPClient(baseURL, nil)
 }
 
+// NewPlatformGatewayClient returns a Platform speaking to a ring-routed
+// reprowd-gate at baseURL: identical REST surface, plus the shard-key
+// routing hints that let the gateway route blind. Reprowd programs work
+// unchanged against an N-node partitioned deployment through it.
+func NewPlatformGatewayClient(baseURL string) *PlatformHTTPClient {
+	return platform.NewGatewayHTTPClient(baseURL, nil)
+}
+
 // Quality control.
 type (
 	// Aggregator resolves redundant answers into decisions.
