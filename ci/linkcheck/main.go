@@ -23,7 +23,9 @@ import (
 
 // linkRE matches inline Markdown links and images: [text](target) /
 // ![alt](target), with an optional "title". Reference-style definitions
-// ([ref]: target) are matched by refRE.
+// ([ref]: target) are matched by refRE. Known limitation: targets
+// containing spaces or parentheses do not match and are skipped, not
+// checked — keep doc filenames free of both.
 var (
 	linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
 	refRE  = regexp.MustCompile(`(?m)^\s*\[[^\]]+\]:\s+(\S+)`)
@@ -78,7 +80,7 @@ func check(root string) (broken []string, files, links int, err error) {
 				continue
 			}
 			links++
-			if msg := resolve(path, target); msg != "" {
+			if msg := resolve(root, path, target); msg != "" {
 				broken = append(broken, msg)
 			}
 		}
@@ -110,8 +112,10 @@ func skipTarget(t string) bool {
 // resolve checks one relative target against the filesystem, returning a
 // human-readable failure ("" = fine). Anchors are stripped: linking into
 // a section of an existing file is fine; linking into a missing file is
-// not.
-func resolve(fromFile, target string) string {
+// not. A root-absolute target ("/README.md") resolves against the scan
+// root, matching how GitHub renders it, not against the linking file's
+// directory.
+func resolve(root, fromFile, target string) string {
 	clean := target
 	if i := strings.IndexByte(clean, '#'); i >= 0 {
 		clean = clean[:i]
@@ -119,7 +123,11 @@ func resolve(fromFile, target string) string {
 	if clean == "" {
 		return ""
 	}
-	full := filepath.Join(filepath.Dir(fromFile), filepath.FromSlash(clean))
+	base := filepath.Dir(fromFile)
+	if strings.HasPrefix(clean, "/") {
+		base = root
+	}
+	full := filepath.Join(base, filepath.FromSlash(clean))
 	if _, err := os.Stat(full); err != nil {
 		return fmt.Sprintf("%s: link %q → %s does not exist", fromFile, target, full)
 	}

@@ -235,9 +235,11 @@ type Gateway struct {
 }
 
 // New builds a gateway over opts.Topology and runs one synchronous probe
-// round so routing works immediately when every node is up (nodes that
+// round so routing works immediately when every node is up. Nodes that
 // are down stay unknown until the background prober reaches them; the
-// gateway still starts — it answers 503 for their partitions meanwhile).
+// gateway still starts, and while any configured node has never been
+// probed it answers retryable 502s — never typed 404s — for requests it
+// cannot place definitively (the unprobed node may own the partition).
 func New(opts Options) (*Gateway, error) {
 	opts = opts.withDefaults()
 	if err := opts.Topology.Validate(); err != nil {

@@ -347,11 +347,16 @@ func (s *stubNode) hitCount() int {
 	return s.hits
 }
 
-// TestGatewayRetriesNextRingCandidateOn503 pins the failover walk: the
-// ring owner answers 503 mid-request, and the write lands on the next
-// ring candidate instead of failing.
+// TestGatewayRetriesNextRingCandidateOn503 pins the failover walk for
+// id-routed writes: the ring maps the id onto an overloaded leader that
+// answers 503 mid-request, and the write lands on the ring successor
+// instead of failing. The walk is sound for id writes — a successor that
+// does not hold the id answers a typed 404 and never mutates — and it is
+// exactly what absorbs ring drift: here the project predates "sick"
+// joining the ring, so its true home is the successor n2. (Ensures get
+// no such walk: a wrong leader would answer an ensure by creating, see
+// TestGatewayEnsureOwnerOutageDoesNotMintDuplicate.)
 func TestGatewayRetriesNextRingCandidateOn503(t *testing.T) {
-	ringNames := []string{"sick", "n2"}
 	sick := newStubNode(platform.ReplStats{Role: repl.RoleLeader, Ready: true},
 		func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -359,11 +364,29 @@ func TestGatewayRetriesNextRingCandidateOn503(t *testing.T) {
 			json.NewEncoder(w).Encode(map[string]string{"error": "overloaded", "code": "internal"})
 		})
 	defer sick.hs.Close()
-	l2 := startLeader(t, "n2", ringNames)
+	// n2 predates "sick" in the ring: in its own allocation view it owns
+	// the whole keyspace.
+	l2 := startLeader(t, "n2", []string{"n2"})
 	defer l2.close()
+	// Create projects directly on n2 until one's id maps to "sick" under
+	// the gateway's grown ring — the drift case.
+	ring := repl.NewRing(0, "sick", "n2")
+	var p platform.Project
+	for i := 0; ; i++ {
+		var err error
+		p, err = l2.engine.EnsureProject(platform.ProjectSpec{Name: fmt.Sprintf("drift-%d", i), Redundancy: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Lookup(p.ID) == "sick" {
+			break
+		}
+	}
 
 	g := newTestGateway(t, DefaultMaxLag, &testNode{name: "n2", hs: l2.hs})
-	// Build topology with the stub under the name the ring routes to.
+	// Swap in the topology with the stub under the name the ring routes
+	// to (SetTopology probes synchronously, so routing is correct when it
+	// returns).
 	if err := g.SetTopology(Topology{Nodes: []NodeConfig{
 		{Name: "sick", URL: sick.hs.URL},
 		{Name: "n2", URL: l2.hs.URL},
@@ -373,24 +396,22 @@ func TestGatewayRetriesNextRingCandidateOn503(t *testing.T) {
 	gs := httptest.NewServer(g)
 	defer gs.Close()
 
-	ring := repl.NewRing(0, ringNames...)
-	name := nameOwnedBy(ring, "sick", "proj")
 	client := platform.NewHTTPClient(gs.URL, nil)
-	p, err := client.EnsureProject(platform.ProjectSpec{Name: name, Redundancy: 1})
-	if err != nil {
-		t.Fatalf("ensure through flaky owner: %v", err)
+	if _, err := client.AddTasks(p.ID, []platform.TaskSpec{{ExternalID: "x"}}); err != nil {
+		t.Fatalf("write through flaky ring owner: %v", err)
 	}
 	if sick.hitCount() == 0 {
 		t.Fatal("owner was never tried — test routed around it from the start")
 	}
-	if _, ok, _ := l2.engine.FindProject(name); !ok {
-		t.Fatalf("write did not land on the ring successor n2")
-	}
 	if g.Snapshot().Stats.Retries == 0 {
 		t.Fatalf("no retry recorded: %+v", g.Snapshot().Stats)
 	}
+	tasks, err := l2.engine.Tasks(p.ID)
+	if err != nil || len(tasks) != 1 {
+		t.Fatalf("write did not land on the ring successor n2: tasks=%v err=%v", tasks, err)
+	}
 	// And the successor keeps serving the project afterwards.
-	if _, err := client.AddTasks(p.ID, []platform.TaskSpec{{ExternalID: "x"}}); err != nil {
+	if _, err := client.AddTasks(p.ID, []platform.TaskSpec{{ExternalID: "y"}}); err != nil {
 		t.Fatalf("follow-up write: %v", err)
 	}
 }
@@ -448,6 +469,151 @@ func TestGatewayDownPartitionWriteIsNotAMiss(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("want retryable 502/503, got HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestGatewayStartDuringOutageDoesNotMintTypedMiss pins the silent-node
+// rule: a gateway that starts (or restarts — it is stateless) while a
+// configured node is down has never probed that node, so it cannot know
+// whether the node was a leader owning part of the keyspace. Until the
+// node is probed, requests the visible leaders answer with a typed
+// unknown_project/unknown_task must come back retryable (502/503) — a
+// relayed 404 would make the client drop the write for good, for the
+// whole remaining outage.
+func TestGatewayStartDuringOutageDoesNotMintTypedMiss(t *testing.T) {
+	ringNames := []string{"dead", "n2"}
+	// "dead" is down before the gateway's first probe: grab a URL, then
+	// close the listener so every probe fails from the start.
+	dead := newStubNode(platform.ReplStats{Role: repl.RoleLeader, Ready: true}, nil)
+	deadURL := dead.hs.URL
+	dead.hs.Close()
+	l2 := startLeader(t, "n2", ringNames)
+	defer l2.close()
+
+	g, err := New(Options{
+		Topology: Topology{Nodes: []NodeConfig{
+			{Name: "dead", URL: deadURL},
+			{Name: "n2", URL: l2.hs.URL},
+		}},
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gs := httptest.NewServer(g)
+	defer gs.Close()
+
+	ring := repl.NewRing(0, ringNames...)
+	var id int64
+	for id = 1; ring.Lookup(id) != "dead"; id++ {
+	}
+	// A write into the invisible partition: n2, the only probed leader,
+	// answers a typed unknown_project — which must not reach the client.
+	resp, err := http.Post(fmt.Sprintf("%s/api/projects/%d/tasks", gs.URL, id),
+		"application/json", bytes.NewReader([]byte(`[{"external_id":"x"}]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		t.Fatal("write answered a typed 404 while a configured node was still unprobed")
+	}
+	if resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want retryable 502/503, got HTTP %d", resp.StatusCode)
+	}
+	// The find fan-out holds the same line...
+	fresp, err := http.Get(gs.URL + "/api/projects/find?name=somewhere-unseen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode == http.StatusNotFound {
+		t.Fatal("find answered a typed 404 while a configured node was still unprobed")
+	}
+	// ...the project list refuses to merge without the hidden partition...
+	lresp, err := http.Get(gs.URL + "/api/projects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode == http.StatusOK {
+		t.Fatal("project list merged while a configured node was still unprobed — possibly partial")
+	}
+	// ...and an ensure refuses to place a name (it might already live on
+	// the invisible node).
+	req, err := http.NewRequest(http.MethodPut, gs.URL+"/api/projects",
+		bytes.NewReader([]byte(`{"name":"maybe-on-dead","redundancy":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusBadGateway && eresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ensure during unprobed outage: want retryable 502/503, got HTTP %d", eresp.StatusCode)
+	}
+	if _, ok, _ := l2.engine.FindProject("maybe-on-dead"); ok {
+		t.Fatal("ensure minted the project on a non-owner while a node was unprobed")
+	}
+}
+
+// TestGatewayEnsureOwnerOutageDoesNotMintDuplicate pins the ensure-stays-
+// an-ensure invariant through an owner outage: the name already exists on
+// its owning leader; that leader dies; re-ensuring the same name through
+// the gateway must come back retryable — not walk onto the ring successor
+// and create a second project under the same name on another partition.
+func TestGatewayEnsureOwnerOutageDoesNotMintDuplicate(t *testing.T) {
+	ringNames := []string{"n1", "n2"}
+	l1 := startLeader(t, "n1", ringNames)
+	l2 := startLeader(t, "n2", ringNames)
+	defer l2.close()
+	ring := repl.NewRing(0, ringNames...)
+	name := nameOwnedBy(ring, "n1", "dup")
+	if _, err := l1.engine.EnsureProject(platform.ProjectSpec{Name: name, Redundancy: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	g := newTestGateway(t, DefaultMaxLag, l1, l2)
+	gs := httptest.NewServer(g)
+	defer gs.Close()
+	waitSnapshot(t, g, "both probed as leaders", func(st Status) bool {
+		n := 0
+		for _, node := range st.Nodes {
+			if node.Role == repl.RoleLeader && node.Reachable {
+				n++
+			}
+		}
+		return n == 2
+	})
+	l1.close()
+	waitSnapshot(t, g, "n1 marked unreachable", func(st Status) bool {
+		for _, node := range st.Nodes {
+			if node.Name == "n1" {
+				return !node.Reachable
+			}
+		}
+		return false
+	})
+
+	req, err := http.NewRequest(http.MethodPut, gs.URL+"/api/projects",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"name":%q,"redundancy":1}`, name))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ensure during owner outage: want retryable 502/503, got HTTP %d", resp.StatusCode)
+	}
+	if _, ok, _ := l2.engine.FindProject(name); ok {
+		t.Fatalf("ensure minted a duplicate of %q on the ring successor", name)
 	}
 }
 

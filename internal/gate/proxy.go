@@ -138,7 +138,13 @@ type buffered struct {
 func bufferResp(resp *http.Response) buffered {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
-	return buffered{status: resp.StatusCode, header: resp.Header.Clone(), body: body}
+	header := resp.Header.Clone()
+	// The body may have been truncated at maxErrBody (and a partial read
+	// may have stopped short of the advertised length either way);
+	// replaying the upstream Content-Length with fewer bytes would make
+	// the server abort the connection mid-response. Let it recompute.
+	header.Del("Content-Length")
+	return buffered{status: resp.StatusCode, header: header, body: body}
 }
 
 func (b buffered) relay(w http.ResponseWriter) {
@@ -160,13 +166,6 @@ func (b buffered) errCode() string {
 // the signal to go discover the owner elsewhere (ring drift).
 func isMissCode(code string) bool {
 	return code == "unknown_project" || code == "unknown_task"
-}
-
-// retryableStatus mirrors the HTTP client's transient set.
-func retryableStatus(code int) bool {
-	return code == http.StatusBadGateway ||
-		code == http.StatusServiceUnavailable ||
-		code == http.StatusGatewayTimeout
 }
 
 // attemptOutcome classifies one forwarded attempt.
@@ -211,10 +210,19 @@ func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body
 		}
 		if redirected, ok := g.nodeByLocation(loc); ok {
 			t = redirected
+		} else {
+			// The redirect points outside the known topology. Follow it
+			// anyway, but attribute nothing to the demoted node we left:
+			// booking a success there would skew its counters and teach the
+			// route cache the wrong owner. finish() skips nil-node targets;
+			// the next probe round establishes the real owner.
+			t = target{}
 		}
 		resp, err = g.hc.Do(redirectRequest(r, loc, body))
 		if err != nil {
-			t.node.failures.Add(1)
+			if t.node != nil {
+				t.node.failures.Add(1)
+			}
 			return outcomeRetryable, t
 		}
 		if resp.StatusCode == http.StatusTemporaryRedirect {
@@ -225,9 +233,11 @@ func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body
 			return outcomeRetryable, t
 		}
 	}
-	if retryableStatus(resp.StatusCode) {
+	if platform.RetryableStatus(resp.StatusCode) {
 		keep.err = bufferResp(resp)
-		t.node.failures.Add(1)
+		if t.node != nil {
+			t.node.failures.Add(1)
+		}
 		g.kickProbe()
 		return outcomeRetryable, t
 	}
@@ -262,11 +272,34 @@ func redirectRequest(r *http.Request, loc string, body []byte) *http.Request {
 	return req
 }
 
-// isLeaderNode reads a node's probed role under the lock.
+// isLeaderNode reads a node's probed role under the lock. A nil node (a
+// redirect target outside the known topology) has no probed role.
 func (g *Gateway) isLeaderNode(n *nodeState) bool {
+	if n == nil {
+		return false
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return isLeaderRole(n.role)
+}
+
+// unknownNodeDown reports whether any configured node is unreachable and
+// was never successfully probed (role still ""). Such a node got no
+// chance to speak: it joins neither the ring nor leaderTargets, so the
+// usual leaderDown bookkeeping cannot count it — yet it may well be the
+// leader of a partition this gateway simply cannot see. While one exists,
+// a typed 404 ("no partition knows this id") cannot be trusted. The
+// stateless gateway restarting during a node outage hits exactly this
+// window, for the whole remainder of the outage.
+func (g *Gateway) unknownNodeDown() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, n := range g.nodes {
+		if n.role == "" && !n.reachable {
+			return true
+		}
+	}
+	return false
 }
 
 // nodeByLocation maps a redirect Location onto a known node.
@@ -307,8 +340,11 @@ func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targe
 	// typed 404 is only the truth when every leader got to speak — the
 	// unreachable one might be the id's real owner, and telling the
 	// client "unknown task" during a failover window would make it drop
-	// the write for good (typed errors are not retried).
-	var leaderDown bool
+	// the write for good (typed errors are not retried). It starts true
+	// when a configured node has never answered a probe: that node is in
+	// neither the ring nor leaderTargets, so nothing below could count it,
+	// but it may be a leader whose partition never gets to speak.
+	leaderDown := g.unknownNodeDown()
 	tried := make(map[string]bool, len(targets))
 	for i, t := range targets {
 		if i > 0 {
@@ -321,7 +357,10 @@ func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targe
 			g.finish(pl, served, isWrite)
 			return
 		case outcomeRetryable:
-			if g.isLeaderNode(served.node) {
+			// A nil served node is an out-of-topology redirect target — the
+			// leader a demoted node pointed at — so its failure is a leader
+			// failure too.
+			if served.node == nil || g.isLeaderNode(served.node) {
 				leaderDown = true
 			}
 		case outcomeMiss:
@@ -344,7 +383,8 @@ discover:
 				g.finish(pl, served, isWrite)
 				return
 			}
-			if outcome == outcomeRetryable && g.isLeaderNode(served.node) {
+			if outcome == outcomeRetryable &&
+				(served.node == nil || g.isLeaderNode(served.node)) {
 				leaderDown = true
 			}
 		}
@@ -366,19 +406,35 @@ discover:
 // finish books a successfully relayed request: counters and the learned
 // owner route.
 func (g *Gateway) finish(pl plan, served target, isWrite bool) {
+	// Gateway-wide counters always book the relayed request, even when it
+	// was served via a redirect target outside the known topology (a nil
+	// node — which, being the leader a demoted node named, counts as a
+	// leader read).
 	if isWrite {
-		served.node.writes.Add(1)
 		g.stats.WritesRouted.Add(1)
 	} else {
-		served.node.reads.Add(1)
-		g.mu.RLock()
-		follower := served.node.role == repl.RoleFollower
-		g.mu.RUnlock()
+		follower := false
+		if served.node != nil {
+			g.mu.RLock()
+			follower = served.node.role == repl.RoleFollower
+			g.mu.RUnlock()
+		}
 		if follower {
 			g.stats.ReadsFollower.Add(1)
 		} else {
 			g.stats.ReadsLeader.Add(1)
 		}
+	}
+	if served.node == nil {
+		// Out-of-topology redirect target: no per-node attribution and no
+		// route to learn — crediting the node we were redirected away from
+		// would cache the scope under the wrong partition.
+		return
+	}
+	if isWrite {
+		served.node.writes.Add(1)
+	} else {
+		served.node.reads.Add(1)
 	}
 	g.learnRoute(pl.scope, served.partition)
 }
@@ -394,10 +450,19 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request, pl plan) {
 }
 
 // handleEnsure places PUT /api/projects. The project name decides the
-// partition; before creating on the ring owner the gateway asks the other
-// leaders whether the name already lives elsewhere (it would, if the ring
-// has grown since it was created) so an ensure stays an ensure instead of
-// minting a duplicate.
+// partition; before creating, the gateway must know whether the name
+// already lives on some leader (it would, if the ring has grown since it
+// was created) so an ensure stays an ensure instead of minting a
+// duplicate. That knowledge has to be definitive — an unanswered
+// partition (or a configured node that was never probed) might be
+// exactly where the name lives, so the ensure comes back retryable
+// rather than guessing. And an ensure only ever targets one leader (the
+// known holder, else the name's ring owner) — never the ring-successor
+// walk id writes get. A wrong leader answers an id write with a typed
+// 404, but it would answer an ensure by creating: walking on a transient
+// owner failure could race a concurrent ensure (or an owner that
+// committed before 503ing) into a permanent cross-partition duplicate.
+// A failed ensure is retryable; a duplicate name is forever.
 func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
 	body, err := readBody(r)
 	if err != nil {
@@ -411,42 +476,164 @@ func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
 	// produces the right 400.
 	json.Unmarshal(body, &spec)
 	pl := plan{class: classEnsure, name: spec.Name}
+	owner := "" // partition the name is known to live on
 	if spec.Name != "" {
 		pl.scope = "n/" + spec.Name
 		g.mu.RLock()
-		_, cached := g.routes[pl.scope]
+		if cached, ok := g.routes[pl.scope]; ok {
+			if n, live := g.nodes[cached]; live && isLeaderRole(n.role) {
+				owner = cached
+			}
+		}
 		leaders := len(g.ring.Nodes())
 		g.mu.RUnlock()
-		if !cached && leaders > 1 {
-			if owner, ok := g.findOwner(r, spec.Name); ok {
-				g.learnRoute(pl.scope, owner)
+		if owner == "" {
+			if g.unknownNodeDown() {
+				writeGateErr(w, http.StatusBadGateway, "unreachable",
+					"gate: cannot place project name: a configured node has never answered a probe and may already hold it")
+				return
+			}
+			if leaders > 1 {
+				found, name, err := g.findOwner(r, spec.Name)
+				if err != nil {
+					writeGateErr(w, http.StatusBadGateway, "unreachable",
+						"gate: cannot place project name: "+err.Error())
+					return
+				}
+				if found {
+					owner = name
+					g.learnRoute(pl.scope, owner)
+				}
 			}
 		}
 	}
-	g.runWith(w, r, pl, g.writeTargets(pl), true, body)
+	if owner == "" {
+		// Verified absent everywhere (or a single-leader topology): the
+		// name may only be created on its ring owner.
+		g.mu.RLock()
+		chain := g.ownerChainLocked(pl)
+		g.mu.RUnlock()
+		if len(chain) > 0 {
+			owner = chain[0]
+		}
+	}
+	g.runWith(w, r, pl, g.partitionWriteTarget(owner), true, body)
 }
 
-// findOwner asks every leader whether it already has the named project.
-func (g *Gateway) findOwner(r *http.Request, name string) (string, bool) {
+// partitionWriteTarget is the single write target of a named partition:
+// its leader, nothing else. Used by ensure once the owning partition is
+// known — if that leader is out, the answer is a retryable error, not a
+// walk onto a node that would mint a duplicate.
+func (g *Gateway) partitionWriteTarget(name string) []target {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[name]
+	if !ok {
+		return nil
+	}
+	return []target{{node: n, partition: name}}
+}
+
+// findOwner asks every partition whether it already has the named
+// project. Each partition must answer definitively: 200 means "here"
+// (a caught-up follower's word counts — found is found), and only the
+// leader's 404 means "definitely not here" (a follower's 404 may be
+// replication lag). A partition that gives neither makes the whole find
+// indeterminate — the name might live exactly there, and creating on a
+// guess would mint a permanent duplicate — so the error tells ensure to
+// answer retryable instead.
+func (g *Gateway) findOwner(r *http.Request, name string) (found bool, owner string, err error) {
 	g.stats.Fanouts.Add(1)
-	for _, t := range g.leaderTargets(nil) {
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-			t.node.cfg.url+"/api/projects/find?name="+url.QueryEscape(name), nil)
+	parts := g.leaderTargets(nil)
+	// Partitions are probed concurrently — their answers are independent,
+	// and a serial walk would put O(partitions) round-trips in front of
+	// every new-name ensure.
+	type verdict struct {
+		partition string
+		found     bool
+		no        bool // the partition definitively does not hold the name
+	}
+	results := make(chan verdict, len(parts))
+	for _, t := range parts {
+		go func(t target) {
+			v := verdict{partition: t.partition}
+			defer func() { results <- v }()
+			// partitionReadTargets lists followers first, leader last; walk
+			// it backwards so the leader — whose 200 AND 404 are both
+			// definitive — is asked first, and follower round-trips (only
+			// their 200 counts) are spent solely when the leader cannot
+			// answer.
+			rts := g.partitionReadTargets(t.partition)
+			for i := len(rts) - 1; i >= 0; i-- {
+				rt := rts[i]
+				status, rerr := g.findStatus(r, rt.node.cfg.url, name)
+				if rerr != nil {
+					rt.node.failures.Add(1)
+					g.kickProbe()
+					continue
+				}
+				if status == http.StatusOK {
+					v.found = true
+					return
+				}
+				// A 404 relayed through a demoted node's 307 is the serving
+				// leader's word — definitive for this partition's lineage,
+				// exactly the trust the write path places in a followed 307.
+				if status == http.StatusNotFound && rt.node == t.node {
+					v.no = true
+					return
+				}
+			}
+		}(t)
+	}
+	indeterminate := ""
+	for range parts {
+		v := <-results
+		if v.found {
+			// The buffered channel lets the remaining probes finish on
+			// their own; a positive hit is the answer regardless of what
+			// the other partitions say.
+			return true, v.partition, nil
+		}
+		if !v.no && indeterminate == "" {
+			indeterminate = v.partition
+		}
+	}
+	if indeterminate != "" {
+		return false, "", fmt.Errorf("partition %q did not answer whether it holds the name", indeterminate)
+	}
+	return false, "", nil
+}
+
+// findStatus performs one find GET against a node, following a single
+// 307 (a demoted node pointing at its current leader) the same way the
+// write path does.
+func (g *Gateway) findStatus(r *http.Request, base, name string) (int, error) {
+	u := base + "/api/projects/find?name=" + url.QueryEscape(name)
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
 		if err != nil {
-			continue
+			return 0, err
 		}
 		resp, err := g.hc.Do(req)
 		if err != nil {
-			continue
+			return 0, err
 		}
-		found := resp.StatusCode == http.StatusOK
+		loc := resp.Header.Get("Location")
+		status := resp.StatusCode
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if found {
-			return t.partition, true
+		if status == http.StatusTemporaryRedirect {
+			g.kickProbe()
+			if loc != "" && hop == 0 {
+				g.stats.Redirects.Add(1)
+				u = loc
+				continue
+			}
+			return 0, fmt.Errorf("gate: find redirected more than once")
 		}
+		return status, nil
 	}
-	return "", false
 }
 
 // handleFind serves GET /api/projects/find by walking the partitions in
@@ -457,7 +644,11 @@ func (g *Gateway) handleFind(w http.ResponseWriter, r *http.Request, pl plan) {
 	chain := g.ownerChainLocked(pl)
 	g.mu.RUnlock()
 	var keep keeps
-	var sawMiss, leaderDown bool
+	var sawMiss bool
+	// As in runWith: a typed miss is only definitive once every partition
+	// answered, and a configured-but-never-probed node may be a partition
+	// this gateway cannot see at all.
+	leaderDown := g.unknownNodeDown()
 	for _, leader := range chain {
 		partitionAnswered := false
 		for _, t := range g.partitionReadTargets(leader) {
@@ -496,6 +687,14 @@ func (g *Gateway) handleFind(w http.ResponseWriter, r *http.Request, pl plan) {
 // project list would read as truth.
 func (g *Gateway) handleListProjects(w http.ResponseWriter, r *http.Request) {
 	g.stats.Fanouts.Add(1)
+	if g.unknownNodeDown() {
+		// An unprobed node may be a leader whose partition is missing from
+		// the ring entirely; merging without it would be exactly the
+		// silently partial list this handler refuses to produce.
+		writeGateErr(w, http.StatusBadGateway, "partial",
+			"gate: a configured node has never answered a probe; refusing to return a possibly-partial project list")
+		return
+	}
 	g.mu.RLock()
 	leaders := g.ring.Nodes()
 	g.mu.RUnlock()
@@ -587,8 +786,14 @@ func (g *Gateway) handleNodeStats(w http.ResponseWriter, r *http.Request) {
 	}
 	nodes := make(map[string]json.RawMessage, len(names))
 	for range names {
-		if st := <-results; st.raw != nil {
+		st := <-results
+		if st.raw != nil {
 			nodes[st.name] = st.raw
+		} else {
+			// An unanswered node stays visible under an explicit marker — a
+			// silently missing key would make a partial view read as the
+			// whole deployment.
+			nodes[st.name] = json.RawMessage(`{"error":"no_answer"}`)
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

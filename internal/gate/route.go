@@ -167,6 +167,38 @@ func (g *Gateway) writeTargets(pl plan) []target {
 	return append(healthy, sick...)
 }
 
+// followerTargetsLocked lists the caught-up followers of one partition's
+// leader (role, reachability, readiness, lag ≤ MaxLag), rotated by the
+// round-robin cursor so consecutive reads spread across them. The single
+// definition of read-replica eligibility — readTargets and
+// partitionReadTargets must never disagree on it. Callers hold g.mu
+// (read side).
+func (g *Gateway) followerTargetsLocked(owner string, ownerNode *nodeState) []target {
+	if ownerNode == nil {
+		return nil
+	}
+	var followers []*nodeState
+	for _, n := range g.nodes {
+		if n.role == repl.RoleFollower && n.reachable && n.ready &&
+			n.leaderURL == ownerNode.cfg.url && n.lag <= g.opts.MaxLag {
+			followers = append(followers, n)
+		}
+	}
+	if len(followers) == 0 {
+		return nil
+	}
+	// Map iteration order is random but not uniformly rotating; an
+	// explicit cursor spreads consecutive reads across followers.
+	// (Modulo in uint64 first: truncating the counter to int would go
+	// negative on 32-bit platforms.)
+	start := int(g.rr.Add(1) % uint64(len(followers)))
+	out := make([]target, 0, len(followers))
+	for i := range followers {
+		out = append(out, target{node: followers[(start+i)%len(followers)], partition: owner})
+	}
+	return out
+}
+
 // readTargets plans a partition read: caught-up followers of the owning
 // leader (rotated round-robin), then the leader itself, then — should the
 // whole partition be out — the rest of the owner chain.
@@ -178,25 +210,7 @@ func (g *Gateway) readTargets(pl plan) []target {
 		return nil
 	}
 	owner := chain[0]
-	ownerNode := g.nodes[owner]
-	var followers []*nodeState
-	for _, n := range g.nodes {
-		if n.role == repl.RoleFollower && n.reachable && n.ready &&
-			n.leaderURL == ownerNode.cfg.url && n.lag <= g.opts.MaxLag {
-			followers = append(followers, n)
-		}
-	}
-	out := make([]target, 0, len(followers)+len(chain))
-	if len(followers) > 0 {
-		// Map iteration order is random but not uniformly rotating; an
-		// explicit cursor spreads consecutive reads across followers.
-		// (Modulo in uint64 first: truncating the counter to int would go
-		// negative on 32-bit platforms.)
-		start := int(g.rr.Add(1) % uint64(len(followers)))
-		for i := range followers {
-			out = append(out, target{node: followers[(start+i)%len(followers)], partition: owner})
-		}
-	}
+	out := g.followerTargetsLocked(owner, g.nodes[owner])
 	for _, name := range chain {
 		out = append(out, target{node: g.nodes[name], partition: name})
 	}
@@ -233,19 +247,6 @@ func (g *Gateway) partitionReadTargets(leader string) []target {
 	if !ok {
 		return nil
 	}
-	var out []target
-	var followers []*nodeState
-	for _, n := range g.nodes {
-		if n.role == repl.RoleFollower && n.reachable && n.ready &&
-			n.leaderURL == ownerNode.cfg.url && n.lag <= g.opts.MaxLag {
-			followers = append(followers, n)
-		}
-	}
-	if len(followers) > 0 {
-		start := int(g.rr.Add(1) % uint64(len(followers)))
-		for i := range followers {
-			out = append(out, target{node: followers[(start+i)%len(followers)], partition: leader})
-		}
-	}
+	out := g.followerTargetsLocked(leader, ownerNode)
 	return append(out, target{node: ownerNode, partition: leader})
 }

@@ -209,21 +209,26 @@ var _ Client = (*Engine)(nil)
 
 // nextOwnedID advances cur to the next id the engine may allocate: the
 // next integer without an OwnsID filter, otherwise the next accepted one.
-// The scan is bounded: a filter that rejects everything (a ring this node
-// is not a member of) would otherwise hang allocation, so after maxIDScan
-// rejections the candidate is allocated anyway — a misrouted id degrades
-// gateway routing to its discovery fallback, which beats deadlock.
-// Callers hold e.mu.
-func (e *Engine) nextOwnedID(cur int64) int64 {
+// The scan is bounded so a filter that rejects everything (a ring this
+// node is not a member of) cannot hang allocation — but the escape is an
+// error, not an unowned id: ids are globally unique only because every
+// node allocates strictly inside its own partition, so minting an unowned
+// id would let the id's true owner allocate the same one later and
+// silently collide records across partitions. A misconfigured ring must
+// fail fast instead. Callers hold e.mu.
+func (e *Engine) nextOwnedID(cur int64) (int64, error) {
 	cur++
 	if e.ownsID == nil {
-		return cur
+		return cur, nil
 	}
 	const maxIDScan = 1 << 20
-	for i := 0; i < maxIDScan && !e.ownsID(cur); i++ {
+	for i := 0; i < maxIDScan; i++ {
+		if e.ownsID(cur) {
+			return cur, nil
+		}
 		cur++
 	}
-	return cur
+	return 0, fmt.Errorf("platform: id allocation found no owned id in %d candidates above %d; the ownership filter (ring membership) rejects everything — check that this node's -ring includes its own name", maxIDScan, cur-maxIDScan)
 }
 
 // schedStrategy maps the wire strategy onto the scheduler's.
@@ -292,9 +297,14 @@ func (e *Engine) EnsureProject(spec ProjectSpec) (Project, error) {
 		e.mu.Lock()
 	}
 	// Stage: reserve the id and build the record under e.mu.
-	e.nextProjectID = e.nextOwnedID(e.nextProjectID)
+	id, err := e.nextOwnedID(e.nextProjectID)
+	if err != nil {
+		e.mu.Unlock()
+		return Project{}, err
+	}
+	e.nextProjectID = id
 	p := &Project{
-		ID:         e.nextProjectID,
+		ID:         id,
 		Name:       spec.Name,
 		Presenter:  spec.Presenter,
 		Redundancy: spec.Redundancy,
@@ -411,7 +421,12 @@ restage:
 		if red <= 0 {
 			red = p.Redundancy
 		}
-		nextID = e.nextOwnedID(nextID)
+		nid, err := e.nextOwnedID(nextID)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		nextID = nid
 		t := &Task{
 			ID:         nextID,
 			ProjectID:  projectID,
@@ -719,9 +734,13 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 	// of us will commit first (same order as the journal).
 	retiring := res.Answers+pending >= t.Redundancy
 
-	e.nextRunID = e.nextOwnedID(e.nextRunID)
+	runID, err := e.nextOwnedID(e.nextRunID)
+	if err != nil {
+		return nil, nil, false, nil, err
+	}
+	e.nextRunID = runID
 	run := &TaskRun{
-		ID:        e.nextRunID,
+		ID:        runID,
 		TaskID:    taskID,
 		ProjectID: t.ProjectID,
 		WorkerID:  workerID,

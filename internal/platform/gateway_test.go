@@ -55,6 +55,22 @@ func TestOwnsIDAllocation(t *testing.T) {
 	}
 }
 
+// TestOwnsIDRejectAllFailsFast pins the allocator's bounded-scan escape:
+// an OwnsID filter that rejects everything (a ring this node is not a
+// member of) must surface as an error, never as an allocation outside the
+// filter — the id's true owner could later mint the same id, silently
+// colliding records across partitions.
+func TestOwnsIDRejectAllFailsFast(t *testing.T) {
+	e, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(),
+		OwnsID: func(int64) bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EnsureProject(ProjectSpec{Name: "nowhere", Redundancy: 1}); err == nil {
+		t.Fatal("EnsureProject allocated an id under a reject-all ownership filter")
+	}
+}
+
 // TestGatewayModeClientEchoesShardKey pins the routing-hint protocol: a
 // gateway-mode client replays the shard key the server echoed — for the
 // project on project-scoped calls, and for the project of a task on

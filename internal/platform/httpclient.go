@@ -151,11 +151,14 @@ func (c *HTTPClient) routeHint(scope string) string {
 func projScope(id int64) string { return "p/" + strconv.FormatInt(id, 10) }
 func taskScope(id int64) string { return "t/" + strconv.FormatInt(id, 10) }
 
-// retryableStatus reports whether an HTTP status indicates a transient
+// RetryableStatus reports whether an HTTP status indicates a transient
 // server condition worth retrying: a proxy failing to reach a bouncing
 // backend (502/504) or an explicit "try again" (503). Other 5xx are not
-// retried — a 500 means the request was processed and failed.
-func retryableStatus(code int) bool {
+// retried — a 500 means the request was processed and failed. Exported
+// so the gateway retries on exactly the set clients retry on — if the
+// two disagreed, an error one layer considers transient would be final
+// to the other.
+func RetryableStatus(code int) bool {
 	return code == http.StatusBadGateway ||
 		code == http.StatusServiceUnavailable ||
 		code == http.StatusGatewayTimeout
@@ -222,14 +225,14 @@ func (c *HTTPClient) attempt(method, path string, buf []byte, hasBody bool, out 
 	if resp.StatusCode >= 400 {
 		var ae apiError
 		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
-			return retryableStatus(resp.StatusCode), "",
+			return RetryableStatus(resp.StatusCode), "",
 				fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
 		}
 		werr := codeToError(ae.Code, ae.Error)
 		// A typed platform error (unknown task, duplicate answer, ...) is
 		// a definitive verdict, not an outage — except read_only with no
 		// redirect, which resolves once a promotion lands.
-		return retryableStatus(resp.StatusCode) && werr == ErrReadOnly, "", werr
+		return RetryableStatus(resp.StatusCode) && werr == ErrReadOnly, "", werr
 	}
 	key = resp.Header.Get(HeaderShardKey)
 	if out == nil {
