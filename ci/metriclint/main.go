@@ -1,0 +1,133 @@
+// Command metriclint enforces the repository's metric naming convention
+// (docs/OPERATIONS.md): every name registered on an internal/obs registry
+// must look like reprowd_<subsystem>_<name>[_<unit>] — lowercase
+// [a-z0-9_], at least three segments — counters must end in _total, and
+// histograms in _seconds (every histogram in this codebase measures
+// latency; a new unit means extending this tool, not skipping it).
+//
+// The check is purely syntactic: it parses every .go file under the given
+// roots (stdlib go/parser, no build step) and inspects calls to the obs
+// registration methods whose metric-name argument is a string literal.
+// Names built at runtime are invisible to it — keep metric names literal,
+// which is also what makes them greppable from a dashboard.
+//
+// Usage (CI lint job):
+//
+//	go run ./ci/metriclint .
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// registrars maps obs registration method names to the suffix their
+// metric names must carry ("" = no suffix rule beyond the general shape).
+var registrars = map[string]string{
+	"Counter":          "_total",
+	"CounterVec":       "_total",
+	"CounterFunc":      "_total",
+	"Histogram":        "_seconds",
+	"SampledHistogram": "_seconds",
+	"Gauge":            "",
+	"GaugeFunc":        "",
+}
+
+// namePattern is the general shape: reprowd_<subsystem>_<rest>, lowercase.
+var namePattern = regexp.MustCompile(`^reprowd_[a-z0-9]+(_[a-z0-9]+)+$`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var problems []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == ".git" || name == "testdata" || name == "vendor" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			found, err := lintFile(path)
+			if err != nil {
+				return err
+			}
+			problems = append(problems, found...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "metriclint: %d metric name(s) violate reprowd_<subsystem>_<name>_<unit>\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintFile parses one source file and checks every literal metric name
+// passed to a registration method.
+func lintFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		suffix, ok := registrars[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		pos := fset.Position(lit.Pos())
+		if !namePattern.MatchString(name) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %s(%q): want reprowd_<subsystem>_<name> in lowercase [a-z0-9_]",
+				pos, sel.Sel.Name, name))
+			return true
+		}
+		if suffix != "" && !strings.HasSuffix(name, suffix) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %s(%q): %s names must end in %s",
+				pos, sel.Sel.Name, name, sel.Sel.Name, suffix))
+		}
+		return true
+	})
+	return problems, nil
+}

@@ -1,10 +1,11 @@
 // Command reprowd-bench runs the reproduction's experiment suite (E1–E10
 // in DESIGN.md, plus E11 for the journal group-commit pipeline, E12 for
 // snapshot-checkpointed recovery, E13 for journal-shipping replication,
-// and E14 for the ring-routed gateway) and prints the tables recorded in
-// EXPERIMENTS.md. Experiments with machine-readable output (E11 →
-// BENCH_submit.json, E12 → BENCH_recovery.json, E13 → BENCH_repl.json,
-// E14 → BENCH_gate.json) write it to -out.
+// E14 for the ring-routed gateway, and E15 for the observability layer's
+// overhead) and prints the tables recorded in EXPERIMENTS.md. Experiments
+// with machine-readable output (E11 → BENCH_submit.json, E12 →
+// BENCH_recovery.json, E13 → BENCH_repl.json, E14 → BENCH_gate.json,
+// E15 → BENCH_obs.json) write it to -out.
 //
 // The command doubles as the CI perf gate: -baseline compares the fresh
 // BENCH_submit.json against a committed baseline and exits non-zero if
@@ -12,10 +13,13 @@
 // -check-recovery enforces E12's bounded-replay invariant on
 // BENCH_recovery.json, -check-repl enforces E13's replication invariants
 // (snapshot-bootstrapped catch-up, zero final lag, byte-identical
-// follower) on BENCH_repl.json, and -check-gate enforces E14's routing
+// follower) on BENCH_repl.json, -check-gate enforces E14's routing
 // invariants (partition-disjoint writes, follower-served reads,
 // byte-identical results through the gateway) on BENCH_gate.json — all
-// structural count/byte checks, immune to machine speed.
+// structural count/byte checks, immune to machine speed — and -check-obs
+// enforces E15's instrumentation-overhead bar (instrumented submit within
+// -max-obs-overhead of the no-op-registry run, a same-machine ratio) on
+// BENCH_obs.json.
 //
 // Usage:
 //
@@ -25,10 +29,11 @@
 //	reprowd-bench -exp e12        # restart replay vs history length, emits BENCH_recovery.json
 //	reprowd-bench -exp e13        # follower catch-up + steady-state lag, emits BENCH_repl.json
 //	reprowd-bench -exp e14        # gateway routing + read fan-out, emits BENCH_gate.json
+//	reprowd-bench -exp e15        # instrumentation overhead, emits BENCH_obs.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
-//	reprowd-bench -quick -exp e11,e12,e13,e14 -baseline ci/BENCH_baseline.json \
-//	    -check-recovery -check-repl -check-gate
+//	reprowd-bench -quick -exp e11,e12,e13,e14,e15 -baseline ci/BENCH_baseline.json \
+//	    -check-recovery -check-repl -check-gate -check-obs
 package main
 
 import (
@@ -58,6 +63,10 @@ func main() {
 			"fail unless BENCH_repl.json shows snapshot-bootstrapped catch-up and a byte-identical follower; requires e13 in -exp")
 		checkGate = flag.Bool("check-gate", false,
 			"fail unless BENCH_gate.json shows partition-disjoint writes, follower-served reads, and gateway reads byte-identical to leader reads; requires e14 in -exp")
+		checkObs = flag.Bool("check-obs", false,
+			"fail unless BENCH_obs.json shows instrumented submit throughput within -max-obs-overhead of the no-op-registry run; requires e15 in -exp")
+		maxObsOverhead = flag.Float64("max-obs-overhead", 0.05,
+			"fraction of bare throughput the instrumented run may lose before -check-obs fails")
 	)
 	flag.Parse()
 
@@ -127,6 +136,14 @@ func main() {
 			fmt.Println("gateway gate: partition-disjoint writes, follower-served byte-identical reads")
 		}
 	}
+	if *checkObs {
+		if err := gateObs(*outDir, *maxObsOverhead); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: observability gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("observability gate: instrumented submit within %.0f%% of no-op registry\n", *maxObsOverhead*100)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -174,4 +191,14 @@ func gateGateway(outDir string) error {
 		return fmt.Errorf("load gateway records (did -exp include e14?): %w", err)
 	}
 	return exp.CheckGateRouting(records)
+}
+
+// gateObs enforces the instrumentation-overhead bar on the freshly
+// written BENCH_obs.json.
+func gateObs(outDir string, maxOverhead float64) error {
+	records, err := exp.LoadObsRecords(filepath.Join(outDir, "BENCH_obs.json"))
+	if err != nil {
+		return fmt.Errorf("load observability records (did -exp include e15?): %w", err)
+	}
+	return exp.CheckObsOverhead(records, maxOverhead)
 }

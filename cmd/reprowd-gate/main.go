@@ -41,7 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/gate"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -65,41 +66,75 @@ func main() {
 			"how often every node's /api/healthz is probed")
 		reloadInterval = flag.Duration("topology-reload-interval", 2*time.Second,
 			"how often the -topology file's mtime is checked (0 disables the file watch)")
+		logLevel = flag.String("log-level", "info",
+			"log verbosity: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text",
+			"structured log format: text or json")
+		debugAddr = flag.String("debug-addr", "",
+			"optional extra listener for net/http/pprof and expvar (/debug/pprof/, /debug/vars); empty disables")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprowd-gate:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
+	reg := obs.New()
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("debug listener up", "addr", ln.Addr().String(),
+			"routes", "/debug/pprof/ /debug/vars")
+	}
+
 	top, err := loadTopology(*topoPath, *nodesFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	g, err := gate.New(gate.Options{
 		Topology:      top,
 		MaxLag:        *maxLag,
 		ProbeInterval: *probeInterval,
+		Metrics:       reg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer g.Close()
 
 	if *topoPath != "" && *reloadInterval > 0 {
-		go watchTopology(g, *topoPath, *reloadInterval)
+		go watchTopology(g, *topoPath, *reloadInterval, logger)
 	}
 
-	log.Printf("reprowd-gate listening on %s (%d nodes, max read lag %d, probing every %s)",
-		*addr, len(top.Nodes), *maxLag, *probeInterval)
-	log.Printf("routes: the full platform REST surface, ring-routed | GET /api/gate/stats | GET/POST /api/gate/topology | GET /api/healthz")
+	// The gateway handles the whole path space itself; /metrics is the
+	// one route mounted beside it.
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("/", g)
+
+	logger.Info("reprowd-gate listening", "addr", *addr, "nodes", len(top.Nodes),
+		"max_lag", *maxLag, "probe_interval", probeInterval.String())
+	logger.Info("routes: the full platform REST surface, ring-routed | GET /api/gate/stats | GET/POST /api/gate/topology | GET /api/healthz | GET /metrics")
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	httpSrv := &http.Server{Addr: *addr, Handler: g}
+	httpSrv := &http.Server{Addr: *addr, Handler: obs.AccessLog(logger, mux)}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err)
 	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
@@ -148,7 +183,7 @@ func parseNodes(inline string) (gate.Topology, error) {
 // file that fails to parse (or to validate) is logged and skipped — the
 // gateway keeps routing on its last good membership; never take down the
 // front door over a half-edited config.
-func watchTopology(g *gate.Gateway, path string, every time.Duration) {
+func watchTopology(g *gate.Gateway, path string, every time.Duration, logger *slog.Logger) {
 	var last time.Time
 	if fi, err := os.Stat(path); err == nil {
 		last = fi.ModTime()
@@ -161,13 +196,13 @@ func watchTopology(g *gate.Gateway, path string, every time.Duration) {
 		last = fi.ModTime()
 		t, err := readTopologyFile(path)
 		if err != nil {
-			log.Printf("topology reload skipped: %v", err)
+			logger.Warn("topology reload skipped", "err", err)
 			continue
 		}
 		if err := g.SetTopology(t); err != nil {
-			log.Printf("topology reload rejected: %v", err)
+			logger.Warn("topology reload rejected", "err", err)
 			continue
 		}
-		log.Printf("topology reloaded: %d nodes", len(t.Nodes))
+		logger.Info("topology reloaded", "nodes", len(t.Nodes))
 	}
 }

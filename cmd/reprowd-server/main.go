@@ -85,7 +85,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -93,6 +93,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/repl"
 	"repro/internal/storage"
@@ -128,12 +129,25 @@ func main() {
 			"comma-separated leader names of the partitioned deployment (all servers and the gateway must agree)")
 		ringSelf = flag.String("ring-self", "",
 			"this node's name in -ring; new ids are drawn only from the ring partition it owns")
+		logLevel = flag.String("log-level", "info",
+			"log verbosity: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text",
+			"structured log format: text or json")
+		debugAddr = flag.String("debug-addr", "",
+			"optional extra listener for net/http/pprof and expvar (/debug/pprof/, /debug/vars); empty disables")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprowd-server:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
 	ownsID, err := ringOwnership(*ringNodes, *ringSelf)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 
 	var clock vclock.Clock = vclock.NewWall()
@@ -141,11 +155,22 @@ func main() {
 		clock = vclock.NewVirtual()
 	}
 
+	reg := obs.New()
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("debug listener up", "addr", ln.Addr().String(),
+			"routes", "/debug/pprof/ /debug/vars")
+	}
+
 	opts := platform.EngineOptions{
 		Clock:    clock,
 		LeaseTTL: *leaseTTL,
 		Shards:   *shards,
 		OwnsID:   ownsID,
+		Metrics:  reg,
 	}
 
 	var (
@@ -153,7 +178,7 @@ func main() {
 		journal *platform.Journal
 		node    *repl.Node
 	)
-	// log.Fatal skips deferred calls, and an open store holds a LOCK
+	// A bare exit skips deferred calls, and an open store holds a LOCK
 	// file that only Close removes — so every fatal path after Open must
 	// release the store, or a benign startup failure (port in use, bad
 	// journal) would force the operator into -break-stale-lock next run.
@@ -164,7 +189,7 @@ func main() {
 		if db != nil {
 			db.Close()
 		}
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	if *follow != "" {
 		// Follower: no local store at startup — state comes from the
@@ -172,7 +197,7 @@ func main() {
 		// replica is later promoted.
 		policy, err := parseSync(*syncMode)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		n, err := repl.NewFollowerNode(repl.FollowerOptions{
 			LeaderURL: *follow,
@@ -180,6 +205,7 @@ func main() {
 			LeaseTTL:  *leaseTTL,
 			Shards:    *shards,
 			DataDir:   *dataDir,
+			Metrics:   reg,
 			Storage: storage.Options{
 				Sync:           policy,
 				SyncInterval:   50 * time.Millisecond,
@@ -199,19 +225,20 @@ func main() {
 			OwnsID: ownsID,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		node = n
 		engine := node.Engine()
 		srv := platform.NewServer(engine)
 		srv.Handle("/api/repl/", node.Handler())
+		srv.Handle("GET /metrics", reg.Handler())
 		st := engine.ReplStats()
-		log.Printf("reprowd replica listening on %s (leader: %s, bootstrap snapshot seq %d)",
-			*addr, *follow, st.SnapshotSeq)
-		log.Printf("reads served locally; writes redirect to the leader; POST /api/repl/promote to fail over")
-		serve(*addr, srv, func() {
+		logger.Info("reprowd replica listening", "addr", *addr,
+			"leader", *follow, "bootstrap_snapshot_seq", st.SnapshotSeq)
+		logger.Info("reads served locally; writes redirect to the leader; POST /api/repl/promote to fail over")
+		serve(*addr, obs.AccessLog(logger, srv), logger, func() {
 			if err := node.Close(); err != nil {
-				log.Printf("closing replication node: %v", err)
+				logger.Error("closing replication node", "err", err)
 			}
 		}, fail)
 		return
@@ -219,12 +246,13 @@ func main() {
 	if *dataDir != "" {
 		policy, err := parseSync(*syncMode)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		db, err = storage.Open(*dataDir, storage.Options{
 			Sync:           policy,
 			SyncInterval:   50 * time.Millisecond,
 			BreakStaleLock: *breakStaleLock,
+			Metrics:        reg,
 		})
 		if err == storage.ErrLocked {
 			fmt.Fprintf(os.Stderr,
@@ -233,12 +261,13 @@ func main() {
 			os.Exit(1)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		defer db.Close()
 		journal, err = platform.OpenJournalOpts(db, platform.JournalOptions{
 			MaxBatch:      *journalMaxBatch,
 			FlushInterval: *journalFlushInterval,
+			Metrics:       reg,
 		})
 		if err != nil {
 			fail(err)
@@ -253,9 +282,10 @@ func main() {
 		} else if ok {
 			replayStart = info.Seq
 		}
-		log.Printf("journal: %s (%d events, %d replayed from snapshot seq %d, sync=%s, group commit: max-batch=%d flush-interval=%s)",
-			*dataDir, journal.Len(), journal.Len()-replayStart, replayStart,
-			*syncMode, *journalMaxBatch, *journalFlushInterval)
+		logger.Info("journal open", "dir", *dataDir, "events", journal.Len(),
+			"replayed", journal.Len()-replayStart, "snapshot_seq", replayStart,
+			"sync", *syncMode, "max_batch", *journalMaxBatch,
+			"flush_interval", journalFlushInterval.String())
 	}
 
 	engine, err := platform.NewEngineOpts(opts)
@@ -273,10 +303,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		log.Printf("snapshots: every %d events / %d bytes (journal tail starts at seq %d)",
-			*snapshotEvery, *snapshotBytes, journal.FirstSeq())
+		logger.Info("snapshots enabled", "every_events", *snapshotEvery,
+			"every_bytes", *snapshotBytes, "tail_start_seq", journal.FirstSeq())
 	}
 	srv := platform.NewServer(engine)
+	srv.Handle("GET /metrics", reg.Handler())
 	if journal != nil {
 		// A journaled server is a replication leader: followers stream
 		// the committed journal and bootstrap from the snapshot record.
@@ -288,13 +319,14 @@ func main() {
 	if *dataDir != "" {
 		persisted = *dataDir
 	}
-	log.Printf("reprowd platform listening on %s (virtual time: %v, state: %s)", *addr, *virtualTime, persisted)
-	log.Printf("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats | GET /api/projects/{id}/queue | GET /api/healthz")
+	logger.Info("reprowd platform listening", "addr", *addr,
+		"virtual_time", *virtualTime, "state", persisted)
+	logger.Info("routes: PUT /api/projects | POST /api/projects/{id}/tasks | POST /api/projects/{id}/newtask?worker=W | POST /api/tasks/{id}/runs | GET /api/projects/{id}/stats | GET /api/projects/{id}/queue | GET /api/healthz | GET /metrics")
 	if node != nil {
-		log.Printf("replication: GET /api/repl/stream | GET /api/repl/snapshot | GET /api/repl/status (start a replica with -follow)")
+		logger.Info("replication: GET /api/repl/stream | GET /api/repl/snapshot | GET /api/repl/status (start a replica with -follow)")
 	}
 
-	serve(*addr, srv, func() {
+	serve(*addr, obs.AccessLog(logger, srv), logger, func() {
 		// Shutdown order matters: drain the journal's committer first (so
 		// every acked event is on disk and observed), then stop the
 		// checkpointer (a cut in progress finishes; staged events it
@@ -310,17 +342,26 @@ func main() {
 		}
 		if db != nil {
 			if err := db.Close(); err != nil {
-				log.Printf("closing store: %v", err)
+				logger.Error("closing store", "err", err)
 			}
 		}
 	}, fail)
+}
+
+// fatal logs the error through the structured logger and exits. Paths
+// holding open resources must go through the main function's fail
+// closure instead, which releases them first (slog has no Fatal, and an
+// exit here would skip deferred closes exactly like log.Fatal did).
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains it and
 // runs shutdown. An ordinary stop must flush journals and release store
 // LOCK files; only a hard kill should leave a stale lock for
 // -break-stale-lock.
-func serve(addr string, handler http.Handler, shutdown func(), fail func(error)) {
+func serve(addr string, handler http.Handler, logger *slog.Logger, shutdown func(), fail func(error)) {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
@@ -330,7 +371,7 @@ func serve(addr string, handler http.Handler, shutdown func(), fail func(error))
 	case err := <-errc:
 		fail(err)
 	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)

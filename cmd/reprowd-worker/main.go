@@ -15,11 +15,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -34,8 +36,18 @@ func main() {
 		accuracy   = flag.Float64("accuracy", 1.0, "probability of answering the truth (auto mode)")
 		options    = flag.String("options", "Yes,No", "comma-separated answer options")
 		seed       = flag.Int64("seed", 1, "rng seed (auto mode)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+	// Task rendering and answers stay on stdout (they are the interactive
+	// UI); diagnostics go to the structured logger on stderr.
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprowd-worker:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 	if *project == "" || *worker == "" {
 		fmt.Fprintln(os.Stderr, "reprowd-worker: -project and -worker are required")
 		os.Exit(2)
@@ -138,6 +150,6 @@ func autoAnswer(rng *rand.Rand, truth string, opts []string, accuracy float64) s
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "reprowd-worker:", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

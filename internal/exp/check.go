@@ -95,6 +95,75 @@ type GateRecord struct {
 	Note          string `json:"note,omitempty"`
 }
 
+// ObsRecord is E15's BENCH_obs.json row: the same submit scenario run
+// bare (nil registry, branch-only no-ops) and instrumented (live
+// histograms and counters), best-of-N each.
+type ObsRecord struct {
+	Goroutines            int     `json:"goroutines"`
+	Runs                  int     `json:"runs"`
+	BareOpsPerSec         float64 `json:"bare_ops_per_sec"`
+	InstrumentedOpsPerSec float64 `json:"instrumented_ops_per_sec"`
+	// OverheadFrac = 1 - instrumented/bare of the cleanest adjacent
+	// pair (minimum over reps — see E15); negative means the
+	// instrumented half of that pair measured faster (noise floor).
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
+// LoadObsRecords reads a BENCH_obs.json file.
+func LoadObsRecords(path string) ([]ObsRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []ObsRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CheckObsOverhead fails if the single-goroutine scenario's
+// instrumentation overhead exceeds maxOverhead (0.05 = the 5% acceptance
+// bar). The comparison is a ratio of two runs on the same machine in the
+// same process, so it is machine-independent in the way the other
+// throughput gates are not. Only g1 is gated: it isolates the per-call
+// instrumentation cost, while the concurrent rows measure group-commit
+// scheduling dynamics that swing double digits in either direction run
+// to run — recorded for the trajectory, deliberately not gated (the same
+// stance E14 takes on its scale ratio).
+func CheckObsOverhead(records []ObsRecord, maxOverhead float64) error {
+	if len(records) == 0 {
+		return fmt.Errorf("no observability records")
+	}
+	var failures []string
+	gated := 0
+	for _, r := range records {
+		if r.BareOpsPerSec <= 0 || r.InstrumentedOpsPerSec <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"g%d: degenerate rates (bare %.0f, instrumented %.0f)",
+				r.Goroutines, r.BareOpsPerSec, r.InstrumentedOpsPerSec))
+			continue
+		}
+		if r.Goroutines != 1 {
+			continue
+		}
+		gated++
+		if r.OverheadFrac > maxOverhead {
+			failures = append(failures, fmt.Sprintf(
+				"g%d: instrumentation overhead %.1f%% > %.0f%% (bare %.0f ops/s, instrumented %.0f ops/s)",
+				r.Goroutines, r.OverheadFrac*100, maxOverhead*100,
+				r.BareOpsPerSec, r.InstrumentedOpsPerSec))
+		}
+	}
+	if gated == 0 && len(failures) == 0 {
+		return fmt.Errorf("no single-goroutine observability record to gate on")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("observability overhead gate:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // LoadGateRecords reads a BENCH_gate.json file.
 func LoadGateRecords(path string) ([]GateRecord, error) {
 	buf, err := os.ReadFile(path)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -45,7 +46,7 @@ func E11GroupCommit(cfg Config) (Result, error) {
 
 	for _, pol := range policies {
 		for _, workers := range []int{1, 8} {
-			rec, err := runSubmitScenario(pol.name, pol.p, workers, nRuns)
+			rec, err := runSubmitScenario(pol.name, pol.p, workers, nRuns, nil)
 			if err != nil {
 				return res, err
 			}
@@ -94,20 +95,22 @@ type submitResult struct {
 
 // runSubmitScenario drives nRuns submissions through a journaled engine
 // from `workers` goroutines, each submitting to its own slice of tasks
-// (redundancy 1, so every submission is an accept).
-func runSubmitScenario(polName string, pol storage.SyncPolicy, workers, nRuns int) (submitResult, error) {
+// (redundancy 1, so every submission is an accept). A non-nil reg threads
+// a metrics registry through storage, journal and engine — the
+// configuration E15 compares against this function's nil (no-op) default.
+func runSubmitScenario(polName string, pol storage.SyncPolicy, workers, nRuns int, reg *obs.Registry) (submitResult, error) {
 	out := submitResult{Sync: polName, Goroutines: workers, Runs: nRuns}
 	dir, err := os.MkdirTemp("", "reprowd-e11-*")
 	if err != nil {
 		return out, err
 	}
 	defer os.RemoveAll(dir)
-	db, err := storage.Open(dir, storage.Options{Sync: pol})
+	db, err := storage.Open(dir, storage.Options{Sync: pol, Metrics: reg})
 	if err != nil {
 		return out, err
 	}
 	defer db.Close()
-	journal, err := platform.OpenJournal(db)
+	journal, err := platform.OpenJournalOpts(db, platform.JournalOptions{Metrics: reg})
 	if err != nil {
 		return out, err
 	}
@@ -115,6 +118,7 @@ func runSubmitScenario(polName string, pol storage.SyncPolicy, workers, nRuns in
 	engine, err := platform.NewEngineOpts(platform.EngineOptions{
 		Clock:   vclock.NewWall(),
 		Journal: journal,
+		Metrics: reg,
 	})
 	if err != nil {
 		return out, err

@@ -101,6 +101,7 @@ var registry = map[string]runner{
 	"e12": E12SnapshotRecovery,
 	"e13": E13Replication,
 	"e14": E14Gateway,
+	"e15": E15ObsOverhead,
 }
 
 // IDs lists the registered experiment ids in order.

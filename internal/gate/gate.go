@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/repl"
 )
@@ -108,6 +109,11 @@ type Options struct {
 	// can refresh its ring view when one appears). Nil builds a client
 	// with a 30s timeout.
 	HTTP *http.Client
+	// Metrics, when non-nil, receives the gateway's counters: per-route ×
+	// per-node relay counters plus closure views over the same atomics
+	// /api/gate/stats reports (so the two surfaces cannot diverge). Nil
+	// disables metrics at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -227,6 +233,7 @@ type Gateway struct {
 
 	rr    atomic.Uint64 // follower round-robin cursor
 	stats Stats
+	m     gateMetrics
 
 	probeKick chan struct{}
 	stop      chan struct{}
@@ -269,9 +276,75 @@ func New(opts Options) (*Gateway, error) {
 		done:      make(chan struct{}),
 	}
 	g.installTopology(opts.Topology)
+	g.m.init(opts.Metrics, g)
 	g.probeRound()
 	go g.loop()
 	return g, nil
+}
+
+// gateMetrics are the gateway's registry instruments. Vec counters cover
+// the per-route × per-node breakdown; the gateway-wide totals are
+// registered as closure views over the very atomics Snapshot reports, so
+// /metrics and /api/gate/stats can never disagree. All fields are
+// nil-safe no-ops when no registry is configured.
+type gateMetrics struct {
+	requests *obs.CounterVec // relayed requests, by route class × serving node
+	errors   *obs.CounterVec // 5xx responses to clients, by route class
+	failures *obs.CounterVec // failed forward attempts, by node
+}
+
+func (m *gateMetrics) init(reg *obs.Registry, g *Gateway) {
+	if reg == nil {
+		return
+	}
+	m.requests = reg.CounterVec("reprowd_gate_requests_total",
+		"Requests relayed to a backend, by route class and serving node.",
+		"route", "node")
+	m.errors = reg.CounterVec("reprowd_gate_errors_total",
+		"Gateway responses with status >= 500, by route class.", "route")
+	m.failures = reg.CounterVec("reprowd_gate_node_failures_total",
+		"Forward attempts that failed (transport error or retryable status), by node.",
+		"node")
+	reg.CounterFunc("reprowd_gate_writes_routed_total",
+		"Write requests relayed to a leader.", g.stats.WritesRouted.Load)
+	reg.CounterFunc("reprowd_gate_reads_follower_total",
+		"Reads served by a follower.", g.stats.ReadsFollower.Load)
+	reg.CounterFunc("reprowd_gate_reads_leader_total",
+		"Reads that fell back to a leader.", g.stats.ReadsLeader.Load)
+	reg.CounterFunc("reprowd_gate_fanouts_total",
+		"Cross-partition merge reads (list/find/stats).", g.stats.Fanouts.Load)
+	reg.CounterFunc("reprowd_gate_retries_total",
+		"Attempts moved to the next candidate node.", g.stats.Retries.Load)
+	reg.CounterFunc("reprowd_gate_misses_total",
+		"Typed 404s that triggered owner discovery.", g.stats.Misses.Load)
+	reg.CounterFunc("reprowd_gate_redirects_total",
+		"307 redirects followed (each triggers a re-probe).", g.stats.Redirects.Load)
+	reg.CounterFunc("reprowd_gate_topology_reloads_total",
+		"Topology replacements via SetTopology.", g.stats.Reloads.Load)
+	reg.CounterFunc("reprowd_gate_probe_rounds_total",
+		"Completed health-probe rounds.", g.stats.Probes.Load)
+	reg.GaugeFunc("reprowd_gate_nodes",
+		"Nodes in the configured topology.", func() float64 {
+			g.mu.RLock()
+			defer g.mu.RUnlock()
+			return float64(len(g.nodes))
+		})
+	reg.GaugeFunc("reprowd_gate_ring_leaders",
+		"Leaders currently in the routing ring.", func() float64 {
+			g.mu.RLock()
+			defer g.mu.RUnlock()
+			return float64(len(g.ring.Nodes()))
+		})
+}
+
+// bookFailure attributes one failed forward attempt to a node, on both
+// the JSON-stats atomic and the metrics vec.
+func (g *Gateway) bookFailure(n *nodeState) {
+	if n == nil {
+		return
+	}
+	n.failures.Add(1)
+	g.m.failures.With(n.cfg.name).Inc()
 }
 
 // Close stops the prober. In-flight requests finish; the gateway keeps

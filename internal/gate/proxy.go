@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/repl"
 )
@@ -22,9 +23,61 @@ const maxBodyBytes = 32 << 20
 // while deciding whether to keep trying other nodes.
 const maxErrBody = 64 << 10
 
+// routeName labels a request class for the per-route metrics vec.
+func routeName(c reqClass) string {
+	switch c {
+	case classWrite:
+		return "write"
+	case classRead:
+		return "read"
+	case classEnsure:
+		return "ensure"
+	case classListProjects:
+		return "list_projects"
+	case classFind:
+		return "find"
+	case classNodeStats:
+		return "node_stats"
+	}
+	return "unknown"
+}
+
+// statusRecorder captures the response status for the per-route error
+// counter, forwarding Flush so streamed bodies keep flowing.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ServeHTTP implements http.Handler: the full platform REST surface,
 // routed, plus the gateway's own /api/healthz and /api/gate/* endpoints.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The trace id rides the request header from here on: send() and
+	// redirectRequest() copy headers wholesale, so every proxied hop —
+	// including followed 307s — carries it without further plumbing. The
+	// fan-out paths that mint fresh requests set it explicitly.
+	trace := obs.EnsureTrace(r)
+	w.Header().Set(obs.HeaderTrace, trace)
 	switch {
 	case r.URL.Path == "/api/healthz" && r.Method == http.MethodGet:
 		g.handleHealthz(w)
@@ -34,6 +87,15 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pl := classify(r)
+	if g.m.errors != nil {
+		rec := &statusRecorder{ResponseWriter: w}
+		w = rec
+		defer func() {
+			if rec.status >= 500 {
+				g.m.errors.With(routeName(pl.class)).Inc()
+			}
+		}()
+	}
 	switch pl.class {
 	case classWrite:
 		g.handleWrite(w, r, pl)
@@ -76,7 +138,14 @@ var hopHeaders = map[string]bool{
 
 func copyHeaders(dst, src http.Header) {
 	for k, vs := range src {
-		if hopHeaders[http.CanonicalHeaderKey(k)] {
+		ck := http.CanonicalHeaderKey(k)
+		if hopHeaders[ck] {
+			continue
+		}
+		// The gateway stamps the trace id on the client response before
+		// relaying; every node on the path echoes the same id, so copying
+		// the upstream echo would only duplicate the header.
+		if ck == obs.HeaderTrace && dst.Get(ck) != "" {
 			continue
 		}
 		for _, v := range vs {
@@ -193,7 +262,7 @@ type keeps struct {
 func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body []byte, keep *keeps) (attemptOutcome, target) {
 	resp, err := g.send(r, t.node.cfg.url, body)
 	if err != nil {
-		t.node.failures.Add(1)
+		g.bookFailure(t.node)
 		g.kickProbe()
 		return outcomeRetryable, t
 	}
@@ -220,9 +289,7 @@ func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body
 		}
 		resp, err = g.hc.Do(redirectRequest(r, loc, body))
 		if err != nil {
-			if t.node != nil {
-				t.node.failures.Add(1)
-			}
+			g.bookFailure(t.node)
 			return outcomeRetryable, t
 		}
 		if resp.StatusCode == http.StatusTemporaryRedirect {
@@ -235,9 +302,7 @@ func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body
 	}
 	if platform.RetryableStatus(resp.StatusCode) {
 		keep.err = bufferResp(resp)
-		if t.node != nil {
-			t.node.failures.Add(1)
-		}
+		g.bookFailure(t.node)
 		g.kickProbe()
 		return outcomeRetryable, t
 	}
@@ -429,8 +494,10 @@ func (g *Gateway) finish(pl plan, served target, isWrite bool) {
 		// Out-of-topology redirect target: no per-node attribution and no
 		// route to learn — crediting the node we were redirected away from
 		// would cache the scope under the wrong partition.
+		g.m.requests.With(routeName(pl.class), "external").Inc()
 		return
 	}
+	g.m.requests.With(routeName(pl.class), served.node.cfg.name).Inc()
 	if isWrite {
 		served.node.writes.Add(1)
 	} else {
@@ -568,7 +635,7 @@ func (g *Gateway) findOwner(r *http.Request, name string) (found bool, owner str
 				rt := rts[i]
 				status, rerr := g.findStatus(r, rt.node.cfg.url, name)
 				if rerr != nil {
-					rt.node.failures.Add(1)
+					g.bookFailure(rt.node)
 					g.kickProbe()
 					continue
 				}
@@ -615,6 +682,7 @@ func (g *Gateway) findStatus(r *http.Request, base, name string) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		req.Header.Set(obs.HeaderTrace, obs.TraceID(r))
 		resp, err := g.hc.Do(req)
 		if err != nil {
 			return 0, err
@@ -711,9 +779,10 @@ func (g *Gateway) handleListProjects(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				continue
 			}
+			req.Header.Set(obs.HeaderTrace, obs.TraceID(r))
 			resp, err := g.hc.Do(req)
 			if err != nil {
-				t.node.failures.Add(1)
+				g.bookFailure(t.node)
 				continue
 			}
 			if resp.StatusCode != http.StatusOK {
@@ -729,6 +798,7 @@ func (g *Gateway) handleListProjects(w http.ResponseWriter, r *http.Request) {
 			}
 			merged = append(merged, part...)
 			t.node.reads.Add(1)
+			g.m.requests.With("list_projects", t.node.cfg.name).Inc()
 			ok = true
 			break
 		}
@@ -772,6 +842,7 @@ func (g *Gateway) handleNodeStats(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
+			req.Header.Set(obs.HeaderTrace, obs.TraceID(r))
 			resp, err := g.probeHC.Do(req)
 			if err != nil {
 				return

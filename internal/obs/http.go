@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the wrapped writer so long-poll streams
+// (/api/repl/stream) keep flushing through the access-log wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with per-request structured logging. Every request
+// is ensured a trace id (minted here if the client or gateway did not
+// send one), the id is echoed on the response so callers can quote it,
+// and the completion line carries method, path, status, bytes, duration
+// and the id. A nil logger disables logging but still propagates traces.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := EnsureTrace(r)
+		w.Header().Set(HeaderTrace, trace)
+		if logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		lv := slog.LevelInfo
+		if sw.status >= 500 {
+			lv = slog.LevelError
+		}
+		logger.Log(r.Context(), lv, "http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur", time.Since(start).Round(time.Microsecond).String(),
+			"trace", trace,
+		)
+	})
+}
+
+// DebugHandler returns the optional profiling surface: net/http/pprof and
+// expvar on an explicit mux (never the default mux, which binaries must
+// not leak onto their public listeners).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// ServeDebug starts the pprof/expvar listener on addr in a background
+// goroutine and returns the bound listener (its Addr carries the resolved
+// port). The caller closes it on shutdown; serve errors after close are
+// swallowed.
+func ServeDebug(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, DebugHandler())
+	return ln, nil
+}

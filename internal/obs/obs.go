@@ -1,0 +1,501 @@
+// Package obs is the platform's observability subsystem: a dependency-free
+// metrics registry with Prometheus text exposition, request-trace
+// propagation helpers, structured-log setup, and debug (pprof/expvar)
+// listeners.
+//
+// Design rules, in priority order:
+//
+//   - The hot path pays nothing when metrics are off. Every metric type is
+//     a pointer whose methods are nil-safe no-ops, and a nil *Registry
+//     hands out nil metrics — so instrumented code is written once, with
+//     no conditionals, and the uninstrumented configuration compiles down
+//     to a handful of predictable nil checks. Histogram.Start on a nil
+//     receiver does not even read the clock.
+//   - The instrumented path is lock-free. Counters and gauges are single
+//     atomics; histograms are an atomic counter per bucket plus a CAS-add
+//     float sum. No metric operation takes a mutex (only registration and
+//     exposition do).
+//   - Existing ad-hoc counters stay authoritative. Subsystems that already
+//     export atomics through /api/stats register closure-backed
+//     CounterFunc/GaugeFunc views over the same variables, so /metrics and
+//     /api/stats cannot diverge.
+//
+// Metric names follow reprowd_<subsystem>_<name>_<unit>; ci/metriclint
+// enforces the convention over the registration-site string literals.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds for operation latencies,
+// in seconds: 25µs to 10s, roughly logarithmic. The floor sits below the
+// journal's non-fsync Submit latency (~18µs staged+flushed) so even the
+// fastest path lands in a real bucket, and the ceiling above the slowest
+// fsync-per-op configurations.
+var LatencyBuckets = []float64{
+	25e-6, 100e-6, 250e-6, 1e-3, 2.5e-3, 10e-3, 25e-3, 100e-3, 250e-3, 1, 2.5, 10,
+}
+
+// metric is one registered family: anything that can render itself in
+// Prometheus text exposition format.
+type metric interface {
+	name() string
+	expose(w *strings.Builder)
+}
+
+// Registry holds named metric families. The zero value is not usable; use
+// New. A nil *Registry is the no-op configuration: every constructor
+// returns a nil metric whose methods do nothing.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]metric
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// register adds m under its name, returning the already-registered family
+// on a name collision (make must produce a compatible type; mismatches
+// panic in the caller's type assertion, which is a programming error, not
+// a runtime condition). Idempotent registration is load-bearing: a
+// follower promotion builds a second journal against the same registry,
+// and both must share one family.
+func (r *Registry) register(name string, make func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := make()
+	r.byName[name] = m
+	return m
+}
+
+// Counter registers (or finds) a monotonically increasing counter.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, func() metric {
+		return &Counter{meta: meta{nm: name, help: help}}
+	}).(*Counter)
+}
+
+// Gauge registers (or finds) a settable float gauge. Returns nil on a nil
+// registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, func() metric {
+		return &Gauge{meta: meta{nm: name, help: help}}
+	}).(*Gauge)
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. bounds are
+// inclusive upper bounds in ascending order; +Inf is implicit. Nil bounds
+// default to LatencyBuckets. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	return r.register(name, func() metric {
+		return &Histogram{
+			meta:    meta{nm: name, help: help},
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+	}).(*Histogram)
+}
+
+// SampledHistogram registers a latency histogram whose Start/Stop pair
+// times only one call in period (a power of two; the first call is always
+// timed). Observe is unaffected. This is for paths hot enough that the
+// two clock reads per operation would themselves violate the
+// observability overhead budget: the histogram then holds an unbiased
+// 1-in-period sample of the latency distribution, and its _count is the
+// sample count, not the operation count (pair it with a CounterFunc over
+// the subsystem's own op counter for exact rates).
+func (r *Registry) SampledHistogram(name, help string, bounds []float64, period uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	var mask uint64
+	if period > 1 && period&(period-1) == 0 {
+		mask = period - 1
+	}
+	return r.register(name, func() metric {
+		return &Histogram{
+			meta:    meta{nm: name, help: help},
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+			mask:    mask,
+		}
+	}).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for subsystems that already keep their own
+// atomics (journal flush counts, gateway routing stats): /metrics reads
+// the very same variable /api/stats reports. Re-registration replaces the
+// function (a promoted follower's new journal takes over its families).
+// No-op on a nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, func() metric {
+		return &funcMetric{meta: meta{nm: name, help: help}, typ: "counter"}
+	}).(*funcMetric)
+	m.set(func() float64 { return float64(fn()) })
+}
+
+// GaugeFunc registers a gauge computed from fn at exposition time.
+// Re-registration replaces the function. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, func() metric {
+		return &funcMetric{meta: meta{nm: name, help: help}, typ: "gauge"}
+	}).(*funcMetric)
+	m.set(fn)
+}
+
+// CounterVec registers (or finds) a family of counters keyed by label
+// values. Returns nil on a nil registry.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, func() metric {
+		return &CounterVec{
+			meta:     meta{nm: name, help: help},
+			labels:   append([]string(nil), labels...),
+			children: make(map[string]*Counter),
+		}
+	}).(*CounterVec)
+}
+
+// meta is the shared name/help of a family.
+type meta struct {
+	nm   string
+	help string
+}
+
+func (m meta) name() string { return m.nm }
+
+func (m meta) header(w *strings.Builder, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.nm, m.help, m.nm, typ)
+}
+
+// Counter is a monotonically increasing uint64. All methods are nil-safe
+// no-ops.
+type Counter struct {
+	meta
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) expose(w *strings.Builder) {
+	c.header(w, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+}
+
+// Gauge is a settable float64 (stored as bits in a uint64 atomic). All
+// methods are nil-safe no-ops.
+type Gauge struct {
+	meta
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) expose(w *strings.Builder) {
+	g.header(w, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.Value()))
+}
+
+// Histogram is a fixed-bucket latency/size distribution. Buckets hold
+// per-bound (non-cumulative) counts; exposition accumulates them into the
+// Prometheus cumulative form. All methods are nil-safe no-ops.
+type Histogram struct {
+	meta
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-add
+	// mask is period-1 for a sampled histogram (see SampledHistogram):
+	// Start reads the clock only on every period-th call, because on a
+	// microsecond-scale hot path the clock reads *are* the overhead.
+	// 0 = every Start is timed.
+	mask uint64
+	tick atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v; len(bounds) means +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Start returns the wall clock for a later Stop. On a nil histogram it
+// returns the zero time without reading the clock — the disabled hot path
+// costs one branch.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	// Sampled histogram: time every period-th call only (the first call
+	// is always timed, so short-lived processes still observe something).
+	if h.mask != 0 && h.tick.Add(1)&h.mask != 1 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop observes the elapsed seconds since start (a Start result). A zero
+// start — nil histogram, or a sampled-out Start — records nothing.
+func (h *Histogram) Stop(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) expose(w *strings.Builder) {
+	h.header(w, "histogram")
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
+}
+
+// funcMetric is a closure-backed counter or gauge, read at exposition.
+type funcMetric struct {
+	meta
+	typ string
+	mu  sync.Mutex
+	fn  func() float64
+}
+
+func (f *funcMetric) set(fn func() float64) {
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+func (f *funcMetric) expose(w *strings.Builder) {
+	f.mu.Lock()
+	fn := f.fn
+	f.mu.Unlock()
+	f.header(w, f.typ)
+	var v float64
+	if fn != nil {
+		v = fn()
+	}
+	if f.typ == "counter" {
+		fmt.Fprintf(w, "%s %d\n", f.nm, uint64(v))
+		return
+	}
+	fmt.Fprintf(w, "%s %s\n", f.nm, formatFloat(v))
+}
+
+// CounterVec is a counter family with labels. Children are created on
+// first use and live forever (label cardinality here is routes × nodes —
+// small and bounded). All methods are nil-safe.
+type CounterVec struct {
+	meta
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// label name, in order). Nil-safe: returns nil on a nil vec. The child is
+// cached; hot paths may also cache it themselves to skip the map lookup.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	if len(values) != len(v.labels) {
+		// Programming error; surface it loudly rather than mislabel.
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.nm, len(v.labels), len(values)))
+	}
+	var lb strings.Builder
+	lb.WriteByte('{')
+	for i, l := range v.labels {
+		if i > 0 {
+			lb.WriteByte(',')
+		}
+		// %q escapes \, " and newlines — exactly the exposition format's
+		// label escaping rules.
+		fmt.Fprintf(&lb, "%s=%q", l, values[i])
+	}
+	lb.WriteByte('}')
+	c := &Counter{meta: meta{nm: v.nm + lb.String()}}
+	v.children[key] = c
+	return c
+}
+
+func (v *CounterVec) expose(w *strings.Builder) {
+	v.header(w, "counter")
+	v.mu.Lock()
+	kids := make([]*Counter, 0, len(v.children))
+	for _, c := range v.children {
+		kids = append(kids, c)
+	}
+	v.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return kids[i].nm < kids[j].nm })
+	for _, c := range kids {
+		fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+	}
+}
+
+// formatFloat renders a float the way the exposition format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Expose renders every registered family, sorted by name, in Prometheus
+// text exposition format (version 0.0.4). Empty on a nil registry.
+func (r *Registry) Expose() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	fams := make([]metric, 0, len(r.byName))
+	for _, m := range r.byName {
+		fams = append(fams, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name() < fams[j].name() })
+	var b strings.Builder
+	for _, m := range fams {
+		m.expose(&b)
+	}
+	return b.String()
+}
+
+// Handler serves GET /metrics. A nil registry serves an empty (valid)
+// exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(r.Expose()))
+	})
+}

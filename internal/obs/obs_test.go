@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsFreeAndSafe pins the no-op configuration: a nil
+// registry hands out nil metrics whose every method is safe, and
+// Histogram.Start does not read the clock.
+func TestNilRegistryIsFreeAndSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("reprowd_x_ops_total", "h")
+	g := r.Gauge("reprowd_x_depth", "h")
+	h := r.Histogram("reprowd_x_op_seconds", "h", nil)
+	v := r.CounterVec("reprowd_x_reqs_total", "h", "route")
+	r.CounterFunc("reprowd_x_f_total", "h", func() uint64 { return 1 })
+	r.GaugeFunc("reprowd_x_fg", "h", func() float64 { return 1 })
+
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	h.Stop(h.Start())
+	v.With("a").Inc()
+
+	if !h.Start().IsZero() {
+		t.Fatal("nil Histogram.Start must return the zero time without reading the clock")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if got := r.Expose(); got != "" {
+		t.Fatalf("nil registry exposition = %q, want empty", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics: a sample equal
+// to a bound lands in that bound's bucket (inclusive upper bound), and
+// exposition buckets are cumulative.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	h := r.Histogram("reprowd_t_op_seconds", "test", []float64{0.1, 1, 10})
+
+	h.Observe(0.05) // below first bound → le="0.1"
+	h.Observe(0.1)  // exactly on a bound → le="0.1" (inclusive)
+	h.Observe(0.5)  // between bounds → le="1"
+	h.Observe(10)   // exactly the last bound → le="10", not +Inf
+	h.Observe(11)   // overflow → +Inf only
+
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+10+11; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	out := r.Expose()
+	for _, line := range []string{
+		`reprowd_t_op_seconds_bucket{le="0.1"} 2`,
+		`reprowd_t_op_seconds_bucket{le="1"} 3`,
+		`reprowd_t_op_seconds_bucket{le="10"} 4`,
+		`reprowd_t_op_seconds_bucket{le="+Inf"} 5`,
+		`reprowd_t_op_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestExpositionGolden pins the full text format for one of each family
+// type: HELP/TYPE headers, name-sorted families, histogram cumulative
+// buckets with _sum/_count, label quoting.
+func TestExpositionGolden(t *testing.T) {
+	r := New()
+	r.Counter("reprowd_t_b_total", "B counter.").Add(7)
+	r.Gauge("reprowd_t_a_depth", "A gauge.").Set(2.5)
+	h := r.Histogram("reprowd_t_c_seconds", "C histogram.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(2)
+	v := r.CounterVec("reprowd_t_d_total", "D vec.", "route", "node")
+	v.With("write", "n1").Inc()
+	v.With("read", "n2").Add(3)
+	r.CounterFunc("reprowd_t_e_total", "E func.", func() uint64 { return 42 })
+
+	want := `# HELP reprowd_t_a_depth A gauge.
+# TYPE reprowd_t_a_depth gauge
+reprowd_t_a_depth 2.5
+# HELP reprowd_t_b_total B counter.
+# TYPE reprowd_t_b_total counter
+reprowd_t_b_total 7
+# HELP reprowd_t_c_seconds C histogram.
+# TYPE reprowd_t_c_seconds histogram
+reprowd_t_c_seconds_bucket{le="1"} 1
+reprowd_t_c_seconds_bucket{le="2"} 2
+reprowd_t_c_seconds_bucket{le="+Inf"} 2
+reprowd_t_c_seconds_sum 2.5
+reprowd_t_c_seconds_count 2
+# HELP reprowd_t_d_total D vec.
+# TYPE reprowd_t_d_total counter
+reprowd_t_d_total{route="read",node="n2"} 3
+reprowd_t_d_total{route="write",node="n1"} 1
+# HELP reprowd_t_e_total E func.
+# TYPE reprowd_t_e_total counter
+reprowd_t_e_total 42
+`
+	if got := r.Expose(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistrationIsIdempotent pins the promotion-safety contract: the
+// same name returns the same family (counts accumulate), and func
+// re-registration replaces the closure (last writer wins).
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := New()
+	a := r.Counter("reprowd_t_x_total", "h")
+	b := r.Counter("reprowd_t_x_total", "ignored")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("value = %d, want 2", a.Value())
+	}
+
+	r.CounterFunc("reprowd_t_f_total", "h", func() uint64 { return 1 })
+	r.CounterFunc("reprowd_t_f_total", "h", func() uint64 { return 99 })
+	if out := r.Expose(); !strings.Contains(out, "reprowd_t_f_total 99\n") {
+		t.Fatalf("re-registered func must win:\n%s", out)
+	}
+}
+
+// TestHandlerContentType pins the exposition endpoint's media type.
+func TestHandlerContentType(t *testing.T) {
+	r := New()
+	r.Counter("reprowd_t_y_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "reprowd_t_y_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestCounterVecLabelEscaping pins that label values with quotes and
+// backslashes render in valid exposition syntax.
+func TestCounterVecLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("reprowd_t_z_total", "h", "k").With(`a"b\c`).Inc()
+	if out := r.Expose(); !strings.Contains(out, `reprowd_t_z_total{k="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+}
+
+func TestTraceIDValidation(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 16 {
+		t.Fatalf("NewTraceID length = %d, want 16 hex chars", len(id))
+	}
+	cases := []struct {
+		header string
+		minted bool // true when the gateway must replace it
+	}{
+		{"", true},
+		{id, false},
+		{"client-trace_1.2", false},
+		{strings.Repeat("x", 65), true}, // over length cap
+		{"bad\"quote", true},
+		{"bad\\slash", true},
+		{"bad\nnewline", true},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodGet, "/", nil)
+		if tc.header != "" {
+			req.Header.Set(HeaderTrace, tc.header)
+		}
+		got := EnsureTrace(req)
+		if tc.minted && got == tc.header {
+			t.Errorf("header %q must be replaced with a minted id", tc.header)
+		}
+		if !tc.minted && got != tc.header {
+			t.Errorf("header %q must be kept, got %q", tc.header, got)
+		}
+		if req.Header.Get(HeaderTrace) != got {
+			t.Errorf("EnsureTrace must stamp the request header (header %q)", tc.header)
+		}
+	}
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "nope", "text"); err == nil {
+		t.Fatal("unknown level must error")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "kept" || rec["k"] != "v" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+// TestAccessLogTracePropagation pins the middleware contract: a trace id
+// is minted (or kept), stamped on request and response, and logged.
+func TestAccessLogTracePropagation(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen string
+	h := AccessLog(lg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceID(r)
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+	req.Header.Set(HeaderTrace, "trace-e2e-1")
+	h.ServeHTTP(rec, req)
+
+	if seen != "trace-e2e-1" {
+		t.Fatalf("handler saw trace %q", seen)
+	}
+	if got := rec.Header().Get(HeaderTrace); got != "trace-e2e-1" {
+		t.Fatalf("response trace header = %q", got)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log not JSON: %v (%q)", err, buf.String())
+	}
+	if entry["trace"] != "trace-e2e-1" || entry["path"] != "/api/stats" ||
+		entry["status"] != float64(http.StatusTeapot) {
+		t.Fatalf("access log entry = %v", entry)
+	}
+
+	// No inbound header: the middleware mints one and reports it.
+	buf.Reset()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Header().Get(HeaderTrace) == "" {
+		t.Fatal("middleware must mint a trace id when the client sent none")
+	}
+}
+
+// TestSampledHistogram pins the 1-in-period contract: the first Start is
+// always timed, exactly one call per period reads the clock, Stop on a
+// sampled-out (zero) start records nothing, and Observe stays unsampled.
+func TestSampledHistogram(t *testing.T) {
+	r := New()
+	h := r.SampledHistogram("reprowd_t_s_seconds", "h", nil, 4)
+	timed := 0
+	for i := 0; i < 16; i++ {
+		start := h.Start()
+		if !start.IsZero() {
+			timed++
+		}
+		h.Stop(start)
+	}
+	if timed != 4 {
+		t.Fatalf("timed %d of 16 Starts, want 4 (period 4)", timed)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (sampled-out Stops must not record)", h.Count())
+	}
+	if first := r.SampledHistogram("reprowd_t_s2_seconds", "h", nil, 8).Start(); first.IsZero() {
+		t.Fatal("first Start on a sampled histogram must be timed")
+	}
+	h.Observe(1)
+	if h.Count() != 5 {
+		t.Fatal("Observe must bypass sampling")
+	}
+	// Degenerate periods (0, 1, non-power-of-two) fall back to unsampled.
+	u := r.SampledHistogram("reprowd_t_s3_seconds", "h", nil, 3)
+	for i := 0; i < 3; i++ {
+		if u.Start().IsZero() {
+			t.Fatal("non-power-of-two period must disable sampling, not timing")
+		}
+	}
+}
+
+// TestHistogramStartStop sanity-checks the timing pair on a live
+// histogram.
+func TestHistogramStartStop(t *testing.T) {
+	r := New()
+	h := r.Histogram("reprowd_t_w_seconds", "h", nil)
+	start := h.Start()
+	if start.IsZero() {
+		t.Fatal("live Start must read the clock")
+	}
+	time.Sleep(time.Millisecond)
+	h.Stop(start)
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}

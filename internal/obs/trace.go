@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// HeaderTrace carries a request's trace id across hops: minted at the
+// gateway (or accepted from the client), forwarded on proxied writes, 307
+// follows and read fan-outs, stamped on responses, and attached by
+// followers to their replication stream polls — so one grep over the
+// fleet's structured logs reconstructs a request's full cross-node path.
+const HeaderTrace = "X-Reprowd-Trace"
+
+// maxTraceLen bounds accepted client-supplied ids; longer values are
+// re-minted rather than truncated (a hostile id should not be able to
+// bloat every log line downstream).
+const maxTraceLen = 64
+
+// NewTraceID mints a 16-hex-char random id.
+func NewTraceID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// validTrace reports whether a client-supplied id is safe to propagate
+// verbatim: printable ASCII without spaces, quotes or backslashes, and
+// bounded length.
+func validTrace(id string) bool {
+	if id == "" || len(id) > maxTraceLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceID extracts the request's trace id, or "" if absent/invalid.
+func TraceID(r *http.Request) string {
+	id := r.Header.Get(HeaderTrace)
+	if !validTrace(id) {
+		return ""
+	}
+	return id
+}
+
+// EnsureTrace returns the request's trace id, minting one and setting it
+// on the request headers when absent or invalid — so downstream proxying
+// that copies headers propagates it for free.
+func EnsureTrace(r *http.Request) string {
+	if id := TraceID(r); id != "" {
+		return id
+	}
+	id := NewTraceID()
+	r.Header.Set(HeaderTrace, id)
+	return id
+}

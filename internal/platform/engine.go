@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -105,6 +107,72 @@ type Engine struct {
 	// a virtual clock is advanced past it so post-recovery events never
 	// duplicate or precede persisted ones.
 	replayHorizon time.Time
+
+	// m holds the write path's latency histograms. All nil (free no-ops)
+	// when EngineOptions.Metrics is unset.
+	m engineMetrics
+}
+
+// engineMetrics are the journaled write path's histograms, one per phase
+// of the three-phase commit plus the end-to-end figure.
+type engineMetrics struct {
+	submit    *obs.Histogram // Submit end to end
+	stage     *obs.Histogram // phase 1: validate + reserve under e.mu
+	flushWait *obs.Histogram // phase 2: durability wait outside e.mu
+	finalize  *obs.Histogram // phase 3: commit memory + scheduler
+	tick      atomic.Uint64  // Submit sampling counter (see sampleSubmit)
+}
+
+// sampleSubmit decides, once per Submit call, whether this call's phase
+// timings are recorded: one decision covers all four histograms, so their
+// samples describe the same requests and the boundary clock reads can be
+// shared. 1-in-8 sampling keeps those clock reads — the dominant
+// instrumentation cost on a microsecond-scale path — inside the 5%
+// overhead budget E15 enforces; the first call is always sampled so even
+// a short-lived process observes something. False when metrics are off.
+func (m *engineMetrics) sampleSubmit() bool {
+	if m.submit == nil {
+		return false
+	}
+	return m.tick.Add(1)&7 == 1
+}
+
+// initMetrics registers the engine's families. A nil registry leaves every
+// histogram nil — the instrumented sites reduce to branch-only no-ops.
+func (m *engineMetrics) init(reg *obs.Registry, e *Engine) {
+	if reg == nil {
+		return
+	}
+	m.submit = reg.Histogram("reprowd_engine_submit_seconds",
+		"End-to-end Submit latency (stage + group-commit flush + finalize); 1-in-8 sampled — reprowd_journal_committed_events_total has exact rates.", nil)
+	m.stage = reg.Histogram("reprowd_engine_stage_seconds",
+		"Submit phase 1: validate, reserve ids and enqueue under the registry lock; sampled with reprowd_engine_submit_seconds.", nil)
+	m.flushWait = reg.Histogram("reprowd_engine_flush_wait_seconds",
+		"Submit phase 2: wait for the journal group commit, registry unlocked; sampled with reprowd_engine_submit_seconds.", nil)
+	m.finalize = reg.Histogram("reprowd_engine_finalize_seconds",
+		"Submit phase 3: commit the acked prefix to memory and scheduler; sampled with reprowd_engine_submit_seconds.", nil)
+	reg.GaugeFunc("reprowd_engine_projects",
+		"Projects registered on this engine.", func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(len(e.projects))
+		})
+	reg.GaugeFunc("reprowd_engine_tasks",
+		"Tasks registered on this engine.", func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(len(e.tasks))
+		})
+	reg.GaugeFunc("reprowd_engine_runs",
+		"Accepted task runs held by this engine.", func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			n := 0
+			for _, runs := range e.runs {
+				n += len(runs)
+			}
+			return float64(n)
+		})
 }
 
 // EngineOptions configure NewEngineOpts. The zero value (plus a clock)
@@ -133,6 +201,10 @@ type EngineOptions struct {
 	// recorded ids regardless of the predicate (history outranks
 	// membership changes).
 	OwnsID func(id int64) bool
+	// Metrics, when non-nil, registers the engine's write-path histograms
+	// and registry-size gauges, and is passed down to the scheduler. Nil
+	// disables instrumentation at zero hot-path cost.
+	Metrics *obs.Registry
 }
 
 // NewEngine returns an empty platform. A nil clock defaults to a virtual
@@ -156,6 +228,7 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 	schedOpts := sched.Options{
 		Shards:   opts.Shards,
 		LeaseTTL: opts.LeaseTTL,
+		Metrics:  opts.Metrics,
 	}
 	e := &Engine{
 		clock:          clock,
@@ -173,6 +246,7 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 		projStages:     make(map[string]*projectStage),
 		extStages:      make(map[int64]map[string]*stage),
 	}
+	e.m.init(opts.Metrics, e)
 	if opts.Journal != nil {
 		// Recovery is load-latest-snapshot + replay-tail: a snapshot cut
 		// at sequence S restores the state of events [0, S) directly, and
@@ -586,6 +660,13 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	if workerID == "" {
 		return TaskRun{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
 	}
+	// Phase timings share one sampling decision and one clock read per
+	// phase boundary (each stamp ends one phase and starts the next).
+	timed := e.m.sampleSubmit()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	e.mu.Lock()
 	if e.readOnly {
 		e.mu.Unlock()
@@ -603,15 +684,28 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		if err != nil {
 			return TaskRun{}, err
 		}
+		if timed {
+			e.m.submit.Stop(t0)
+		}
 		return *run, nil
 	}
 	sc := &submitCommit{run: run, t: t, retiring: retiring, ticket: ticket, done: make(chan struct{})}
 	e.submitQ = append(e.submitQ, sc)
 	e.mu.Unlock()
+	var t1 time.Time
+	if timed {
+		t1 = time.Now()
+		e.m.stage.Observe(t1.Sub(t0).Seconds())
+	}
 
 	// Flush: block on the committer's ack with the registry unlocked;
 	// concurrent submissions pile into the same flush group.
 	ticket.Wait()
+	var t2 time.Time
+	if timed {
+		t2 = time.Now()
+		e.m.flushWait.Observe(t2.Sub(t1).Seconds())
+	}
 
 	// Finalize. Our whole group acked together, so a waiter ahead of us
 	// may have committed our run already; otherwise drain the acked
@@ -624,6 +718,11 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	}
 	if sc.err != nil {
 		return TaskRun{}, sc.err
+	}
+	if timed {
+		t3 := time.Now()
+		e.m.finalize.Observe(t3.Sub(t2).Seconds())
+		e.m.submit.Observe(t3.Sub(t0).Seconds())
 	}
 	return *run, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -122,6 +123,11 @@ type Journal struct {
 	nFlushed    atomic.Uint64
 	maxFlush    atomic.Uint64
 	commitNanos atomic.Uint64
+
+	// mCommit distributes per-flush commit latency (nil when metrics are
+	// off; the counters above stay authoritative either way and /metrics
+	// reads them through closure-backed views).
+	mCommit *obs.Histogram
 }
 
 // JournalOptions tune the group-commit pipeline. The zero value is usable.
@@ -138,6 +144,10 @@ type JournalOptions struct {
 	// group. 0 flushes immediately — lowest latency, and under load the
 	// queue that builds up behind one fsync already forms the next group.
 	FlushInterval time.Duration
+	// Metrics, when non-nil, registers the journal's families (commit
+	// latency histogram, queue depth, flush counters). Nil disables
+	// instrumentation at zero hot-path cost.
+	Metrics *obs.Registry
 }
 
 func (o JournalOptions) withDefaults() JournalOptions {
@@ -227,6 +237,25 @@ func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
 		opts:    opts.withDefaults(),
 	}
 	j.cond = sync.NewCond(&j.mu)
+	if reg := j.opts.Metrics; reg != nil {
+		j.mCommit = reg.Histogram("reprowd_journal_commit_seconds",
+			"Wall time of one group-commit flush (storage apply + fsync per the sync policy).", nil)
+		// Closure-backed views over the same atomics /api/stats reports —
+		// one source of truth. On follower promotion a fresh journal
+		// re-registers over the old one's closures (last wins).
+		reg.CounterFunc("reprowd_journal_flushes_total",
+			"Storage batch frames committed by the journal.", j.nFlushes.Load)
+		reg.CounterFunc("reprowd_journal_flushed_events_total",
+			"Events committed across all flush frames.", j.nFlushed.Load)
+		reg.CounterFunc("reprowd_journal_committed_events_total",
+			"Journal length: events ever committed (truncated ones included).", j.Len)
+		reg.GaugeFunc("reprowd_journal_queue_depth",
+			"Events waiting for the committer right now.", func() float64 {
+				j.mu.Lock()
+				defer j.mu.Unlock()
+				return float64(len(j.queue))
+			})
+	}
 	j.wg.Add(1)
 	go j.run()
 	return j, nil
@@ -583,7 +612,9 @@ func (j *Journal) meanCommit() time.Duration {
 func (j *Journal) flush(base uint64, group []*Ticket) (uint64, error) {
 	start := time.Now()
 	defer func() {
-		j.commitNanos.Add(uint64(time.Since(start)))
+		d := time.Since(start)
+		j.commitNanos.Add(uint64(d))
+		j.mCommit.Observe(d.Seconds())
 	}()
 
 	batch := storage.NewBatch()
@@ -807,6 +838,11 @@ func (j *Journal) Stats() JournalStats {
 // StorageStats returns the backing store's counters (fsyncs, batch
 // applies, sizes) for the stats endpoint.
 func (j *Journal) StorageStats() storage.Stats { return j.db.Stats() }
+
+// Metrics returns the registry the journal was opened with (nil when
+// uninstrumented) — the hook subsystems built on the journal (snapshot
+// checkpointer, replication feed) use to register their own families.
+func (j *Journal) Metrics() *obs.Registry { return j.opts.Metrics }
 
 // Replay invokes fn on every journal event in append order (the store
 // scans the journal prefix in key order, which the fixed-width sequence

@@ -1,0 +1,126 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// TestStatsAndMetricsRaceClean hammers the two observability read paths —
+// GET /api/stats (the JSON counters) and the registry exposition behind
+// GET /metrics — while writers drive the engine. Every counter both
+// endpoints read must be an atomic or mutex-guarded load; under -race
+// this test is the regression net for that contract.
+func TestStatsAndMetricsRaceClean(t *testing.T) {
+	reg := obs.New()
+	db, err := storage.Open(t.TempDir(), storage.Options{Sync: storage.SyncNever, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	j, err := OpenJournalOpts(db, JournalOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngineOpts(EngineOptions{Clock: vclock.NewVirtual(), Journal: j, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(e)
+	srv.Handle("GET /metrics", reg.Handler())
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	proj, err := e.EnsureProject(ProjectSpec{Name: "race", Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, tasksPer = 4, 25
+	specs := make([]TaskSpec, workers*tasksPer)
+	for i := range specs {
+		specs[i] = TaskSpec{ExternalID: fmt.Sprintf("t%d", i)}
+	}
+	if _, err := e.AddTasks(proj.ID, specs); err != nil {
+		t.Fatal(err)
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: the full lease/submit hot path, mutating every journal,
+	// storage, scheduler and engine counter the readers observe.
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			worker := fmt.Sprintf("w%d", id)
+			for i := 0; i < tasksPer; i++ {
+				task, err := e.RequestTask(proj.ID, worker)
+				if err != nil {
+					return // pool drained by a faster writer
+				}
+				if _, err := e.Submit(task.ID, worker, "Yes"); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: both observability surfaces, plus the in-process views.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/api/stats", "/metrics"} {
+					resp, err := http.Get(hs.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				e.PlatformStats()
+				reg.Expose()
+			}
+		}()
+	}
+	// Let the writers drain the task pool, then release the readers.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// The two surfaces are views over the same variables: after quiescing,
+	// the JSON submit counter and the registry family must agree.
+	resp, err := http.Get(hs.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats PlatformStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	exposed := reg.Expose()
+	want := fmt.Sprintf("reprowd_engine_runs %d", stats.Runs)
+	if !strings.Contains(exposed, want+"\n") {
+		t.Fatalf("registry and /api/stats diverged: want %q in exposition:\n%s", want, exposed)
+	}
+	if stats.Runs == 0 {
+		t.Fatal("no submits recorded — the scenario did not run")
+	}
+}

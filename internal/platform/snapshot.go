@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
 )
@@ -520,6 +521,10 @@ type Checkpointer struct {
 
 	smu   sync.Mutex
 	stats SnapshotStats
+
+	// mCut distributes checkpoint wall time (nil when the journal carries
+	// no metrics registry).
+	mCut *obs.Histogram
 }
 
 // NewCheckpointer attaches a snapshot checkpointer to a journaled engine.
@@ -590,6 +595,20 @@ func NewCheckpointer(e *Engine, opts CheckpointOptions) (*Checkpointer, error) {
 	c.smu.Lock()
 	c.stats.PendingEvents = c.sinceEvents
 	c.smu.Unlock()
+	// The checkpointer inherits the journal's registry: it is the same
+	// subsystem's background half.
+	if reg := j.opts.Metrics; reg != nil {
+		c.mCut = reg.Histogram("reprowd_snapshot_cut_seconds",
+			"Wall time of one checkpoint (encode + write + truncate/prune/compact).", nil)
+		reg.CounterFunc("reprowd_snapshot_checkpoints_total",
+			"Snapshots cut since process start.", func() uint64 { return c.Stats().Checkpoints })
+		reg.CounterFunc("reprowd_snapshot_truncated_events_total",
+			"Journal events folded into snapshots.", func() uint64 { return c.Stats().EventsTruncated })
+		reg.GaugeFunc("reprowd_snapshot_pending_events",
+			"Committed events the next snapshot will newly cover.", func() float64 { return float64(c.Stats().PendingEvents) })
+		reg.GaugeFunc("reprowd_snapshot_last_seq",
+			"Cut point of the latest snapshot.", func() float64 { return float64(c.Stats().LastSeq) })
+	}
 	e.attachCheckpointer(c)
 	c.wg.Add(1)
 	go c.run()
@@ -737,6 +756,7 @@ func (c *Checkpointer) cut() error {
 			maintErr = err
 		}
 	}
+	c.mCut.Observe(time.Since(start).Seconds())
 	c.smu.Lock()
 	c.stats.LastNanos = uint64(time.Since(start))
 	c.stats.EventsTruncated += uint64(events)

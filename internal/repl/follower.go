@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -62,6 +63,11 @@ type FollowerOptions struct {
 	// promotion, keeping the promoted leader's new ids inside the ring
 	// partition it owns.
 	OwnsID func(id int64) bool
+	// Metrics, when non-nil, registers the follower's families (lag in
+	// events and seconds, bootstrap durations, rebootstrap counter) and
+	// flows into the replica engine and any promotion store/journal. Nil
+	// disables instrumentation.
+	Metrics *obs.Registry
 }
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
@@ -96,17 +102,25 @@ type Follower struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// traceID tags every stream/snapshot request this follower sends, so
+	// the leader's access log attributes the replication tail to one
+	// session — the last hop of a request's cross-node path.
+	traceID string
+
 	mu           sync.Mutex
-	appliedSeq   uint64 // next sequence to apply
-	leaderSeq    uint64 // leader frontier as of the last successful poll
-	snapshotSeq  uint64 // bootstrap snapshot's cut point
-	rebootstraps uint64 // state resets forced by leader-side truncation
-	target       uint64 // frontier at first contact; ready once applied past it
+	appliedSeq   uint64    // next sequence to apply
+	leaderSeq    uint64    // leader frontier as of the last successful poll
+	snapshotSeq  uint64    // bootstrap snapshot's cut point
+	rebootstraps uint64    // state resets forced by leader-side truncation
+	target       uint64    // frontier at first contact; ready once applied past it
+	lagSince     time.Time // when the replica last fell behind the frontier (zero = caught up)
 	connected    bool
 	ready        bool
 	fatal        bool
 	lastErr      string
 	stopped      bool
+
+	mBootstrap *obs.Histogram // bootstrap/rebootstrap wall time (nil = off)
 }
 
 // StartFollower bootstraps a replica from the leader (snapshot + tail,
@@ -118,11 +132,16 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 	if opts.LeaderURL == "" {
 		return nil, fmt.Errorf("repl: follower requires a leader URL")
 	}
+	// The registry flows into everything the follower builds: the replica
+	// engine now, the promotion store/journal later.
+	opts.Storage.Metrics = opts.Metrics
+	opts.Journal.Metrics = opts.Metrics
 	engine, err := platform.NewEngineOpts(platform.EngineOptions{
 		Clock:    opts.Clock,
 		LeaseTTL: opts.LeaseTTL,
 		Shards:   opts.Shards,
 		OwnsID:   opts.OwnsID,
+		Metrics:  opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -133,14 +152,16 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{
-		opts:   opts,
-		engine: engine,
-		hc:     hc,
-		base:   strings.TrimRight(opts.LeaderURL, "/"),
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
+		opts:    opts,
+		engine:  engine,
+		hc:      hc,
+		base:    strings.TrimRight(opts.LeaderURL, "/"),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		traceID: obs.NewTraceID(),
 	}
+	f.initMetrics(opts.Metrics)
 	if err := f.bootstrap(); err != nil {
 		cancel()
 		return nil, err
@@ -157,6 +178,61 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 // Engine exposes the replica's engine (for serving the read API).
 func (f *Follower) Engine() *platform.Engine { return f.engine }
 
+// initMetrics registers the follower's families (nil registry = off). Lag
+// is exported both ways the ISSUE's ROADMAP consumers need it: events
+// (how much) and seconds (how stale), the latter measured as time since
+// the replica last matched the leader's frontier.
+func (f *Follower) initMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	f.mBootstrap = reg.Histogram("reprowd_repl_bootstrap_seconds",
+		"Wall time of one bootstrap or rebootstrap (snapshot fetch + restore).", nil)
+	reg.CounterFunc("reprowd_repl_rebootstraps_total",
+		"State resets forced by leader-side journal truncation.", func() uint64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return f.rebootstraps
+		})
+	reg.GaugeFunc("reprowd_repl_lag_events",
+		"Committed leader events not yet applied on this replica.", func() float64 {
+			return float64(f.stats().Lag)
+		})
+	reg.GaugeFunc("reprowd_repl_lag_seconds",
+		"How long this replica has been behind the leader frontier (0 = caught up).", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if f.lagSince.IsZero() {
+				return 0
+			}
+			return time.Since(f.lagSince).Seconds()
+		})
+	reg.GaugeFunc("reprowd_repl_applied_seq",
+		"Next journal sequence this replica will apply.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.appliedSeq)
+		})
+	reg.GaugeFunc("reprowd_repl_leader_seq",
+		"Leader frontier as of the last successful poll.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.leaderSeq)
+		})
+}
+
+// updateLagLocked maintains the lag clock: stamp the moment the replica
+// falls behind the frontier, clear it when caught up. Callers hold f.mu.
+func (f *Follower) updateLagLocked() {
+	if f.leaderSeq > f.appliedSeq {
+		if f.lagSince.IsZero() {
+			f.lagSince = time.Now()
+		}
+	} else {
+		f.lagSince = time.Time{}
+	}
+}
+
 // fetchSnapshot reads the leader's latest snapshot record. ok is false
 // when the leader has never checkpointed (bootstrap then streams from
 // sequence zero).
@@ -165,6 +241,7 @@ func (f *Follower) fetchSnapshot() (data []byte, seq uint64, ok bool, err error)
 	if err != nil {
 		return nil, 0, false, err
 	}
+	req.Header.Set(obs.HeaderTrace, f.traceID)
 	resp, err := f.hc.Do(req)
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("repl: fetch snapshot: %w", err)
@@ -196,6 +273,8 @@ func (f *Follower) fetchSnapshot() (data []byte, seq uint64, ok bool, err error)
 // the stream resumes exactly at its sequence (and if a cut outruns the
 // stream, rebootstrap below recovers).
 func (f *Follower) bootstrap() error {
+	t := f.mBootstrap.Start()
+	defer f.mBootstrap.Stop(t)
 	data, hseq, ok, err := f.fetchSnapshot()
 	if err != nil {
 		return err
@@ -224,6 +303,8 @@ func (f *Follower) bootstrap() error {
 // so reloading it (and resuming the stream at its cut) converges on
 // exactly the state contiguous streaming would have produced.
 func (f *Follower) rebootstrap() error {
+	t := f.mBootstrap.Start()
+	defer f.mBootstrap.Stop(t)
 	data, _, ok, err := f.fetchSnapshot()
 	if err != nil {
 		return err
@@ -301,6 +382,7 @@ func (f *Follower) poll() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	req.Header.Set(obs.HeaderTrace, f.traceID)
 	resp, err := f.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -352,6 +434,7 @@ func (f *Follower) poll() (int, error) {
 			// covered — mid-body, not at the end of the long poll.
 			f.ready = true
 		}
+		f.updateLagLocked()
 		f.mu.Unlock()
 		applied++
 	}
@@ -376,6 +459,7 @@ func (f *Follower) recordProgress(frontier uint64, _ int) {
 	if !f.ready && f.appliedSeq >= f.target {
 		f.ready = true
 	}
+	f.updateLagLocked()
 }
 
 func (f *Follower) setDisconnected(err error) {

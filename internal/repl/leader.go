@@ -65,6 +65,17 @@ func NewLeader(j *platform.Journal, db *storage.DB) *Leader {
 	l := &Leader{j: j, db: db, wake: make(chan struct{})}
 	l.frontier = j.Len()
 	l.cancelTap = j.AddTap(l.observe)
+	if reg := j.Metrics(); reg != nil {
+		reg.GaugeFunc("reprowd_repl_active_streams",
+			"Replication stream long polls currently being served.",
+			func() float64 { return float64(l.activeStreams.Load()) })
+		reg.CounterFunc("reprowd_repl_streamed_events_total",
+			"Journal events shipped to followers over the replication stream.",
+			l.eventsStreamed.Load)
+		reg.GaugeFunc("reprowd_repl_frontier",
+			"Leader's committed journal frontier (next sequence to assign).",
+			func() float64 { f, _ := l.current(); return float64(f) })
+	}
 	return l
 }
 

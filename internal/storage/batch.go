@@ -71,6 +71,8 @@ func (db *DB) Apply(b *Batch) error {
 		return ErrReadOnly
 	}
 	db.nApplies.Add(1)
+	t := db.m.apply.Start()
+	defer db.m.apply.Stop(t)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -100,6 +102,8 @@ func (db *DB) ApplyDurable(b *Batch) error {
 		return ErrReadOnly
 	}
 	db.nApplies.Add(1)
+	t := db.m.apply.Start()
+	defer db.m.apply.Stop(t)
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()

@@ -66,6 +66,8 @@ func (db *DB) Compact() error {
 	if db.opts.ReadOnly {
 		return ErrReadOnly
 	}
+	t := db.m.compact.Start()
+	defer db.m.compact.Stop(t)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

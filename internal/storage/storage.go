@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SyncPolicy controls when appended frames are fsynced.
@@ -68,6 +70,10 @@ type Options struct {
 	// memory rather than truncated), and all mutating calls return
 	// ErrReadOnly. Safe to use on a live writer's directory.
 	ReadOnly bool
+	// Metrics, when non-nil, registers the store's families (fsync/apply/
+	// compaction latency histograms, operation counters, size gauges).
+	// Nil disables instrumentation at zero hot-path cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -139,6 +145,61 @@ type DB struct {
 
 	nPuts, nGets, nDeletes, nSyncs atomic.Uint64
 	nApplies, nSyncElides          atomic.Uint64
+
+	// m holds the store's latency histograms; all nil (free no-ops) when
+	// Options.Metrics is unset. The counters above stay authoritative —
+	// /metrics reads them through closure-backed views.
+	m dbMetrics
+}
+
+// dbMetrics are the store's instrumentation handles.
+type dbMetrics struct {
+	fsync   *obs.Histogram
+	apply   *obs.Histogram
+	compact *obs.Histogram
+}
+
+// initMetrics registers the store's families on reg (nil = off).
+func (db *DB) initMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	db.m.fsync = reg.Histogram("reprowd_storage_fsync_seconds",
+		"Latency of one fsync of the active segment.", nil)
+	db.m.apply = reg.SampledHistogram("reprowd_storage_apply_seconds",
+		"Latency of one batch apply (ApplyDurable includes the durability wait); 1-in-8 sampled — reprowd_storage_applies_total has the exact count.", nil, 8)
+	db.m.compact = reg.Histogram("reprowd_storage_compact_seconds",
+		"Wall time of one full compaction.", nil)
+	reg.CounterFunc("reprowd_storage_puts_total", "Put operations.", db.nPuts.Load)
+	reg.CounterFunc("reprowd_storage_gets_total", "Get operations.", db.nGets.Load)
+	reg.CounterFunc("reprowd_storage_deletes_total", "Delete operations.", db.nDeletes.Load)
+	reg.CounterFunc("reprowd_storage_fsyncs_total", "Fsyncs issued (all paths).", db.nSyncs.Load)
+	reg.CounterFunc("reprowd_storage_applies_total", "Batch frames committed via Apply/ApplyDurable.", db.nApplies.Load)
+	reg.CounterFunc("reprowd_storage_sync_elides_total",
+		"ApplyDurable calls whose frame another caller's fsync already covered.", db.nSyncElides.Load)
+	reg.GaugeFunc("reprowd_storage_keys", "Live keys in the directory.", func() float64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return float64(len(db.keydir))
+	})
+	reg.GaugeFunc("reprowd_storage_live_bytes", "Bytes occupied by live frames.", func() float64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return float64(db.liveBytes)
+	})
+	reg.GaugeFunc("reprowd_storage_total_bytes", "Bytes across all segment files.", func() float64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return float64(db.totalBytes)
+	})
+}
+
+// fsyncActive fsyncs the active segment, timing it. Callers hold db.mu.
+func (db *DB) fsyncActive() error {
+	t := db.m.fsync.Start()
+	err := db.active.Sync()
+	db.m.fsync.Stop(t)
+	return err
 }
 
 // Open opens (creating if necessary) the store in dir.
@@ -157,6 +218,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err := db.recover(); err != nil {
 			return nil, err
 		}
+		db.initMetrics(opts.Metrics)
 		return db, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -187,6 +249,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.durableSeq = db.seq
+	db.initMetrics(opts.Metrics)
 	if opts.Sync == SyncBatch {
 		db.stopSync = make(chan struct{})
 		db.syncWG.Add(1)
@@ -468,7 +531,7 @@ func (db *DB) maybeSyncLocked() error {
 	switch db.opts.Sync {
 	case SyncAlways:
 		db.nSyncs.Add(1)
-		if err := db.active.Sync(); err != nil {
+		if err := db.fsyncActive(); err != nil {
 			return err
 		}
 		db.durableSeq = db.seq
@@ -480,7 +543,7 @@ func (db *DB) maybeSyncLocked() error {
 
 // rotateLocked seals the active segment and starts a new one.
 func (db *DB) rotateLocked() error {
-	if err := db.active.Sync(); err != nil {
+	if err := db.fsyncActive(); err != nil {
 		return err
 	}
 	db.durableSeq = db.seq
@@ -626,7 +689,7 @@ func (db *DB) Sync() error {
 	}
 	db.nSyncs.Add(1)
 	db.needSync.Store(false)
-	if err := db.active.Sync(); err != nil {
+	if err := db.fsyncActive(); err != nil {
 		return err
 	}
 	db.durableSeq = db.seq
@@ -649,7 +712,7 @@ func (db *DB) syncThrough(seq uint64) error {
 	}
 	target := db.seq
 	db.nSyncs.Add(1)
-	if err := db.active.Sync(); err != nil {
+	if err := db.fsyncActive(); err != nil {
 		return err
 	}
 	db.durableSeq = target
@@ -670,7 +733,7 @@ func (db *DB) syncLoop() {
 				db.mu.Lock()
 				if !db.closed {
 					db.nSyncs.Add(1)
-					if db.active.Sync() == nil {
+					if db.fsyncActive() == nil {
 						db.durableSeq = db.seq
 					}
 				}
