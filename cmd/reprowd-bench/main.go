@@ -1,11 +1,12 @@
 // Command reprowd-bench runs the reproduction's experiment suite (E1–E10
 // in DESIGN.md, plus E11 for the journal group-commit pipeline, E12 for
 // snapshot-checkpointed recovery, E13 for journal-shipping replication,
-// E14 for the ring-routed gateway, and E15 for the observability layer's
-// overhead) and prints the tables recorded in EXPERIMENTS.md. Experiments
-// with machine-readable output (E11 → BENCH_submit.json, E12 →
+// E14 for the ring-routed gateway, E15 for the observability layer's
+// overhead, and E16 for the binary event codec and gateway read cache)
+// and prints the tables recorded in EXPERIMENTS.md. Experiments with
+// machine-readable output (E11 → BENCH_submit.json, E12 →
 // BENCH_recovery.json, E13 → BENCH_repl.json, E14 → BENCH_gate.json,
-// E15 → BENCH_obs.json) write it to -out.
+// E15 → BENCH_obs.json, E16 → BENCH_codec.json) write it to -out.
 //
 // The command doubles as the CI perf gate: -baseline compares the fresh
 // BENCH_submit.json against a committed baseline and exits non-zero if
@@ -16,10 +17,13 @@
 // follower) on BENCH_repl.json, -check-gate enforces E14's routing
 // invariants (partition-disjoint writes, follower-served reads,
 // byte-identical results through the gateway) on BENCH_gate.json — all
-// structural count/byte checks, immune to machine speed — and -check-obs
+// structural count/byte checks, immune to machine speed — -check-obs
 // enforces E15's instrumentation-overhead bar (instrumented submit within
 // -max-obs-overhead of the no-op-registry run, a same-machine ratio) on
-// BENCH_obs.json.
+// BENCH_obs.json, and -check-codec enforces E16's codec bars (binary at
+// 2x+ JSON encode+decode throughput and 30%+ smaller events, both
+// same-machine ratios, plus structural round-trip and node-free cache-hit
+// checks) on BENCH_codec.json.
 //
 // Usage:
 //
@@ -30,10 +34,11 @@
 //	reprowd-bench -exp e13        # follower catch-up + steady-state lag, emits BENCH_repl.json
 //	reprowd-bench -exp e14        # gateway routing + read fan-out, emits BENCH_gate.json
 //	reprowd-bench -exp e15        # instrumentation overhead, emits BENCH_obs.json
+//	reprowd-bench -exp e16        # binary codec vs JSON + read cache, emits BENCH_codec.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
-//	reprowd-bench -quick -exp e11,e12,e13,e14,e15 -baseline ci/BENCH_baseline.json \
-//	    -check-recovery -check-repl -check-gate -check-obs
+//	reprowd-bench -quick -exp e11,e12,e13,e14,e15,e16 -baseline ci/BENCH_baseline.json \
+//	    -check-recovery -check-repl -check-gate -check-obs -check-codec
 package main
 
 import (
@@ -67,6 +72,8 @@ func main() {
 			"fail unless BENCH_obs.json shows instrumented submit throughput within -max-obs-overhead of the no-op-registry run; requires e15 in -exp")
 		maxObsOverhead = flag.Float64("max-obs-overhead", 0.05,
 			"fraction of bare throughput the instrumented run may lose before -check-obs fails")
+		checkCodec = flag.Bool("check-codec", false,
+			"fail unless BENCH_codec.json shows the binary codec at 2x+ JSON encode+decode throughput, 30%+ smaller events, and cache hits touching no node; requires e16 in -exp")
 	)
 	flag.Parse()
 
@@ -144,9 +151,27 @@ func main() {
 			fmt.Printf("observability gate: instrumented submit within %.0f%% of no-op registry\n", *maxObsOverhead*100)
 		}
 	}
+	if *checkCodec {
+		if err := gateCodec(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: codec gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("codec gate: binary 2x+ encode+decode throughput, 30%+ smaller events, cache hits node-free")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// gateCodec enforces the binary-codec and read-cache bars on the freshly
+// written BENCH_codec.json.
+func gateCodec(outDir string) error {
+	records, err := exp.LoadCodecRecords(filepath.Join(outDir, "BENCH_codec.json"))
+	if err != nil {
+		return fmt.Errorf("load codec records (did -exp include e16?): %w", err)
+	}
+	return exp.CheckCodec(records)
 }
 
 // gateSubmit compares the freshly written BENCH_submit.json against the

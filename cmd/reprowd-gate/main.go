@@ -62,6 +62,8 @@ func main() {
 			"inline topology: comma-separated name=url pairs (alternative to -topology)")
 		maxLag = flag.Uint64("max-lag", gate.DefaultMaxLag,
 			"max replication lag (events) at which a follower still serves reads")
+		readCache = flag.Bool("read-cache", true,
+			"serve repeated single-partition reads from the frontier-tagged cache until the partition's journal frontier advances")
 		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond,
 			"how often every node's /api/healthz is probed")
 		reloadInterval = flag.Duration("topology-reload-interval", 2*time.Second,
@@ -105,6 +107,7 @@ func main() {
 		MaxLag:        *maxLag,
 		ProbeInterval: *probeInterval,
 		Metrics:       reg,
+		ReadCache:     *readCache,
 	})
 	if err != nil {
 		fatal(err)
@@ -122,7 +125,7 @@ func main() {
 	mux.Handle("/", g)
 
 	logger.Info("reprowd-gate listening", "addr", *addr, "nodes", len(top.Nodes),
-		"max_lag", *maxLag, "probe_interval", probeInterval.String())
+		"max_lag", *maxLag, "probe_interval", probeInterval.String(), "read_cache", *readCache)
 	logger.Info("routes: the full platform REST surface, ring-routed | GET /api/gate/stats | GET/POST /api/gate/topology | GET /api/healthz | GET /metrics")
 
 	stop := make(chan os.Signal, 1)

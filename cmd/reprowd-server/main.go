@@ -119,6 +119,8 @@ func main() {
 			"max events per journal group-commit flush (0 = default 1024)")
 		journalFlushInterval = flag.Duration("journal-flush-interval", 0,
 			"how long the journal committer waits for more events before flushing a group (0 = flush immediately)")
+		journalCodec = flag.String("journal-codec", "binary",
+			"encoding for new journal values: binary (CRC-framed, default) or json (legacy); replay always reads both")
 		snapshotEvery = flag.Uint64("snapshot-every", 4096,
 			"checkpoint the journal into a snapshot after this many events (0 disables the event trigger)")
 		snapshotBytes = flag.Int64("snapshot-bytes", 16<<20,
@@ -148,6 +150,15 @@ func main() {
 	ownsID, err := ringOwnership(*ringNodes, *ringSelf)
 	if err != nil {
 		fatal(logger, err)
+	}
+
+	var jsonEvents bool
+	switch *journalCodec {
+	case "binary":
+	case "json":
+		jsonEvents = true
+	default:
+		fatal(logger, fmt.Errorf("unknown -journal-codec %q (want binary or json)", *journalCodec))
 	}
 
 	var clock vclock.Clock = vclock.NewWall()
@@ -214,6 +225,7 @@ func main() {
 			Journal: platform.JournalOptions{
 				MaxBatch:      *journalMaxBatch,
 				FlushInterval: *journalFlushInterval,
+				JSONEvents:    jsonEvents,
 			},
 			// A promoted follower is a full leader: its seeded journal
 			// keeps checkpointing on the same cadence flags.
@@ -268,6 +280,7 @@ func main() {
 			MaxBatch:      *journalMaxBatch,
 			FlushInterval: *journalFlushInterval,
 			Metrics:       reg,
+			JSONEvents:    jsonEvents,
 		})
 		if err != nil {
 			fail(err)

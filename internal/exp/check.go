@@ -164,6 +164,117 @@ func CheckObsOverhead(records []ObsRecord, maxOverhead float64) error {
 	return nil
 }
 
+// CodecRecord is E16's BENCH_codec.json row: the binary event codec
+// measured against the legacy JSON path — per-event encode/decode cost
+// and size over a representative event mix, cold-replay wall time for a
+// journal written under each codec, and gateway read latency through the
+// frontier cache (miss = forwarded to a node, hit = served from gateway
+// memory).
+type CodecRecord struct {
+	Events              int     `json:"events"`
+	EncodeJSONNs        float64 `json:"encode_json_ns_op"`
+	EncodeBinaryNs      float64 `json:"encode_binary_ns_op"`
+	DecodeJSONNs        float64 `json:"decode_json_ns_op"`
+	DecodeBinaryNs      float64 `json:"decode_binary_ns_op"`
+	BytesPerEventJSON   float64 `json:"bytes_per_event_json"`
+	BytesPerEventBinary float64 `json:"bytes_per_event_binary"`
+	ReplayEvents        int     `json:"replay_events"`
+	ReplayJSONSeconds   float64 `json:"replay_json_seconds"`
+	ReplayBinarySeconds float64 `json:"replay_binary_seconds"`
+	CacheReads          int     `json:"cache_reads"`
+	CacheMissNs         float64 `json:"cache_miss_ns_op"`
+	CacheHitNs          float64 `json:"cache_hit_ns_op"`
+	CacheHits           uint64  `json:"cache_hits"`
+	CacheMisses         uint64  `json:"cache_misses"`
+	// RoundTripIdentical asserts the migration invariant: binary
+	// decode(encode(ev)) renders the same JSON as the original event.
+	RoundTripIdentical bool `json:"round_trip_identical"`
+	// HitsAvoidNodes asserts the cache claim structurally: the node's
+	// proxied read counter did not move during the hit pass.
+	HitsAvoidNodes bool   `json:"hits_avoid_nodes"`
+	CPUs           int    `json:"cpus"`
+	Note           string `json:"note,omitempty"`
+}
+
+// LoadCodecRecords reads a BENCH_codec.json file.
+func LoadCodecRecords(path string) ([]CodecRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []CodecRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CheckCodec enforces E16's acceptance bars on its own output. The
+// throughput and size bars compare two measurements taken back to back in
+// the same process, so like the other same-machine ratios they hold at
+// any machine speed:
+//
+//   - binary encode+decode is at least 2x the JSON codec's throughput
+//     (combined ns/op at most half);
+//   - binary frames are at most 70% of the JSON size per event (a 30%+
+//     cut);
+//   - cold replay of a binary journal is no slower than the JSON journal;
+//   - the binary round trip renders JSON identical to the original
+//     (structural — the byte-identical replay invariant);
+//   - cache hits touch no node and are no slower than misses.
+func CheckCodec(records []CodecRecord) error {
+	if len(records) == 0 {
+		return fmt.Errorf("no codec records")
+	}
+	var failures []string
+	for _, r := range records {
+		jsonNs := r.EncodeJSONNs + r.DecodeJSONNs
+		binNs := r.EncodeBinaryNs + r.DecodeBinaryNs
+		if binNs <= 0 || jsonNs <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"degenerate codec timings (json %.0f ns, binary %.0f ns)", jsonNs, binNs))
+		} else if jsonNs < 2*binNs {
+			failures = append(failures, fmt.Sprintf(
+				"binary encode+decode only %.2fx JSON throughput, want >= 2x (json %.0f ns/op, binary %.0f ns/op)",
+				jsonNs/binNs, jsonNs, binNs))
+		}
+		if r.BytesPerEventJSON <= 0 {
+			failures = append(failures, "degenerate JSON event size")
+		} else if r.BytesPerEventBinary > 0.70*r.BytesPerEventJSON {
+			failures = append(failures, fmt.Sprintf(
+				"binary frames %.1f B/event vs JSON %.1f — only a %.0f%% cut, want >= 30%%",
+				r.BytesPerEventBinary, r.BytesPerEventJSON,
+				(1-r.BytesPerEventBinary/r.BytesPerEventJSON)*100))
+		}
+		if r.ReplayBinarySeconds > r.ReplayJSONSeconds {
+			failures = append(failures, fmt.Sprintf(
+				"binary replay %.3fs slower than JSON replay %.3fs over %d events",
+				r.ReplayBinarySeconds, r.ReplayJSONSeconds, r.ReplayEvents))
+		}
+		if !r.RoundTripIdentical {
+			failures = append(failures, fmt.Sprintf(
+				"binary round trip diverges from the original event (%s)", r.Note))
+		}
+		if !r.HitsAvoidNodes {
+			failures = append(failures, fmt.Sprintf(
+				"cache hits reached a node (%s)", r.Note))
+		}
+		if r.CacheHits < uint64(r.CacheReads) || r.CacheMisses == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"cache counters off: %d hits / %d misses over %d repeat reads",
+				r.CacheHits, r.CacheMisses, r.CacheReads))
+		}
+		if r.CacheHitNs > r.CacheMissNs {
+			failures = append(failures, fmt.Sprintf(
+				"cache hit %.0f ns/op slower than miss %.0f ns/op", r.CacheHitNs, r.CacheMissNs))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("codec gate:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // LoadGateRecords reads a BENCH_gate.json file.
 func LoadGateRecords(path string) ([]GateRecord, error) {
 	buf, err := os.ReadFile(path)

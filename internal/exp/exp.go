@@ -102,6 +102,7 @@ var registry = map[string]runner{
 	"e13": E13Replication,
 	"e14": E14Gateway,
 	"e15": E15ObsOverhead,
+	"e16": E16Codec,
 }
 
 // IDs lists the registered experiment ids in order.

@@ -114,6 +114,14 @@ type Options struct {
 	// /api/gate/stats reports (so the two surfaces cannot diverge). Nil
 	// disables metrics at zero cost.
 	Metrics *obs.Registry
+	// ReadCache enables the frontier-tagged read cache: single-partition
+	// GET responses carrying platform.HeaderFrontier are kept and served
+	// straight from the gateway — touching no node — until the partition's
+	// frontier advances past the cached tag (observed by a probe, or
+	// immediately by a write the gateway itself relayed). Staleness is
+	// bounded by ProbeInterval for writes that bypass this gateway — the
+	// same class of bound follower reads already have via MaxLag.
+	ReadCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +155,7 @@ type nodeState struct {
 	role      string // platform role; "" until first successful probe
 	ready     bool
 	lag       uint64
+	applied   uint64 // journal frontier (ReplStats AppliedSeq) at last probe
 	leaderURL string // normalized; follower association
 	reachable bool
 	lastErr   string
@@ -179,6 +188,8 @@ type Stats struct {
 	Redirects     atomic.Uint64 // 307s followed (and probed)
 	Reloads       atomic.Uint64 // topology replacements
 	Probes        atomic.Uint64 // completed probe rounds
+	CacheHits     atomic.Uint64 // reads served from the frontier cache
+	CacheMisses   atomic.Uint64 // cacheable reads that had to touch a node
 }
 
 // StatsSnapshot is the JSON shape of Stats.
@@ -192,21 +203,24 @@ type StatsSnapshot struct {
 	Redirects     uint64 `json:"redirects_followed"`
 	Reloads       uint64 `json:"topology_reloads"`
 	Probes        uint64 `json:"probe_rounds"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
 }
 
 // NodeStatus is one node's view in Status.
 type NodeStatus struct {
-	Name      string `json:"name"`
-	URL       string `json:"url"`
-	Role      string `json:"role,omitempty"`
-	Ready     bool   `json:"ready"`
-	Reachable bool   `json:"reachable"`
-	Lag       uint64 `json:"lag,omitempty"`
-	LeaderURL string `json:"leader_url,omitempty"`
-	LastError string `json:"last_error,omitempty"`
-	Reads     uint64 `json:"reads"`
-	Writes    uint64 `json:"writes"`
-	Failures  uint64 `json:"failures"`
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	Role       string `json:"role,omitempty"`
+	Ready      bool   `json:"ready"`
+	Reachable  bool   `json:"reachable"`
+	Lag        uint64 `json:"lag,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	LeaderURL  string `json:"leader_url,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+	Reads      uint64 `json:"reads"`
+	Writes     uint64 `json:"writes"`
+	Failures   uint64 `json:"failures"`
 }
 
 // Status is the gateway's own health/stats view (GET /api/healthz and
@@ -230,6 +244,8 @@ type Gateway struct {
 	order  []string              // config order, for stable status output
 	ring   *repl.Ring            // current leaders
 	routes map[string]string     // learned scope ("p/5","t/9","n/<name>") → leader name
+
+	cache *readCache // frontier-tagged read cache; nil when disabled
 
 	rr    atomic.Uint64 // follower round-robin cursor
 	stats Stats
@@ -275,6 +291,9 @@ func New(opts Options) (*Gateway, error) {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	if opts.ReadCache {
+		g.cache = newReadCache()
+	}
 	g.installTopology(opts.Topology)
 	g.m.init(opts.Metrics, g)
 	g.probeRound()
@@ -288,9 +307,11 @@ func New(opts Options) (*Gateway, error) {
 // /metrics and /api/gate/stats can never disagree. All fields are
 // nil-safe no-ops when no registry is configured.
 type gateMetrics struct {
-	requests *obs.CounterVec // relayed requests, by route class × serving node
-	errors   *obs.CounterVec // 5xx responses to clients, by route class
-	failures *obs.CounterVec // failed forward attempts, by node
+	requests  *obs.CounterVec // relayed requests, by route class × serving node
+	errors    *obs.CounterVec // 5xx responses to clients, by route class
+	failures  *obs.CounterVec // failed forward attempts, by node
+	cacheHit  *obs.Histogram  // latency of reads served from the frontier cache
+	cacheMiss *obs.Histogram  // latency of cacheable reads that touched a node
 }
 
 func (m *gateMetrics) init(reg *obs.Registry, g *Gateway) {
@@ -323,6 +344,14 @@ func (m *gateMetrics) init(reg *obs.Registry, g *Gateway) {
 		"Topology replacements via SetTopology.", g.stats.Reloads.Load)
 	reg.CounterFunc("reprowd_gate_probe_rounds_total",
 		"Completed health-probe rounds.", g.stats.Probes.Load)
+	reg.CounterFunc("reprowd_gate_cache_hits_total",
+		"Reads served from the frontier cache, touching no node.", g.stats.CacheHits.Load)
+	reg.CounterFunc("reprowd_gate_cache_misses_total",
+		"Cacheable reads that had to be forwarded to a node.", g.stats.CacheMisses.Load)
+	m.cacheHit = reg.Histogram("reprowd_gate_cache_hit_seconds",
+		"Latency of reads served from the frontier cache.", nil)
+	m.cacheMiss = reg.Histogram("reprowd_gate_cache_miss_seconds",
+		"Latency of cacheable reads that were forwarded to a node.", nil)
 	reg.GaugeFunc("reprowd_gate_nodes",
 		"Nodes in the configured topology.", func() float64 {
 			g.mu.RLock()
@@ -476,6 +505,7 @@ func (g *Gateway) probeRound() {
 		v.n.role = v.st.Role
 		v.n.ready = v.st.Ready
 		v.n.lag = v.st.Lag
+		v.n.applied = v.st.AppliedSeq
 		v.n.leaderURL = strings.TrimRight(v.st.LeaderURL, "/")
 	}
 	g.rebuildRingLocked()
@@ -529,17 +559,18 @@ func (g *Gateway) Snapshot() Status {
 	for _, name := range g.order {
 		n := g.nodes[name]
 		st.Nodes = append(st.Nodes, NodeStatus{
-			Name:      n.cfg.name,
-			URL:       n.cfg.url,
-			Role:      n.role,
-			Ready:     n.ready,
-			Reachable: n.reachable,
-			Lag:       n.lag,
-			LeaderURL: n.leaderURL,
-			LastError: n.lastErr,
-			Reads:     n.reads.Load(),
-			Writes:    n.writes.Load(),
-			Failures:  n.failures.Load(),
+			Name:       n.cfg.name,
+			URL:        n.cfg.url,
+			Role:       n.role,
+			Ready:      n.ready,
+			Reachable:  n.reachable,
+			Lag:        n.lag,
+			AppliedSeq: n.applied,
+			LeaderURL:  n.leaderURL,
+			LastError:  n.lastErr,
+			Reads:      n.reads.Load(),
+			Writes:     n.writes.Load(),
+			Failures:   n.failures.Load(),
 		})
 		if isLeaderRole(n.role) && n.reachable && n.ready {
 			st.Ready = true
@@ -555,8 +586,135 @@ func (g *Gateway) Snapshot() Status {
 		Redirects:     g.stats.Redirects.Load(),
 		Reloads:       g.stats.Reloads.Load(),
 		Probes:        g.stats.Probes.Load(),
+		CacheHits:     g.stats.CacheHits.Load(),
+		CacheMisses:   g.stats.CacheMisses.Load(),
 	}
 	return st
+}
+
+// --- frontier-tagged read cache ---
+
+// Cache bounds: entries beyond maxCacheEntries reset the map (soft state,
+// like the route cache — cheap reset beats LRU bookkeeping); a response
+// body over maxCacheBody is relayed but not kept.
+const (
+	maxCacheEntries = 1024
+	maxCacheBody    = 1 << 20
+)
+
+// cacheEntry is one cached single-partition read: the complete response
+// the partition gave while its journal frontier stood at `frontier` and
+// its gateway-relayed write count stood at `epoch`.
+type cacheEntry struct {
+	partition string
+	frontier  uint64
+	epoch     uint64
+	header    http.Header
+	body      []byte
+}
+
+func (e *cacheEntry) relay(w http.ResponseWriter) {
+	for k, vs := range e.header {
+		if k == obs.HeaderTrace {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.body)
+}
+
+// readCache holds frontier-tagged responses plus a per-partition write
+// epoch: a counter bumped every time this gateway relays a write to the
+// partition. The gateway's own writes invalidate via the epoch the moment
+// the write response returns — no probe round-trip, and no reliance on
+// the write response's frontier tag, which under group commit may still
+// read the pre-flush sequence when the write was fast-acked. Frontier
+// tags (plus probe-observed applied sequences) only matter for writes
+// that bypassed this gateway.
+type readCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	epochs  map[string]uint64
+}
+
+func newReadCache() *readCache {
+	return &readCache{
+		entries: make(map[string]*cacheEntry),
+		epochs:  make(map[string]uint64),
+	}
+}
+
+func (c *readCache) lookup(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// store keeps e unless a write to its partition was relayed while the
+// response was in flight (the epoch moved past the pre-fetch snapshot):
+// such a body may predate the write and must not enter the cache.
+func (c *readCache) store(key string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epochs[e.partition] != e.epoch {
+		return
+	}
+	if len(c.entries) >= maxCacheEntries {
+		c.entries = make(map[string]*cacheEntry)
+	}
+	c.entries[key] = e
+}
+
+// bumpEpoch invalidates every cached entry of the partition: they were
+// all stored at an earlier epoch.
+func (c *readCache) bumpEpoch(partition string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epochs[partition]++
+}
+
+func (c *readCache) epochOf(partition string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[partition]
+}
+
+// epochSnapshot captures every partition's write epoch. Taken before a
+// cache-miss fetch is forwarded: an entry is only stored (and only reads
+// fresh) while its partition's epoch still matches, so a write relayed
+// concurrently with the fetch can never leave a pre-write body cached.
+func (c *readCache) epochSnapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := make(map[string]uint64, len(c.epochs))
+	for k, v := range c.epochs {
+		snap[k] = v
+	}
+	return snap
+}
+
+// cacheFresh reports whether a cached read still reflects its partition:
+// no write relayed through this gateway has bumped the partition's epoch
+// past the entry's, and no probe has seen the partition's leader apply
+// past the entry's frontier tag (the out-of-band write signal, stale by
+// at most one probe interval). An entry served by a lagging follower tags
+// below the leader's frontier and therefore never reads as fresh — the
+// cache can only ever serve what a fully caught-up node answered.
+func (g *Gateway) cacheFresh(e *cacheEntry) bool {
+	if e.epoch != g.cache.epochOf(e.partition) {
+		return false
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[e.partition]
+	if !ok || !isLeaderRole(n.role) {
+		return false
+	}
+	return n.applied <= e.frontier
 }
 
 // learnRoute caches scope → owning leader name.

@@ -103,6 +103,27 @@ func newTestGateway(t *testing.T, maxLag uint64, nodes ...*testNode) *Gateway {
 	return g
 }
 
+// newCachedTestGateway is newTestGateway with the frontier read cache on.
+func newCachedTestGateway(t *testing.T, maxLag uint64, nodes ...*testNode) *Gateway {
+	t.Helper()
+	top := Topology{}
+	for _, n := range nodes {
+		top.Nodes = append(top.Nodes, NodeConfig{Name: n.name, URL: n.hs.URL})
+	}
+	g, err := New(Options{
+		Topology:      top,
+		MaxLag:        maxLag,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		ReadCache:     true,
+	})
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
 // waitSnapshot polls the gateway view until cond holds.
 func waitSnapshot(t *testing.T, g *Gateway, what string, cond func(Status) bool) {
 	t.Helper()
@@ -302,6 +323,123 @@ func TestGatewayFollowerReads(t *testing.T) {
 			t.Fatalf("follower %s served no reads: %+v", n.Name, st.Nodes)
 		}
 	}
+}
+
+// TestGatewayFrontierReadCache pins the frontier read cache acceptance:
+// repeated project stats/list reads through the gateway are served from
+// the cache without touching any node (per-node request counters stay
+// flat), and a write relayed through the gateway invalidates the
+// partition's entries the moment its response returns — the next read
+// refetches and reflects the new state.
+func TestGatewayFrontierReadCache(t *testing.T) {
+	ringNames := []string{"n1"}
+	l1 := startLeader(t, "n1", ringNames)
+	defer l1.close()
+	g := newCachedTestGateway(t, DefaultMaxLag, l1)
+	gs := httptest.NewServer(g)
+	defer gs.Close()
+	waitSnapshot(t, g, "leader ready", func(st Status) bool { return st.Ready })
+
+	ring := repl.NewRing(0, ringNames...)
+	name := nameOwnedBy(ring, "n1", "proj")
+	client := platform.NewGatewayHTTPClient(gs.URL, nil)
+	p, err := client.EnsureProject(platform.ProjectSpec{Name: name, Redundancy: 2})
+	if err != nil {
+		t.Fatalf("ensure: %v", err)
+	}
+	tasks, err := client.AddTasks(p.ID, []platform.TaskSpec{{ExternalID: "a"}, {ExternalID: "b"}})
+	if err != nil {
+		t.Fatalf("add tasks: %v", err)
+	}
+	if _, err := client.Submit(tasks[0].ID, "w1", "yes"); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	nodeReads := func() uint64 {
+		var total uint64
+		for _, n := range g.Snapshot().Nodes {
+			total += n.Reads
+		}
+		return total
+	}
+
+	// Prime the cache: the first stats and task-list reads must miss and
+	// be forwarded to the leader.
+	before := g.Snapshot().Stats
+	stats1, err := client.Stats(p.ID)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	list1, err := client.Tasks(p.ID)
+	if err != nil {
+		t.Fatalf("tasks: %v", err)
+	}
+	primed := g.Snapshot()
+	if primed.Stats.CacheHits != before.CacheHits {
+		t.Fatalf("priming reads counted as hits: %+v -> %+v", before, primed.Stats)
+	}
+	if got := primed.Stats.CacheMisses - before.CacheMisses; got < 2 {
+		t.Fatalf("priming reads not counted as misses: got %d, want >= 2", got)
+	}
+	base := nodeReads()
+	if base == 0 {
+		t.Fatalf("priming reads touched no node: %+v", primed.Nodes)
+	}
+
+	// Repeated reads are cache hits: identical bytes, zero node traffic.
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		stats2, err := client.Stats(p.ID)
+		if err != nil {
+			t.Fatalf("cached stats: %v", err)
+		}
+		if a, b := mustJSON(t, stats1), mustJSON(t, stats2); a != b {
+			t.Fatalf("cached stats diverge:\n first: %s\n cached: %s", a, b)
+		}
+		list2, err := client.Tasks(p.ID)
+		if err != nil {
+			t.Fatalf("cached tasks: %v", err)
+		}
+		if a, b := mustJSON(t, list1), mustJSON(t, list2); a != b {
+			t.Fatalf("cached task list diverges:\n first: %s\n cached: %s", a, b)
+		}
+	}
+	if got := nodeReads(); got != base {
+		t.Fatalf("cached reads touched nodes: per-node read counters moved %d -> %d", base, got)
+	}
+	mid := g.Snapshot().Stats
+	if got := mid.CacheHits - primed.Stats.CacheHits; got != 2*rounds {
+		t.Fatalf("cache hits = %d, want %d", got, 2*rounds)
+	}
+
+	// A write through the gateway advances the partition frontier, which
+	// must invalidate both cached reads deterministically (no probe wait).
+	if _, err := client.Submit(tasks[1].ID, "w2", "no"); err != nil {
+		t.Fatalf("invalidating submit: %v", err)
+	}
+	stats3, err := client.Stats(p.ID)
+	if err != nil {
+		t.Fatalf("stats after write: %v", err)
+	}
+	if a, b := mustJSON(t, stats1), mustJSON(t, stats3); a == b {
+		t.Fatalf("stats read after write served stale cache entry: %s", a)
+	}
+	after := g.Snapshot().Stats
+	if after.CacheMisses == mid.CacheMisses {
+		t.Fatalf("read after write did not refetch: %+v -> %+v", mid, after)
+	}
+	if got := nodeReads(); got == base {
+		t.Fatalf("read after write touched no node: counters still %d", base)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(buf)
 }
 
 // stubNode fakes a platform node: scripted healthz plus a handler.

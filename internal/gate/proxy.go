@@ -3,20 +3,25 @@ package gate
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/repl"
 )
 
-// maxBodyBytes caps a buffered request body. Bodies are buffered so a
-// failed attempt can be replayed against the next candidate.
+// maxBodyBytes caps a request body. Bodies stream to the first upstream
+// attempt while a tee captures what passed (see bodyStream), so the cap
+// bounds the captured replay prefix, not an up-front buffer.
 const maxBodyBytes = 32 << 20
 
 // maxErrBody caps how much of an upstream error response is buffered
@@ -154,7 +159,9 @@ func copyHeaders(dst, src http.Header) {
 	}
 }
 
-// readBody buffers the request body for candidate replay.
+// readBody buffers the request body for candidate replay. Only ensure
+// still uses it — it must parse the body (the project name) before it can
+// even pick a target. Everything else streams through bodyStream.
 func readBody(r *http.Request) ([]byte, error) {
 	if r.Body == nil {
 		return nil, nil
@@ -170,19 +177,126 @@ func readBody(r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
-// send forwards the (buffered) request to a base URL.
-func (g *Gateway) send(r *http.Request, base string, body []byte) (*http.Response, error) {
+var (
+	errBodyTooLarge = errors.New("gate: request body over size cap")
+	errStaleBody    = errors.New("gate: body reader superseded by a retry")
+)
+
+// bodyStream feeds one request body through the candidate-walk retry
+// loop without buffering it up front: the current attempt streams
+// straight from the client while a tee captures the bytes that passed,
+// and a retry replays the captured prefix before continuing the stream.
+// Upstream sees the first byte as soon as the client sends it instead of
+// after a full 32MiB read — the capture only ever holds what some
+// upstream actually consumed.
+//
+// The mutex + generation guard exist because the transport may still be
+// draining a failed attempt's body in the background when the next
+// attempt starts; a superseded reader errors out instead of racing the
+// live one for the source.
+type bodyStream struct {
+	mu       sync.Mutex
+	src      io.Reader // remaining client body; nil when absent or drained
+	buf      bytes.Buffer
+	n        int64
+	overflow bool
+	gen      int
+}
+
+func newBodyStream(r *http.Request) *bodyStream {
+	bs := &bodyStream{}
+	if r.Body != nil && r.Body != http.NoBody {
+		bs.src = r.Body
+	}
+	return bs
+}
+
+// bodyFromBytes wraps an already-buffered body (ensure parses the body
+// before routing, so its bytes are in hand).
+func bodyFromBytes(b []byte) *bodyStream {
+	bs := &bodyStream{}
+	bs.buf.Write(b)
+	return bs
+}
+
+// reader returns the body for the next forward attempt, superseding any
+// reader a previous attempt may still hold. nil means no body.
+func (b *bodyStream) reader() io.Reader {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gen++
+	if b.src == nil && b.buf.Len() == 0 {
+		return nil
+	}
+	prefix := bytes.NewReader(b.buf.Bytes())
+	if b.src == nil {
+		return prefix
+	}
+	return io.MultiReader(prefix, &bodyTail{b: b, gen: b.gen})
+}
+
+// tooBig reports whether the client body overran maxBodyBytes mid-stream.
+func (b *bodyStream) tooBig() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.overflow
+}
+
+// bodyTail is the live (unreplayed) remainder of a bodyStream, teeing
+// what it delivers into the replay capture.
+type bodyTail struct {
+	b   *bodyStream
+	gen int
+}
+
+func (t *bodyTail) Read(p []byte) (int, error) {
+	t.b.mu.Lock()
+	defer t.b.mu.Unlock()
+	if t.gen != t.b.gen {
+		return 0, errStaleBody
+	}
+	if t.b.overflow {
+		return 0, errBodyTooLarge
+	}
+	if t.b.src == nil {
+		return 0, io.EOF
+	}
+	n, err := t.b.src.Read(p)
+	if n > 0 {
+		t.b.n += int64(n)
+		if t.b.n > maxBodyBytes {
+			t.b.overflow = true
+			return 0, errBodyTooLarge
+		}
+		t.b.buf.Write(p[:n])
+	}
+	if err == io.EOF {
+		t.b.src = nil
+		if n > 0 {
+			err = nil // deliver the final chunk; the next read reports EOF
+		}
+	}
+	return n, err
+}
+
+// send forwards the request to a base URL, streaming the body.
+func (g *Gateway) send(r *http.Request, base string, body *bodyStream) (*http.Response, error) {
 	u := base + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
 	var rd io.Reader
-	if len(body) > 0 {
-		rd = bytes.NewReader(body)
+	if body != nil {
+		rd = body.reader()
 	}
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
 	if err != nil {
 		return nil, err
+	}
+	if rd != nil && req.ContentLength == 0 && r.ContentLength > 0 {
+		// A MultiReader body leaves the length unknown (chunked); the
+		// client declared it, and replay or not the total is the same.
+		req.ContentLength = r.ContentLength
 	}
 	copyHeaders(req.Header, r.Header)
 	return g.hc.Do(req)
@@ -196,28 +310,41 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 	io.Copy(w, resp.Body)
 }
 
+// HeaderTruncated marks a relayed error body the gateway could not keep
+// whole: it overran maxErrBody, or the upstream connection tore mid-read.
+// The status and code are intact; only the error text may be cut short.
+const HeaderTruncated = "X-Reprowd-Gate-Truncated"
+
 // buffered is a fully read upstream response, kept aside while other
 // candidates are tried, relayable later.
 type buffered struct {
-	status int
-	header http.Header
-	body   []byte
+	status    int
+	header    http.Header
+	body      []byte
+	truncated bool  // body cut at maxErrBody
+	readErr   error // upstream tore mid-body; body is a prefix
 }
 
 func bufferResp(resp *http.Response) buffered {
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
-	header := resp.Header.Clone()
-	// The body may have been truncated at maxErrBody (and a partial read
-	// may have stopped short of the advertised length either way);
-	// replaying the upstream Content-Length with fewer bytes would make
-	// the server abort the connection mid-response. Let it recompute.
-	header.Del("Content-Length")
-	return buffered{status: resp.StatusCode, header: header, body: body}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxErrBody+1))
+	b := buffered{status: resp.StatusCode, header: resp.Header.Clone(), body: body, readErr: err}
+	if len(body) > maxErrBody {
+		b.body = body[:maxErrBody]
+		b.truncated = true
+	}
+	// A truncated or torn body no longer matches the upstream
+	// Content-Length; replaying it would make the server abort the
+	// connection mid-response. Let it recompute.
+	b.header.Del("Content-Length")
+	return b
 }
 
 func (b buffered) relay(w http.ResponseWriter) {
 	copyHeaders(w.Header(), b.header)
+	if b.truncated || b.readErr != nil {
+		w.Header().Set(HeaderTruncated, "true")
+	}
 	w.WriteHeader(b.status)
 	w.Write(b.body)
 }
@@ -259,7 +386,7 @@ type keeps struct {
 // A 307 from a demoted node is followed once (the redirect target is the
 // leader the node itself points at) and triggers a ring re-probe either
 // way.
-func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body []byte, keep *keeps) (attemptOutcome, target) {
+func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body *bodyStream, keep *keeps) (attemptOutcome, target) {
 	resp, err := g.send(r, t.node.cfg.url, body)
 	if err != nil {
 		g.bookFailure(t.node)
@@ -319,12 +446,12 @@ func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body
 	return outcomeDone, t
 }
 
-// redirectRequest rebuilds the buffered request against an absolute
-// redirect target.
-func redirectRequest(r *http.Request, loc string, body []byte) *http.Request {
+// redirectRequest rebuilds the request against an absolute redirect
+// target, replaying the body stream.
+func redirectRequest(r *http.Request, loc string, body *bodyStream) *http.Request {
 	var rd io.Reader
-	if len(body) > 0 {
-		rd = bytes.NewReader(body)
+	if body != nil {
+		rd = body.reader()
 	}
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, loc, rd)
 	if err != nil {
@@ -332,6 +459,9 @@ func redirectRequest(r *http.Request, loc string, body []byte) *http.Request {
 		// request that will fail cleanly.
 		req, _ = http.NewRequest(r.Method, "http://invalid.invalid/", nil)
 		return req
+	}
+	if rd != nil && req.ContentLength == 0 && r.ContentLength > 0 {
+		req.ContentLength = r.ContentLength
 	}
 	copyHeaders(req.Header, r.Header)
 	return req
@@ -382,22 +512,23 @@ func (g *Gateway) nodeByLocation(loc string) (target, bool) {
 // run drives a request through its candidate targets: relay the first
 // definitive response; on typed 404s, widen to the remaining leaders
 // (owner discovery after ring drift); if everything is down, surface the
-// most recent upstream error.
-func (g *Gateway) run(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool) {
-	body, err := readBody(r)
-	if err != nil {
-		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request", err.Error())
-		return
+// most recent upstream error. It returns the target that served the
+// relayed response (ok=false when no attempt produced one).
+func (g *Gateway) run(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool) (target, bool) {
+	if r.ContentLength > maxBodyBytes {
+		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request",
+			fmt.Sprintf("request body over %d bytes", maxBodyBytes))
+		return target{}, false
 	}
-	g.runWith(w, r, pl, targets, isWrite, body)
+	return g.runWith(w, r, pl, targets, isWrite, newBodyStream(r))
 }
 
-// runWith is run with the request body already buffered.
-func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool, body []byte) {
+// runWith is run with the request body stream already built.
+func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool, body *bodyStream) (target, bool) {
 	if len(targets) == 0 {
 		writeGateErr(w, http.StatusBadGateway, "no_leader",
 			"gate: no leader known for this partition (topology empty or all nodes unprobed)")
-		return
+		return target{}, false
 	}
 	var keep keeps
 	var sawMiss bool
@@ -420,8 +551,16 @@ func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targe
 		switch outcome {
 		case outcomeDone:
 			g.finish(pl, served, isWrite)
-			return
+			return served, true
 		case outcomeRetryable:
+			if body.tooBig() {
+				// The attempt failed because the client body overran the
+				// cap mid-stream, not because the node did; walking on
+				// would replay the same overrun everywhere.
+				writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request",
+					fmt.Sprintf("request body over %d bytes", maxBodyBytes))
+				return target{}, false
+			}
 			// A nil served node is an out-of-topology redirect target — the
 			// leader a demoted node pointed at — so its failure is a leader
 			// failure too.
@@ -446,7 +585,7 @@ discover:
 			outcome, served := g.attempt(w, r, t, body, &keep)
 			if outcome == outcomeDone {
 				g.finish(pl, served, isWrite)
-				return
+				return served, true
 			}
 			if outcome == outcomeRetryable &&
 				(served.node == nil || g.isLeaderNode(served.node)) {
@@ -457,15 +596,16 @@ discover:
 			// Every leader answered and nobody knows the id: the buffered
 			// typed 404 is the true answer.
 			keep.miss.relay(w)
-			return
+			return target{}, false
 		}
 	}
 	if keep.err.status != 0 {
 		keep.err.relay(w)
-		return
+		return target{}, false
 	}
 	writeGateErr(w, http.StatusBadGateway, "unreachable",
 		"gate: no node that could answer definitively is reachable")
+	return target{}, false
 }
 
 // finish books a successfully relayed request: counters and the learned
@@ -509,11 +649,111 @@ func (g *Gateway) finish(pl plan, served target, isWrite bool) {
 // --- the routed handlers ---
 
 func (g *Gateway) handleWrite(w http.ResponseWriter, r *http.Request, pl plan) {
-	g.run(w, r, pl, g.writeTargets(pl), true)
+	served, ok := g.run(w, r, pl, g.writeTargets(pl), true)
+	if ok {
+		g.noteWrite(served)
+	}
+}
+
+// noteWrite bumps the relayed write's partition epoch in the read cache:
+// every cached read of that partition is stale the moment the write
+// response returns — no probe round-trip in between, and no dependence
+// on the write response's frontier tag (fast-acked writes can return
+// before the group commit advances the journal sequence).
+func (g *Gateway) noteWrite(served target) {
+	if g.cache == nil || served.partition == "" {
+		return
+	}
+	g.cache.bumpEpoch(served.partition)
 }
 
 func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request, pl plan) {
-	g.run(w, r, pl, g.readTargets(pl), false)
+	if g.cache == nil || r.Method != http.MethodGet {
+		g.run(w, r, pl, g.readTargets(pl), false)
+		return
+	}
+	t0 := time.Now()
+	key := r.URL.Path
+	if r.URL.RawQuery != "" {
+		key += "?" + r.URL.RawQuery
+	}
+	if e, ok := g.cache.lookup(key); ok && g.cacheFresh(e) {
+		g.stats.CacheHits.Add(1)
+		e.relay(w)
+		if g.m.cacheHit != nil {
+			g.m.cacheHit.Observe(time.Since(t0).Seconds())
+		}
+		return
+	}
+	g.stats.CacheMisses.Add(1)
+	epochs := g.cache.epochSnapshot()
+	cw := &captureWriter{ResponseWriter: w}
+	served, ok := g.run(cw, r, pl, g.readTargets(pl), false)
+	if g.m.cacheMiss != nil {
+		g.m.cacheMiss.Observe(time.Since(t0).Seconds())
+	}
+	if !ok || served.node == nil || !cw.cacheable() {
+		return
+	}
+	frontier, _ := strconv.ParseUint(cw.Header().Get(platform.HeaderFrontier), 10, 64)
+	if frontier == 0 {
+		// No frontier tag (in-memory engine, or an old node): nothing to
+		// key freshness on, so the response must not be cached.
+		return
+	}
+	hdr := cw.Header().Clone()
+	hdr.Del(obs.HeaderTrace) // each hit carries its own request's trace id
+	g.cache.store(key, &cacheEntry{
+		partition: served.partition,
+		frontier:  frontier,
+		epoch:     epochs[served.partition],
+		header:    hdr,
+		body:      append([]byte(nil), cw.buf.Bytes()...),
+	})
+}
+
+// captureWriter tees a relayed read response into memory on its way to
+// the client so it can enter the frontier cache. Oversized bodies fall
+// out of capture (the relay itself is unaffected).
+type captureWriter struct {
+	http.ResponseWriter
+	status   int
+	buf      bytes.Buffer
+	overflow bool
+}
+
+func (c *captureWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *captureWriter) Write(b []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	if !c.overflow {
+		if c.buf.Len()+len(b) <= maxCacheBody {
+			c.buf.Write(b)
+		} else {
+			c.overflow = true
+			c.buf.Reset()
+		}
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+func (c *captureWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// cacheable reports whether the captured response may enter the cache:
+// a complete 200 body under the size cap.
+func (c *captureWriter) cacheable() bool {
+	return c.status == http.StatusOK && !c.overflow
 }
 
 // handleEnsure places PUT /api/projects. The project name decides the
@@ -584,7 +824,10 @@ func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
 			owner = chain[0]
 		}
 	}
-	g.runWith(w, r, pl, g.partitionWriteTarget(owner), true, body)
+	served, ok := g.runWith(w, r, pl, g.partitionWriteTarget(owner), true, bodyFromBytes(body))
+	if ok {
+		g.noteWrite(served)
+	}
 }
 
 // partitionWriteTarget is the single write target of a named partition:

@@ -20,8 +20,12 @@ import (
 // has a heap-indexed queue there, striped across shard locks, so
 // RequestTask is O(log n) in the open task set and requests against
 // different projects never contend on one mutex. The engine itself keeps
-// the record of truth — projects, tasks, runs — under a registry RWMutex
-// that the read-heavy request path takes shared.
+// the record of truth: registry *structure* (the project/task maps, name
+// and external-id indexes) lives under a registry RWMutex that the
+// request path takes shared, while the task-scoped hot state — runs,
+// in-flight submissions, and the mutable Task fields — is striped across
+// per-task locks the same way (see Engine.stripes), so the submit path
+// never takes the registry lock exclusively.
 //
 // With a Journal attached (see EngineOptions), every state mutation is
 // appended to a write-ahead log on internal/storage before the call
@@ -29,18 +33,20 @@ import (
 // server resumes with the task/run state it had when it died — the
 // paper's crash-and-rerun guarantee extended to the platform side.
 //
-// Journaled mutations run in three phases so that the registry lock is
-// never held across a disk flush (the journal group-commits, so N
-// concurrent writers share one fsync):
+// Journaled mutations run in three phases so that no lock is held across
+// a disk flush (the journal group-commits, so N concurrent writers share
+// one fsync):
 //
-//  1. stage, under e.mu: validate, reserve ids and timestamps, record the
-//     in-flight intent (taskFlights/stage maps) so concurrent stagers see
-//     it, and enqueue the journal event — fixing the journal order to the
-//     stage order, which is what replay will see.
-//  2. flush, outside e.mu: wait for the committer's durability ack.
-//  3. finalize, under e.mu again: commit memory and scheduler state with
-//     the values computed at stage time. Using staged values (not
-//     whatever the scheduler would say at finalize time) keeps memory
+//  1. stage, under the mutation's locks (e.mu exclusive for project and
+//     task creation; e.mu shared + the task's stripe lock for Submit):
+//     validate, reserve ids and timestamps, record the in-flight intent
+//     (flights/stage maps) so concurrent stagers see it, and enqueue the
+//     journal event — fixing the journal order to the stage order, which
+//     is what replay will see.
+//  2. flush, with every lock released: wait for the durability ack.
+//  3. finalize, relocking: commit memory and scheduler state with the
+//     values computed at stage time. Using staged values (not whatever
+//     the scheduler would say at finalize time) keeps memory
 //     byte-identical with replay even when groups finalize out of order.
 //
 // Journal-before-commit still holds: nothing is visible to readers until
@@ -79,7 +85,10 @@ type Engine struct {
 
 	nextProjectID int64
 	nextTaskID    int64
-	nextRunID     int64
+
+	// nextRunID is the run id high-water mark, allocated by CAS so the
+	// submit hot path reserves ids without the exclusive registry lock.
+	nextRunID atomic.Int64
 
 	projects       map[int64]*Project
 	projectsByName map[string]int64
@@ -87,21 +96,25 @@ type Engine struct {
 	externalIDs    map[int64]map[string]int64 // project id → external id → task id
 
 	tasks  map[int64]*Task
-	runs   map[int64][]*TaskRun      // task id → runs, submission order
 	banned map[int64]map[string]bool // project id → banned workers
 
-	// In-flight (staged, journal ack pending) intents. Stagers consult
-	// these so that two submissions racing through the flush window keep
-	// exactly the semantics they would have had fully serialized.
-	taskFlights map[int64]*taskFlight       // task id → staged submissions
-	projStages  map[string]*projectStage    // project name → staged creation
-	extStages   map[int64]map[string]*stage // project id → external id → staged AddTasks
+	// stripes shard the task-scoped hot state (runs, in-flight
+	// submissions, per-stripe finalize queues) the way internal/sched
+	// stripes projects, so submissions against different tasks never
+	// contend on one mutex. Locking invariant: task-scoped mutable state —
+	// a Task's NumAnswers/State/Completed fields, a stripe's maps — is
+	// accessed either under e.mu held exclusively (replay, snapshot
+	// restore, replica reset, export) or under e.mu held shared plus the
+	// task's stripe lock (the submit and read paths). e.mu is always
+	// taken before a stripe lock, never after.
+	stripes [engineStripes]engineStripe
 
-	// submitQ holds staged submissions in stage (= journal = ack) order.
-	// Whichever waiter reaches the finalize lock first commits the whole
-	// acked prefix in one hold — one registry acquisition per flush
-	// group instead of one per run.
-	submitQ []*submitCommit
+	// In-flight (staged, journal ack pending) intents for the non-striped
+	// write paths. Stagers consult these so that two creations racing
+	// through the flush window keep exactly the semantics they would have
+	// had fully serialized.
+	projStages map[string]*projectStage    // project name → staged creation
+	extStages  map[int64]map[string]*stage // project id → external id → staged AddTasks
 
 	// replayHorizon is the newest timestamp seen during journal replay;
 	// a virtual clock is advanced past it so post-recovery events never
@@ -111,6 +124,49 @@ type Engine struct {
 	// m holds the write path's latency histograms. All nil (free no-ops)
 	// when EngineOptions.Metrics is unset.
 	m engineMetrics
+}
+
+// engineStripes is the task-state lock stripe count. Fixed (not
+// configurable like the scheduler's): 64 mutexes cost nothing idle and
+// put the collision odds under concurrent submitters low enough that the
+// stripe lock never shows up next to the journal flush they all share.
+const (
+	engineStripeBits = 6
+	engineStripes    = 1 << engineStripeBits
+)
+
+// engineStripe is one lock stripe of the task-scoped hot state. See the
+// locking invariant on Engine.stripes.
+type engineStripe struct {
+	mu      sync.Mutex
+	runs    map[int64][]*TaskRun  // task id → runs, submission order
+	flights map[int64]*taskFlight // task id → staged submissions
+	// submitQ holds this stripe's staged submissions in stage (= journal
+	// = ack) order. Whichever waiter reaches the finalize lock first
+	// commits the whole acked prefix in one hold — one stripe acquisition
+	// per flush group instead of one per run.
+	submitQ []*submitCommit
+}
+
+// unstage drops a staged submission's in-flight marker. Callers hold the
+// stripe lock (shared e.mu) or e.mu exclusively.
+func (s *engineStripe) unstage(taskID int64, workerID string) {
+	fl := s.flights[taskID]
+	if fl == nil {
+		return
+	}
+	fl.pending--
+	delete(fl.workers, workerID)
+	if fl.pending <= 0 {
+		delete(s.flights, taskID)
+	}
+}
+
+// stripe maps a task id onto its lock stripe: the top bits of the same
+// Fibonacci hash the HTTP layer echoes as the shard key, so consecutive
+// task ids scatter across stripes.
+func (e *Engine) stripe(taskID int64) *engineStripe {
+	return &e.stripes[ShardKey(taskID)>>(64-engineStripeBits)]
 }
 
 // engineMetrics are the journaled write path's histograms, one per phase
@@ -167,11 +223,7 @@ func (m *engineMetrics) init(reg *obs.Registry, e *Engine) {
 		"Accepted task runs held by this engine.", func() float64 {
 			e.mu.RLock()
 			defer e.mu.RUnlock()
-			n := 0
-			for _, runs := range e.runs {
-				n += len(runs)
-			}
-			return float64(n)
+			return float64(e.countRuns())
 		})
 }
 
@@ -240,11 +292,13 @@ func NewEngineOpts(opts EngineOptions) (*Engine, error) {
 		projectTasks:   make(map[int64][]int64),
 		externalIDs:    make(map[int64]map[string]int64),
 		tasks:          make(map[int64]*Task),
-		runs:           make(map[int64][]*TaskRun),
 		banned:         make(map[int64]map[string]bool),
-		taskFlights:    make(map[int64]*taskFlight),
 		projStages:     make(map[string]*projectStage),
 		extStages:      make(map[int64]map[string]*stage),
+	}
+	for i := range e.stripes {
+		e.stripes[i].runs = make(map[int64][]*TaskRun)
+		e.stripes[i].flights = make(map[int64]*taskFlight)
 	}
 	e.m.init(opts.Metrics, e)
 	if opts.Journal != nil {
@@ -291,18 +345,42 @@ var _ Client = (*Engine)(nil)
 // silently collide records across partitions. A misconfigured ring must
 // fail fast instead. Callers hold e.mu.
 func (e *Engine) nextOwnedID(cur int64) (int64, error) {
+	return nextOwnedIDAfter(cur, e.ownsID)
+}
+
+// nextOwnedIDAfter is the pure scan behind nextOwnedID, shared with the
+// lock-free run id reservation.
+func nextOwnedIDAfter(cur int64, owns func(id int64) bool) (int64, error) {
 	cur++
-	if e.ownsID == nil {
+	if owns == nil {
 		return cur, nil
 	}
 	const maxIDScan = 1 << 20
 	for i := 0; i < maxIDScan; i++ {
-		if e.ownsID(cur) {
+		if owns(cur) {
 			return cur, nil
 		}
 		cur++
 	}
 	return 0, fmt.Errorf("platform: id allocation found no owned id in %d candidates above %d; the ownership filter (ring membership) rejects everything — check that this node's -ring includes its own name", maxIDScan, cur-maxIDScan)
+}
+
+// reserveRunID claims the next owned run id by CAS on the high-water
+// mark: submissions staging concurrently under the shared registry lock
+// each get a distinct, strictly increasing, ring-owned id without any
+// mutex. A lost race rescans from the new mark (the ownership filter is
+// immutable, so rescanning is pure).
+func (e *Engine) reserveRunID() (int64, error) {
+	for {
+		cur := e.nextRunID.Load()
+		id, err := nextOwnedIDAfter(cur, e.ownsID)
+		if err != nil {
+			return 0, err
+		}
+		if e.nextRunID.CompareAndSwap(cur, id) {
+			return id, nil
+		}
+	}
 }
 
 // schedStrategy maps the wire strategy onto the scheduler's.
@@ -635,7 +713,13 @@ func (e *Engine) RequestTask(projectID int64, workerID string) (Task, error) {
 	default:
 		return Task{}, err
 	}
-	return *e.tasks[taskID], nil
+	// Task fields mutate under the stripe lock; copy under it so the
+	// assignment never observes a half-applied submission.
+	s := e.stripe(taskID)
+	s.mu.Lock()
+	t := *e.tasks[taskID]
+	s.mu.Unlock()
+	return t, nil
 }
 
 // submitCommit is one staged submission riding the journal pipeline:
@@ -649,13 +733,15 @@ type submitCommit struct {
 	err      error         // flush or commit failure; valid after done
 }
 
-// Submit implements Client. With a journal attached, the registry lock is
-// released while the group commit flushes: the scheduler outcome is
-// previewed and the run id reserved under e.mu (with in-flight
-// submissions counted via taskFlights, so racing previews can't
-// over-admit), the durability wait happens outside it, and memory +
-// scheduler commit only after the journal acks — whole flush groups at a
-// time, by whichever waiter gets there first.
+// Submit implements Client. The hot path never takes the registry lock
+// exclusively: staging runs under e.mu shared plus the task's stripe lock
+// (the scheduler outcome is previewed and the run id CAS-reserved, with
+// in-flight submissions counted via the stripe's flights so racing
+// previews can't over-admit), the durability wait happens outside both,
+// and memory + scheduler commit only after the journal acks — whole flush
+// groups at a time per stripe, by whichever waiter gets there first.
+// Submissions against different tasks therefore contend only on the
+// journal's group commit, not on one registry mutex.
 func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) {
 	if workerID == "" {
 		return TaskRun{}, fmt.Errorf("%w: worker id must not be empty", ErrBadRequest)
@@ -667,20 +753,24 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	if timed {
 		t0 = time.Now()
 	}
-	e.mu.Lock()
+	e.mu.RLock()
 	if e.readOnly {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		return TaskRun{}, ErrReadOnly
 	}
-	run, t, retiring, ticket, err := e.stageSubmit(taskID, workerID, answer)
+	s := e.stripe(taskID)
+	s.mu.Lock()
+	run, t, retiring, ticket, err := e.stageSubmit(s, taskID, workerID, answer)
 	if err != nil {
-		e.mu.Unlock()
+		s.mu.Unlock()
+		e.mu.RUnlock()
 		return TaskRun{}, err
 	}
 	if ticket == nil {
 		// No journal: stage and commit are one critical section.
 		err := e.commitSubmit(run, t, retiring)
-		e.mu.Unlock()
+		s.mu.Unlock()
+		e.mu.RUnlock()
 		if err != nil {
 			return TaskRun{}, err
 		}
@@ -690,8 +780,9 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		return *run, nil
 	}
 	sc := &submitCommit{run: run, t: t, retiring: retiring, ticket: ticket, done: make(chan struct{})}
-	e.submitQ = append(e.submitQ, sc)
-	e.mu.Unlock()
+	s.submitQ = append(s.submitQ, sc)
+	s.mu.Unlock()
+	e.mu.RUnlock()
 	var t1 time.Time
 	if timed {
 		t1 = time.Now()
@@ -708,12 +799,12 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	}
 
 	// Finalize. Our whole group acked together, so a waiter ahead of us
-	// may have committed our run already; otherwise drain the acked
-	// prefix (ours included — everything before us acked first).
+	// may have committed our run already; otherwise drain the stripe's
+	// acked prefix (ours included — everything before us acked first).
 	select {
 	case <-sc.done:
 	default:
-		e.drainSubmits()
+		e.drainSubmits(s)
 		<-sc.done
 	}
 	if sc.err != nil {
@@ -727,26 +818,30 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	return *run, nil
 }
 
-// drainSubmits finalizes every staged submission whose journal ack has
-// arrived, in stage order, under one registry lock hold. Ack order equals
-// stage order (both fixed under e.mu), so the acked entries always form a
-// prefix of submitQ and committing them in queue order reproduces exactly
-// the journal's — and therefore replay's — history.
-func (e *Engine) drainSubmits() {
+// drainSubmits finalizes every staged submission in the stripe whose
+// journal ack has arrived, in stage order, under one stripe lock hold.
+// Ack order equals stage order (both fixed under the stripe lock, and
+// the journal acks in enqueue order), so the acked entries always form a
+// prefix of the stripe's submitQ and committing them in queue order
+// reproduces exactly the journal's — and therefore replay's — per-task
+// history.
+func (e *Engine) drainSubmits(s *engineStripe) {
 	var ready []*submitCommit
-	e.mu.Lock()
-	for len(e.submitQ) > 0 {
-		sc := e.submitQ[0]
+	e.mu.RLock()
+	s.mu.Lock()
+	for len(s.submitQ) > 0 {
+		sc := s.submitQ[0]
 		select {
 		case <-sc.ticket.Done():
 		default:
-			// Not acked yet — neither is anything behind it.
-			e.mu.Unlock()
+			// Not acked yet — neither is anything behind it here.
+			s.mu.Unlock()
+			e.mu.RUnlock()
 			e.closeReady(ready)
 			return
 		}
-		e.submitQ = e.submitQ[1:]
-		e.unstageSubmit(sc.run.TaskID, sc.run.WorkerID)
+		s.submitQ = s.submitQ[1:]
+		s.unstage(sc.run.TaskID, sc.run.WorkerID)
 		if err := sc.ticket.Err(); err != nil {
 			sc.err = err
 		} else {
@@ -754,7 +849,8 @@ func (e *Engine) drainSubmits() {
 		}
 		ready = append(ready, sc)
 	}
-	e.mu.Unlock()
+	s.mu.Unlock()
+	e.mu.RUnlock()
 	e.closeReady(ready)
 }
 
@@ -765,12 +861,14 @@ func (e *Engine) closeReady(ready []*submitCommit) {
 	}
 }
 
-// stageSubmit validates a submission and reserves its outcome under e.mu:
-// the run id, the timestamps, and whether this run completes the task
-// (counting submissions still waiting on their journal ack). With a
-// journal it records the in-flight intent and enqueues the event —
-// under e.mu, so journal order equals stage order equals replay order.
-func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *Task, bool, *Ticket, error) {
+// stageSubmit validates a submission and reserves its outcome under the
+// shared registry lock plus the task's stripe lock: the run id, the
+// timestamps, and whether this run completes the task (counting
+// submissions still waiting on their journal ack). With a journal it
+// records the in-flight intent and enqueues the event — under the stripe
+// lock, so journal order equals stage order equals replay order for
+// every event touching this task.
+func (e *Engine) stageSubmit(s *engineStripe, taskID int64, workerID, answer string) (*TaskRun, *Task, bool, *Ticket, error) {
 	t, ok := e.tasks[taskID]
 	if !ok {
 		return nil, nil, false, nil, ErrUnknownTask
@@ -778,7 +876,7 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 	if e.banned[t.ProjectID][workerID] {
 		return nil, nil, false, nil, ErrWorkerBanned
 	}
-	fl := e.taskFlights[taskID]
+	fl := s.flights[taskID]
 	if fl != nil {
 		if _, dup := fl.workers[workerID]; dup {
 			return nil, nil, false, nil, ErrDuplicateAnswer
@@ -788,7 +886,7 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 		// The scheduler has retired the task; its runs are the record of
 		// who answered, preserving the duplicate-before-completed error
 		// precedence of the pre-sched engine.
-		for _, r := range e.runs[taskID] {
+		for _, r := range s.runs[taskID] {
 			if r.WorkerID == workerID {
 				return nil, nil, false, nil, ErrDuplicateAnswer
 			}
@@ -833,11 +931,10 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 	// of us will commit first (same order as the journal).
 	retiring := res.Answers+pending >= t.Redundancy
 
-	runID, err := e.nextOwnedID(e.nextRunID)
+	runID, err := e.reserveRunID()
 	if err != nil {
 		return nil, nil, false, nil, err
 	}
-	e.nextRunID = runID
 	run := &TaskRun{
 		ID:        runID,
 		TaskID:    taskID,
@@ -852,7 +949,7 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 	}
 	if fl == nil {
 		fl = &taskFlight{workers: make(map[string]struct{})}
-		e.taskFlights[taskID] = fl
+		s.flights[taskID] = fl
 	}
 	fl.pending++
 	fl.workers[workerID] = struct{}{}
@@ -861,28 +958,15 @@ func (e *Engine) stageSubmit(taskID int64, workerID, answer string) (*TaskRun, *
 	}
 	ticket, err := e.journal.Enqueue(Event{Op: OpRun, Run: run})
 	if err != nil {
-		e.unstageSubmit(taskID, workerID)
+		s.unstage(taskID, workerID)
 		return nil, nil, false, nil, err
 	}
 	return run, t, retiring, ticket, nil
 }
 
-// unstageSubmit drops a staged submission's in-flight marker. Callers
-// hold e.mu.
-func (e *Engine) unstageSubmit(taskID int64, workerID string) {
-	fl := e.taskFlights[taskID]
-	if fl == nil {
-		return
-	}
-	fl.pending--
-	delete(fl.workers, workerID)
-	if fl.pending <= 0 {
-		delete(e.taskFlights, taskID)
-	}
-}
-
 // commitSubmit applies a staged submission to the scheduler and the
-// registry, using the values reserved at stage time. Callers hold e.mu.
+// registry, using the values reserved at stage time. Callers hold the
+// task's stripe lock (with e.mu shared) or e.mu exclusively.
 func (e *Engine) commitSubmit(run *TaskRun, t *Task, retiring bool) error {
 	if _, err := e.sched.Complete(t.ProjectID, run.TaskID, run.WorkerID,
 		func() time.Time { return run.Finished }); err != nil {
@@ -898,11 +982,16 @@ func (e *Engine) commitSubmit(run *TaskRun, t *Task, retiring bool) error {
 // verdict of the run's own admission (staged preview, or sched.Complete
 // on replay) — runs in one flush group can finalize out of order, and
 // only the staged-retiring run carries the completion timestamp replay
-// will reproduce. Callers hold e.mu.
+// will reproduce. Callers hold the task's stripe lock (with e.mu shared)
+// or e.mu exclusively.
 func (e *Engine) applyRun(run *TaskRun, t *Task, retired bool) {
-	e.runs[run.TaskID] = append(e.runs[run.TaskID], run)
-	if run.ID > e.nextRunID {
-		e.nextRunID = run.ID
+	s := e.stripe(run.TaskID)
+	s.runs[run.TaskID] = append(s.runs[run.TaskID], run)
+	for {
+		cur := e.nextRunID.Load()
+		if run.ID <= cur || e.nextRunID.CompareAndSwap(cur, run.ID) {
+			break
+		}
 	}
 	t.NumAnswers++
 	if retired {
@@ -911,7 +1000,10 @@ func (e *Engine) applyRun(run *TaskRun, t *Task, retired bool) {
 	}
 }
 
-// Tasks implements Client.
+// Tasks implements Client. Each task is copied under its stripe lock:
+// the registry lock is only held shared, so a concurrent submission may
+// be mutating a task's answer count, and the stripe lock is what makes
+// the copy a consistent point-in-time view of that task.
 func (e *Engine) Tasks(projectID int64) ([]Task, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -921,7 +1013,10 @@ func (e *Engine) Tasks(projectID int64) ([]Task, error) {
 	ids := e.projectTasks[projectID]
 	out := make([]Task, 0, len(ids))
 	for _, tid := range ids {
+		s := e.stripe(tid)
+		s.mu.Lock()
 		out = append(out, *e.tasks[tid])
+		s.mu.Unlock()
 	}
 	return out, nil
 }
@@ -933,7 +1028,10 @@ func (e *Engine) Runs(taskID int64) ([]TaskRun, error) {
 	if _, ok := e.tasks[taskID]; !ok {
 		return nil, ErrUnknownTask
 	}
-	runs := e.runs[taskID]
+	s := e.stripe(taskID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runs := s.runs[taskID]
 	out := make([]TaskRun, 0, len(runs))
 	for _, r := range runs {
 		out = append(out, *r)
@@ -952,17 +1050,34 @@ func (e *Engine) Stats(projectID int64) (ProjectStats, error) {
 	workers := map[string]bool{}
 	for _, tid := range e.projectTasks[projectID] {
 		st.Tasks++
-		t := e.tasks[tid]
-		if t.State == TaskCompleted {
+		s := e.stripe(tid)
+		s.mu.Lock()
+		if e.tasks[tid].State == TaskCompleted {
 			st.CompletedTasks++
 		}
-		for _, r := range e.runs[tid] {
+		for _, r := range s.runs[tid] {
 			st.TaskRuns++
 			workers[r.WorkerID] = true
 		}
+		s.mu.Unlock()
 	}
 	st.Workers = len(workers)
 	return st, nil
+}
+
+// countRuns sums accepted runs across the stripes. Callers hold e.mu in
+// any mode.
+func (e *Engine) countRuns() int {
+	n := 0
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for _, runs := range s.runs {
+			n += len(runs)
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // QueueStats reports the scheduler's view of a project: open tasks still
@@ -1047,9 +1162,7 @@ func (e *Engine) PlatformStats() PlatformStats {
 	st := PlatformStats{
 		Projects: len(e.projects),
 		Tasks:    len(e.tasks),
-	}
-	for _, runs := range e.runs {
-		st.Runs += len(runs)
+		Runs:     e.countRuns(),
 	}
 	j, snap, repl := e.journal, e.snap, e.replStats
 	e.mu.RUnlock()
@@ -1172,7 +1285,9 @@ func (e *Engine) taskProject(taskID int64) (int64, bool) {
 }
 
 // taskWithProject fetches a task and its project in one lock acquisition
-// (used by the preview route).
+// (used by the preview route). The task copy takes the stripe lock; the
+// project record is immutable after insertion, so the shared registry
+// lock suffices for it.
 func (e *Engine) taskWithProject(taskID int64) (Task, Project, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -1181,7 +1296,11 @@ func (e *Engine) taskWithProject(taskID int64) (Task, Project, error) {
 		return Task{}, Project{}, ErrUnknownTask
 	}
 	p := e.projects[t.ProjectID]
-	return *t, *p, nil
+	s := e.stripe(taskID)
+	s.mu.Lock()
+	tc := *t
+	s.mu.Unlock()
+	return tc, *p, nil
 }
 
 // BanWorker implements Client. Existing answers by the worker are kept

@@ -20,6 +20,16 @@ import (
 //     routing).
 const HeaderShardKey = "X-Reprowd-Shard-Key"
 
+// HeaderFrontier is the journal-frontier tag on project-scoped responses:
+// the next journal sequence this node's state reflects (ReplStats
+// AppliedSeq) at response time. A read tagged N is the answer the engine
+// gives while exactly N events have been applied — so a cache holding it
+// may keep serving it until some node of the partition reports a frontier
+// past N. internal/gate's frontier read cache is the consumer; the header
+// is omitted by unjournaled (in-memory) engines, which have no frontier
+// to tag with, and such responses are never cached.
+const HeaderFrontier = "X-Reprowd-Frontier"
+
 // ShardKey is the canonical routing hash over a platform id — the same
 // Fibonacci multiplicative hash internal/sched stripes projects across
 // shard locks with, reused by repl.Ring to partition projects across
@@ -180,9 +190,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // echoShard stamps the response with the project's routing key (see
-// HeaderShardKey). Must run before the body is written.
-func echoShard(w http.ResponseWriter, projectID int64) {
+// HeaderShardKey) and the engine's journal frontier (see HeaderFrontier).
+// Must run before the body is written.
+func (s *Server) echoShard(w http.ResponseWriter, projectID int64) {
 	w.Header().Set(HeaderShardKey, strconv.FormatUint(ShardKey(projectID), 10))
+	if seq := s.engine.ReplStats().AppliedSeq; seq > 0 {
+		w.Header().Set(HeaderFrontier, strconv.FormatUint(seq, 10))
+	}
 }
 
 func pathID(r *http.Request) (int64, error) {
@@ -204,7 +218,7 @@ func (s *Server) handleEnsureProject(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, p.ID)
+	s.echoShard(w, p.ID)
 	writeJSON(w, p)
 }
 
@@ -223,7 +237,7 @@ func (s *Server) handleFindProject(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, ErrUnknownProject)
 		return
 	}
-	echoShard(w, p.ID)
+	s.echoShard(w, p.ID)
 	writeJSON(w, p)
 }
 
@@ -243,7 +257,7 @@ func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, id)
+	s.echoShard(w, id)
 	writeJSON(w, tasks)
 }
 
@@ -258,7 +272,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, id)
+	s.echoShard(w, id)
 	writeJSON(w, tasks)
 }
 
@@ -273,7 +287,7 @@ func (s *Server) handleNewTask(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, id)
+	s.echoShard(w, id)
 	writeJSON(w, task)
 }
 
@@ -288,7 +302,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, id)
+	s.echoShard(w, id)
 	writeJSON(w, st)
 }
 
@@ -305,7 +319,7 @@ func (s *Server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, id)
+	s.echoShard(w, id)
 	writeJSON(w, st)
 }
 
@@ -337,7 +351,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, run.ProjectID)
+	s.echoShard(w, run.ProjectID)
 	writeJSON(w, run)
 }
 
@@ -360,7 +374,7 @@ func (s *Server) handleBan(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, id)
+	s.echoShard(w, id)
 	writeJSON(w, map[string]bool{"banned": true})
 }
 
@@ -378,7 +392,7 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, err)
 		return
 	}
-	echoShard(w, project.ID)
+	s.echoShard(w, project.ID)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := previewTemplate.Execute(w, struct {
 		Task    Task
@@ -402,7 +416,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if t, ok := s.engine.taskProject(id); ok {
-		echoShard(w, t)
+		s.echoShard(w, t)
 	}
 	writeJSON(w, runs)
 }

@@ -128,6 +128,13 @@ type Journal struct {
 	// off; the counters above stay authoritative either way and /metrics
 	// reads them through closure-backed views).
 	mCommit *obs.Histogram
+
+	// mEncode/mDecode distribute per-event codec latency, sampled 1-in-8
+	// (codecTick) because a clock read per event would rival the encode
+	// itself. Nil when metrics are off.
+	mEncode   *obs.Histogram
+	mDecode   *obs.Histogram
+	codecTick atomic.Uint64
 }
 
 // JournalOptions tune the group-commit pipeline. The zero value is usable.
@@ -148,6 +155,11 @@ type JournalOptions struct {
 	// latency histogram, queue depth, flush counters). Nil disables
 	// instrumentation at zero hot-path cost.
 	Metrics *obs.Registry
+	// JSONEvents switches the journal back to the legacy JSON value
+	// encoding. The default writes binary event frames (see codec.go);
+	// replay reads both regardless, so the switch only affects new
+	// appends — existing journals migrate transparently either way.
+	JSONEvents bool
 }
 
 func (o JournalOptions) withDefaults() JournalOptions {
@@ -166,10 +178,11 @@ func (o JournalOptions) withDefaults() JournalOptions {
 // the committer never touches its caller-visible fields again.
 type Ticket struct {
 	ev      Event
-	buf     []byte // pre-encoded payload (fast-ack path); nil means the committer encodes
-	size    int    // encoded size, set when known (observer accounting)
-	fastAck bool   // acked at enqueue; done already closed, err fixed at nil
-	barrier bool   // writes nothing; acked once everything queued before it has flushed
+	buf     []byte  // pre-encoded payload (fast-ack path); nil means the committer encodes
+	pbuf    *[]byte // pooled buffer backing buf; returned by flush once the value is staged
+	size    int     // encoded size, set when known (observer accounting)
+	fastAck bool    // acked at enqueue; done already closed, err fixed at nil
+	barrier bool    // writes nothing; acked once everything queued before it has flushed
 	done    chan struct{}
 	err     error
 	skipped bool // per-event failure (encode/size): nothing written, journal stays healthy
@@ -240,6 +253,10 @@ func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
 	if reg := j.opts.Metrics; reg != nil {
 		j.mCommit = reg.Histogram("reprowd_journal_commit_seconds",
 			"Wall time of one group-commit flush (storage apply + fsync per the sync policy).", nil)
+		j.mEncode = reg.Histogram("reprowd_codec_encode_seconds",
+			"Per-event journal value encode latency (1-in-8 sampled).", nil)
+		j.mDecode = reg.Histogram("reprowd_codec_decode_seconds",
+			"Per-event journal value decode latency during replay (1-in-8 sampled).", nil)
 		// Closure-backed views over the same atomics /api/stats reports —
 		// one source of truth. On follower promotion a fresh journal
 		// re-registers over the old one's closures (last wins).
@@ -336,16 +353,53 @@ func (j *Journal) FirstSeq() uint64 {
 func (j *Journal) newTicket(ev Event) (*Ticket, error) {
 	t := &Ticket{ev: ev, done: make(chan struct{})}
 	if !j.durable {
+		buf, pbuf, err := j.encodeEvent(&t.ev)
+		if err != nil {
+			return nil, err
+		}
+		t.buf, t.pbuf, t.size, t.fastAck = buf, pbuf, len(buf), true
+	}
+	return t, nil
+}
+
+// sampleCodec decides whether this encode/decode gets timed: 1-in-8 when
+// instrumented, never otherwise (the clock read would rival the work).
+func (j *Journal) sampleCodec() bool {
+	return j.mEncode != nil && j.codecTick.Add(1)&7 == 0
+}
+
+// encodeEvent encodes ev as one journal value under the configured codec.
+// For the default binary codec the returned bytes are backed by a pooled
+// buffer, also returned; the caller releases it with putFrameBuf once the
+// value has been copied onward (storage batches copy on Put). A nil
+// pooled buffer (JSON codec) needs no release.
+func (j *Journal) encodeEvent(ev *Event) ([]byte, *[]byte, error) {
+	if j.opts.JSONEvents {
 		buf, err := json.Marshal(ev)
 		if err == nil && len(buf) > storage.MaxValueLen {
 			err = storage.ErrValTooLarge
 		}
 		if err != nil {
-			return nil, fmt.Errorf("platform: journal encode: %w", err)
+			return nil, nil, fmt.Errorf("platform: journal encode: %w", err)
 		}
-		t.buf, t.size, t.fastAck = buf, len(buf), true
+		return buf, nil, nil
 	}
-	return t, nil
+	var start time.Time
+	timed := j.sampleCodec()
+	if timed {
+		start = time.Now()
+	}
+	p := getFrameBuf()
+	*p = appendEventFrame(*p, ev)
+	buf := *p
+	if timed {
+		j.mEncode.Observe(time.Since(start).Seconds())
+	}
+	if len(buf) > storage.MaxValueLen {
+		putFrameBuf(p)
+		return nil, nil, fmt.Errorf("platform: journal encode: %w", storage.ErrValTooLarge)
+	}
+	return buf, p, nil
 }
 
 // Enqueue hands ev to the committer and returns a Ticket to wait on. It
@@ -659,15 +713,12 @@ func (j *Journal) flush(base uint64, group []*Ticket) (uint64, error) {
 		buf := t.buf // fast-ack tickets arrive pre-encoded and pre-validated
 		if buf == nil {
 			var err error
-			buf, err = json.Marshal(t.ev)
-			if err == nil && len(buf) > storage.MaxValueLen {
-				err = storage.ErrValTooLarge
-			}
+			buf, t.pbuf, err = j.encodeEvent(&t.ev)
 			if err != nil {
 				// Per-event failure: the event never touches the store, so
 				// it simply doesn't get a sequence number.
 				t.skipped = true
-				t.err = fmt.Errorf("platform: journal encode: %w", err)
+				t.err = err
 				continue
 			}
 			t.size = len(buf)
@@ -678,6 +729,12 @@ func (j *Journal) flush(base uint64, group []*Ticket) (uint64, error) {
 			}
 		}
 		batch.Put(journalKey(seq), buf)
+		if t.pbuf != nil {
+			// Put copied the value into the batch payload; the pooled
+			// encode buffer is free as soon as the event is staged.
+			putFrameBuf(t.pbuf)
+			t.buf, t.pbuf = nil, nil
+		}
 		bytes += len(buf)
 		seq++
 		pending = append(pending, t)
@@ -862,9 +919,18 @@ func (j *Journal) ReplayFrom(start uint64, fn func(Event) error) error {
 
 // replayFrom is ReplayFrom with the sequence number and encoded size of
 // each event exposed (the checkpointer's seed path accounts both).
+//
+// Values are delivered through the store's shared-buffer scan — one
+// decode buffer reused across all events instead of two allocations per
+// event — which is safe because both decoders copy everything out
+// (binary strings via string(), JSON via encoding/json). Each value is
+// dispatched on its first byte: a binary event frame starts with the
+// codec magic, a legacy JSON value with '{'; anything else is corruption
+// and fails recovery with a typed error rather than applying a partial
+// or misread event.
 func (j *Journal) replayFrom(start uint64, fn func(seq uint64, ev Event, size int) error) error {
 	var ferr error
-	err := j.db.Scan(journalPrefix, func(key string, val []byte) bool {
+	err := j.db.ScanShared(journalPrefix, func(key string, val []byte) bool {
 		seq, ok := parseJournalKey(key)
 		if !ok {
 			ferr = fmt.Errorf("platform: malformed journal key %q", key)
@@ -874,7 +940,21 @@ func (j *Journal) replayFrom(start uint64, fn func(seq uint64, ev Event, size in
 			return true
 		}
 		var ev Event
-		if ferr = json.Unmarshal(val, &ev); ferr != nil {
+		switch {
+		case binaryEventValue(val):
+			if j.sampleCodec() {
+				t0 := time.Now()
+				ev, ferr = decodeEventValue(val)
+				j.mDecode.Observe(time.Since(t0).Seconds())
+			} else {
+				ev, ferr = decodeEventValue(val)
+			}
+		case len(val) > 0 && val[0] == '{':
+			ferr = json.Unmarshal(val, &ev)
+		default:
+			ferr = fmt.Errorf("%w: unrecognized value encoding", ErrEventCorrupt)
+		}
+		if ferr != nil {
 			ferr = fmt.Errorf("platform: journal decode %s: %w", key, ferr)
 			return false
 		}

@@ -263,8 +263,11 @@ func (m *materializer) state(seq uint64) *snapshotState {
 // startup, between recovery and serving traffic; the live checkpointer
 // seeds from disk instead, precisely to avoid that requirement).
 func (e *Engine) exportMaterializer() *materializer {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	// Exclusive, not shared: task fields and stripe state mutate under
+	// stripe locks with e.mu held shared, so only an exclusive hold makes
+	// the whole-registry copy one consistent cut.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	m := newMaterializer()
 	for id, p := range e.projects {
 		pc := *p
@@ -279,9 +282,11 @@ func (e *Engine) exportMaterializer() *materializer {
 		tc.Payload = copyPayload(tc.Payload)
 		m.tasks[id] = &tc
 	}
-	for _, runs := range e.runs {
-		for _, r := range runs {
-			m.runs = append(m.runs, *r)
+	for i := range e.stripes {
+		for _, runs := range e.stripes[i].runs {
+			for _, r := range runs {
+				m.runs = append(m.runs, *r)
+			}
 		}
 	}
 	for pid, workers := range e.banned {
@@ -294,7 +299,7 @@ func (e *Engine) exportMaterializer() *materializer {
 	}
 	m.maxProject = e.nextProjectID
 	m.maxTask = e.nextTaskID
-	m.maxRun = e.nextRunID
+	m.maxRun = e.nextRunID.Load()
 	return m
 }
 
@@ -358,14 +363,20 @@ func (e *Engine) ResetReplicaState(data []byte) (uint64, error) {
 		return 0, fmt.Errorf("platform: reset state: engine is not a replica")
 	}
 	e.sched = sched.New(e.clock, e.schedOpts)
-	e.nextProjectID, e.nextTaskID, e.nextRunID = 0, 0, 0
+	e.nextProjectID, e.nextTaskID = 0, 0
+	e.nextRunID.Store(0)
 	e.projects = make(map[int64]*Project)
 	e.projectsByName = make(map[string]int64)
 	e.projectTasks = make(map[int64][]int64)
 	e.externalIDs = make(map[int64]map[string]int64)
 	e.tasks = make(map[int64]*Task)
-	e.runs = make(map[int64][]*TaskRun)
 	e.banned = make(map[int64]map[string]bool)
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.runs = make(map[int64][]*TaskRun)
+		s.flights = make(map[int64]*taskFlight)
+		s.submitQ = nil
+	}
 	e.replayHorizon = time.Time{}
 	if err := e.restoreSnapshotLocked(st); err != nil {
 		return 0, err
@@ -409,7 +420,8 @@ func (e *Engine) restoreSnapshotLocked(st *snapshotState) error {
 			return fmt.Errorf("platform: snapshot run %d references unknown task %d", run.ID, run.TaskID)
 		}
 		e.observeReplayTime(run.Finished)
-		e.runs[run.TaskID] = append(e.runs[run.TaskID], &run)
+		sp := e.stripe(run.TaskID)
+		sp.runs[run.TaskID] = append(sp.runs[run.TaskID], &run)
 		if t.State == TaskOngoing {
 			if _, err := e.sched.Complete(t.ProjectID, run.TaskID, run.WorkerID,
 				func() time.Time { return run.Finished }); err != nil {
@@ -422,7 +434,7 @@ func (e *Engine) restoreSnapshotLocked(st *snapshotState) error {
 	}
 	e.nextProjectID = max(e.nextProjectID, st.NextProjectID)
 	e.nextTaskID = max(e.nextTaskID, st.NextTaskID)
-	e.nextRunID = max(e.nextRunID, st.NextRunID)
+	e.nextRunID.Store(max(e.nextRunID.Load(), st.NextRunID))
 	return nil
 }
 

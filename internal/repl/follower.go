@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -242,6 +243,7 @@ func (f *Follower) fetchSnapshot() (data []byte, seq uint64, ok bool, err error)
 		return nil, 0, false, err
 	}
 	req.Header.Set(obs.HeaderTrace, f.traceID)
+	req.Header.Set("Accept", platform.FrameContentType)
 	resp, err := f.hc.Do(req)
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("repl: fetch snapshot: %w", err)
@@ -258,6 +260,15 @@ func (f *Follower) fetchSnapshot() (data []byte, seq uint64, ok bool, err error)
 	data, err = io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("repl: read snapshot: %w", err)
+	}
+	if resp.Header.Get("Content-Type") == platform.FrameContentType {
+		// Negotiated binary wire: the snapshot arrives CRC-framed, so a
+		// torn or corrupted transfer fails here instead of producing a
+		// replica restored from garbage.
+		data, err = platform.DecodeSnapshotFrame(data)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("repl: snapshot frame: %w", err)
+		}
 	}
 	if hdr := resp.Header.Get(HeaderSnapshotSeq); hdr != "" {
 		seq, _ = strconv.ParseUint(hdr, 10, 64)
@@ -383,6 +394,7 @@ func (f *Follower) poll() (int, error) {
 		return 0, err
 	}
 	req.Header.Set(obs.HeaderTrace, f.traceID)
+	req.Header.Set("Accept", platform.FrameContentType)
 	resp, err := f.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -406,29 +418,24 @@ func (f *Follower) poll() (int, error) {
 	// should not report a healthy stream as down that long.
 	f.recordProgress(frontier, 0)
 	applied := 0
-	dec := json.NewDecoder(resp.Body)
-	for dec.More() {
-		var se StreamEvent
-		if err := dec.Decode(&se); err != nil {
-			// Torn response: what applied, applied; resume from there.
-			f.recordProgress(frontier, applied)
-			return applied, fmt.Errorf("repl: stream decode: %w", err)
-		}
+	// applyOne is the per-event step shared by both wire decoders: enforce
+	// contiguity, apply through the replay path, advance the cursor.
+	applyOne := func(seq uint64, ev platform.Event) error {
 		f.mu.Lock()
 		want := f.appliedSeq
 		f.mu.Unlock()
-		if se.Seq != want {
+		if seq != want {
 			f.recordProgress(frontier, applied)
-			return applied, fmt.Errorf("repl: stream gap: got seq %d, want %d", se.Seq, want)
+			return fmt.Errorf("repl: stream gap: got seq %d, want %d", seq, want)
 		}
-		if err := f.engine.ApplyReplicated(se.Event); err != nil {
+		if err := f.engine.ApplyReplicated(ev); err != nil {
 			// An apply failure means replica state has diverged from the
 			// leader's history — nothing a retry can fix.
-			f.fail(fmt.Errorf("repl: apply seq %d: %w", se.Seq, err))
-			return applied, err
+			f.fail(fmt.Errorf("repl: apply seq %d: %w", seq, err))
+			return err
 		}
 		f.mu.Lock()
-		f.appliedSeq = se.Seq + 1
+		f.appliedSeq = seq + 1
 		if !f.ready && f.appliedSeq >= f.target {
 			// Readiness flips as soon as the first-contact frontier is
 			// covered — mid-body, not at the end of the long poll.
@@ -437,6 +444,40 @@ func (f *Follower) poll() (int, error) {
 		f.updateLagLocked()
 		f.mu.Unlock()
 		applied++
+		return nil
+	}
+	if resp.Header.Get("Content-Type") == platform.FrameContentType {
+		// Negotiated binary wire: CRC-framed events, decoded into one
+		// scratch buffer reused across the whole body.
+		br := bufio.NewReaderSize(resp.Body, 64<<10)
+		var scratch []byte
+		for {
+			seq, ev, err := platform.ReadStreamFrame(br, &scratch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Torn response: what applied, applied; resume from there.
+				f.recordProgress(frontier, applied)
+				return applied, fmt.Errorf("repl: stream decode: %w", err)
+			}
+			if err := applyOne(seq, ev); err != nil {
+				return applied, err
+			}
+		}
+	} else {
+		// Legacy JSONL stream from an older leader.
+		dec := json.NewDecoder(resp.Body)
+		for dec.More() {
+			var se StreamEvent
+			if err := dec.Decode(&se); err != nil {
+				f.recordProgress(frontier, applied)
+				return applied, fmt.Errorf("repl: stream decode: %w", err)
+			}
+			if err := applyOne(se.Seq, se.Event); err != nil {
+				return applied, err
+			}
+		}
 	}
 	f.recordProgress(frontier, applied)
 	return applied, nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,14 @@ import (
 	"repro/internal/platform"
 	"repro/internal/storage"
 )
+
+// wantsFrames reports whether the peer negotiated the binary frame wire
+// (platform's CRC-framed event codec) instead of legacy JSONL/JSON. New
+// followers send the Accept header; old peers and curl get JSON, so the
+// endpoints stay debuggable and mixed-version clusters keep replicating.
+func wantsFrames(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), platform.FrameContentType)
+}
 
 // StreamEvent is one line of the stream response: a committed journal
 // event and its sequence number. The stream body is newline-delimited
@@ -192,7 +201,12 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 	// the wait window ends. The frontier header is the commit position at
 	// request time; the body may run past it.
 	frontier, _ := l.current()
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	binaryWire := wantsFrames(r)
+	if binaryWire {
+		w.Header().Set("Content-Type", platform.FrameContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.Header().Set(HeaderFrontier, strconv.FormatUint(frontier, 10))
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -201,6 +215,7 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	enc := json.NewEncoder(w)
+	var frame []byte // reused across events on the binary wire
 	sent := 0
 	deadline := time.Now().Add(wait)
 	for {
@@ -209,8 +224,16 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 			return // body ends; the next poll gets the verdict as a status
 		}
 		if len(evs) > 0 {
-			for _, se := range evs {
-				if err := enc.Encode(se); err != nil {
+			for i := range evs {
+				se := &evs[i]
+				var err error
+				if binaryWire {
+					frame = platform.AppendStreamFrame(frame[:0], se.Seq, &se.Event)
+					_, err = w.Write(frame)
+				} else {
+					err = enc.Encode(se)
+				}
+				if err != nil {
 					return // client went away
 				}
 			}
@@ -262,7 +285,12 @@ func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	frontier, _ := l.current()
-	w.Header().Set("Content-Type", "application/json")
+	if wantsFrames(r) {
+		w.Header().Set("Content-Type", platform.FrameContentType)
+		data = platform.AppendSnapshotFrame(nil, data)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
 	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(info.Seq, 10))
 	w.Header().Set(HeaderFrontier, strconv.FormatUint(frontier, 10))
 	w.Write(data)

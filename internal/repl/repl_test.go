@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -529,5 +530,116 @@ func TestHealthzRoles(t *testing.T) {
 	}
 	if st.Role != RoleFollower || !st.Ready || st.AppliedSeq != events {
 		t.Fatalf("follower healthz %+v, want ready follower at %d", st, events)
+	}
+}
+
+// TestStreamWireNegotiation pins the dual-codec contract of the stream
+// and snapshot endpoints: a peer sending Accept with the frame content
+// type gets CRC-framed binary, everyone else keeps the legacy JSONL/JSON
+// wire — and both decode to identical events. This is what lets a new
+// follower poll an old leader (no frames offered, JSONL fallback) and an
+// old follower poll a new leader (no Accept, JSONL served) during a
+// rolling upgrade.
+func TestStreamWireNegotiation(t *testing.T) {
+	env := newLeaderEnv(t, 0)
+	_, events := buildHistory(t, env.engine, "wire", 64)
+	waitLen(t, env.journal, events)
+
+	fetch := func(path string, frames bool) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, env.hs.URL+path, nil)
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		if frames {
+			req.Header.Set("Accept", platform.FrameContentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("fetch %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fetch %s: HTTP %d", path, resp.StatusCode)
+		}
+		return resp
+	}
+	streamPath := fmt.Sprintf("/api/repl/stream?from=0&wait=0s&max=%d", events)
+
+	// Legacy wire: no Accept header, JSONL body.
+	resp := fetch(streamPath, false)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("legacy stream Content-Type = %q", ct)
+	}
+	var legacy []StreamEvent
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var se StreamEvent
+		if err := dec.Decode(&se); err != nil {
+			t.Fatalf("decode JSONL: %v", err)
+		}
+		legacy = append(legacy, se)
+	}
+	resp.Body.Close()
+
+	// Negotiated wire: CRC-framed binary.
+	resp = fetch(streamPath, true)
+	if ct := resp.Header.Get("Content-Type"); ct != platform.FrameContentType {
+		t.Fatalf("framed stream Content-Type = %q", ct)
+	}
+	var framed []StreamEvent
+	br := bufio.NewReader(resp.Body)
+	var scratch []byte
+	for {
+		seq, ev, err := platform.ReadStreamFrame(br, &scratch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode frame: %v", err)
+		}
+		framed = append(framed, StreamEvent{Seq: seq, Event: ev})
+	}
+	resp.Body.Close()
+
+	if len(legacy) != int(events) || len(framed) != int(events) {
+		t.Fatalf("event counts: legacy %d framed %d, want %d", len(legacy), len(framed), events)
+	}
+	for i := range legacy {
+		lj, _ := json.Marshal(legacy[i])
+		fj, _ := json.Marshal(framed[i])
+		if !bytes.Equal(lj, fj) {
+			t.Fatalf("event %d differs across wires:\n  jsonl: %s\n  frame: %s", i, lj, fj)
+		}
+	}
+
+	// Snapshot endpoint: cut one manually, then fetch it both ways.
+	state := mustState(t, env.engine, events)
+	if _, err := storage.WriteSnapshot(env.db, platform.SnapshotPrefix, 1, events, state); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	resp = fetch("/api/repl/snapshot", false)
+	plain, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("legacy snapshot Content-Type = %q", ct)
+	}
+	resp = fetch("/api/repl/snapshot", true)
+	wrapped, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read framed snapshot: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != platform.FrameContentType {
+		t.Fatalf("framed snapshot Content-Type = %q", ct)
+	}
+	unwrapped, err := platform.DecodeSnapshotFrame(wrapped)
+	if err != nil {
+		t.Fatalf("unwrap snapshot frame: %v", err)
+	}
+	if !bytes.Equal(plain, unwrapped) {
+		t.Fatalf("snapshot payload differs across wires (%d vs %d bytes)", len(plain), len(unwrapped))
 	}
 }

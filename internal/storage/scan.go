@@ -33,6 +33,35 @@ func (db *DB) Scan(prefix string, fn func(key string, val []byte) bool) error {
 	return nil
 }
 
+// ScanShared is Scan with a borrowed value: val is backed by one scratch
+// buffer reused across keys, so fn must decode or copy what it needs
+// before returning and must never retain val. Bulk readers that decode
+// every value on the spot (the platform journal's replay) use it to skip
+// the two per-key allocations Scan pays — the frame read and the value
+// copy — which dominate replaying a large journal.
+func (db *DB) ScanShared(prefix string, fn func(key string, val []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	keys := db.sortedKeysLocked(prefix)
+	var scratch []byte
+	for _, k := range keys {
+		val, ok, err := db.getLockedShared([]byte(k), &scratch)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(k, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Keys returns all keys with the given prefix in ascending order.
 func (db *DB) Keys(prefix string) ([]string, error) {
 	db.mu.RLock()

@@ -624,6 +624,61 @@ func (db *DB) getLocked(key []byte) ([]byte, bool, error) {
 	}
 }
 
+// getLockedShared is getLocked with the frame read into *scratch (grown
+// as needed, reused across calls) and the returned value aliasing it:
+// the caller must consume val before its next call and never retain it.
+// This is the allocation-free half of ScanShared.
+func (db *DB) getLockedShared(key []byte, scratch *[]byte) ([]byte, bool, error) {
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	l, ok := db.keydir[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	f, err := db.fileFor(l.segID)
+	if err != nil {
+		return nil, false, err
+	}
+	if cap(*scratch) < int(l.size) {
+		*scratch = make([]byte, l.size)
+	}
+	buf := (*scratch)[:l.size]
+	if _, err := f.ReadAt(buf, l.off); err != nil {
+		return nil, false, fmt.Errorf("storage: read frame: %w", err)
+	}
+	rec, n, err := decodeFrame(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if n != int(l.size) {
+		return nil, false, fmt.Errorf("storage: frame size mismatch: indexed %d, decoded %d", l.size, n)
+	}
+	switch rec.kind {
+	case kindPut:
+		return rec.val, true, nil
+	case kindBatch:
+		var (
+			found []byte
+			have  bool
+		)
+		if err := decodeBatch(rec.val, func(op byte, k, v []byte) error {
+			if op == kindPut && string(k) == string(key) {
+				found, have = v, true
+			}
+			return nil
+		}); err != nil {
+			return nil, false, err
+		}
+		if !have {
+			return nil, false, fmt.Errorf("%w: key indexed into batch frame that lacks it", ErrCorrupt)
+		}
+		return found, true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: keydir points at frame kind %d", ErrCorrupt, rec.kind)
+	}
+}
+
 // Has reports whether key is present.
 func (db *DB) Has(key []byte) (bool, error) {
 	db.mu.RLock()
