@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/gate"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -108,6 +109,10 @@ func main() {
 		ProbeInterval: *probeInterval,
 		Metrics:       reg,
 		ReadCache:     *readCache,
+		// Real time and real jitter bind here, at the binary's edge;
+		// internal/gate itself only ever sees the injected pair.
+		Clock: sim.RealClock(),
+		Rand:  sim.RealRand(),
 	})
 	if err != nil {
 		fatal(err)

@@ -96,6 +96,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/repl"
+	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -161,10 +162,13 @@ func main() {
 		fatal(logger, fmt.Errorf("unknown -journal-codec %q (want binary or json)", *journalCodec))
 	}
 
-	var clock vclock.Clock = vclock.NewWall()
+	// The one place this binary binds real time and real randomness; every
+	// package below takes them injected (the clocklint contract).
+	var clock vclock.Clock = sim.RealClock()
 	if *virtualTime {
 		clock = vclock.NewVirtual()
 	}
+	rnd := sim.RealRand()
 
 	reg := obs.New()
 	if *debugAddr != "" {
@@ -213,6 +217,7 @@ func main() {
 		n, err := repl.NewFollowerNode(repl.FollowerOptions{
 			LeaderURL: *follow,
 			Clock:     clock,
+			Rand:      rnd,
 			LeaseTTL:  *leaseTTL,
 			Shards:    *shards,
 			DataDir:   *dataDir,

@@ -50,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/repl"
+	"repro/internal/vclock"
 )
 
 // NodeConfig names one platform node the gateway fronts. Name must match
@@ -114,6 +115,15 @@ type Options struct {
 	// /api/gate/stats reports (so the two surfaces cannot diverge). Nil
 	// disables metrics at zero cost.
 	Metrics *obs.Registry
+	// Clock paces the background prober. Nil defaults to wall time; the
+	// simulation harness injects its vclock.Sim so probe cadence advances
+	// in virtual time.
+	Clock vclock.Clock
+	// Rand jitters each probe interval by ±10% so a fleet of gateways
+	// sharing a start time does not probe every node in lockstep. Nil
+	// disables jitter; inject a vclock.SeededRand for a probe schedule
+	// reproducible from a seed.
+	Rand vclock.Rand
 	// ReadCache enables the frontier-tagged read cache: single-partition
 	// GET responses carrying platform.HeaderFrontier are kept and served
 	// straight from the gateway — touching no node — until the partition's
@@ -133,6 +143,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.NewWall()
 	}
 	return o
 }
@@ -438,15 +451,16 @@ func (g *Gateway) Topology() Topology {
 
 // loop is the background prober: poll every node each interval, or
 // immediately when a request path kicks it (a 307, a transport failure).
+// The cadence is a re-armed clock.After rather than a ticker — same
+// non-backlogging behavior, but it runs on the injected clock (a
+// vclock.Sim under simulation) and picks up fresh jitter every round.
 func (g *Gateway) loop() {
 	defer close(g.done)
-	ticker := time.NewTicker(g.opts.ProbeInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-g.stop:
 			return
-		case <-ticker.C:
+		case <-g.opts.Clock.After(vclock.Jitter(g.opts.Rand, g.opts.ProbeInterval, 0.10)):
 		case <-g.probeKick:
 		}
 		g.probeRound()

@@ -12,7 +12,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -672,7 +671,7 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request, pl plan) {
 		g.run(w, r, pl, g.readTargets(pl), false)
 		return
 	}
-	t0 := time.Now()
+	t0 := obs.Now()
 	key := r.URL.Path
 	if r.URL.RawQuery != "" {
 		key += "?" + r.URL.RawQuery
@@ -681,7 +680,7 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request, pl plan) {
 		g.stats.CacheHits.Add(1)
 		e.relay(w)
 		if g.m.cacheHit != nil {
-			g.m.cacheHit.Observe(time.Since(t0).Seconds())
+			g.m.cacheHit.Observe(obs.Since(t0).Seconds())
 		}
 		return
 	}
@@ -690,7 +689,7 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request, pl plan) {
 	cw := &captureWriter{ResponseWriter: w}
 	served, ok := g.run(cw, r, pl, g.readTargets(pl), false)
 	if g.m.cacheMiss != nil {
-		g.m.cacheMiss.Observe(time.Since(t0).Seconds())
+		g.m.cacheMiss.Observe(obs.Since(t0).Seconds())
 	}
 	if !ok || served.node == nil || !cw.cacheable() {
 		return

@@ -270,6 +270,11 @@ func NewEngine(clock vclock.Clock) *Engine {
 	return e
 }
 
+// Clock exposes the engine's injected clock so collaborators built
+// around the engine (replication feed, checkpoint cadence, simulation
+// harness) pace themselves on the same time source.
+func (e *Engine) Clock() vclock.Clock { return e.clock }
+
 // NewEngineOpts returns a platform configured by opts, replaying
 // opts.Journal (if any) so the engine starts from its persisted state.
 func NewEngineOpts(opts EngineOptions) (*Engine, error) {
@@ -751,7 +756,7 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	timed := e.m.sampleSubmit()
 	var t0 time.Time
 	if timed {
-		t0 = time.Now()
+		t0 = obs.Now()
 	}
 	e.mu.RLock()
 	if e.readOnly {
@@ -785,7 +790,7 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	e.mu.RUnlock()
 	var t1 time.Time
 	if timed {
-		t1 = time.Now()
+		t1 = obs.Now()
 		e.m.stage.Observe(t1.Sub(t0).Seconds())
 	}
 
@@ -794,7 +799,7 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 	ticket.Wait()
 	var t2 time.Time
 	if timed {
-		t2 = time.Now()
+		t2 = obs.Now()
 		e.m.flushWait.Observe(t2.Sub(t1).Seconds())
 	}
 
@@ -811,7 +816,7 @@ func (e *Engine) Submit(taskID int64, workerID, answer string) (TaskRun, error) 
 		return TaskRun{}, sc.err
 	}
 	if timed {
-		t3 := time.Now()
+		t3 := obs.Now()
 		e.m.finalize.Observe(t3.Sub(t2).Seconds())
 		e.m.submit.Observe(t3.Sub(t0).Seconds())
 	}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // HTTPClient implements Client against a Server over real HTTP. Reprowd's
@@ -68,9 +70,18 @@ type HTTPClientOptions struct {
 	RetryBackoff time.Duration
 	// Gateway enables the routing-hint protocol for clients pointed at a
 	// ring-routed gateway (internal/gate): shard keys echoed by the
-	// platform (HeaderShardKey) are cached per project/task and replayed
+	// platform (HeaderShardKey) are cached per task/project and replayed
 	// on subsequent requests.
 	Gateway bool
+	// Clock paces the retry backoff sleeps. Nil defaults to wall time; a
+	// simulated cluster injects its vclock.Sim so retries elapse in
+	// virtual time.
+	Clock vclock.Clock
+	// Rand jitters each backoff by ±25% so a fleet of clients retrying a
+	// bounced leader does not arrive in lockstep. Nil disables jitter
+	// (the schedule is then the bare doubling sequence); inject a
+	// vclock.SeededRand for a retry schedule reproducible from a seed.
+	Rand vclock.Rand
 }
 
 func (o HTTPClientOptions) withDefaults() HTTPClientOptions {
@@ -82,6 +93,9 @@ func (o HTTPClientOptions) withDefaults() HTTPClientOptions {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.NewWall()
 	}
 	return o
 }
@@ -189,7 +203,7 @@ func (c *HTTPClient) do(method, path string, body, out any, scope string) (key s
 			c.learnRoute(scope, key)
 			return key, err
 		}
-		time.Sleep(backoff)
+		c.opts.Clock.Sleep(vclock.Jitter(c.opts.Rand, backoff, 0.25))
 		backoff *= 2
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/vclock"
 )
 
 // Op names a journal event type.
@@ -151,6 +152,13 @@ type JournalOptions struct {
 	// group. 0 flushes immediately — lowest latency, and under load the
 	// queue that builds up behind one fsync already forms the next group.
 	FlushInterval time.Duration
+	// Clock paces the committer's FlushInterval wait. Nil defaults to
+	// wall time; a simulated cluster injects its vclock.Sim so the
+	// accumulation window elapses in virtual time. (The adaptive
+	// accumulation heuristic and the commit-latency counters measure
+	// real elapsed time through obs.Now regardless — they observe the
+	// disk, they never gate state; see docs/TESTING.md.)
+	Clock vclock.Clock
 	// Metrics, when non-nil, registers the journal's families (commit
 	// latency histogram, queue depth, flush counters). Nil disables
 	// instrumentation at zero hot-path cost.
@@ -168,6 +176,9 @@ func (o JournalOptions) withDefaults() JournalOptions {
 	}
 	if o.MaxBatchBytes <= 0 {
 		o.MaxBatchBytes = 8 << 20
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.NewWall()
 	}
 	return o
 }
@@ -387,13 +398,13 @@ func (j *Journal) encodeEvent(ev *Event) ([]byte, *[]byte, error) {
 	var start time.Time
 	timed := j.sampleCodec()
 	if timed {
-		start = time.Now()
+		start = obs.Now()
 	}
 	p := getFrameBuf()
 	*p = appendEventFrame(*p, ev)
 	buf := *p
 	if timed {
-		j.mEncode.Observe(time.Since(start).Seconds())
+		j.mEncode.Observe(obs.Since(start).Seconds())
 	}
 	if len(buf) > storage.MaxValueLen {
 		putFrameBuf(p)
@@ -514,6 +525,14 @@ func (j *Journal) barrier() *Ticket {
 	return t
 }
 
+// Flush blocks until every append acknowledged before the call is
+// committed: the journal's length and its observer taps reflect it.
+// Fast-acked appends (SyncNever) make acknowledgement run ahead of the
+// committer; Flush is the fence that closes the gap — the simulation
+// harness uses it to define "quiesced". Returns the journal's terminal
+// error when closed or poisoned (the drained prefix is still committed).
+func (j *Journal) Flush() error { return j.barrier().Wait() }
+
 // run is the committer loop: drain whatever queued, commit it as one
 // storage batch frame, wake the group, repeat.
 func (j *Journal) run() {
@@ -539,7 +558,7 @@ func (j *Journal) run() {
 			// grow its group, so don't make it wait.
 			if len(j.queue) < j.opts.MaxBatch {
 				j.mu.Unlock()
-				time.Sleep(j.opts.FlushInterval)
+				j.opts.Clock.Sleep(j.opts.FlushInterval)
 				j.mu.Lock()
 			}
 		case lastGroup > 1 && !j.closed:
@@ -556,13 +575,13 @@ func (j *Journal) run() {
 				window = 2 * time.Millisecond
 			}
 			const stallTolerance = 20 * time.Microsecond
-			deadline := time.Now().Add(window)
-			prev, lastGrow := len(j.queue), time.Now()
+			deadline := obs.Now().Add(window)
+			prev, lastGrow := len(j.queue), obs.Now()
 			for len(j.queue) < peakGroup {
 				j.mu.Unlock()
 				runtime.Gosched()
 				j.mu.Lock()
-				now := time.Now()
+				now := obs.Now()
 				if len(j.queue) > prev {
 					prev, lastGrow = len(j.queue), now
 				} else if now.Sub(lastGrow) > stallTolerance || now.After(deadline) {
@@ -664,9 +683,9 @@ func (j *Journal) meanCommit() time.Duration {
 // after the last whole sub-batch off disk, and the caller poisons the
 // journal.
 func (j *Journal) flush(base uint64, group []*Ticket) (uint64, error) {
-	start := time.Now()
+	start := obs.Now()
 	defer func() {
-		d := time.Since(start)
+		d := obs.Since(start)
 		j.commitNanos.Add(uint64(d))
 		j.mCommit.Observe(d.Seconds())
 	}()
@@ -943,9 +962,9 @@ func (j *Journal) replayFrom(start uint64, fn func(seq uint64, ev Event, size in
 		switch {
 		case binaryEventValue(val):
 			if j.sampleCodec() {
-				t0 := time.Now()
+				t0 := obs.Now()
 				ev, ferr = decodeEventValue(val)
-				j.mDecode.Observe(time.Since(t0).Seconds())
+				j.mDecode.Observe(obs.Since(t0).Seconds())
 			} else {
 				ev, ferr = decodeEventValue(val)
 			}

@@ -731,7 +731,7 @@ func (c *Checkpointer) cut() error {
 	if c.seq == c.lastCutSeq {
 		return nil // nothing new since the last snapshot
 	}
-	start := time.Now()
+	start := obs.Now()
 	data, err := c.mat.state(c.seq).encode()
 	if err != nil {
 		return c.fail(fmt.Errorf("platform: snapshot encode: %w", err))
@@ -768,9 +768,9 @@ func (c *Checkpointer) cut() error {
 			maintErr = err
 		}
 	}
-	c.mCut.Observe(time.Since(start).Seconds())
+	c.mCut.Observe(obs.Since(start).Seconds())
 	c.smu.Lock()
-	c.stats.LastNanos = uint64(time.Since(start))
+	c.stats.LastNanos = uint64(obs.Since(start))
 	c.stats.EventsTruncated += uint64(events)
 	c.stats.BytesReclaimed += bytes
 	if compacted {

@@ -23,10 +23,22 @@ import (
 type FollowerOptions struct {
 	// LeaderURL is the leader's base URL (e.g. "http://leader:7070").
 	LeaderURL string
-	// Clock supplies the replica engine's clock; nil defaults to wall
-	// time. Replicated events carry their own timestamps, so the clock
-	// only matters after a promotion.
+	// Clock supplies the replica engine's clock; nil defaults to the
+	// engine's own default (a deterministic virtual clock). Replicated
+	// events carry their own timestamps, so this clock only matters
+	// after a promotion.
 	Clock vclock.Clock
+	// LoopClock paces the stream pump itself: reconnect backoff, lag
+	// tracking, and WaitFor's polling. Nil defaults to wall time. It is
+	// deliberately distinct from Clock — an engine may run on a Virtual
+	// clock (auto-advancing timestamps) while the pump waits in real
+	// time; a simulated cluster injects its vclock.Sim as both.
+	LoopClock vclock.Clock
+	// Rand jitters each reconnect backoff by ±25% so followers of a
+	// bounced leader do not reconnect in lockstep. Nil disables jitter;
+	// inject a vclock.SeededRand for a reconnect schedule reproducible
+	// from a seed.
+	Rand vclock.Rand
 	// LeaseTTL / Shards configure the replica engine's scheduler,
 	// exactly as EngineOptions would.
 	LeaseTTL time.Duration
@@ -81,6 +93,9 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	if o.ReconnectBackoff <= 0 {
 		o.ReconnectBackoff = 100 * time.Millisecond
 	}
+	if o.LoopClock == nil {
+		o.LoopClock = vclock.NewWall()
+	}
 	return o
 }
 
@@ -98,6 +113,7 @@ type Follower struct {
 	engine *platform.Engine
 	hc     *http.Client
 	base   string
+	clock  vclock.Clock // opts.LoopClock: pump pacing, never timestamps
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -156,6 +172,7 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 		opts:    opts,
 		engine:  engine,
 		hc:      hc,
+		clock:   opts.LoopClock,
 		base:    strings.TrimRight(opts.LeaderURL, "/"),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -206,7 +223,7 @@ func (f *Follower) initMetrics(reg *obs.Registry) {
 			if f.lagSince.IsZero() {
 				return 0
 			}
-			return time.Since(f.lagSince).Seconds()
+			return f.clock.Now().Sub(f.lagSince).Seconds()
 		})
 	reg.GaugeFunc("reprowd_repl_applied_seq",
 		"Next journal sequence this replica will apply.", func() float64 {
@@ -227,7 +244,7 @@ func (f *Follower) initMetrics(reg *obs.Registry) {
 func (f *Follower) updateLagLocked() {
 	if f.leaderSeq > f.appliedSeq {
 		if f.lagSince.IsZero() {
-			f.lagSince = time.Now()
+			f.lagSince = f.clock.Now()
 		}
 	} else {
 		f.lagSince = time.Time{}
@@ -367,7 +384,7 @@ func (f *Follower) loop() {
 			select {
 			case <-f.ctx.Done():
 				return
-			case <-time.After(backoff):
+			case <-f.clock.After(vclock.Jitter(f.opts.Rand, backoff, 0.25)):
 			}
 			backoff = min(backoff*2, maxReconnectBackoff)
 			continue
@@ -533,7 +550,7 @@ func (f *Follower) AppliedSeq() uint64 {
 // WaitFor blocks until the replica has applied every event below seq, or
 // the timeout expires, or the follower stops (fatal error or Close).
 func (f *Follower) WaitFor(seq uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := f.clock.Now().Add(timeout)
 	for {
 		f.mu.Lock()
 		applied, fatal, lastErr := f.appliedSeq, f.fatal, f.lastErr
@@ -544,13 +561,13 @@ func (f *Follower) WaitFor(seq uint64, timeout time.Duration) error {
 		if fatal {
 			return fmt.Errorf("repl: follower failed at %d/%d: %s", applied, seq, lastErr)
 		}
-		if time.Now().After(deadline) {
+		if f.clock.Now().After(deadline) {
 			return fmt.Errorf("repl: timed out at %d/%d (last error: %q)", applied, seq, lastErr)
 		}
 		select {
 		case <-f.ctx.Done():
 			return fmt.Errorf("repl: follower closed at %d/%d", applied, seq)
-		case <-time.After(time.Millisecond):
+		case <-f.clock.After(time.Millisecond):
 		}
 	}
 }
@@ -664,7 +681,7 @@ func (f *Follower) promote() (promoted, error) {
 		j.Close()
 		return fail(err)
 	}
-	out := promoted{leader: NewLeader(j, db), j: j, db: db}
+	out := promoted{leader: NewLeaderClock(j, db, f.clock), j: j, db: db}
 	if co := f.opts.Checkpoint; co.EveryEvents > 0 || co.EveryBytes > 0 {
 		cp, err := platform.NewCheckpointer(f.engine, co)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/storage"
+	"repro/internal/vclock"
 )
 
 // wantsFrames reports whether the peer negotiated the binary frame wire
@@ -55,8 +56,9 @@ const (
 // journal's store — the journal is the replication log; nothing is
 // duplicated.
 type Leader struct {
-	j  *platform.Journal
-	db *storage.DB
+	j     *platform.Journal
+	db    *storage.DB
+	clock vclock.Clock
 
 	cancelTap func()
 
@@ -68,10 +70,20 @@ type Leader struct {
 	eventsStreamed atomic.Uint64
 }
 
-// NewLeader binds a replication feed to a journal and its backing store.
-// Close detaches the tap.
+// NewLeader binds a replication feed to a journal and its backing store,
+// pacing long-poll waits on the wall clock. Close detaches the tap.
 func NewLeader(j *platform.Journal, db *storage.DB) *Leader {
-	l := &Leader{j: j, db: db, wake: make(chan struct{})}
+	return NewLeaderClock(j, db, nil)
+}
+
+// NewLeaderClock is NewLeader with an injected clock for the stream's
+// long-poll deadlines (nil defaults to wall time). A simulated cluster
+// passes its vclock.Sim so a "10s" poll window elapses in virtual time.
+func NewLeaderClock(j *platform.Journal, db *storage.DB, clock vclock.Clock) *Leader {
+	if clock == nil {
+		clock = vclock.NewWall()
+	}
+	l := &Leader{j: j, db: db, clock: clock, wake: make(chan struct{})}
 	l.frontier = j.Len()
 	l.cancelTap = j.AddTap(l.observe)
 	if reg := j.Metrics(); reg != nil {
@@ -217,7 +229,7 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	var frame []byte // reused across events on the binary wire
 	sent := 0
-	deadline := time.Now().Add(wait)
+	deadline := l.clock.Now().Add(wait)
 	for {
 		evs, snapReq, err := l.collect(from, limit-sent)
 		if err != nil || snapReq {
@@ -251,21 +263,21 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 		if frontier > from {
 			continue // committed between collect and current; rescan
 		}
-		remaining := time.Until(deadline)
+		remaining := deadline.Sub(l.clock.Now())
 		if remaining <= 0 {
 			return
 		}
-		timer := time.NewTimer(remaining)
+		// The abandoned After channel (when wake or the request context
+		// wins the select) fires at its deadline and is then garbage —
+		// bounded by maxStreamWait, the same lifetime a time.After would
+		// have had.
 		select {
 		case <-wake:
-		case <-timer.C:
-			timer.Stop()
+		case <-l.clock.After(remaining):
 			return
 		case <-r.Context().Done():
-			timer.Stop()
 			return
 		}
-		timer.Stop()
 	}
 }
 

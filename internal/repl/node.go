@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/storage"
+	"repro/internal/vclock"
 )
 
 // writeStatsJSON writes a ReplStats body (Content-Type already set).
@@ -46,7 +47,17 @@ type Node struct {
 // engine, journal and db stay owned by the caller (the server already
 // manages their shutdown); Close only detaches the feed's tap.
 func NewLeaderNode(engine *platform.Engine, j *platform.Journal, db *storage.DB) *Node {
-	n := &Node{engine: engine, role: RoleLeader, leader: NewLeader(j, db)}
+	return NewLeaderNodeClock(engine, j, db, nil)
+}
+
+// NewLeaderNodeClock is NewLeaderNode with an injected clock pacing the
+// feed's long-poll deadlines (nil = wall). The simulation harness passes
+// its vclock.Sim here; production and existing tests keep wall pacing —
+// deliberately NOT the engine's clock, since engines commonly run on an
+// auto-advancing Virtual clock that would make every long poll expire
+// instantly.
+func NewLeaderNodeClock(engine *platform.Engine, j *platform.Journal, db *storage.DB, clock vclock.Clock) *Node {
+	n := &Node{engine: engine, role: RoleLeader, leader: NewLeaderClock(j, db, clock)}
 	n.init()
 	return n
 }
@@ -94,6 +105,20 @@ func (n *Node) Follower() *Follower {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.follower
+}
+
+// Journal returns the journal this node's feed serves: the one passed to
+// NewLeaderNode, or the one a durable promotion created. Nil on followers
+// and on promoted nodes without a DataDir. Unlike the frontier in Stats
+// (fed by the committer's tap, so it trails fast-acked appends briefly),
+// Journal().Len() counts every acknowledged write immediately.
+func (n *Node) Journal() *platform.Journal {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leader == nil {
+		return nil
+	}
+	return n.leader.j
 }
 
 // Stats reports the node's replication view (the engine's stats provider).

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Network is the simulated cluster's wire: every node serves its real
+// net/http stack on an in-memory listener, and every client dials by
+// hostname through an in-memory pipe — no TCP ports, no loopback, no OS
+// sockets. Because the connections are the real net.Conn/http machinery,
+// everything the production path exercises (keep-alives, streamed
+// long-poll bodies, torn responses) behaves identically; the network
+// merely becomes injectable:
+//
+//   - Partition(a, b) makes new dials between a and b fail and severs the
+//     open connections between them — an in-flight long poll breaks the
+//     way a yanked cable breaks it, mid-body.
+//   - SetLatency(a, b, d) sleeps each write on the simulation clock, so
+//     wire delay is virtual time, not wall time.
+//   - SetDrop(a, b, p) kills a connection with probability p per write,
+//     drawing from the injected Rand so a lossy-link scenario replays
+//     from its seed.
+//
+// All methods are safe for concurrent use.
+type Network struct {
+	clock vclock.Clock
+	rnd   vclock.Rand
+
+	mu    sync.Mutex
+	hosts map[string]*memListener
+	cut   map[pairKey]bool
+	lat   map[pairKey]time.Duration
+	drop  map[pairKey]float64
+	conns map[pairKey]map[*simConn]struct{}
+}
+
+// pairKey names an unordered host pair: links are symmetric.
+type pairKey struct{ a, b string }
+
+func pair(x, y string) pairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return pairKey{x, y}
+}
+
+// NewNetwork returns an empty network. Writes sleep on clock when a link
+// has latency; drops draw from rnd (nil rnd disables drops).
+func NewNetwork(clock vclock.Clock, rnd vclock.Rand) *Network {
+	return &Network{
+		clock: clock,
+		rnd:   rnd,
+		hosts: make(map[string]*memListener),
+		cut:   make(map[pairKey]bool),
+		lat:   make(map[pairKey]time.Duration),
+		drop:  make(map[pairKey]float64),
+		conns: make(map[pairKey]map[*simConn]struct{}),
+	}
+}
+
+// Listen registers host and returns the listener its http.Server accepts
+// from. A host can be re-registered after Unlisten (a node restart).
+func (n *Network) Listen(host string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, up := n.hosts[host]; up {
+		return nil, fmt.Errorf("sim: host %q already listening", host)
+	}
+	l := &memListener{host: host, ch: make(chan net.Conn), closed: make(chan struct{})}
+	n.hosts[host] = l
+	return l, nil
+}
+
+// Unlisten takes host off the network: pending and future dials to it
+// fail, and every open connection it holds is severed. The listener's
+// http.Server sees Accept fail and exits its serve loop.
+func (n *Network) Unlisten(host string) {
+	n.mu.Lock()
+	l := n.hosts[host]
+	delete(n.hosts, host)
+	victims := n.takeConnsLocked(func(k pairKey) bool { return k.a == host || k.b == host })
+	n.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
+	for _, c := range victims {
+		c.Conn.Close()
+	}
+}
+
+// HTTPClient returns an http.Client that dials through the network as
+// src. The URL host names the destination ("http://l1/api/..."); ports
+// are ignored.
+func (n *Network) HTTPClient(src string) *http.Client {
+	tr := &http.Transport{
+		DialContext: func(_ context.Context, _, addr string) (net.Conn, error) {
+			return n.dial(src, addr)
+		},
+		MaxIdleConnsPerHost: 4,
+		// Idle timeouts would park wall-clock timers per conn; the sim
+		// controls connection lifetime through partitions instead.
+		IdleConnTimeout: 0,
+	}
+	return &http.Client{Transport: tr}
+}
+
+// dial opens a pipe from src to the host in addr ("host:port" or "host").
+func (n *Network) dial(src, addr string) (net.Conn, error) {
+	host := addr
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		host = addr[:i]
+	}
+	k := pair(src, host)
+	n.mu.Lock()
+	l, up := n.hosts[host]
+	if !up {
+		n.mu.Unlock()
+		return nil, &net.OpError{Op: "dial", Net: "sim", Err: fmt.Errorf("host %q down", host)}
+	}
+	if n.cut[k] {
+		n.mu.Unlock()
+		return nil, &net.OpError{Op: "dial", Net: "sim", Err: fmt.Errorf("link %s<->%s partitioned", src, host)}
+	}
+	c1, c2 := net.Pipe()
+	cc := &simConn{Conn: c1, n: n, key: k}
+	sc := &simConn{Conn: c2, n: n, key: k}
+	if n.conns[k] == nil {
+		n.conns[k] = make(map[*simConn]struct{})
+	}
+	n.conns[k][cc] = struct{}{}
+	n.conns[k][sc] = struct{}{}
+	n.mu.Unlock()
+	if !l.deliver(sc) {
+		cc.Close()
+		sc.Close()
+		return nil, &net.OpError{Op: "dial", Net: "sim", Err: fmt.Errorf("host %q went down mid-dial", host)}
+	}
+	return cc, nil
+}
+
+// Partition cuts the a<->b link: new dials fail, open connections break.
+func (n *Network) Partition(a, b string) {
+	k := pair(a, b)
+	n.mu.Lock()
+	n.cut[k] = true
+	victims := n.takeConnsLocked(func(c pairKey) bool { return c == k })
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Conn.Close()
+	}
+}
+
+// Heal restores the a<->b link.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.cut, pair(a, b))
+	n.mu.Unlock()
+}
+
+// HealAll clears every partition on the network.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.cut = make(map[pairKey]bool)
+	n.mu.Unlock()
+}
+
+// Isolate cuts host off from every currently registered host.
+func (n *Network) Isolate(host string) {
+	n.mu.Lock()
+	peers := make([]string, 0, len(n.hosts))
+	for h := range n.hosts {
+		if h != host {
+			peers = append(peers, h)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		n.Partition(host, p)
+	}
+}
+
+// Rejoin undoes every partition involving host.
+func (n *Network) Rejoin(host string) {
+	n.mu.Lock()
+	for k := range n.cut {
+		if k.a == host || k.b == host {
+			delete(n.cut, k)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// SetLatency gives each write on the a<->b link a one-way delay in
+// simulated time. Zero removes it.
+func (n *Network) SetLatency(a, b string, d time.Duration) {
+	n.mu.Lock()
+	if d <= 0 {
+		delete(n.lat, pair(a, b))
+	} else {
+		n.lat[pair(a, b)] = d
+	}
+	n.mu.Unlock()
+}
+
+// SetDrop makes each write on the a<->b link kill the connection with
+// probability p (drawn from the network's Rand). Zero removes it.
+func (n *Network) SetDrop(a, b string, p float64) {
+	n.mu.Lock()
+	if p <= 0 {
+		delete(n.drop, pair(a, b))
+	} else {
+		n.drop[pair(a, b)] = p
+	}
+	n.mu.Unlock()
+}
+
+// takeConnsLocked removes and returns every tracked connection whose link
+// matches. Callers hold n.mu and close the victims after unlocking (Close
+// re-enters the tracking map).
+func (n *Network) takeConnsLocked(match func(pairKey) bool) []*simConn {
+	var out []*simConn
+	for k, set := range n.conns {
+		if !match(k) {
+			continue
+		}
+		for c := range set {
+			out = append(out, c)
+		}
+		delete(n.conns, k)
+	}
+	return out
+}
+
+// linkPolicy reads the current latency/drop for a link.
+func (n *Network) linkPolicy(k pairKey) (time.Duration, float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lat[k], n.drop[k]
+}
+
+func (n *Network) untrack(c *simConn) {
+	n.mu.Lock()
+	if set := n.conns[c.key]; set != nil {
+		delete(set, c)
+		if len(set) == 0 {
+			delete(n.conns, c.key)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// simConn is one end of an in-memory link, applying the link's policy on
+// writes and deregistering itself on close.
+type simConn struct {
+	net.Conn
+	n         *Network
+	key       pairKey
+	closeOnce sync.Once
+}
+
+func (c *simConn) Write(b []byte) (int, error) {
+	lat, drop := c.n.linkPolicy(c.key)
+	if lat > 0 {
+		c.n.clock.Sleep(lat)
+	}
+	if drop > 0 && c.n.rnd != nil && c.n.rnd.Float64() < drop {
+		c.Close()
+		return 0, &net.OpError{Op: "write", Net: "sim", Err: fmt.Errorf("packet dropped on %s<->%s", c.key.a, c.key.b)}
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *simConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.n.untrack(c)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// memListener is a host's accept queue.
+type memListener struct {
+	host      string
+	ch        chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// deliver hands the server end of a fresh pipe to Accept, reporting
+// whether the listener took it.
+func (l *memListener) deliver(c net.Conn) bool {
+	select {
+	case l.ch <- c:
+		return true
+	case <-l.closed:
+		return false
+	}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) close() {
+	l.closeOnce.Do(func() { close(l.closed) })
+}
+
+func (l *memListener) Close() error {
+	l.close()
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.host) }
+
+// memAddr is a hostname as a net.Addr.
+type memAddr string
+
+func (a memAddr) Network() string { return "sim" }
+func (a memAddr) String() string  { return string(a) }

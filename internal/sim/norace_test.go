@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled relaxes wall-clock budgets under the race detector; see
+// race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled relaxes wall-clock budgets: the race detector slows the
+// simulation severely enough that a sharp latency assertion would only
+// measure the instrumentation.
+const raceEnabled = true

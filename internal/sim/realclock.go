@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+
+	"repro/internal/vclock"
+)
+
+// RealClock is the production time source: the one place outside cmd/
+// that hands out wall time. Everything under internal/{platform, sched,
+// repl, gate, storage} takes an injected vclock.Clock and is banned (by
+// ci/clocklint) from calling time.Now/Sleep/After directly; binaries wire
+// RealClock() in at the top, tests and the simulation wire a Virtual or
+// Sim clock instead.
+func RealClock() vclock.Clock { return vclock.NewWall() }
+
+// RealRand is the production randomness source: a vclock.Rand seeded once
+// from the OS entropy pool. Deployed processes jitter their retries and
+// probes from this; simulations substitute a SeededRand so the same seed
+// replays the same schedule.
+func RealRand() vclock.Rand {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No entropy is not a reason to fail startup: jitter quality
+		// degrades, correctness does not.
+		return vclock.NewSeededRand(0x9e3779b97f4a7c15)
+	}
+	return vclock.NewSeededRand(binary.LittleEndian.Uint64(b[:]))
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/vclock"
+)
+
+// OpKind is one scripted action class.
+type OpKind uint8
+
+const (
+	// OpBurst writes N tasks to Project (ensuring it exists), submitting
+	// one answer to each — the redundancy-1 retire cycle.
+	OpBurst OpKind = iota
+	// OpAdvance moves simulated time forward by D.
+	OpAdvance
+	// OpKill stops Node.
+	OpKill
+	// OpRestart brings Node back (a follower re-bootstraps).
+	OpRestart
+	// OpPartition cuts the Node<->Peer link.
+	OpPartition
+	// OpHeal restores the Node<->Peer link.
+	OpHeal
+	// OpCheckpoint forces a snapshot cut on Node.
+	OpCheckpoint
+	// OpPromote turns follower Node into its partition's leader (script
+	// the partition leader's OpKill first, as an operator would).
+	OpPromote
+	// OpSettle quiesces the cluster mid-script: every acknowledged write
+	// flushed and every live follower caught up. An operator checks
+	// replication lag exactly like this before a planned failover —
+	// promoting a lagging follower forfeits the writes it never saw.
+	OpSettle
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpBurst:
+		return "burst"
+	case OpAdvance:
+		return "advance"
+	case OpKill:
+		return "kill"
+	case OpRestart:
+		return "restart"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpPromote:
+		return "promote"
+	case OpSettle:
+		return "settle"
+	}
+	return "unknown"
+}
+
+// Op is one scripted action. Which fields matter depends on Kind.
+type Op struct {
+	Kind    OpKind
+	Node    string        // Kill, Restart, Partition, Heal, Checkpoint
+	Peer    string        // Partition, Heal
+	Project string        // Burst
+	N       int           // Burst: task count
+	D       time.Duration // Advance
+}
+
+// Script is a replayable scenario: a cluster shape plus an ordered op
+// list. Scripts are data — log one (or its generating seed) and any run
+// reproduces it.
+type Script struct {
+	Config Config
+	Ops    []Op
+}
+
+// ackLog records what the scenario was acknowledged: these writes must
+// exist, exactly once, at quiesce. Unacknowledged writes (a response
+// lost to a severed connection) may or may not have landed — the engine
+// dedups them by ExternalID, and the log deliberately says nothing about
+// them.
+type ackLog struct {
+	projects map[string]int64            // name → acked id
+	tasks    map[string]map[string]int64 // project → external id → task id
+	submits  map[int64]int               // task id → acked submissions
+	next     map[string]int              // project → next external-id ordinal
+}
+
+func newAckLog() *ackLog {
+	return &ackLog{
+		projects: make(map[string]int64),
+		tasks:    make(map[string]map[string]int64),
+		submits:  make(map[int64]int),
+		next:     make(map[string]int),
+	}
+}
+
+// Report is a scenario's outcome, written so a failing CI run is
+// reproducible: rerun the seed, get the same report.
+type Report struct {
+	Seed         uint64
+	Hash         uint64            // StateHash at final quiesce
+	Frontiers    map[string]uint64 // partition leader → journal frontier
+	AckedTasks   int
+	AckedSubmits int
+	// OpErrors counts scripted ops that failed to take effect (e.g. a
+	// write bounced by a mid-churn gateway). Failed writes are simply not
+	// acked; they never weaken the invariants.
+	OpErrors int
+}
+
+// Run executes a seeded script against a fresh cluster in dir: build,
+// apply each op, heal every cut, restart every dead follower, quiesce,
+// assert the invariants (replicas byte-identical, acked writes present
+// exactly once, one live leader per partition), and digest the final
+// state. Two calls with the same seed, dir contents aside, return the
+// same Hash.
+func Run(dir string, seed uint64, script Script) (*Report, error) {
+	cfg := script.Config
+	cfg.Dir = dir
+	c, err := New(seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	r := &runner{c: c, acks: newAckLog(), report: &Report{Seed: seed, Frontiers: make(map[string]uint64)}}
+	for i, op := range script.Ops {
+		if err := r.apply(op); err != nil {
+			return nil, fmt.Errorf("sim: seed %d op %d (%s): %w", seed, i, op.Kind, err)
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, fmt.Errorf("sim: seed %d: %w", seed, err)
+	}
+	return r.report, nil
+}
+
+type runner struct {
+	c      *Cluster
+	acks   *ackLog
+	report *Report
+	client *platform.HTTPClient
+}
+
+// apply executes one op. Infrastructure ops (kill, partition, …) must
+// succeed; write ops tolerate per-request failures (they go unacked and
+// count as OpErrors).
+func (r *runner) apply(op Op) error {
+	switch op.Kind {
+	case OpBurst:
+		r.burst(op.Project, op.N)
+		return nil
+	case OpAdvance:
+		r.c.Clock.Advance(op.D)
+		return nil
+	case OpKill:
+		return r.c.Kill(op.Node)
+	case OpRestart:
+		if err := r.c.Restart(op.Node); err != nil {
+			// A follower cannot rejoin while partitioned from its leader;
+			// the closing heal-and-restart pass will bring it back.
+			r.report.OpErrors++
+		}
+		return nil
+	case OpPartition:
+		r.c.Net.Partition(op.Node, op.Peer)
+		return nil
+	case OpHeal:
+		r.c.Net.Heal(op.Node, op.Peer)
+		return nil
+	case OpCheckpoint:
+		n := r.c.Node(op.Node)
+		if n == nil || !n.Alive || n.cp == nil {
+			return nil
+		}
+		return n.CheckpointNow()
+	case OpPromote:
+		return r.c.Promote(op.Node)
+	case OpSettle:
+		return r.c.Quiesce(2 * time.Minute)
+	}
+	return fmt.Errorf("unknown op kind %d", op.Kind)
+}
+
+// burst writes n tasks to project and submits one answer to each,
+// recording exactly what was acknowledged.
+func (r *runner) burst(project string, n int) {
+	pid, ok := r.ensureProject(project)
+	if !ok {
+		r.report.OpErrors++
+		return
+	}
+	base := r.acks.next[project]
+	specs := make([]platform.TaskSpec, n)
+	for i := range specs {
+		specs[i] = platform.TaskSpec{
+			ExternalID: fmt.Sprintf("%s-%d", project, base+i),
+			Payload:    map[string]string{"q": fmt.Sprintf("item %d", base+i)},
+		}
+	}
+	r.acks.next[project] = base + n
+	tasks, err := r.addTasks(pid, specs)
+	if err != nil {
+		r.report.OpErrors++
+		return
+	}
+	if r.acks.tasks[project] == nil {
+		r.acks.tasks[project] = make(map[string]int64)
+	}
+	for _, t := range tasks {
+		r.acks.tasks[project][t.ExternalID] = t.ID
+		r.report.AckedTasks++
+	}
+	for i, t := range tasks {
+		if err := r.submit(t.ID, fmt.Sprintf("w-%d", i%5)); err != nil {
+			r.report.OpErrors++
+			continue
+		}
+		r.acks.submits[t.ID]++
+		r.report.AckedSubmits++
+	}
+}
+
+// gatewayClient lazily builds the through-the-front-door client.
+func (r *runner) gatewayClient() *platform.HTTPClient {
+	if r.client == nil {
+		r.client = r.c.GatewayClient()
+	}
+	return r.client
+}
+
+// ownerEngine routes a direct (gateway-less) write like the ring would.
+func (r *runner) ownerEngine(project string) *platform.Engine {
+	lead := r.c.PartitionLeader(r.c.Ring.LookupString(project))
+	if lead == nil {
+		return nil
+	}
+	return lead.Engine()
+}
+
+func (r *runner) ensureProject(name string) (int64, bool) {
+	if id, ok := r.acks.projects[name]; ok {
+		return id, true
+	}
+	var p platform.Project
+	var err error
+	if r.c.Gateway() != nil {
+		p, err = r.gatewayClient().EnsureProject(platform.ProjectSpec{Name: name, Redundancy: 1})
+	} else {
+		e := r.ownerEngine(name)
+		if e == nil {
+			return 0, false
+		}
+		p, err = e.EnsureProject(platform.ProjectSpec{Name: name, Redundancy: 1})
+	}
+	if err != nil {
+		return 0, false
+	}
+	r.acks.projects[name] = p.ID
+	return p.ID, true
+}
+
+func (r *runner) addTasks(pid int64, specs []platform.TaskSpec) ([]platform.Task, error) {
+	if r.c.Gateway() != nil {
+		return r.gatewayClient().AddTasks(pid, specs)
+	}
+	// Ids are ring-owned (OwnsID), so the project id names its partition.
+	lead := r.c.PartitionLeader(r.c.Ring.Lookup(pid))
+	if lead == nil {
+		return nil, fmt.Errorf("no live leader for project %d", pid)
+	}
+	return lead.Engine().AddTasks(pid, specs)
+}
+
+func (r *runner) submit(taskID int64, worker string) error {
+	if r.c.Gateway() != nil {
+		_, err := r.gatewayClient().Submit(taskID, worker, "yes")
+		return err
+	}
+	lead := r.c.PartitionLeader(r.c.Ring.Lookup(taskID))
+	if lead == nil {
+		return fmt.Errorf("no live leader for task %d", taskID)
+	}
+	_, err := lead.Engine().Submit(taskID, worker, "yes")
+	return err
+}
+
+// finish heals the network, revives dead followers, quiesces, and runs
+// every invariant.
+func (r *runner) finish() error {
+	r.c.Net.HealAll()
+	for _, n := range r.c.Nodes() {
+		if !n.Alive && !n.IsLeader {
+			if err := r.c.Restart(n.Name); err != nil {
+				return fmt.Errorf("final restart %s: %w", n.Name, err)
+			}
+		}
+	}
+	if err := r.c.Quiesce(5 * time.Minute); err != nil {
+		return err
+	}
+	if err := r.c.CheckSingleLeader(); err != nil {
+		return err
+	}
+	if err := r.c.CheckReplicasIdentical(); err != nil {
+		return err
+	}
+	if err := r.checkAcked(); err != nil {
+		return err
+	}
+	hash, err := r.c.StateHash()
+	if err != nil {
+		return err
+	}
+	r.report.Hash = hash
+	for _, n := range r.c.Nodes() {
+		if n.Alive && n.IsLeader {
+			r.report.Frontiers[n.Partition] = n.frontier()
+		}
+	}
+	return nil
+}
+
+// checkAcked asserts the no-lost/no-duplicate invariant over the ack
+// log: every acknowledged project and task exists on its owning leader
+// exactly once, and every acknowledged submission left at least one run.
+func (r *runner) checkAcked() error {
+	for name, pid := range r.acks.projects {
+		lead := r.c.PartitionLeader(r.c.Ring.LookupString(name))
+		if lead == nil {
+			return fmt.Errorf("acked project %q: partition has no live leader", name)
+		}
+		e := lead.Engine()
+		p, ok, err := e.FindProject(name)
+		if err != nil || !ok {
+			return fmt.Errorf("acked project %q lost (ok=%v err=%v)", name, ok, err)
+		}
+		if p.ID != pid {
+			return fmt.Errorf("acked project %q changed id: acked %d, found %d (duplicate create)", name, pid, p.ID)
+		}
+		tasks, err := e.Tasks(pid)
+		if err != nil {
+			return fmt.Errorf("tasks of %q: %w", name, err)
+		}
+		count := make(map[string]int, len(tasks))
+		for _, t := range tasks {
+			if t.ExternalID != "" {
+				count[t.ExternalID]++
+			}
+		}
+		for ext, c := range count {
+			if c > 1 {
+				return fmt.Errorf("project %q: external id %q exists %d times (duplicate write)", name, ext, c)
+			}
+		}
+		for ext, tid := range r.acks.tasks[name] {
+			if count[ext] != 1 {
+				return fmt.Errorf("project %q: acked task %q lost", name, ext)
+			}
+			if r.acks.submits[tid] > 0 {
+				runs, err := e.Runs(tid)
+				if err != nil || len(runs) == 0 {
+					return fmt.Errorf("project %q task %q: acked submit left no run (err=%v)", name, ext, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GenScript derives a randomized chaos script from rnd: bursts of
+// acknowledged writes interleaved with follower kills and restarts,
+// link partitions and heals, forced checkpoints and time advances.
+// Leader kills and promotions are scripted in directed tests, not in
+// sweeps — a sweep's closing pass must always find the original leaders
+// to quiesce against. The same rnd state generates the same script.
+func GenScript(rnd vclock.Rand, cfg Config, nOps int) Script {
+	cfg = cfg.withDefaults()
+	s := Script{Config: cfg}
+	nFollowers := cfg.FollowersPerLeader * cfg.Leaders
+	follower := func() (name, partition string) {
+		i := int(rnd.Int63n(int64(max(nFollowers, 1))))
+		return fmt.Sprintf("f%d", i+1), fmt.Sprintf("l%d", i%cfg.Leaders+1)
+	}
+	projects := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < nOps; i++ {
+		roll := rnd.Int63n(100)
+		switch {
+		case roll < 40:
+			s.Ops = append(s.Ops, Op{
+				Kind:    OpBurst,
+				Project: projects[rnd.Int63n(int64(len(projects)))],
+				N:       int(rnd.Int63n(24)) + 1,
+			})
+		case roll < 60:
+			s.Ops = append(s.Ops, Op{
+				Kind: OpAdvance,
+				D:    time.Duration(rnd.Int63n(int64(2*time.Second))) + 10*time.Millisecond,
+			})
+		case roll < 70 && nFollowers > 0:
+			f, _ := follower()
+			s.Ops = append(s.Ops, Op{Kind: OpKill, Node: f})
+		case roll < 80 && nFollowers > 0:
+			f, _ := follower()
+			s.Ops = append(s.Ops, Op{Kind: OpRestart, Node: f})
+		case roll < 88 && nFollowers > 0:
+			f, p := follower()
+			s.Ops = append(s.Ops, Op{Kind: OpPartition, Node: f, Peer: p})
+		case roll < 96 && nFollowers > 0:
+			f, p := follower()
+			s.Ops = append(s.Ops, Op{Kind: OpHeal, Node: f, Peer: p})
+		default:
+			s.Ops = append(s.Ops, Op{
+				Kind: OpCheckpoint,
+				Node: fmt.Sprintf("l%d", rnd.Int63n(int64(cfg.Leaders))+1),
+			})
+		}
+	}
+	return s
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/vclock"
 )
 
 // SyncPolicy controls when appended frames are fsynced.
@@ -74,6 +75,10 @@ type Options struct {
 	// compaction latency histograms, operation counters, size gauges).
 	// Nil disables instrumentation at zero hot-path cost.
 	Metrics *obs.Registry
+	// Clock paces the SyncBatch background flush loop. Nil defaults to
+	// wall time; a simulated cluster injects its vclock.Sim so the sync
+	// cadence elapses in virtual time.
+	Clock vclock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.NewWall()
 	}
 	return o
 }
@@ -777,13 +785,15 @@ func (db *DB) syncThrough(seq uint64) error {
 
 func (db *DB) syncLoop() {
 	defer db.syncWG.Done()
-	t := time.NewTicker(db.opts.SyncInterval)
-	defer t.Stop()
+	// Re-armed After instead of a ticker: the injected clock (wall in
+	// production, vclock.Sim under simulation) owns the cadence either
+	// way, and a fresh timer per round is exactly a ticker that cannot
+	// backlog.
 	for {
 		select {
 		case <-db.stopSync:
 			return
-		case <-t.C:
+		case <-db.opts.Clock.After(db.opts.SyncInterval):
 			if db.needSync.Swap(false) {
 				db.mu.Lock()
 				if !db.closed {

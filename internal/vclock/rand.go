@@ -1,0 +1,77 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Rand is the randomness counterpart of Clock: every jitter, shuffle or
+// coin flip in the platform's core packages draws from an injected Rand,
+// so a simulated scenario replays the identical retry schedule from the
+// same seed. Real deployments seed one from entropy at process start
+// (internal/sim.RealRand); simulations seed one from the scenario seed.
+type Rand interface {
+	// Uint64 returns the next 64 pseudo-random bits.
+	Uint64() uint64
+	// Int63n returns a uniform int64 in [0, n). n must be > 0.
+	Int63n(n int64) int64
+	// Float64 returns a uniform float64 in [0, 1).
+	Float64() float64
+}
+
+// SeededRand is a deterministic Rand: SplitMix64 over a seed, guarded by
+// a mutex so concurrent callers draw from one reproducible sequence. The
+// generator is stdlib-free on purpose — its output must be identical
+// across Go versions, or a CI failure's logged seed would not reproduce
+// after a toolchain bump.
+type SeededRand struct {
+	mu sync.Mutex
+	s  uint64
+}
+
+// NewSeededRand returns a SeededRand over seed.
+func NewSeededRand(seed uint64) *SeededRand { return &SeededRand{s: seed} }
+
+// Uint64 implements Rand (SplitMix64 step).
+func (r *SeededRand) Uint64() uint64 {
+	r.mu.Lock()
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	r.mu.Unlock()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Int63n implements Rand. Modulo bias is below 2^-40 for any n a backoff
+// or shuffle uses; accepted for simplicity.
+func (r *SeededRand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("vclock: Int63n with non-positive n")
+	}
+	return int64(r.Uint64()>>1) % n
+}
+
+// Float64 implements Rand.
+func (r *SeededRand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jitter spreads d by ±frac using rnd: the returned duration is uniform
+// in [d·(1−frac), d·(1+frac)]. A nil rnd, non-positive d or non-positive
+// frac returns d unchanged — un-jittered code paths cost one branch.
+func Jitter(rnd Rand, d time.Duration, frac float64) time.Duration {
+	if rnd == nil || d <= 0 || frac <= 0 {
+		return d
+	}
+	span := float64(d) * frac
+	off := (rnd.Float64()*2 - 1) * span
+	j := time.Duration(float64(d) + off)
+	if j <= 0 {
+		j = 1
+	}
+	return j
+}

@@ -1,0 +1,162 @@
+package vclock
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sim is the cluster-simulation clock: a Clock whose time moves only when
+// a controller calls Advance. Unlike Virtual, reading Now does NOT move
+// the clock — any number of concurrent goroutines can stamp, compare and
+// compute deadlines without perturbing each other, which is what makes a
+// whole simulated cluster byte-reproducible across runs: the timestamps a
+// scenario produces are a pure function of the scenario's own advance
+// schedule, never of how many background goroutines happened to glance at
+// the clock.
+//
+// Sleep and After park the caller on a waiter that fires when Advance
+// carries the clock past its deadline. Advance steps through pending
+// deadlines in order, firing each cohort and briefly yielding so the
+// woken goroutines can run — and, typically, register their next timer —
+// before later deadlines fire. A waiter registered for a deadline already
+// in the past fires immediately, so a goroutine that re-arms late is
+// merely late, never stuck.
+//
+// The yield between cohorts waits on real scheduling, so exact goroutine
+// interleavings are not bit-reproducible — the determinism contract is
+// about simulated time and the state machines driven by it, and the sim
+// harness asserts its invariants at quiesce points, where every pending
+// effect has drained. All methods are safe for concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     uint64
+	waiters []*simWaiter // sorted by (at, seq): deadline order, FIFO within a deadline
+}
+
+type simWaiter struct {
+	at  time.Time
+	seq uint64
+	ch  chan time.Time
+}
+
+// NewSim returns a Sim clock starting at Epoch.
+func NewSim() *Sim { return NewSimAt(Epoch) }
+
+// NewSimAt returns a Sim clock starting at start.
+func NewSimAt(start time.Time) *Sim { return &Sim{now: start} }
+
+// Now returns the current simulated time. It does not advance the clock:
+// successive calls between Advances return the same instant. Code that
+// needs totally ordered stamps must order by sequence numbers, as the
+// platform journal does.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep blocks until the controller has advanced the clock by at least d.
+// A non-positive d returns immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After returns a channel firing once the clock has been advanced past
+// now+d. A non-positive d (or a deadline already passed) fires
+// immediately.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.mu.Lock()
+	at := s.now.Add(d)
+	if d <= 0 || !at.After(s.now) {
+		now := s.now
+		s.mu.Unlock()
+		ch <- now
+		return ch
+	}
+	s.seq++
+	w := &simWaiter{at: at, seq: s.seq, ch: ch}
+	i := sort.Search(len(s.waiters), func(i int) bool {
+		o := s.waiters[i]
+		return o.at.After(at) || (o.at.Equal(at) && o.seq > w.seq)
+	})
+	s.waiters = append(s.waiters, nil)
+	copy(s.waiters[i+1:], s.waiters[i:])
+	s.waiters[i] = w
+	s.mu.Unlock()
+	return ch
+}
+
+// Waiters reports how many timers are currently parked on the clock —
+// a harness can block until the system under test has gone idle on N
+// timers before advancing.
+func (s *Sim) Waiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// Advance moves simulated time forward by d, firing every waiter whose
+// deadline is reached, in deadline order (FIFO within one deadline). After
+// each fired cohort the calling goroutine yields briefly so the woken
+// goroutines can act on the tick — re-arm a ticker, issue a probe — before
+// later deadlines fire; timers those goroutines register inside the window
+// are honored within the same Advance call.
+func (s *Sim) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for {
+		if len(s.waiters) == 0 || s.waiters[0].at.After(target) {
+			break
+		}
+		at := s.waiters[0].at
+		if at.After(s.now) {
+			s.now = at
+		}
+		var cohort []*simWaiter
+		for len(s.waiters) > 0 && !s.waiters[0].at.After(at) {
+			cohort = append(cohort, s.waiters[0])
+			s.waiters = s.waiters[1:]
+		}
+		now := s.now
+		s.mu.Unlock()
+		for _, w := range cohort {
+			w.ch <- now
+		}
+		settle()
+		s.mu.Lock()
+	}
+	s.now = target
+	s.mu.Unlock()
+	settle()
+}
+
+// AdvanceTo moves simulated time forward to t (a no-op if t is not after
+// the current time), firing due waiters exactly as Advance does.
+func (s *Sim) AdvanceTo(t time.Time) {
+	s.mu.Lock()
+	d := t.Sub(s.now)
+	s.mu.Unlock()
+	s.Advance(d)
+}
+
+// settle gives goroutines woken by a fired cohort a real-scheduler chance
+// to run before simulated time moves again. The wall sleep is the only
+// wall-time dependence in the simulation, and it bounds pacing, not
+// correctness: a goroutine that re-arms later than this simply takes its
+// next timer from the current simulated instant.
+func settle() {
+	for i := 0; i < 16; i++ {
+		runtime.Gosched()
+	}
+	time.Sleep(100 * time.Microsecond)
+}

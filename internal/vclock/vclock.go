@@ -14,11 +14,20 @@ import (
 // Clock supplies timestamps and supports advancing simulated time.
 type Clock interface {
 	// Now returns the current time. Successive calls return strictly
-	// increasing times so that lineage records are totally ordered.
+	// increasing times so that lineage records are totally ordered
+	// (except on Sim, which trades strict monotonicity of Now for
+	// cross-run determinism; see Sim).
 	Now() time.Time
-	// Sleep advances the clock by d (virtual clocks) or blocks for d
-	// (wall clocks).
+	// Sleep advances the clock by d (Virtual), blocks for d (Wall), or
+	// blocks until the controller has advanced past d (Sim).
 	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed — time.After in virtual time. On Virtual the clock is
+	// advanced by d and the channel is already fired; on Sim the channel
+	// fires when the controller advances past the deadline. There is no
+	// Stop: an abandoned channel is garbage once it fires (wall timers
+	// hold their resources until then, like time.After).
+	After(d time.Duration) <-chan time.Time
 }
 
 // Epoch is the instant virtual clocks start at: the submission date of the
@@ -83,6 +92,18 @@ func (v *Virtual) AdvanceTo(t time.Time) {
 	v.mu.Unlock()
 }
 
+// After advances the clock by d and returns an already-fired channel —
+// a Virtual clock never blocks, so "d from now" is simply now after the
+// advance. Loops that re-arm After on every iteration therefore spin
+// rather than park under a Virtual clock; use Sim for code whose timer
+// behavior is under test.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.Sleep(d)
+	ch := make(chan time.Time, 1)
+	ch <- v.Peek()
+	return ch
+}
+
 // Wall is a Clock backed by the real system clock.
 type Wall struct {
 	mu   sync.Mutex
@@ -108,3 +129,6 @@ func (w *Wall) Now() time.Time {
 
 // Sleep blocks for d.
 func (w *Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After is time.After.
+func (w *Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
