@@ -2,11 +2,12 @@
 // in DESIGN.md, plus E11 for the journal group-commit pipeline, E12 for
 // snapshot-checkpointed recovery, E13 for journal-shipping replication,
 // E14 for the ring-routed gateway, E15 for the observability layer's
-// overhead, and E16 for the binary event codec and gateway read cache)
-// and prints the tables recorded in EXPERIMENTS.md. Experiments with
-// machine-readable output (E11 → BENCH_submit.json, E12 →
-// BENCH_recovery.json, E13 → BENCH_repl.json, E14 → BENCH_gate.json,
-// E15 → BENCH_obs.json, E16 → BENCH_codec.json) write it to -out.
+// overhead, E16 for the binary event codec and gateway read cache, and
+// E17 for the distributed crowd-operator runtime) and prints the tables
+// recorded in EXPERIMENTS.md. Experiments with machine-readable output
+// (E11 → BENCH_submit.json, E12 → BENCH_recovery.json, E13 →
+// BENCH_repl.json, E14 → BENCH_gate.json, E15 → BENCH_obs.json, E16 →
+// BENCH_codec.json, E17 → BENCH_dist.json) write it to -out.
 //
 // The command doubles as the CI perf gate: -baseline compares the fresh
 // BENCH_submit.json against a committed baseline and exits non-zero if
@@ -23,7 +24,10 @@
 // BENCH_obs.json, and -check-codec enforces E16's codec bars (binary at
 // 2x+ JSON encode+decode throughput and 30%+ smaller events, both
 // same-machine ratios, plus structural round-trip and node-free cache-hit
-// checks) on BENCH_codec.json.
+// checks) on BENCH_codec.json, and -check-dist enforces E17's
+// distributed-operator invariants (partition-disjoint shards covering
+// the pair set, a distributed result set equal to the single-leader run,
+// streaming Dawid-Skene converging to the batch fit) on BENCH_dist.json.
 //
 // Usage:
 //
@@ -35,10 +39,11 @@
 //	reprowd-bench -exp e14        # gateway routing + read fan-out, emits BENCH_gate.json
 //	reprowd-bench -exp e15        # instrumentation overhead, emits BENCH_obs.json
 //	reprowd-bench -exp e16        # binary codec vs JSON + read cache, emits BENCH_codec.json
+//	reprowd-bench -exp e17        # distributed crowd join over 4 leaders, emits BENCH_dist.json
 //	reprowd-bench -quick          # small workloads (seconds, not minutes)
 //	reprowd-bench -seed 7         # change the simulation seed
-//	reprowd-bench -quick -exp e11,e12,e13,e14,e15,e16 -baseline ci/BENCH_baseline.json \
-//	    -check-recovery -check-repl -check-gate -check-obs -check-codec
+//	reprowd-bench -quick -exp e11,e12,e13,e14,e15,e16,e17 -baseline ci/BENCH_baseline.json \
+//	    -check-recovery -check-repl -check-gate -check-obs -check-codec -check-dist
 package main
 
 import (
@@ -74,6 +79,8 @@ func main() {
 			"fraction of bare throughput the instrumented run may lose before -check-obs fails")
 		checkCodec = flag.Bool("check-codec", false,
 			"fail unless BENCH_codec.json shows the binary codec at 2x+ JSON encode+decode throughput, 30%+ smaller events, and cache hits touching no node; requires e16 in -exp")
+		checkDist = flag.Bool("check-dist", false,
+			"fail unless BENCH_dist.json shows partition-disjoint shards, a distributed result set equal to the single-leader run, and streaming Dawid-Skene matching the batch fit; requires e17 in -exp")
 	)
 	flag.Parse()
 
@@ -159,9 +166,27 @@ func main() {
 			fmt.Println("codec gate: binary 2x+ encode+decode throughput, 30%+ smaller events, cache hits node-free")
 		}
 	}
+	if *checkDist {
+		if err := gateDist(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "reprowd-bench: distributed-join gate: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("distributed-join gate: disjoint shards, single-leader-equivalent results, incremental quality matches batch")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// gateDist enforces the distributed-operator invariants on the freshly
+// written BENCH_dist.json.
+func gateDist(outDir string) error {
+	records, err := exp.LoadDistRecords(filepath.Join(outDir, "BENCH_dist.json"))
+	if err != nil {
+		return fmt.Errorf("load distributed-join records (did -exp include e17?): %w", err)
+	}
+	return exp.CheckDist(records)
 }
 
 // gateCodec enforces the binary-codec and read-cache bars on the freshly

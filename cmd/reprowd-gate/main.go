@@ -65,6 +65,8 @@ func main() {
 			"max replication lag (events) at which a follower still serves reads")
 		readCache = flag.Bool("read-cache", true,
 			"serve repeated single-partition reads from the frontier-tagged cache until the partition's journal frontier advances")
+		maxBodyBuffer = flag.Int64("max-body-buffer", gate.DefaultMaxBodyBytes,
+			"max request-body bytes buffered for retry-on-successor replay; bodies over this are rejected with 413 (raise for very large AddTasks batches)")
 		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond,
 			"how often every node's /api/healthz is probed")
 		reloadInterval = flag.Duration("topology-reload-interval", 2*time.Second,
@@ -109,6 +111,7 @@ func main() {
 		ProbeInterval: *probeInterval,
 		Metrics:       reg,
 		ReadCache:     *readCache,
+		MaxBodyBytes:  *maxBodyBuffer,
 		// Real time and real jitter bind here, at the binary's edge;
 		// internal/gate itself only ever sees the injected pair.
 		Clock: sim.RealClock(),

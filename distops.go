@@ -1,0 +1,78 @@
+package reprowd
+
+import (
+	"repro/internal/distops"
+	"repro/internal/lineage"
+	"repro/internal/ops"
+	"repro/internal/quality"
+	"repro/internal/similarity"
+)
+
+// Distributed crowd-operator runtime (internal/distops), re-exported:
+// the same join workloads the operators run in-process, executed against
+// a ring-routed gateway across N partitions — planned into per-partition
+// shards, fanned out through batched task creation, streamed into
+// incremental quality inference, and reconstructible via cross-node
+// lineage.
+type (
+	// DistConfig tunes a distributed operator run (partitions, shard
+	// batching, streaming quality, the crowd callback).
+	DistConfig = distops.Config
+	// DistResult is a distributed join's output.
+	DistResult = distops.Result
+	// DistShardRun describes one published shard to the Answer callback.
+	DistShardRun = distops.ShardRun
+	// DistShardStats accounts one shard's slice of a run.
+	DistShardStats = distops.ShardStats
+	// DistVerdict is one streamed answer, tagged with its partition.
+	DistVerdict = distops.Verdict
+	// DistManifest records how a run was sharded across partitions.
+	DistManifest = distops.Manifest
+	// DistReport is the cluster-spanning lineage of a distributed run.
+	DistReport = lineage.DistReport
+	// OnlineDawidSkene is the incremental (streaming) Dawid-Skene model
+	// distributed runs feed verdict by verdict.
+	OnlineDawidSkene = quality.OnlineDawidSkene
+	// DSFit is a Dawid-Skene fit: decisions plus the learned priors and
+	// per-worker confusion matrices.
+	DSFit = quality.DSFit
+	// ScoredPair is a candidate record pair with its machine similarity.
+	ScoredPair = ops.ScoredPair
+	// SimilarityMeasure configures the machine similarity pass.
+	SimilarityMeasure = similarity.Measure
+)
+
+// DistCrowdJoin executes a crowd join across the partitioned cluster:
+// plan shards, fan out task creation through the gateway, stream
+// verdicts into incremental quality inference, collect, decide. The
+// context's client should speak to a reprowd-gate
+// (NewPlatformGatewayClient).
+func DistCrowdJoin(cc *Context, pairs []ScoredPair, cfg DistConfig) (DistResult, error) {
+	return distops.CrowdJoin(cc, pairs, cfg)
+}
+
+// DistLineage reconstructs the cluster-spanning lineage of a distributed
+// run from the database alone: which partition served which rows, merged
+// totals, and per-worker activity across every shard.
+func DistLineage(cc *Context, table string) (DistReport, error) {
+	return distops.Lineage(cc, table)
+}
+
+// NewOnlineDawidSkene builds the streaming Dawid-Skene model: Observe
+// votes as they arrive, Finalize converges to the batch fit. sweepEvery
+// bounds how many votes may land between EM sweeps (≤0 means 64).
+func NewOnlineDawidSkene(base DawidSkene, sweepEvery int) *OnlineDawidSkene {
+	return quality.NewOnlineDawidSkene(base, sweepEvery)
+}
+
+// CandidatePairs runs the machine similarity pass and returns the
+// surviving pairs with scores, plus the total pair count considered.
+func CandidatePairs(records []OpRecord, cfg HybridConfig) ([]ScoredPair, int, error) {
+	return ops.CandidatePairs(records, cfg)
+}
+
+// TopPairs returns the n most similar record pairs — the usual input to
+// DistCrowdJoin.
+func TopPairs(records []OpRecord, n int, m SimilarityMeasure) ([]ScoredPair, error) {
+	return ops.TopPairs(records, n, m)
+}

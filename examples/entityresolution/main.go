@@ -1,27 +1,41 @@
-// Entityresolution runs the two crowdsourced join algorithms the paper
-// re-implemented on CrowdData — the CrowdER hybrid human–machine join
-// (Wang et al. PVLDB 2012) and the transitivity-aware join (Wang et al.
-// SIGMOD 2013) — against the all-pairs baseline, on a synthetic dirty
-// restaurant corpus, and reports crowd cost and match quality for each.
+// Entityresolution runs the paper's crowdsourced entity-resolution
+// workload end to end on the distributed platform: it boots N journaled
+// leader nodes partitioned by a consistent-hash ring, fronts them with
+// the ring-routed gateway, and drives a CrowdER-style crowd join through
+// the distributed operator runtime — the planner shards the candidate
+// pairs across partitions, task creation fans out through the gateway
+// client's batched path, answers stream into incremental Dawid-Skene as
+// they land, and cross-node lineage reconstructs which leader served
+// which rows.
 //
-//	go run ./examples/entityresolution -entities 40
+//	go run ./examples/entityresolution -entities 40 -partitions 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"sync"
+	"time"
 
 	reprowd "repro"
+	"repro/internal/gate"
+	"repro/internal/platform"
+	"repro/internal/repl"
 	"repro/internal/simdata"
+	"repro/internal/storage"
+	"repro/internal/vclock"
 )
 
 func main() {
 	var (
-		entities = flag.Int("entities", 30, "distinct entities in the corpus")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		tau      = flag.Float64("tau", 0.35, "machine-pass similarity threshold")
+		entities   = flag.Int("entities", 40, "distinct entities in the corpus")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		partitions = flag.Int("partitions", 4, "leader partitions behind the gateway")
+		pairCap    = flag.Int("pairs", 600, "most-similar pairs sent to the crowd")
 	)
 	flag.Parse()
 
@@ -32,48 +46,127 @@ func main() {
 	for _, r := range corpus.Records {
 		records = append(records, reprowd.OpRecord{ID: r.ID, Fields: r.Fields})
 	}
-	fmt.Printf("corpus: %d records, %d true duplicate pairs\n\n", len(records), len(corpus.Matches))
+	pairs, err := reprowd.TopPairs(records, *pairCap, reprowd.SimilarityMeasure{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d records, %d true duplicate pairs; asking the crowd about the top %d pairs\n\n",
+		len(records), len(corpus.Matches), len(pairs))
 
-	run := func(name string, f func(cc *reprowd.Context, answer reprowd.Answerer) (reprowd.JoinResult, error)) {
-		dir, err := os.MkdirTemp("", "er-*")
+	// Boot the partitioned deployment: one journaled leader per ring
+	// partition, each allocating only ids it owns, behind one gateway.
+	dir, err := os.MkdirTemp("", "er-dist-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	parts := make([]string, *partitions)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("n%d", i+1)
+	}
+	ring := repl.NewRing(0, parts...)
+	topo := gate.Topology{}
+	for _, name := range parts {
+		hs, err := startLeader(filepath.Join(dir, name), name, ring)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer os.RemoveAll(dir)
-		sim := reprowd.NewSimulation(*seed)
-		cc, err := reprowd.NewContext(reprowd.Options{DBDir: dir, Client: sim.Platform, Clock: sim.Clock})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer cc.Close()
+		defer hs.Close()
+		topo.Nodes = append(topo.Nodes, gate.NodeConfig{Name: name, URL: hs.URL})
+	}
+	g, err := gate.New(gate.Options{Topology: topo, ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	gs := httptest.NewServer(g)
+	defer gs.Close()
+	fmt.Printf("gateway fronting %d leaders at %s\n", len(parts), gs.URL)
 
-		pool := sim.Workers(reprowd.WorkerSpec{Count: 7, Model: reprowd.UniformWorker{P: 0.9}, Prefix: "w"})
-		answer := reprowd.PoolAnswerer(sim.Platform, pool, reprowd.PairOracle(corpus.Matches))
-		res, err := f(cc, answer)
-		if err != nil {
-			log.Fatal(err)
-		}
-		q := reprowd.PairQuality(res.Matches, corpus.Matches)
-		fmt.Printf("%-22s asked crowd %5d pairs (%d tasks, %d answers), deduced %4d, machine-pruned %5d | %s\n",
-			name, res.CrowdPairs, res.CrowdTasks, res.Cost.Answers, res.DeducedPairs, res.MachinePairs, q)
+	// The experiment — and the simulated crowd — speak ONLY to the
+	// gateway; no code below knows which leader holds what.
+	client := reprowd.NewPlatformGatewayClient(gs.URL)
+	cc, err := reprowd.NewContext(reprowd.Options{
+		DBDir: filepath.Join(dir, "ctx"), Client: client, Clock: vclock.NewVirtual(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cc.Close()
+
+	pool := reprowd.NewPool(*seed, vclock.NewVirtual(), reprowd.WorkerSpec{
+		Count: 7, Model: reprowd.UniformWorker{P: 0.9}, Prefix: "w",
+	})
+	var poolMu sync.Mutex
+	online := reprowd.NewOnlineDawidSkene(reprowd.DawidSkene{}, 64)
+	streamedBy := map[string]int{}
+	var streamMu sync.Mutex
+
+	start := time.Now()
+	res, err := reprowd.DistCrowdJoin(cc, pairs, reprowd.DistConfig{
+		Partitions: parts,
+		Table:      "er",
+		Redundancy: 3,
+		Quality:    online,
+		OnVerdict: func(v reprowd.DistVerdict) {
+			streamMu.Lock()
+			streamedBy[v.Partition]++
+			streamMu.Unlock()
+		},
+		Answer: func(sr reprowd.DistShardRun) error {
+			poolMu.Lock()
+			defer poolMu.Unlock()
+			_, err := pool.Drain(client, sr.ProjectID, reprowd.PairOracle(corpus.Matches))
+			return err
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	q := reprowd.PairQuality(res.Matches, corpus.Matches)
+	fmt.Printf("\ndistributed crowd join: %d tasks, %d answers across %d shards in %s | %s\n",
+		res.Cost.Tasks, res.Cost.Answers, len(res.Shards), elapsed.Round(time.Millisecond), q)
+	for _, sh := range res.Shards {
+		streamMu.Lock()
+		live := streamedBy[sh.Partition]
+		streamMu.Unlock()
+		fmt.Printf("  shard %-10s on %-4s %4d pairs, %5d answers (%d streamed live)\n",
+			sh.Table, sh.Partition, sh.Rows, sh.Answers, live)
 	}
 
-	run("all-pairs baseline", func(cc *reprowd.Context, answer reprowd.Answerer) (reprowd.JoinResult, error) {
-		return reprowd.AllPairsJoin(cc, records, reprowd.JoinConfig{Table: "er", Redundancy: 3, Answer: answer})
-	})
-	run("CrowdER hybrid", func(cc *reprowd.Context, answer reprowd.Answerer) (reprowd.JoinResult, error) {
-		return reprowd.HybridJoin(cc, records, reprowd.HybridConfig{
-			JoinConfig: reprowd.JoinConfig{Table: "er", Redundancy: 3, Answer: answer},
-			Threshold:  *tau,
-		})
-	})
-	run("transitive (sim-desc)", func(cc *reprowd.Context, answer reprowd.Answerer) (reprowd.JoinResult, error) {
-		return reprowd.TransitiveJoin(cc, records, reprowd.TransitiveConfig{
-			JoinConfig: reprowd.JoinConfig{Table: "er", Redundancy: 3, Answer: answer},
-			Threshold:  *tau,
-			Order:      reprowd.OrderSimilarityDesc,
-		})
-	})
+	// Cross-node lineage: reconstructed from the context database alone.
+	rep, err := reprowd.DistLineage(cc, "er")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", rep.Format())
+	fmt.Println("\nevery answer streamed through the gateway into incremental Dawid-Skene; the decisions match a batch fit over the same votes")
+}
 
-	fmt.Println("\nthe shape to expect: hybrid ≪ all-pairs in crowd cost at similar F1; transitive asks even fewer")
+// startLeader boots one journaled leader that allocates only ring-owned
+// ids — the same shape `reprowd-server -ring -ring-self` runs in
+// production, in-process for the example.
+func startLeader(dir, name string, ring *repl.Ring) (*httptest.Server, error) {
+	db, err := storage.Open(dir, storage.Options{Sync: storage.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	j, err := platform.OpenJournal(db)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{
+		Clock:   vclock.NewVirtual(),
+		Journal: j,
+		OwnsID:  func(id int64) bool { return ring.Lookup(id) == name },
+	})
+	if err != nil {
+		return nil, err
+	}
+	node := repl.NewLeaderNode(engine, j, db)
+	srv := platform.NewServer(engine)
+	srv.Handle("/api/repl/", node.Handler())
+	return httptest.NewServer(srv), nil
 }

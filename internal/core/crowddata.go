@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/platform"
@@ -139,6 +141,16 @@ type PublishOptions struct {
 	Redundancy int
 	// Priority orders tasks on the platform (higher first); optional.
 	Priority func(row *Row) float64
+	// BatchSize splits task creation into AddTasks calls of at most this
+	// many specs. Zero sends everything in one call. Bounding the batch
+	// keeps request bodies under proxy caps when publishing through the
+	// gateway.
+	BatchSize int
+	// Concurrency is how many batches may be in flight at once (only
+	// meaningful with BatchSize > 0). Zero or one publishes batches
+	// sequentially. The platform deduplicates on the row key, so
+	// concurrent batches stay idempotent.
+	Concurrency int
 }
 
 // Publish creates platform tasks for every row that does not already have
@@ -190,9 +202,9 @@ func (cd *CrowdData) Publish(opts PublishOptions) (int, error) {
 		}
 		specs = append(specs, spec)
 	}
-	tasks, err := cd.ctx.client.AddTasks(project.ID, specs)
+	tasks, err := cd.addTasks(project.ID, specs, opts)
 	if err != nil {
-		return 0, fmt.Errorf("core: add tasks: %w", err)
+		return 0, err
 	}
 	if len(tasks) != len(pending) {
 		return 0, fmt.Errorf("core: platform returned %d tasks for %d specs", len(tasks), len(pending))
@@ -228,6 +240,84 @@ func (cd *CrowdData) Publish(opts PublishOptions) (int, error) {
 		"presenter":  cd.presenter.Name,
 	})
 	return len(pending), err
+}
+
+// addTasks fans task creation out to the platform, honoring the batch
+// size and concurrency bounds. Results land at their spec's offset, so
+// the returned slice lines up with specs regardless of completion
+// order; AddTasks returns tasks in spec order per call.
+func (cd *CrowdData) addTasks(projectID int64, specs []platform.TaskSpec, opts PublishOptions) ([]platform.Task, error) {
+	if opts.BatchSize <= 0 || opts.BatchSize >= len(specs) {
+		tasks, err := cd.ctx.client.AddTasks(projectID, specs)
+		if err != nil {
+			return nil, fmt.Errorf("core: add tasks: %w", err)
+		}
+		return tasks, nil
+	}
+	type chunk struct {
+		off   int
+		specs []platform.TaskSpec
+	}
+	var chunks []chunk
+	for off := 0; off < len(specs); off += opts.BatchSize {
+		end := off + opts.BatchSize
+		if end > len(specs) {
+			end = len(specs)
+		}
+		chunks = append(chunks, chunk{off: off, specs: specs[off:end]})
+	}
+	workers := opts.Concurrency
+	if workers <= 1 {
+		workers = 1
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+
+	results := make([]platform.Task, len(specs))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		next     int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				c := chunks[i]
+				tasks, err := cd.ctx.client.AddTasks(projectID, c.specs)
+				if err == nil && len(tasks) != len(c.specs) {
+					err = fmt.Errorf("core: platform returned %d tasks for %d specs", len(tasks), len(c.specs))
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: add tasks batch at %d: %w", c.off, err)
+					}
+					mu.Unlock()
+					return
+				}
+				copy(results[c.off:], tasks)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // ProjectID resolves the backing platform project id.

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// countingClient wraps a platform client and records AddTasks call sizes.
+type countingClient struct {
+	platform.Client
+	mu    sync.Mutex
+	calls []int
+	fail  int // fail the Nth call (1-based); 0 disables
+	n     int
+}
+
+func (c *countingClient) AddTasks(projectID int64, specs []platform.TaskSpec) ([]platform.Task, error) {
+	c.mu.Lock()
+	c.n++
+	c.calls = append(c.calls, len(specs))
+	fail := c.fail != 0 && c.n == c.fail
+	c.mu.Unlock()
+	if fail {
+		return nil, errors.New("injected batch failure")
+	}
+	return c.Client.AddTasks(projectID, specs)
+}
+
+func batchObjects(n int) []Object {
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{"id": fmt.Sprintf("obj-%03d", i), "truth": "Yes"}
+	}
+	return objs
+}
+
+func TestPublishBatched(t *testing.T) {
+	env := newEnv(t, 3, nil)
+	counting := &countingClient{Client: env.engine}
+	cc, err := NewContext(Options{DBDir: env.dbDir, Client: counting, Clock: env.clock, KeyFunc: FieldKey("id")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	cd, err := cc.CrowdData(batchObjects(100), "batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("label?"))
+	n, err := cd.Publish(PublishOptions{Redundancy: 2, BatchSize: 16, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("published %d rows, want 100", n)
+	}
+	counting.mu.Lock()
+	calls := append([]int(nil), counting.calls...)
+	counting.mu.Unlock()
+	if len(calls) != 7 { // ceil(100/16)
+		t.Fatalf("AddTasks called %d times (%v), want 7", len(calls), calls)
+	}
+	total := 0
+	for _, c := range calls {
+		if c > 16 {
+			t.Fatalf("batch of %d exceeds BatchSize 16", c)
+		}
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("batches covered %d specs, want 100", total)
+	}
+
+	// Every row's task column must line up with its own key: completion
+	// order must not permute task assignment.
+	pid, err := cd.ProjectID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := env.engine.Tasks(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extByID := make(map[int64]string, len(tasks))
+	for _, task := range tasks {
+		extByID[task.ID] = task.ExternalID
+	}
+	for _, row := range cd.Rows() {
+		if row.Task == nil {
+			t.Fatalf("row %s has no task", row.Key)
+		}
+		if got := extByID[row.Task.PlatformTaskID]; got != row.Key {
+			t.Fatalf("row %s bound to task with external id %s", row.Key, got)
+		}
+	}
+
+	// Republish is a no-op: all rows already have task columns.
+	if n, err := cd.Publish(PublishOptions{Redundancy: 2, BatchSize: 16}); err != nil || n != 0 {
+		t.Fatalf("republish = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPublishBatchedPartialFailureIsRerunnable(t *testing.T) {
+	env := newEnv(t, 3, nil)
+	counting := &countingClient{Client: env.engine, fail: 3}
+	cc, err := NewContext(Options{DBDir: env.dbDir, Client: counting, Clock: env.clock, KeyFunc: FieldKey("id")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	cd, err := cc.CrowdData(batchObjects(50), "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.SetPresenter(ImageLabel("label?"))
+	if _, err := cd.Publish(PublishOptions{BatchSize: 10}); err == nil {
+		t.Fatal("publish with injected failure should error")
+	}
+	// No task column may have been persisted by the failed publish.
+	for _, row := range cd.Rows() {
+		if row.Task != nil {
+			t.Fatalf("row %s has a task after failed publish", row.Key)
+		}
+	}
+
+	// The rerun succeeds and re-binds the tasks the partial batches
+	// already created (the platform deduplicates on the row key).
+	if n, err := cd.Publish(PublishOptions{BatchSize: 10}); err != nil || n != 50 {
+		t.Fatalf("rerun publish = (%d, %v), want (50, nil)", n, err)
+	}
+	seen := map[int64]bool{}
+	for _, row := range cd.Rows() {
+		if row.Task == nil {
+			t.Fatalf("row %s unpublished after rerun", row.Key)
+		}
+		if seen[row.Task.PlatformTaskID] {
+			t.Fatalf("task %d bound to two rows", row.Task.PlatformTaskID)
+		}
+		seen[row.Task.PlatformTaskID] = true
+	}
+}

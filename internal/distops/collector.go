@@ -1,0 +1,87 @@
+package distops
+
+import (
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/vclock"
+)
+
+// taskIdent maps a platform task back to its logical identity.
+type taskIdent struct {
+	item   string
+	rowKey string
+}
+
+// collector streams one shard's answers as they land: it polls the
+// shard's task list through the gateway, fetches runs for tasks whose
+// answer count grew, and emits each previously unseen run as a Verdict.
+// Runs are listed in id order, so per task the stream is a stable,
+// growing prefix — the streamed count doubles as the resume cursor.
+type collector struct {
+	client    platform.Client
+	projectID int64
+	partition string
+	table     string
+	poll      time.Duration
+	clock     vclock.Clock
+	info      map[int64]taskIdent
+	emit      func(Verdict)
+	streamed  map[int64]int // task id → runs already emitted
+}
+
+// run polls until every task reaches its redundancy or stop closes;
+// either way it finishes with a final sweep so nothing visible at stop
+// time is dropped. The caller reads c.streamed after run returns to
+// reconcile against Collect.
+func (c *collector) run(stop <-chan struct{}) error {
+	final := false
+	for {
+		select {
+		case <-stop:
+			final = true
+		default:
+		}
+		tasks, err := c.client.Tasks(c.projectID)
+		if err != nil {
+			return err
+		}
+		done := len(tasks) > 0
+		for _, t := range tasks {
+			if t.NumAnswers > c.streamed[t.ID] {
+				runs, err := c.client.Runs(t.ID)
+				if err != nil {
+					return err
+				}
+				id := c.info[t.ID]
+				for _, r := range runs[min(c.streamed[t.ID], len(runs)):] {
+					c.emit(Verdict{
+						Partition: c.partition,
+						Table:     c.table,
+						Item:      id.item,
+						RowKey:    id.rowKey,
+						TaskID:    t.ID,
+						RunID:     r.ID,
+						Worker:    r.WorkerID,
+						Value:     r.Answer,
+					})
+				}
+				if len(runs) > c.streamed[t.ID] {
+					c.streamed[t.ID] = len(runs)
+				}
+			}
+			if t.NumAnswers < t.Redundancy {
+				done = false
+			}
+		}
+		if done || final {
+			return nil
+		}
+		select {
+		case <-stop:
+			// Loop once more: the final sweep above runs with the
+			// answerer's last writes visible.
+		case <-c.clock.After(c.poll):
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package distops
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+)
+
+// shardPlan is one partition's slice of a workload: the objects routed
+// to it and the shard table whose backing project hashes onto it.
+type shardPlan struct {
+	partition string
+	table     string
+	objects   []core.Object
+}
+
+// planShards splits objects across the ring partitions. Rows are
+// assigned by consistent-hashing their row key (so the split is
+// deterministic and balanced), and each partition's shard gets a table
+// name chosen so that the gateway — which places a project by hashing
+// its name on the same ring — ensures the shard's project on exactly
+// that partition. Disjointness is therefore by construction: no two
+// shards share a table, project, or partition.
+func planShards(cfg Config, keyOf func(core.Object) string, objects []core.Object) ([]shardPlan, error) {
+	ring := repl.NewRing(cfg.Vnodes, cfg.Partitions...)
+	byPart := map[string][]core.Object{}
+	for _, obj := range objects {
+		p := ring.LookupString(keyOf(obj))
+		byPart[p] = append(byPart[p], obj)
+	}
+	var shards []shardPlan
+	for i, p := range ring.Nodes() { // sorted, so shard numbering is stable
+		objs := byPart[p]
+		if len(objs) == 0 {
+			continue
+		}
+		table, err := shardTableName(ring, cfg.Table, i, p)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, shardPlan{partition: p, table: table, objects: objs})
+	}
+	return shards, nil
+}
+
+// shardTableName finds a table name whose backing project
+// ("reprowd-"+name, the CrowdData convention) the ring places on the
+// wanted partition. The search mirrors how the gateway routes ensures —
+// by hashing the project name — so planner and gateway always agree.
+func shardTableName(ring *repl.Ring, base string, idx int, partition string) (string, error) {
+	for j := 0; j < 100000; j++ {
+		name := fmt.Sprintf("%s_p%d_%d", base, idx, j)
+		if ring.LookupString("reprowd-"+name) == partition {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("distops: no table name for %s hashes onto partition %s", base, partition)
+}

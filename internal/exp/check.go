@@ -95,6 +95,112 @@ type GateRecord struct {
 	Note          string `json:"note,omitempty"`
 }
 
+// DistRecord is E17's BENCH_dist.json row: the distributed
+// crowd-operator runtime (internal/distops) driving a multi-thousand-pair
+// crowd join across a simulated multi-leader topology, against the same
+// workload on a single leader.
+type DistRecord struct {
+	Pairs      int `json:"pairs"`
+	Partitions int `json:"partitions"`
+	Workers    int `json:"workers"`
+	Redundancy int `json:"redundancy"`
+	// Wall time for the whole join on one leader vs. planned across all
+	// partitions; ScaleRatio = single/dist (>1 means the multi-leader
+	// topology finished faster). Informational — wall-clock ratios are
+	// machine-dependent, so the CI gate only requires it to be recorded.
+	SingleSeconds float64 `json:"single_leader_seconds"`
+	DistSeconds   float64 `json:"dist_leader_seconds"`
+	ScaleRatio    float64 `json:"scale_ratio"`
+	CPUs          int     `json:"cpus"`
+	// TasksPerPartition is each leader's own /api/stats task count.
+	// Disjoint is the partitioning bar: every partition holds exactly its
+	// planned shard's tasks and together they cover the pair set.
+	TasksPerPartition map[string]int `json:"tasks_per_partition"`
+	Disjoint          bool           `json:"tasks_disjoint"`
+	// Equivalent is the correctness bar: the distributed match set equals
+	// the single-leader run's (deterministic workers make the vote
+	// multisets identical across topologies).
+	Equivalent bool `json:"result_set_equivalent"`
+	// IncrementalMatchesBatch: the streaming Dawid-Skene decisions equal
+	// a batch fit over the same collected votes.
+	IncrementalMatchesBatch bool `json:"incremental_matches_batch"`
+	// Streamed counts verdicts the collectors emitted live; the gate
+	// requires full coverage (pairs × redundancy).
+	Streamed int     `json:"verdicts_streamed"`
+	Matches  int     `json:"matches"`
+	F1       float64 `json:"f1"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// LoadDistRecords reads a BENCH_dist.json file.
+func LoadDistRecords(path string) ([]DistRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []DistRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CheckDist verifies E17's structural claims on its own output: the
+// workload was big enough to mean anything (≥1k pairs over ≥4
+// partitions), every partition took its planned disjoint slice of the
+// tasks, the distributed match set equals the single-leader run's, the
+// streaming quality model converged to the batch fit, and every answer
+// was streamed live. All count/boolean checks — the gate holds on any
+// machine speed (the scale ratio is recorded but deliberately not gated).
+func CheckDist(records []DistRecord) error {
+	if len(records) == 0 {
+		return fmt.Errorf("no distributed-join records")
+	}
+	var failures []string
+	for _, r := range records {
+		if r.Pairs < 1000 {
+			failures = append(failures, fmt.Sprintf("only %d pairs, want >= 1000", r.Pairs))
+		}
+		if r.Partitions < 4 {
+			failures = append(failures, fmt.Sprintf("only %d partitions, want >= 4", r.Partitions))
+		}
+		if r.ScaleRatio <= 0 {
+			failures = append(failures, "no scale ratio recorded")
+		}
+		if !r.Disjoint {
+			failures = append(failures, fmt.Sprintf("tasks not partition-disjoint (%s)", r.Note))
+		}
+		if len(r.TasksPerPartition) != r.Partitions {
+			failures = append(failures, fmt.Sprintf(
+				"%d of %d partitions hold tasks", len(r.TasksPerPartition), r.Partitions))
+		}
+		total := 0
+		for _, n := range r.TasksPerPartition {
+			total += n
+		}
+		if total != r.Pairs {
+			failures = append(failures, fmt.Sprintf(
+				"leaders hold %d tasks for %d pairs", total, r.Pairs))
+		}
+		if !r.Equivalent {
+			failures = append(failures, fmt.Sprintf(
+				"distributed result set diverges from the single-leader run (%s)", r.Note))
+		}
+		if !r.IncrementalMatchesBatch {
+			failures = append(failures, fmt.Sprintf(
+				"incremental Dawid-Skene diverges from the batch fit (%s)", r.Note))
+		}
+		if want := r.Pairs * r.Redundancy; r.Streamed != want {
+			failures = append(failures, fmt.Sprintf(
+				"%d verdicts streamed, want %d (pairs × redundancy)", r.Streamed, want))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("distributed-join gate:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // ObsRecord is E15's BENCH_obs.json row: the same submit scenario run
 // bare (nil registry, branch-only no-ops) and instrumented (live
 // histograms and counters), best-of-N each.

@@ -103,6 +103,7 @@ var registry = map[string]runner{
 	"e14": E14Gateway,
 	"e15": E15ObsOverhead,
 	"e16": E16Codec,
+	"e17": E17DistOps,
 }
 
 // IDs lists the registered experiment ids in order.

@@ -59,7 +59,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 || ids[0] != "e1" || ids[9] != "e10" || ids[15] != "e16" {
+	if len(ids) != 17 || ids[0] != "e1" || ids[9] != "e10" || ids[16] != "e17" {
 		t.Fatalf("IDs = %v", ids)
 	}
 }

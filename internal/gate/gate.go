@@ -124,6 +124,16 @@ type Options struct {
 	// disables jitter; inject a vclock.SeededRand for a probe schedule
 	// reproducible from a seed.
 	Rand vclock.Rand
+	// MaxBodyBytes caps a proxied request body. Bodies stream to the
+	// first upstream attempt while a tee captures what passed, so this
+	// bounds the retained replay prefix (memory per in-flight request),
+	// not an up-front buffer. Bodies over the cap are rejected with 413
+	// — they could not be replayed on a ring successor, so accepting
+	// them would silently lose retry-on-successor. Raise it when single
+	// batched AddTasks payloads exceed the default (DefaultMaxBodyBytes,
+	// 32 MiB); the reprowd-gate -max-body-buffer flag sets it. Zero or
+	// negative means the default.
+	MaxBodyBytes int64
 	// ReadCache enables the frontier-tagged read cache: single-partition
 	// GET responses carrying platform.HeaderFrontier are kept and served
 	// straight from the gateway — touching no node — until the partition's
@@ -146,6 +156,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Clock == nil {
 		o.Clock = vclock.NewWall()
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	return o
 }

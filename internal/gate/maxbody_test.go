@@ -1,0 +1,84 @@
+package gate
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// TestGatewayMaxBodyBytesConfigurable pins the configurable body cap: a
+// batched AddTasks whose body overruns Options.MaxBodyBytes is rejected
+// with 413 (it could not be replayed on a ring successor), and the same
+// batch goes through a gateway whose cap was raised.
+func TestGatewayMaxBodyBytesConfigurable(t *testing.T) {
+	l1 := startLeader(t, "n1", []string{"n1"})
+	defer l1.close()
+	top := Topology{Nodes: []NodeConfig{{Name: "n1", URL: l1.hs.URL}}}
+
+	newGW := func(cap int64) (*Gateway, *httptest.Server) {
+		g, err := New(Options{
+			Topology:      top,
+			ProbeInterval: 25 * time.Millisecond,
+			ProbeTimeout:  2 * time.Second,
+			MaxBodyBytes:  cap,
+		})
+		if err != nil {
+			t.Fatalf("gateway: %v", err)
+		}
+		t.Cleanup(g.Close)
+		gs := httptest.NewServer(g)
+		t.Cleanup(gs.Close)
+		return g, gs
+	}
+
+	specs := make([]platform.TaskSpec, 32)
+	for i := range specs {
+		specs[i] = platform.TaskSpec{
+			ExternalID: fmt.Sprintf("row-%02d", i),
+			Payload:    map[string]string{"text": strings.Repeat("x", 100)},
+		}
+	}
+
+	small, ss := newGW(512)
+	if got := small.opts.MaxBodyBytes; got != 512 {
+		t.Fatalf("MaxBodyBytes = %d, want 512", got)
+	}
+	capped := platform.NewGatewayHTTPClient(ss.URL, nil)
+	proj, err := capped.EnsureProject(platform.ProjectSpec{Name: "maxbody", Redundancy: 1})
+	if err != nil {
+		t.Fatalf("ensure: %v", err)
+	}
+	if _, err := capped.AddTasks(proj.ID, specs); err == nil {
+		t.Fatal("AddTasks over a 512-byte cap should be rejected")
+	} else if !errors.Is(err, platform.ErrBadRequest) {
+		t.Fatalf("want the typed bad-request rejection, got: %v", err)
+	}
+	if tasks, err := capped.Tasks(proj.ID); err != nil || len(tasks) != 0 {
+		t.Fatalf("rejected batch must not partially land: tasks=%d err=%v", len(tasks), err)
+	}
+
+	roomy, rs := newGW(1 << 20)
+	_ = roomy
+	wide := platform.NewGatewayHTTPClient(rs.URL, nil)
+	if _, err := wide.EnsureProject(platform.ProjectSpec{Name: "maxbody", Redundancy: 1}); err != nil {
+		t.Fatalf("ensure via raised cap: %v", err)
+	}
+	tasks, err := wide.AddTasks(proj.ID, specs)
+	if err != nil {
+		t.Fatalf("AddTasks via raised cap: %v", err)
+	}
+	if len(tasks) != len(specs) {
+		t.Fatalf("added %d tasks, want %d", len(tasks), len(specs))
+	}
+
+	// Zero means the default — the documented 32 MiB.
+	def, _ := newGW(0)
+	if got := def.opts.MaxBodyBytes; got != DefaultMaxBodyBytes {
+		t.Fatalf("default MaxBodyBytes = %d, want %d", got, DefaultMaxBodyBytes)
+	}
+}

@@ -18,10 +18,14 @@ import (
 	"repro/internal/repl"
 )
 
-// maxBodyBytes caps a request body. Bodies stream to the first upstream
-// attempt while a tee captures what passed (see bodyStream), so the cap
-// bounds the captured replay prefix, not an up-front buffer.
-const maxBodyBytes = 32 << 20
+// DefaultMaxBodyBytes is the default request-body cap. Bodies stream to
+// the first upstream attempt while a tee captures what passed (see
+// bodyStream), so the cap bounds the captured replay prefix, not an
+// up-front buffer. Raise it via Options.MaxBodyBytes (the
+// -max-body-buffer flag) when single AddTasks batches exceed it —
+// a body over the cap cannot be replayed on a ring successor, so the
+// gateway rejects it with 413 instead of losing retry-on-successor.
+const DefaultMaxBodyBytes int64 = 32 << 20
 
 // maxErrBody caps how much of an upstream error response is buffered
 // while deciding whether to keep trying other nodes.
@@ -161,17 +165,17 @@ func copyHeaders(dst, src http.Header) {
 // readBody buffers the request body for candidate replay. Only ensure
 // still uses it — it must parse the body (the project name) before it can
 // even pick a target. Everything else streams through bodyStream.
-func readBody(r *http.Request) ([]byte, error) {
+func readBody(r *http.Request, max int64) ([]byte, error) {
 	if r.Body == nil {
 		return nil, nil
 	}
 	defer r.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	body, err := io.ReadAll(io.LimitReader(r.Body, max+1))
 	if err != nil {
 		return nil, err
 	}
-	if len(body) > maxBodyBytes {
-		return nil, fmt.Errorf("request body over %d bytes", maxBodyBytes)
+	if int64(len(body)) > max {
+		return nil, fmt.Errorf("request body over %d bytes", max)
 	}
 	return body, nil
 }
@@ -198,12 +202,13 @@ type bodyStream struct {
 	src      io.Reader // remaining client body; nil when absent or drained
 	buf      bytes.Buffer
 	n        int64
+	max      int64 // replay-capture cap (gateway's configured body cap)
 	overflow bool
 	gen      int
 }
 
-func newBodyStream(r *http.Request) *bodyStream {
-	bs := &bodyStream{}
+func newBodyStream(r *http.Request, max int64) *bodyStream {
+	bs := &bodyStream{max: max}
 	if r.Body != nil && r.Body != http.NoBody {
 		bs.src = r.Body
 	}
@@ -212,8 +217,8 @@ func newBodyStream(r *http.Request) *bodyStream {
 
 // bodyFromBytes wraps an already-buffered body (ensure parses the body
 // before routing, so its bytes are in hand).
-func bodyFromBytes(b []byte) *bodyStream {
-	bs := &bodyStream{}
+func bodyFromBytes(b []byte, max int64) *bodyStream {
+	bs := &bodyStream{max: max}
 	bs.buf.Write(b)
 	return bs
 }
@@ -234,7 +239,7 @@ func (b *bodyStream) reader() io.Reader {
 	return io.MultiReader(prefix, &bodyTail{b: b, gen: b.gen})
 }
 
-// tooBig reports whether the client body overran maxBodyBytes mid-stream.
+// tooBig reports whether the client body overran the cap mid-stream.
 func (b *bodyStream) tooBig() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -263,7 +268,7 @@ func (t *bodyTail) Read(p []byte) (int, error) {
 	n, err := t.b.src.Read(p)
 	if n > 0 {
 		t.b.n += int64(n)
-		if t.b.n > maxBodyBytes {
+		if t.b.n > t.b.max {
 			t.b.overflow = true
 			return 0, errBodyTooLarge
 		}
@@ -514,12 +519,12 @@ func (g *Gateway) nodeByLocation(loc string) (target, bool) {
 // most recent upstream error. It returns the target that served the
 // relayed response (ok=false when no attempt produced one).
 func (g *Gateway) run(w http.ResponseWriter, r *http.Request, pl plan, targets []target, isWrite bool) (target, bool) {
-	if r.ContentLength > maxBodyBytes {
+	if r.ContentLength > g.opts.MaxBodyBytes {
 		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request",
-			fmt.Sprintf("request body over %d bytes", maxBodyBytes))
+			fmt.Sprintf("request body over %d bytes", g.opts.MaxBodyBytes))
 		return target{}, false
 	}
-	return g.runWith(w, r, pl, targets, isWrite, newBodyStream(r))
+	return g.runWith(w, r, pl, targets, isWrite, newBodyStream(r, g.opts.MaxBodyBytes))
 }
 
 // runWith is run with the request body stream already built.
@@ -557,7 +562,7 @@ func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targe
 				// cap mid-stream, not because the node did; walking on
 				// would replay the same overrun everywhere.
 				writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request",
-					fmt.Sprintf("request body over %d bytes", maxBodyBytes))
+					fmt.Sprintf("request body over %d bytes", g.opts.MaxBodyBytes))
 				return target{}, false
 			}
 			// A nil served node is an out-of-topology redirect target — the
@@ -770,7 +775,7 @@ func (c *captureWriter) cacheable() bool {
 // committed before 503ing) into a permanent cross-partition duplicate.
 // A failed ensure is retryable; a duplicate name is forever.
 func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
+	body, err := readBody(r, g.opts.MaxBodyBytes)
 	if err != nil {
 		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request", err.Error())
 		return
@@ -823,7 +828,7 @@ func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
 			owner = chain[0]
 		}
 	}
-	served, ok := g.runWith(w, r, pl, g.partitionWriteTarget(owner), true, bodyFromBytes(body))
+	served, ok := g.runWith(w, r, pl, g.partitionWriteTarget(owner), true, bodyFromBytes(body, g.opts.MaxBodyBytes))
 	if ok {
 		g.noteWrite(served)
 	}
@@ -1089,7 +1094,7 @@ func (g *Gateway) handleNodeStats(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBodyBytes))
 			resp.Body.Close()
 			if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(raw) {
 				return
@@ -1137,7 +1142,7 @@ func (g *Gateway) handleGate(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(g.Topology())
 	case r.URL.Path == "/api/gate/topology" && r.Method == http.MethodPost:
 		var t Topology
-		if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&t); err != nil {
+		if err := json.NewDecoder(io.LimitReader(r.Body, DefaultMaxBodyBytes)).Decode(&t); err != nil {
 			writeGateErr(w, http.StatusBadRequest, "bad_request", "gate: decode topology: "+err.Error())
 			return
 		}

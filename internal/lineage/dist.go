@@ -1,0 +1,109 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ShardLineage is one partition's slice of a distributed run: the
+// partition (leader) that served the shard's tasks and the per-table
+// lineage reconstructed from that shard's persisted columns.
+type ShardLineage struct {
+	// Partition is the ring partition (leader name) that owned the
+	// shard's platform project.
+	Partition string
+	// Table is the shard's CrowdData table.
+	Table string
+	// Report is the shard's table-level lineage.
+	Report Report
+}
+
+// DistReport reconstructs a run that spanned the cluster: which
+// partition served which rows, plus the merged totals and per-worker
+// activity across every shard. It is the cross-node answer to the
+// paper's Figure 3 questions — "who did this work, and where?" now
+// includes the leader that served it.
+type DistReport struct {
+	// Table is the logical (pre-sharding) table name.
+	Table string
+	// Shards holds each partition's lineage, sorted by partition then
+	// shard table.
+	Shards []ShardLineage
+	// Rows, RowsWithResults, and TotalAnswers are summed over shards.
+	Rows, RowsWithResults, TotalAnswers int
+	// Workers merges per-worker activity across all shards; a worker
+	// active on several partitions appears once with combined counts.
+	Workers []WorkerStat
+	// FirstPublished and LastAnswered bound the whole run in time.
+	FirstPublished, LastAnswered time.Time
+}
+
+// MergeShards combines per-shard lineages into the cluster-spanning
+// report.
+func MergeShards(table string, shards []ShardLineage) DistReport {
+	out := DistReport{Table: table, Shards: append([]ShardLineage(nil), shards...)}
+	sort.Slice(out.Shards, func(i, j int) bool {
+		if out.Shards[i].Partition != out.Shards[j].Partition {
+			return out.Shards[i].Partition < out.Shards[j].Partition
+		}
+		return out.Shards[i].Table < out.Shards[j].Table
+	})
+	acc := map[string]*WorkerStat{}
+	for _, sh := range out.Shards {
+		r := sh.Report
+		out.Rows += r.Rows
+		out.RowsWithResults += r.RowsWithResults
+		out.TotalAnswers += r.TotalAnswers
+		if !r.FirstPublished.IsZero() &&
+			(out.FirstPublished.IsZero() || r.FirstPublished.Before(out.FirstPublished)) {
+			out.FirstPublished = r.FirstPublished
+		}
+		if r.LastAnswered.After(out.LastAnswered) {
+			out.LastAnswered = r.LastAnswered
+		}
+		for _, ws := range r.Workers {
+			m, ok := acc[ws.Worker]
+			if !ok {
+				m = &WorkerStat{Worker: ws.Worker, First: ws.First, Last: ws.Last}
+				acc[ws.Worker] = m
+			}
+			m.Answers += ws.Answers
+			if ws.First.Before(m.First) {
+				m.First = ws.First
+			}
+			if ws.Last.After(m.Last) {
+				m.Last = ws.Last
+			}
+		}
+	}
+	for _, ws := range acc {
+		out.Workers = append(out.Workers, *ws)
+	}
+	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].Worker < out.Workers[j].Worker })
+	return out
+}
+
+// Format renders the cluster-spanning report.
+func (r DistReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed table %s: %d shards, %d rows published, %d with results, %d answers\n",
+		r.Table, len(r.Shards), r.Rows, r.RowsWithResults, r.TotalAnswers)
+	if !r.FirstPublished.IsZero() {
+		fmt.Fprintf(&b, "first published: %s\n", r.FirstPublished.Format(time.RFC3339Nano))
+	}
+	if !r.LastAnswered.IsZero() {
+		fmt.Fprintf(&b, "last answered:   %s\n", r.LastAnswered.Format(time.RFC3339Nano))
+	}
+	for _, sh := range r.Shards {
+		fmt.Fprintf(&b, "shard %-14s on %-10s %5d rows %6d answers\n",
+			sh.Table, sh.Partition, sh.Report.Rows, sh.Report.TotalAnswers)
+	}
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, "worker %-20s %4d answers  active %s .. %s\n",
+			w.Worker, w.Answers,
+			w.First.Format("15:04:05.000"), w.Last.Format("15:04:05.000"))
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package ops
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// ScoredPair is a candidate record pair with its machine similarity —
+// the planning unit the distributed operator runtime (internal/distops)
+// shards across partitions.
+type ScoredPair struct {
+	// A and B are the pair's records.
+	A, B Record
+	// Sim is the machine similarity that survived the pruning pass.
+	Sim float64
+}
+
+// CandidatePairs runs the hybrid join's machine pass standalone and
+// returns the pairs that survive cfg.Threshold plus the pruned count.
+// It is the planner-facing half of HybridJoin: distops feeds the result
+// to a partitioned crowd pass instead of a single-table askPairs.
+func CandidatePairs(records []Record, cfg HybridConfig) ([]ScoredPair, int, error) {
+	if err := validateRecords(records); err != nil {
+		return nil, 0, err
+	}
+	cands, pruned := machinePass(records, cfg)
+	out := make([]ScoredPair, len(cands))
+	for i, sp := range cands {
+		out[i] = ScoredPair{A: sp.a, B: sp.b, Sim: sp.sim}
+	}
+	return out, pruned, nil
+}
+
+// TopPairs scores every unordered record pair with m (zero value means
+// Jaccard over 2-grams, as in HybridConfig) and returns the n most
+// similar, ties broken by pair row id so the selection is deterministic.
+// Experiments use it to carve an exactly-sized crowd workload out of a
+// corpus.
+func TopPairs(records []Record, n int, m similarity.Measure) ([]ScoredPair, error) {
+	all, _, err := CandidatePairs(records, HybridConfig{Measure: m})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Sim != all[j].Sim {
+			return all[i].Sim > all[j].Sim
+		}
+		return pairRowID(all[i].A.ID, all[i].B.ID) < pairRowID(all[j].A.ID, all[j].B.ID)
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+// PairObject builds the CrowdData object for a record pair, exactly as
+// the in-process joins do — id_a/id_b make the row key deterministic,
+// left/right are the worker-visible renderings.
+func PairObject(a, b Record) core.Object { return pairObject(a, b) }
+
+// PairRowID is the logical id of a pair row inside decision maps.
+func PairRowID(a, b string) string { return pairRowID(a, b) }

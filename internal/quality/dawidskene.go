@@ -21,8 +21,31 @@ type DawidSkene struct {
 // Name implements Aggregator.
 func (DawidSkene) Name() string { return "ds" }
 
+// DSFit is a fitted Dawid–Skene model: the per-item decisions plus the
+// latent quantities the EM estimated on the way there. It is the common
+// output shape of the batch pass (DawidSkene.Fit) and the incremental
+// pass (OnlineDawidSkene.Finalize), which lets tests assert the two
+// converge to the same model, not just the same labels.
+type DSFit struct {
+	// Decisions maps item key → fitted decision.
+	Decisions map[string]Decision
+	// Labels is the sorted label universe the fit ran over.
+	Labels []string
+	// Priors maps label → fitted class prior P(truth = label).
+	Priors map[string]float64
+	// Confusion maps worker → truth label → answered label →
+	// P(worker answers | truth).
+	Confusion map[string]map[string]map[string]float64
+}
+
 // Aggregate implements Aggregator.
 func (d DawidSkene) Aggregate(votes map[string][]Vote) map[string]Decision {
+	return d.Fit(votes).Decisions
+}
+
+// Fit runs the EM to convergence and returns the full fitted model,
+// including the per-worker confusion matrices Aggregate discards.
+func (d DawidSkene) Fit(votes map[string][]Vote) DSFit {
 	maxIter := d.MaxIter
 	if maxIter <= 0 {
 		maxIter = 50
@@ -40,7 +63,7 @@ func (d DawidSkene) Aggregate(votes map[string][]Vote) map[string]Decision {
 	workers := workerSet(votes)
 	items := itemKeys(votes)
 	if len(labels) == 0 || len(items) == 0 {
-		return map[string]Decision{}
+		return DSFit{Decisions: map[string]Decision{}}
 	}
 	L := len(labels)
 	labelIdx := make(map[string]int, L)
@@ -155,7 +178,24 @@ func (d DawidSkene) Aggregate(votes map[string][]Vote) map[string]Decision {
 			Total:      len(votes[item]),
 		}
 	}
-	return out
+
+	priorOut := make(map[string]float64, L)
+	for k, l := range labels {
+		priorOut[l] = priors[k]
+	}
+	confOut := make(map[string]map[string]map[string]float64, len(workers))
+	for w, name := range workers {
+		m := make(map[string]map[string]float64, L)
+		for k := 0; k < L; k++ {
+			row := make(map[string]float64, L)
+			for l := 0; l < L; l++ {
+				row[labels[l]] = conf[w][k][l]
+			}
+			m[labels[k]] = row
+		}
+		confOut[name] = m
+	}
+	return DSFit{Decisions: out, Labels: labels, Priors: priorOut, Confusion: confOut}
 }
 
 // WorkerAccuracies runs the EM and returns each worker's estimated

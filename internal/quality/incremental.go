@@ -1,0 +1,273 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OnlineDawidSkene is an incremental Dawid–Skene estimator: it accepts
+// verdicts one at a time as a collector streams them in, refines the
+// model with warm-started EM sweeps every SweepEvery votes, and on
+// Finalize runs the EM to convergence from the warm state. Because the
+// E step recomputes every posterior from the class priors and confusion
+// matrices (not from the previous posterior), the incremental fit
+// reaches the same fixed point as the batch pass over the same votes —
+// the property the incremental-vs-batch tests pin down — while keeping
+// per-vote work O(sweep/SweepEvery) instead of O(full EM at drain).
+//
+// Unlike the batch DawidSkene, the label, worker, and item universes
+// grow as votes arrive; posterior vectors are extended lazily and the
+// priors/confusion state is rebuilt at current size on every sweep.
+// All methods are safe for concurrent use: a distributed collector's
+// per-partition goroutines can Observe into one shared instance.
+type OnlineDawidSkene struct {
+	base       DawidSkene
+	sweepEvery int
+
+	mu        sync.Mutex
+	votes     map[string][]Vote
+	items     []string // arrival order, for deterministic accumulation
+	labels    []string // arrival order; sorted views built on demand
+	labelIdx  map[string]int
+	workers   []string
+	workerIdx map[string]int
+	post      map[string][]float64 // item → P(truth = labels[k])
+	priors    []float64            // last M-step class priors
+	conf      [][][]float64        // last M-step confusion, worker × truth × answer
+	total     int
+	pending   int
+	sweeps    int
+}
+
+// NewOnlineDawidSkene builds an online estimator with base's EM
+// hyperparameters (MaxIter/Tol/Smoothing, zero values defaulted as in
+// the batch pass). sweepEvery is how many new votes accumulate between
+// incremental refinement sweeps; zero or negative means 64.
+func NewOnlineDawidSkene(base DawidSkene, sweepEvery int) *OnlineDawidSkene {
+	if sweepEvery <= 0 {
+		sweepEvery = 64
+	}
+	return &OnlineDawidSkene{
+		base:       base,
+		sweepEvery: sweepEvery,
+		votes:      map[string][]Vote{},
+		labelIdx:   map[string]int{},
+		workerIdx:  map[string]int{},
+		post:       map[string][]float64{},
+	}
+}
+
+// Observe feeds one verdict for item into the model. Arrival order does
+// not matter for the final fit: votes only enter the EM through
+// per-item multisets, so out-of-order and interleaved streams converge
+// to the same model as a sorted batch.
+func (o *OnlineDawidSkene) Observe(item string, v Vote) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.labelIdx[v.Value]; !ok {
+		o.labelIdx[v.Value] = len(o.labels)
+		o.labels = append(o.labels, v.Value)
+		for it, p := range o.post {
+			o.post[it] = append(p, 0)
+		}
+	}
+	if _, ok := o.workerIdx[v.Worker]; !ok {
+		o.workerIdx[v.Worker] = len(o.workers)
+		o.workers = append(o.workers, v.Worker)
+	}
+	if _, ok := o.post[item]; !ok {
+		o.items = append(o.items, item)
+	}
+	o.votes[item] = append(o.votes[item], v)
+	// Re-seed this item's posterior from its vote proportions — the
+	// batch pass's initialization — so un-swept items match batch init
+	// and swept items get the new vote folded in before the next sweep.
+	p := make([]float64, len(o.labels))
+	for _, vv := range o.votes[item] {
+		p[o.labelIdx[vv.Value]]++
+	}
+	normalize(p)
+	o.post[item] = p
+
+	o.total++
+	o.pending++
+	if o.pending >= o.sweepEvery {
+		o.sweep(2)
+		o.pending = 0
+	}
+}
+
+// sweep runs up to n EM iterations over the current state. Caller holds
+// o.mu.
+func (o *OnlineDawidSkene) sweep(n int) {
+	L := len(o.labels)
+	if L == 0 || len(o.items) == 0 {
+		return
+	}
+	tol := o.base.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	smooth := o.base.Smoothing
+	if smooth <= 0 {
+		smooth = 0.01
+	}
+	for iter := 0; iter < n; iter++ {
+		// M step: class priors from current posteriors.
+		priors := make([]float64, L)
+		for _, item := range o.items {
+			for k, p := range o.post[item] {
+				priors[k] += p
+			}
+		}
+		normalize(priors)
+
+		// M step: confusion matrices, rebuilt at current universe size.
+		conf := make([][][]float64, len(o.workers))
+		for w := range conf {
+			conf[w] = make([][]float64, L)
+			for k := range conf[w] {
+				conf[w][k] = make([]float64, L)
+				for l := range conf[w][k] {
+					conf[w][k][l] = smooth
+				}
+			}
+		}
+		for _, item := range o.items {
+			for _, v := range o.votes[item] {
+				w := o.workerIdx[v.Worker]
+				l := o.labelIdx[v.Value]
+				for k := 0; k < L; k++ {
+					conf[w][k][l] += o.post[item][k]
+				}
+			}
+		}
+		for w := range conf {
+			for k := 0; k < L; k++ {
+				normalize(conf[w][k])
+			}
+		}
+
+		// E step: recompute every posterior from priors and confusion.
+		maxDelta := 0.0
+		for _, item := range o.items {
+			next := make([]float64, L)
+			for k := 0; k < L; k++ {
+				p := priors[k]
+				for _, v := range o.votes[item] {
+					p *= conf[o.workerIdx[v.Worker]][k][o.labelIdx[v.Value]]
+				}
+				next[k] = p
+			}
+			normalize(next)
+			for k := 0; k < L; k++ {
+				if delta := abs(next[k] - o.post[item][k]); delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+			o.post[item] = next
+		}
+		o.priors, o.conf = priors, conf
+		o.sweeps++
+		if maxDelta < tol {
+			break
+		}
+	}
+}
+
+// Snapshot returns the current interim decisions without forcing a
+// sweep: EM-refined posteriors for items the last sweep covered,
+// vote-proportion posteriors for newer ones. Cheap enough to call
+// mid-stream for progress reporting.
+func (o *OnlineDawidSkene) Snapshot() map[string]Decision {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.decisions()
+}
+
+// Finalize runs the EM to convergence from the warm incremental state
+// and returns the full fitted model in the same shape as
+// DawidSkene.Fit. The estimator remains usable afterwards; further
+// Observe calls keep refining.
+func (o *OnlineDawidSkene) Finalize() DSFit {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	maxIter := o.base.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	o.sweep(maxIter)
+	o.pending = 0
+	if len(o.labels) == 0 || len(o.items) == 0 {
+		return DSFit{Decisions: map[string]Decision{}}
+	}
+
+	L := len(o.labels)
+	sorted := append([]string(nil), o.labels...)
+	sort.Strings(sorted)
+	priorOut := make(map[string]float64, L)
+	for _, l := range sorted {
+		priorOut[l] = o.priors[o.labelIdx[l]]
+	}
+	confOut := make(map[string]map[string]map[string]float64, len(o.workers))
+	for w, name := range o.workers {
+		m := make(map[string]map[string]float64, L)
+		for _, truth := range sorted {
+			row := make(map[string]float64, L)
+			for _, ans := range sorted {
+				row[ans] = o.conf[w][o.labelIdx[truth]][o.labelIdx[ans]]
+			}
+			m[truth] = row
+		}
+		confOut[name] = m
+	}
+	return DSFit{Decisions: o.decisions(), Labels: sorted, Priors: priorOut, Confusion: confOut}
+}
+
+// decisions extracts per-item decisions from the current posteriors
+// with the batch pass's tie-break: iterate labels in sorted order and
+// keep strictly greater posteriors, so ties pick the lexicographically
+// smallest label. Caller holds o.mu.
+func (o *OnlineDawidSkene) decisions() map[string]Decision {
+	sorted := append([]string(nil), o.labels...)
+	sort.Strings(sorted)
+	out := make(map[string]Decision, len(o.items))
+	for _, item := range o.items {
+		p := o.post[item]
+		best, bestP := "", -1.0
+		for _, l := range sorted {
+			if pk := p[o.labelIdx[l]]; pk > bestP {
+				best, bestP = l, pk
+			}
+		}
+		support := 0
+		for _, v := range o.votes[item] {
+			if v.Value == best {
+				support++
+			}
+		}
+		out[item] = Decision{Value: best, Confidence: bestP, Support: support, Total: len(o.votes[item])}
+	}
+	return out
+}
+
+// VotesSeen reports how many verdicts have been observed.
+func (o *OnlineDawidSkene) VotesSeen() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.total
+}
+
+// Sweeps reports how many EM iterations have run (incremental plus
+// finalization), for experiment accounting.
+func (o *OnlineDawidSkene) Sweeps() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sweeps
+}
+
+// String renders the configuration, for experiment logs.
+func (o *OnlineDawidSkene) String() string {
+	return fmt.Sprintf("OnlineDawidSkene(%s every=%d)", o.base, o.sweepEvery)
+}

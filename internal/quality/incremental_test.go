@@ -1,0 +1,208 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genStream builds a seeded synthetic verdict stream: items with hidden
+// truth over the given labels, answered by workers of varying accuracy.
+// It returns the stream in generation order plus the per-item vote map
+// the batch pass consumes.
+func genStream(seed int64, items int, labels []string) (stream []struct {
+	Item string
+	V    Vote
+}, votes map[string][]Vote) {
+	rng := rand.New(rand.NewSource(seed))
+	accs := []float64{0.95, 0.9, 0.85, 0.62, 0.55}
+	votes = map[string][]Vote{}
+	for i := 0; i < items; i++ {
+		item := fmt.Sprintf("item-%03d", i)
+		truth := labels[rng.Intn(len(labels))]
+		for w, acc := range accs {
+			worker := fmt.Sprintf("w-%d", w)
+			ans := truth
+			if rng.Float64() > acc {
+				for {
+					ans = labels[rng.Intn(len(labels))]
+					if ans != truth {
+						break
+					}
+				}
+			}
+			v := Vote{Worker: worker, Value: ans}
+			stream = append(stream, struct {
+				Item string
+				V    Vote
+			}{item, v})
+			votes[item] = append(votes[item], v)
+		}
+	}
+	return stream, votes
+}
+
+// assertSameFit requires the online fit to match the batch fit: labels
+// identical, every decision's value identical, and priors plus every
+// confusion cell within tol.
+func assertSameFit(t *testing.T, online, batch DSFit, tol float64) {
+	t.Helper()
+	if len(online.Labels) != len(batch.Labels) {
+		t.Fatalf("label universes differ: online %v batch %v", online.Labels, batch.Labels)
+	}
+	for i, l := range batch.Labels {
+		if online.Labels[i] != l {
+			t.Fatalf("label universes differ: online %v batch %v", online.Labels, batch.Labels)
+		}
+	}
+	if len(online.Decisions) != len(batch.Decisions) {
+		t.Fatalf("decision counts differ: online %d batch %d", len(online.Decisions), len(batch.Decisions))
+	}
+	for item, bd := range batch.Decisions {
+		od, ok := online.Decisions[item]
+		if !ok {
+			t.Fatalf("online fit missing item %s", item)
+		}
+		if od.Value != bd.Value {
+			t.Fatalf("item %s label differs: online %q (%.4f) batch %q (%.4f)",
+				item, od.Value, od.Confidence, bd.Value, bd.Confidence)
+		}
+		if math.Abs(od.Confidence-bd.Confidence) > tol {
+			t.Fatalf("item %s confidence differs: online %.6f batch %.6f", item, od.Confidence, bd.Confidence)
+		}
+	}
+	for l, bp := range batch.Priors {
+		if math.Abs(online.Priors[l]-bp) > tol {
+			t.Fatalf("prior for %s differs: online %.6f batch %.6f", l, online.Priors[l], bp)
+		}
+	}
+	if len(online.Confusion) != len(batch.Confusion) {
+		t.Fatalf("worker counts differ: online %d batch %d", len(online.Confusion), len(batch.Confusion))
+	}
+	for w, bm := range batch.Confusion {
+		om, ok := online.Confusion[w]
+		if !ok {
+			t.Fatalf("online fit missing worker %s", w)
+		}
+		for truth, brow := range bm {
+			for ans, bp := range brow {
+				if math.Abs(om[truth][ans]-bp) > tol {
+					t.Fatalf("confusion[%s][%s][%s] differs: online %.6f batch %.6f",
+						w, truth, ans, om[truth][ans], bp)
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineDawidSkeneMatchesBatch(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		labels []string
+		every  int
+	}{
+		{"binary", []string{"Yes", "No"}, 64},
+		{"binary-frequent-sweeps", []string{"Yes", "No"}, 7},
+		{"ternary", []string{"a", "b", "c"}, 32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stream, votes := genStream(20160903, 60, tc.labels)
+			ds := DawidSkene{}
+			online := NewOnlineDawidSkene(ds, tc.every)
+			for _, sv := range stream {
+				online.Observe(sv.Item, sv.V)
+			}
+			if got := online.VotesSeen(); got != len(stream) {
+				t.Fatalf("VotesSeen = %d, want %d", got, len(stream))
+			}
+			assertSameFit(t, online.Finalize(), ds.Fit(votes), 1e-3)
+		})
+	}
+}
+
+func TestOnlineDawidSkeneOutOfOrderArrival(t *testing.T) {
+	stream, votes := genStream(7, 50, []string{"Yes", "No"})
+	batch := DawidSkene{}.Fit(votes)
+	for _, shuffleSeed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		shuffled := append(stream[:0:0], stream...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		online := NewOnlineDawidSkene(DawidSkene{}, 16)
+		for _, sv := range shuffled {
+			online.Observe(sv.Item, sv.V)
+		}
+		assertSameFit(t, online.Finalize(), batch, 1e-3)
+	}
+}
+
+func TestOnlineDawidSkeneSnapshotMidStream(t *testing.T) {
+	stream, _ := genStream(42, 30, []string{"Yes", "No"})
+	online := NewOnlineDawidSkene(DawidSkene{}, 10)
+	seen := map[string]bool{}
+	for i, sv := range stream {
+		online.Observe(sv.Item, sv.V)
+		seen[sv.Item] = true
+		if i%37 == 0 {
+			snap := online.Snapshot()
+			if len(snap) != len(seen) {
+				t.Fatalf("snapshot after %d votes has %d items, want %d", i+1, len(snap), len(seen))
+			}
+			for item := range seen {
+				if _, ok := snap[item]; !ok {
+					t.Fatalf("snapshot missing observed item %s", item)
+				}
+			}
+		}
+	}
+	// Finalize must produce at least as confident a model as the last
+	// snapshot — and remain usable for further observations.
+	fit := online.Finalize()
+	if len(fit.Decisions) != len(seen) {
+		t.Fatalf("finalize has %d decisions, want %d", len(fit.Decisions), len(seen))
+	}
+	online.Observe("late-item", Vote{Worker: "w-0", Value: "Yes"})
+	if got := online.Finalize(); len(got.Decisions) != len(seen)+1 {
+		t.Fatalf("post-finalize observe lost: %d decisions, want %d", len(got.Decisions), len(seen)+1)
+	}
+}
+
+func TestOnlineDawidSkeneEmpty(t *testing.T) {
+	online := NewOnlineDawidSkene(DawidSkene{}, 0)
+	if snap := online.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty snapshot = %v", snap)
+	}
+	if fit := online.Finalize(); len(fit.Decisions) != 0 {
+		t.Fatalf("empty finalize = %+v", fit)
+	}
+}
+
+func TestBatchFitExposesConfusion(t *testing.T) {
+	_, votes := genStream(11, 40, []string{"Yes", "No"})
+	fit := DawidSkene{}.Fit(votes)
+	if len(fit.Confusion) != 5 {
+		t.Fatalf("confusion for %d workers, want 5", len(fit.Confusion))
+	}
+	for w, m := range fit.Confusion {
+		for truth, row := range m {
+			var sum float64
+			for _, p := range row {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("confusion[%s][%s] rows sum to %.9f, want 1", w, truth, sum)
+			}
+		}
+	}
+	// The accurate worker's diagonal should dominate the spammer's.
+	diag := func(w string) float64 {
+		var d float64
+		for truth, row := range fit.Confusion[w] {
+			d += row[truth]
+		}
+		return d
+	}
+	if diag("w-0") <= diag("w-4") {
+		t.Fatalf("w-0 (acc 0.95) diagonal %.3f not above w-4 (acc 0.55) %.3f", diag("w-0"), diag("w-4"))
+	}
+}
