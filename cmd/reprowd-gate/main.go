@@ -77,6 +77,12 @@ func main() {
 			"structured log format: text or json")
 		debugAddr = flag.String("debug-addr", "",
 			"optional extra listener for net/http/pprof and expvar (/debug/pprof/, /debug/vars); empty disables")
+		failover = flag.Bool("failover", false,
+			"run the elector: when a partition leader stays unreachable past -failover-after, promote its most-caught-up follower under a fresh fencing epoch, and fence deposed leaders that resurface")
+		failoverAfter = flag.Duration("failover-after", 3*time.Second,
+			"unreachability window before the elector treats a partition leader as dead (probe blips shorter than this never cost a leader its partition)")
+		failoverMaxLag = flag.Uint64("failover-max-lag", 0,
+			"max events a follower may trail the dead leader's last probed frontier and still be promoted (0 = must hold everything the leader was last seen with)")
 	)
 	flag.Parse()
 
@@ -106,12 +112,15 @@ func main() {
 		fatal(err)
 	}
 	g, err := gate.New(gate.Options{
-		Topology:      top,
-		MaxLag:        *maxLag,
-		ProbeInterval: *probeInterval,
-		Metrics:       reg,
-		ReadCache:     *readCache,
-		MaxBodyBytes:  *maxBodyBuffer,
+		Topology:       top,
+		MaxLag:         *maxLag,
+		ProbeInterval:  *probeInterval,
+		Metrics:        reg,
+		ReadCache:      *readCache,
+		MaxBodyBytes:   *maxBodyBuffer,
+		AutoFailover:   *failover,
+		FailoverAfter:  *failoverAfter,
+		FailoverMaxLag: *failoverMaxLag,
 		// Real time and real jitter bind here, at the binary's edge;
 		// internal/gate itself only ever sees the injected pair.
 		Clock: sim.RealClock(),

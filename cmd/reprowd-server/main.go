@@ -132,6 +132,10 @@ func main() {
 			"comma-separated leader names of the partitioned deployment (all servers and the gateway must agree)")
 		ringSelf = flag.String("ring-self", "",
 			"this node's name in -ring; new ids are drawn only from the ring partition it owns")
+		nodeName = flag.String("name", "",
+			"this node's stable identity for epoch fencing (defaults to -ring-self); a restarted node whose journal records a later holder's epoch starts fenced")
+		partition = flag.String("partition", "",
+			"ring partition this node serves (leader default: its own name; follower: the partition it replicates)")
 		logLevel = flag.String("log-level", "info",
 			"log verbosity: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text",
@@ -245,6 +249,7 @@ func main() {
 			fatal(logger, err)
 		}
 		node = n
+		setIdentity(node, *nodeName, *ringSelf, *partition, logger)
 		engine := node.Engine()
 		srv := platform.NewServer(engine)
 		srv.Handle("/api/repl/", node.Handler())
@@ -330,6 +335,7 @@ func main() {
 		// A journaled server is a replication leader: followers stream
 		// the committed journal and bootstrap from the snapshot record.
 		node = repl.NewLeaderNode(engine, journal, db)
+		setIdentity(node, *nodeName, *ringSelf, *partition, logger)
 		srv.Handle("/api/repl/", node.Handler())
 	}
 
@@ -364,6 +370,27 @@ func main() {
 			}
 		}
 	}, fail)
+}
+
+// setIdentity binds the node's fencing identity from -name/-ring-self
+// and -partition. With an identity set, a leader whose journal records an
+// epoch minted to a different holder starts fenced: it was deposed while
+// down and must not accept a write before rejoining as a follower.
+func setIdentity(node *repl.Node, name, ringSelf, partition string, logger *slog.Logger) {
+	if name == "" {
+		name = ringSelf
+	}
+	if name == "" {
+		return
+	}
+	if partition == "" {
+		partition = name
+	}
+	node.SetIdentity(name, partition)
+	if node.Fenced() {
+		logger.Warn("node starts fenced: its journal records a later epoch minted to another holder",
+			"name", name, "partition", partition, "epoch", node.EpochToken().String())
+	}
 }
 
 // fatal logs the error through the structured logger and exits. Paths

@@ -1,0 +1,117 @@
+package gate
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/repl"
+)
+
+// electEnv assembles a Gateway with a hand-built probe view: one dead
+// leader and one follower, so electActions' decision logic can be tested
+// without a cluster behind it.
+func electEnv(lead, fol *nodeState) *Gateway {
+	return &Gateway{
+		opts: Options{AutoFailover: true, FailoverAfter: time.Second},
+		nodes: map[string]*nodeState{
+			lead.cfg.name: lead,
+			fol.cfg.name:  fol,
+		},
+		partLeaders: map[string]*nodeState{lead.cfg.name: lead},
+		partTokens:  map[string]platform.EpochToken{},
+	}
+}
+
+func deadLeader(downFor time.Duration, now time.Time) *nodeState {
+	return &nodeState{
+		cfg:       nodeConfigNorm{name: "l1", url: "http://l1"},
+		role:      repl.RoleLeader,
+		reachable: false,
+		downSince: now.Add(-downFor),
+		partition: "l1",
+	}
+}
+
+// TestElectorPromotesUnreadyFollowerOfEmptyPartition covers the
+// deadlock edge: a follower whose leader died before its first
+// successful poll reports unready forever, but when the partition's
+// history is provably empty (leader last probed at applied 0, zero
+// proxied writes, candidate at applied 0) there is nothing it could have
+// missed — the elector must promote it rather than leave the partition
+// leaderless for good.
+func TestElectorPromotesUnreadyFollowerOfEmptyPartition(t *testing.T) {
+	now := time.Unix(1000, 0)
+	lead := deadLeader(2*time.Second, now)
+	fol := &nodeState{
+		cfg:       nodeConfigNorm{name: "f1", url: "http://f1"},
+		role:      repl.RoleFollower,
+		reachable: true,
+		ready:     false,
+		applied:   0,
+		leaderURL: "http://l1",
+		partition: "l1",
+	}
+	g := electEnv(lead, fol)
+	acts := g.electActions(now)
+	if len(acts) != 1 || !acts[0].promote || acts[0].node != fol {
+		t.Fatalf("electActions = %+v, want one promotion of f1", acts)
+	}
+	if want := (platform.EpochToken{Epoch: 1, Holder: "f1"}); acts[0].tok != want {
+		t.Fatalf("mint = %s, want %s", acts[0].tok, want)
+	}
+}
+
+// TestElectorSkipsUnreadyFollowerWithHistory: the same unready follower
+// must NOT be promoted when there is any evidence the partition holds
+// data it could be missing — a probed leader frontier, proxied writes,
+// or state of its own.
+func TestElectorSkipsUnreadyFollowerWithHistory(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cases := []struct {
+		name string
+		mut  func(lead, fol *nodeState)
+	}{
+		{"leader frontier nonzero", func(lead, fol *nodeState) { lead.applied = 5 }},
+		{"leader took proxied writes", func(lead, fol *nodeState) { lead.writes.Add(3) }},
+		{"candidate holds state", func(lead, fol *nodeState) { fol.applied = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lead := deadLeader(2*time.Second, now)
+			fol := &nodeState{
+				cfg:       nodeConfigNorm{name: "f1", url: "http://f1"},
+				role:      repl.RoleFollower,
+				reachable: true,
+				ready:     false,
+				leaderURL: "http://l1",
+				partition: "l1",
+			}
+			tc.mut(lead, fol)
+			if acts := electEnv(lead, fol).electActions(now); len(acts) != 0 {
+				t.Fatalf("electActions = %+v, want none (unready follower with possible history)", acts)
+			}
+		})
+	}
+}
+
+// TestElectorWaitsOutTheGracePeriod: a leader inside the FailoverAfter
+// window is a probe blip, not a death — no promotion yet, even with a
+// perfectly caught-up follower standing by.
+func TestElectorWaitsOutTheGracePeriod(t *testing.T) {
+	now := time.Unix(1000, 0)
+	lead := deadLeader(200*time.Millisecond, now) // < 1s grace
+	lead.applied = 7
+	fol := &nodeState{
+		cfg:       nodeConfigNorm{name: "f1", url: "http://f1"},
+		role:      repl.RoleFollower,
+		reachable: true,
+		ready:     true,
+		applied:   7,
+		leaderURL: "http://l1",
+		partition: "l1",
+	}
+	if acts := electEnv(lead, fol).electActions(now); len(acts) != 0 {
+		t.Fatalf("electActions = %+v, want none before the grace period elapses", acts)
+	}
+}

@@ -142,6 +142,24 @@ type Options struct {
 	// bounded by ProbeInterval for writes that bypass this gateway — the
 	// same class of bound follower reads already have via MaxLag.
 	ReadCache bool
+	// AutoFailover arms the elector: when a partition's leader has been
+	// unreachable for FailoverAfter (or is reachable but fenced), the
+	// gateway promotes the partition's most-caught-up eligible follower
+	// with a freshly minted epoch token, and fences any stale leader that
+	// resurfaces. Off by default — a gateway must be told it may promote.
+	AutoFailover bool
+	// FailoverAfter is how long a partition leader must be continuously
+	// unreachable before the elector acts. Shorter means faster recovery
+	// but more risk of promoting through a network blip the old leader
+	// would have survived (the fencing token keeps that safe, but it
+	// still deposes a healthy leader). Default 3s.
+	FailoverAfter time.Duration
+	// FailoverMaxLag is the election eligibility bound: a follower
+	// qualifies as promotion candidate only if its applied sequence plus
+	// this slack reaches the dead leader's last probed frontier. Default 0
+	// — only a follower that had everything the leader acked may take
+	// over, so an election can never lose an acked write by itself.
+	FailoverMaxLag uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -160,11 +178,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if o.FailoverAfter <= 0 {
+		o.FailoverAfter = DefaultFailoverAfter
+	}
 	return o
 }
 
 // DefaultMaxLag is the default follower read-lag threshold.
 const DefaultMaxLag uint64 = 256
+
+// DefaultFailoverAfter is how long a leader must be continuously
+// unreachable before the elector deposes it (Options.FailoverAfter).
+const DefaultFailoverAfter = 3 * time.Second
 
 // maxRoutes bounds the learned owner cache; at the cap it resets (it is
 // soft state — routing falls back to ring lookup + discovery).
@@ -185,10 +210,24 @@ type nodeState struct {
 	leaderURL string // normalized; follower association
 	reachable bool
 	lastErr   string
+	partition string              // probed ring partition; "" before identity-aware nodes
+	epoch     platform.EpochToken // probed fencing token (leader: own; follower: observed)
+	fenced    bool                // probed: node knows it was deposed
+	downSince time.Time           // start of the current unreachable stretch; zero while reachable
 
 	reads    atomic.Uint64
 	writes   atomic.Uint64
 	failures atomic.Uint64
+}
+
+// partitionName is the ring partition a node belongs to: what its probe
+// reported, else its own name (pre-identity nodes — a leader's partition
+// has always been named after it).
+func (n *nodeState) partitionName() string {
+	if n.partition != "" {
+		return n.partition
+	}
+	return n.cfg.name
 }
 
 // nodeConfigNorm is a NodeConfig with its URL normalized (no trailing
@@ -216,6 +255,8 @@ type Stats struct {
 	Probes        atomic.Uint64 // completed probe rounds
 	CacheHits     atomic.Uint64 // reads served from the frontier cache
 	CacheMisses   atomic.Uint64 // cacheable reads that had to touch a node
+	Elections     atomic.Uint64 // followers promoted by the elector
+	Fences        atomic.Uint64 // stale leaders fenced by the elector
 }
 
 // StatsSnapshot is the JSON shape of Stats.
@@ -231,22 +272,28 @@ type StatsSnapshot struct {
 	Probes        uint64 `json:"probe_rounds"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
+	Elections     uint64 `json:"elections"`
+	Fences        uint64 `json:"fences"`
 }
 
 // NodeStatus is one node's view in Status.
 type NodeStatus struct {
-	Name       string `json:"name"`
-	URL        string `json:"url"`
-	Role       string `json:"role,omitempty"`
-	Ready      bool   `json:"ready"`
-	Reachable  bool   `json:"reachable"`
-	Lag        uint64 `json:"lag,omitempty"`
-	AppliedSeq uint64 `json:"applied_seq,omitempty"`
-	LeaderURL  string `json:"leader_url,omitempty"`
-	LastError  string `json:"last_error,omitempty"`
-	Reads      uint64 `json:"reads"`
-	Writes     uint64 `json:"writes"`
-	Failures   uint64 `json:"failures"`
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	Role        string `json:"role,omitempty"`
+	Ready       bool   `json:"ready"`
+	Reachable   bool   `json:"reachable"`
+	Lag         uint64 `json:"lag,omitempty"`
+	AppliedSeq  uint64 `json:"applied_seq,omitempty"`
+	LeaderURL   string `json:"leader_url,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	Partition   string `json:"partition,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	EpochHolder string `json:"epoch_holder,omitempty"`
+	Fenced      bool   `json:"fenced,omitempty"`
+	Reads       uint64 `json:"reads"`
+	Writes      uint64 `json:"writes"`
+	Failures    uint64 `json:"failures"`
 }
 
 // Status is the gateway's own health/stats view (GET /api/healthz and
@@ -265,11 +312,15 @@ type Gateway struct {
 	hc      *http.Client // forwarding; CheckRedirect disabled
 	probeHC *http.Client // probing; short timeout
 
-	mu     sync.RWMutex
-	nodes  map[string]*nodeState // by name
-	order  []string              // config order, for stable status output
-	ring   *repl.Ring            // current leaders
-	routes map[string]string     // learned scope ("p/5","t/9","n/<name>") → leader name
+	mu          sync.RWMutex
+	nodes       map[string]*nodeState          // by name
+	order       []string                       // config order, for stable status output
+	ring        *repl.Ring                     // current partitions (names of leader lineages)
+	routes      map[string]string              // learned scope ("p/5","t/9","n/<name>") → partition name
+	partLeaders map[string]*nodeState          // partition → the node currently serving it as leader
+	partTokens  map[string]platform.EpochToken // partition → max fencing token ever observed or minted
+
+	electMu sync.Mutex // serializes elector passes (they make network calls)
 
 	cache *readCache // frontier-tagged read cache; nil when disabled
 
@@ -307,15 +358,17 @@ func New(opts Options) (*Gateway, error) {
 	fwd := *hc
 	fwd.CheckRedirect = func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }
 	g := &Gateway{
-		opts:      opts,
-		hc:        &fwd,
-		probeHC:   &http.Client{Timeout: opts.ProbeTimeout, Transport: hc.Transport},
-		nodes:     make(map[string]*nodeState),
-		ring:      repl.NewRing(0),
-		routes:    make(map[string]string),
-		probeKick: make(chan struct{}, 1),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		opts:        opts,
+		hc:          &fwd,
+		probeHC:     &http.Client{Timeout: opts.ProbeTimeout, Transport: hc.Transport},
+		nodes:       make(map[string]*nodeState),
+		ring:        repl.NewRing(0),
+		routes:      make(map[string]string),
+		partLeaders: make(map[string]*nodeState),
+		partTokens:  make(map[string]platform.EpochToken),
+		probeKick:   make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	if opts.ReadCache {
 		g.cache = newReadCache()
@@ -374,6 +427,10 @@ func (m *gateMetrics) init(reg *obs.Registry, g *Gateway) {
 		"Reads served from the frontier cache, touching no node.", g.stats.CacheHits.Load)
 	reg.CounterFunc("reprowd_gate_cache_misses_total",
 		"Cacheable reads that had to be forwarded to a node.", g.stats.CacheMisses.Load)
+	reg.CounterFunc("reprowd_gate_elections_total",
+		"Followers promoted to leader by this gateway's elector.", g.stats.Elections.Load)
+	reg.CounterFunc("reprowd_gate_fences_total",
+		"Stale leaders fenced by this gateway's elector.", g.stats.Fences.Load)
 	m.cacheHit = reg.Histogram("reprowd_gate_cache_hit_seconds",
 		"Latency of reads served from the frontier cache.", nil)
 	m.cacheMiss = reg.Histogram("reprowd_gate_cache_miss_seconds",
@@ -517,26 +574,37 @@ func (g *Gateway) probeRound() {
 	for range targets {
 		verdicts = append(verdicts, <-results)
 	}
+	now := g.opts.Clock.Now()
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for _, v := range verdicts {
 		// The node may have been removed by a concurrent reload; updating
 		// its detached state is harmless.
 		if v.err != nil {
 			v.n.reachable = false
 			v.n.lastErr = v.err.Error()
+			if v.n.downSince.IsZero() {
+				v.n.downSince = now
+			}
 			continue
 		}
 		v.n.reachable = true
+		v.n.downSince = time.Time{}
 		v.n.lastErr = v.st.LastError
 		v.n.role = v.st.Role
 		v.n.ready = v.st.Ready
 		v.n.lag = v.st.Lag
 		v.n.applied = v.st.AppliedSeq
 		v.n.leaderURL = strings.TrimRight(v.st.LeaderURL, "/")
+		v.n.partition = v.st.Partition
+		v.n.epoch = platform.EpochToken{Epoch: v.st.Epoch, Holder: v.st.EpochHolder}
+		v.n.fenced = v.st.Fenced
 	}
 	g.rebuildRingLocked()
+	g.mu.Unlock()
 	g.stats.Probes.Add(1)
+	if g.opts.AutoFailover {
+		g.elect(now)
+	}
 }
 
 // isLeaderRole reports whether a probed role accepts writes. A
@@ -546,26 +614,58 @@ func isLeaderRole(role string) bool {
 	return role == repl.RoleLeader || role == "standalone"
 }
 
-// rebuildRingLocked rebuilds the leader ring when the leader set changed.
+// rebuildRingLocked rebuilds the partition view after a probe round: the
+// max fencing token ever seen per partition (monotonic — probe staleness
+// never lowers it), the node currently serving each partition as leader,
+// and the routing ring.
+//
+// The ring hashes PARTITION names, not node names: a failover replaces
+// which node serves a partition, and keying the ring by partition means a
+// promotion moves zero keyspace — the successor simply answers for the
+// same ring member its predecessor did. (Pre-epoch nodes report no
+// partition and fall back to their own name, which is the same thing for
+// a leader that was never replaced.)
+//
+// When two leader-role nodes claim one partition (a deposed leader
+// resurfacing beside its successor), the one with the newer token wins;
+// fenced nodes lose to unfenced ones outright; reachability breaks ties.
 // Membership is by role, not by health: a leader that stopped answering
 // probes keeps its partition (requests walk to ring successors), because
 // evicting it would remap ~1/n of the keyspace on every blip. Callers
 // hold g.mu.
 func (g *Gateway) rebuildRingLocked() {
-	leaders := make([]string, 0, len(g.nodes))
-	for name, n := range g.nodes {
-		if isLeaderRole(n.role) {
-			leaders = append(leaders, name)
+	leaders := make(map[string]*nodeState, len(g.nodes))
+	for _, n := range g.nodes {
+		// Every node's observed token lifts the partition floor — a
+		// follower that saw epoch 4 proves epoch 4 exists even if no live
+		// leader reports it.
+		if p := n.partition; p != "" && g.partTokens[p].Less(n.epoch) {
+			g.partTokens[p] = n.epoch
+		}
+		if !isLeaderRole(n.role) {
+			continue
+		}
+		p := n.partitionName()
+		if g.partTokens[p].Less(n.epoch) {
+			g.partTokens[p] = n.epoch
+		}
+		if best, ok := leaders[p]; !ok || betterLeader(n, best) {
+			leaders[p] = n
 		}
 	}
+	g.partLeaders = leaders
+	parts := make([]string, 0, len(leaders))
+	for p := range leaders {
+		parts = append(parts, p)
+	}
 	have := g.ring.Nodes()
-	if len(have) == len(leaders) {
+	if len(have) == len(parts) {
 		same := true
 		set := make(map[string]struct{}, len(have))
 		for _, n := range have {
 			set[n] = struct{}{}
 		}
-		for _, n := range leaders {
+		for _, n := range parts {
 			if _, ok := set[n]; !ok {
 				same = false
 				break
@@ -575,7 +675,37 @@ func (g *Gateway) rebuildRingLocked() {
 			return
 		}
 	}
-	g.ring = repl.NewRing(0, leaders...)
+	g.ring = repl.NewRing(0, parts...)
+}
+
+// betterLeader ranks two leader-role nodes claiming the same partition:
+// unfenced beats fenced, then the newer fencing token, then reachability,
+// then name (pure determinism).
+func betterLeader(a, b *nodeState) bool {
+	if a.fenced != b.fenced {
+		return !a.fenced
+	}
+	if a.epoch != b.epoch {
+		return b.epoch.Less(a.epoch)
+	}
+	if a.reachable != b.reachable {
+		return a.reachable
+	}
+	return a.cfg.name < b.cfg.name
+}
+
+// partLeaderLocked resolves a partition to the node serving it. Callers
+// hold g.mu.
+func (g *Gateway) partLeaderLocked(p string) *nodeState {
+	return g.partLeaders[p]
+}
+
+// partitionToken is the max fencing token the gateway has observed or
+// minted for a partition — what write attempts are stamped with.
+func (g *Gateway) partitionToken(p string) platform.EpochToken {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.partTokens[p]
 }
 
 // Snapshot reports the gateway's health, per-node views and counters.
@@ -586,20 +716,24 @@ func (g *Gateway) Snapshot() Status {
 	for _, name := range g.order {
 		n := g.nodes[name]
 		st.Nodes = append(st.Nodes, NodeStatus{
-			Name:       n.cfg.name,
-			URL:        n.cfg.url,
-			Role:       n.role,
-			Ready:      n.ready,
-			Reachable:  n.reachable,
-			Lag:        n.lag,
-			AppliedSeq: n.applied,
-			LeaderURL:  n.leaderURL,
-			LastError:  n.lastErr,
-			Reads:      n.reads.Load(),
-			Writes:     n.writes.Load(),
-			Failures:   n.failures.Load(),
+			Name:        n.cfg.name,
+			URL:         n.cfg.url,
+			Role:        n.role,
+			Ready:       n.ready,
+			Reachable:   n.reachable,
+			Lag:         n.lag,
+			AppliedSeq:  n.applied,
+			LeaderURL:   n.leaderURL,
+			LastError:   n.lastErr,
+			Partition:   n.partition,
+			Epoch:       n.epoch.Epoch,
+			EpochHolder: n.epoch.Holder,
+			Fenced:      n.fenced,
+			Reads:       n.reads.Load(),
+			Writes:      n.writes.Load(),
+			Failures:    n.failures.Load(),
 		})
-		if isLeaderRole(n.role) && n.reachable && n.ready {
+		if isLeaderRole(n.role) && n.reachable && n.ready && !n.fenced {
 			st.Ready = true
 		}
 	}
@@ -615,6 +749,8 @@ func (g *Gateway) Snapshot() Status {
 		Probes:        g.stats.Probes.Load(),
 		CacheHits:     g.stats.CacheHits.Load(),
 		CacheMisses:   g.stats.CacheMisses.Load(),
+		Elections:     g.stats.Elections.Load(),
+		Fences:        g.stats.Fences.Load(),
 	}
 	return st
 }
@@ -737,14 +873,173 @@ func (g *Gateway) cacheFresh(e *cacheEntry) bool {
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	n, ok := g.nodes[e.partition]
-	if !ok || !isLeaderRole(n.role) {
+	n := g.partLeaderLocked(e.partition)
+	if n == nil || n.fenced {
 		return false
 	}
 	return n.applied <= e.frontier
 }
 
-// learnRoute caches scope → owning leader name.
+// --- the elector ---
+
+// electAction is one decision the elector computed under the read lock
+// and executes outside it (both actions are network calls).
+type electAction struct {
+	partition string
+	node      *nodeState          // promote: the candidate; fence: the stale leader
+	tok       platform.EpochToken // promote: the mint; fence: the partition max
+	promote   bool
+}
+
+// elect is the failover pass run after every probe round when
+// Options.AutoFailover is set. Two jobs, in safety order:
+//
+//   - Fence: a reachable, unfenced leader holding a token older than its
+//     partition's observed max was deposed while it was away and must be
+//     told before it can accept a write some client still sends it
+//     directly. (Writes through this gateway are already safe — they are
+//     stamped with the partition max and the stale leader self-fences on
+//     first contact — fencing here closes the direct-client path too.)
+//   - Promote: a partition whose leader has been continuously unreachable
+//     for FailoverAfter (or is back but fenced) gets its most-caught-up
+//     eligible follower promoted under a freshly minted token strictly
+//     above everything observed. The mint is recorded in partTokens
+//     whether or not the RPC succeeds: a promotion whose response was
+//     lost may still have taken effect, and burning the token means the
+//     retry mints strictly higher instead of dueling with its own ghost.
+//
+// electMu serializes passes end to end — a SetTopology-triggered round
+// racing the prober's round must not promote two followers for one
+// partition. Cross-gateway duels remain possible by design and resolve
+// through the token order: the higher mint wins, the loser is fenced.
+func (g *Gateway) elect(now time.Time) {
+	g.electMu.Lock()
+	defer g.electMu.Unlock()
+	for _, a := range g.electActions(now) {
+		if a.promote {
+			st, err := repl.PromoteFollower(g.probeHC, a.node.cfg.url, a.tok)
+			g.mu.Lock()
+			if g.partTokens[a.partition].Less(a.tok) {
+				g.partTokens[a.partition] = a.tok
+			}
+			if err == nil {
+				// Fold the node's post-promotion self-report in directly:
+				// routing flips to the new leader now, not a probe interval
+				// later.
+				a.node.role = st.Role
+				a.node.ready = st.Ready
+				a.node.applied = st.AppliedSeq
+				a.node.epoch = platform.EpochToken{Epoch: st.Epoch, Holder: st.EpochHolder}
+				a.node.fenced = st.Fenced
+				if st.Partition != "" {
+					a.node.partition = st.Partition
+				} else {
+					a.node.partition = a.partition
+				}
+				g.rebuildRingLocked()
+			}
+			g.mu.Unlock()
+			if err == nil {
+				g.stats.Elections.Add(1)
+				g.kickProbe()
+			}
+		} else {
+			if _, err := repl.FenceNode(g.probeHC, a.node.cfg.url, a.tok); err == nil {
+				g.mu.Lock()
+				a.node.fenced = true
+				if g.partTokens[a.partition].Less(a.tok) {
+					g.partTokens[a.partition] = a.tok
+				}
+				g.rebuildRingLocked()
+				g.mu.Unlock()
+				g.stats.Fences.Add(1)
+			}
+		}
+	}
+}
+
+// electActions computes the elector's decisions under the read lock.
+func (g *Gateway) electActions(now time.Time) []electAction {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var acts []electAction
+	for p, lead := range g.partLeaders {
+		maxTok := g.partTokens[p]
+		live := false
+		for _, n := range g.nodes {
+			if !isLeaderRole(n.role) || n.partitionName() != p {
+				continue
+			}
+			if n.reachable && !n.fenced && n.epoch.Less(maxTok) {
+				// Deposed and resurfaced; doesn't know yet.
+				acts = append(acts, electAction{partition: p, node: n, tok: maxTok})
+				continue
+			}
+			if n.reachable && n.ready && !n.fenced {
+				live = true
+			}
+		}
+		if live {
+			continue
+		}
+		// No live leader. Depose only on proof (the best claimant is back
+		// and fenced) or after the full unreachability window — a probe
+		// blip must not cost a healthy leader its partition.
+		deposed := lead.reachable && lead.fenced
+		expired := !lead.reachable && !lead.downSince.IsZero() &&
+			now.Sub(lead.downSince) >= g.opts.FailoverAfter
+		if !deposed && !expired {
+			continue
+		}
+		var cand *nodeState
+		for _, n := range g.nodes {
+			if n.role != repl.RoleFollower || !n.reachable {
+				continue
+			}
+			if !n.ready {
+				// Readiness means "covered the frontier seen at first
+				// contact" — a follower whose leader died before its first
+				// successful poll reports unready forever. When the
+				// partition's history is provably empty (the dead leader
+				// was last probed at applied 0 and never took a proxied
+				// write, and the candidate holds nothing either), there is
+				// nothing to have missed: promote rather than deadlock the
+				// partition.
+				if lead.applied != 0 || lead.writes.Load() != 0 || n.applied != 0 {
+					continue
+				}
+			}
+			if n.partition != p && n.leaderURL != lead.cfg.url {
+				continue
+			}
+			// Eligibility: the candidate must hold (modulo the configured
+			// slack) everything the dead leader was last seen to have
+			// committed — promoting a lagging follower would orphan acked
+			// writes on a timeline nobody serves.
+			if n.applied+g.opts.FailoverMaxLag < lead.applied {
+				continue
+			}
+			if cand == nil || n.applied > cand.applied ||
+				(n.applied == cand.applied && n.cfg.name < cand.cfg.name) {
+				cand = n
+			}
+		}
+		if cand == nil {
+			continue // nobody eligible; retry next round
+		}
+		mint := platform.EpochToken{Epoch: maxTok.Epoch + 1, Holder: cand.cfg.name}
+		if mint.Epoch <= cand.epoch.Epoch {
+			// The candidate has observed a newer epoch than any probe
+			// reported; mint above its word too or the promotion bounces
+			// off ErrEpochBehind.
+			mint.Epoch = cand.epoch.Epoch + 1
+		}
+		acts = append(acts, electAction{partition: p, node: cand, tok: mint, promote: true})
+	}
+	return acts
+}
+
+// learnRoute caches scope → owning partition name.
 func (g *Gateway) learnRoute(scope, leader string) {
 	if scope == "" || leader == "" {
 		return

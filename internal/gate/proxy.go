@@ -390,7 +390,20 @@ type keeps struct {
 // A 307 from a demoted node is followed once (the redirect target is the
 // leader the node itself points at) and triggers a ring re-probe either
 // way.
-func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body *bodyStream, keep *keeps) (attemptOutcome, target) {
+//
+// Writes are stamped with the target partition's max observed fencing
+// token (platform.HeaderEpoch). The stamp is what makes routing mistakes
+// safe instead of merely unlikely: a deposed leader the gateway has not
+// re-probed yet rejects the stamped write with 409 stale_epoch — and
+// permanently fences itself — rather than accepting a write onto a dead
+// timeline. The 409 is treated as retryable, so the walk carries the
+// write to the partition's real leader.
+func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body *bodyStream, keep *keeps, isWrite bool) (attemptOutcome, target) {
+	if isWrite && t.partition != "" {
+		if tok := g.partitionToken(t.partition); !tok.IsZero() {
+			r.Header.Set(platform.HeaderEpoch, tok.String())
+		}
+	}
 	resp, err := g.send(r, t.node.cfg.url, body)
 	if err != nil {
 		g.bookFailure(t.node)
@@ -436,6 +449,22 @@ func (g *Gateway) attempt(w http.ResponseWriter, r *http.Request, t target, body
 		g.bookFailure(t.node)
 		g.kickProbe()
 		return outcomeRetryable, t
+	}
+	if resp.StatusCode == http.StatusConflict {
+		// A stale-epoch 409 is the fencing token doing its job: the node we
+		// picked was deposed and just found out from our stamp. Walk on —
+		// the partition's real leader is a later candidate — and re-probe so
+		// the view catches up. Any other 409 is an application conflict and
+		// belongs to the client.
+		b := bufferResp(resp)
+		if b.errCode() == "stale_epoch" {
+			keep.err = b
+			g.bookFailure(t.node)
+			g.kickProbe()
+			return outcomeRetryable, t
+		}
+		b.relay(w)
+		return outcomeDone, t
 	}
 	if resp.StatusCode == http.StatusNotFound {
 		b := bufferResp(resp)
@@ -505,9 +534,9 @@ func (g *Gateway) unknownNodeDown() bool {
 func (g *Gateway) nodeByLocation(loc string) (target, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for name, n := range g.nodes {
+	for _, n := range g.nodes {
 		if strings.HasPrefix(loc, n.cfg.url+"/") || loc == n.cfg.url {
-			return target{node: n, partition: name}, true
+			return target{node: n, partition: n.partitionName()}, true
 		}
 	}
 	return target{}, false
@@ -551,7 +580,7 @@ func (g *Gateway) runWith(w http.ResponseWriter, r *http.Request, pl plan, targe
 			g.stats.Retries.Add(1)
 		}
 		tried[t.partition] = true
-		outcome, served := g.attempt(w, r, t, body, &keep)
+		outcome, served := g.attempt(w, r, t, body, &keep, isWrite)
 		switch outcome {
 		case outcomeDone:
 			g.finish(pl, served, isWrite)
@@ -586,7 +615,7 @@ discover:
 	if sawMiss {
 		g.stats.Misses.Add(1)
 		for _, t := range g.leaderTargets(tried) {
-			outcome, served := g.attempt(w, r, t, body, &keep)
+			outcome, served := g.attempt(w, r, t, body, &keep, isWrite)
 			if outcome == outcomeDone {
 				g.finish(pl, served, isWrite)
 				return served, true
@@ -792,7 +821,7 @@ func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
 		pl.scope = "n/" + spec.Name
 		g.mu.RLock()
 		if cached, ok := g.routes[pl.scope]; ok {
-			if n, live := g.nodes[cached]; live && isLeaderRole(n.role) {
+			if g.partLeaderLocked(cached) != nil {
 				owner = cached
 			}
 		}
@@ -841,8 +870,8 @@ func (g *Gateway) handleEnsure(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) partitionWriteTarget(name string) []target {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	n, ok := g.nodes[name]
-	if !ok {
+	n := g.partLeaderLocked(name)
+	if n == nil {
 		return nil
 	}
 	return []target{{node: n, partition: name}}
@@ -967,7 +996,7 @@ func (g *Gateway) handleFind(w http.ResponseWriter, r *http.Request, pl plan) {
 	for _, leader := range chain {
 		partitionAnswered := false
 		for _, t := range g.partitionReadTargets(leader) {
-			outcome, served := g.attempt(w, r, t, nil, &keep)
+			outcome, served := g.attempt(w, r, t, nil, &keep, false)
 			if outcome == outcomeDone {
 				g.finish(pl, served, false)
 				return

@@ -105,23 +105,24 @@ func classify(r *http.Request) plan {
 }
 
 // target is one node a request may be forwarded to, tagged with the
-// partition (owning leader name) it belongs to so a success can be
-// learned under the request's scope.
+// partition it belongs to so a success can be learned under the
+// request's scope (and writes stamped with the partition's epoch token).
 type target struct {
 	node      *nodeState
 	partition string
 }
 
-// ownerChainLocked resolves the ordered leader candidates for a plan:
-// the learned owner first (if it is still a leader), then the ring walk —
-// owner, successor, successor's successor. The order is pure ring order;
-// health does not move the anchor (reads anchored on a down leader are
-// still served by its followers). Callers hold g.mu (read side).
+// ownerChainLocked resolves the ordered partition candidates for a plan:
+// the learned owner first (if some node still leads it), then the ring
+// walk — owner, successor, successor's successor. The order is pure ring
+// order; health does not move the anchor (reads anchored on a down
+// leader are still served by its followers). Callers hold g.mu (read
+// side).
 func (g *Gateway) ownerChainLocked(pl plan) []string {
 	var names []string
 	if pl.scope != "" {
 		if cached, ok := g.routes[pl.scope]; ok {
-			if n, live := g.nodes[cached]; live && isLeaderRole(n.role) {
+			if g.partLeaderLocked(cached) != nil {
 				names = append(names, cached)
 			}
 		}
@@ -143,10 +144,11 @@ func (g *Gateway) ownerChainLocked(pl plan) []string {
 	return names
 }
 
-// writeTargets plans a partition write: the owner chain, with leaders the
-// prober last saw unhealthy moved behind healthy ones (they stay in the
-// list — a probe can be stale) so an owner outage fails over to the next
-// ring candidate without waiting out a dead connection first.
+// writeTargets plans a partition write: the owner chain, each partition
+// resolved to the node currently leading it, with leaders the prober
+// last saw unhealthy moved behind healthy ones (they stay in the list —
+// a probe can be stale) so an owner outage fails over to the next ring
+// candidate without waiting out a dead connection first.
 func (g *Gateway) writeTargets(pl plan) []target {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -154,11 +156,11 @@ func (g *Gateway) writeTargets(pl plan) []target {
 	healthy := make([]target, 0, len(chain))
 	var sick []target
 	for _, name := range chain {
-		n, ok := g.nodes[name]
-		if !ok {
+		n := g.partLeaderLocked(name)
+		if n == nil {
 			continue
 		}
-		if n.reachable && n.ready {
+		if n.reachable && n.ready && !n.fenced {
 			healthy = append(healthy, target{node: n, partition: name})
 		} else {
 			sick = append(sick, target{node: n, partition: name})
@@ -174,15 +176,17 @@ func (g *Gateway) writeTargets(pl plan) []target {
 // partitionReadTargets must never disagree on it. Callers hold g.mu
 // (read side).
 func (g *Gateway) followerTargetsLocked(owner string, ownerNode *nodeState) []target {
-	if ownerNode == nil {
-		return nil
-	}
 	var followers []*nodeState
 	for _, n := range g.nodes {
-		if n.role == repl.RoleFollower && n.reachable && n.ready &&
-			n.leaderURL == ownerNode.cfg.url && n.lag <= g.opts.MaxLag {
-			followers = append(followers, n)
+		if n.role != repl.RoleFollower || !n.reachable || !n.ready || n.lag > g.opts.MaxLag {
+			continue
 		}
+		// Partition association: the follower's own probed identity when it
+		// has one, else the classic leader-URL match (pre-identity nodes).
+		if n.partition != owner && (ownerNode == nil || n.leaderURL != ownerNode.cfg.url) {
+			continue
+		}
+		followers = append(followers, n)
 	}
 	if len(followers) == 0 {
 		return nil
@@ -210,25 +214,28 @@ func (g *Gateway) readTargets(pl plan) []target {
 		return nil
 	}
 	owner := chain[0]
-	out := g.followerTargetsLocked(owner, g.nodes[owner])
+	out := g.followerTargetsLocked(owner, g.partLeaderLocked(owner))
 	for _, name := range chain {
-		out = append(out, target{node: g.nodes[name], partition: name})
+		if n := g.partLeaderLocked(name); n != nil {
+			out = append(out, target{node: n, partition: name})
+		}
 	}
 	return out
 }
 
-// leaderTargets lists every current leader (for discovery fan-outs and
-// cross-partition merges), reachable ones first, excluding `skip` names.
+// leaderTargets lists every partition's current leader (for discovery
+// fan-outs and cross-partition merges), reachable ones first, excluding
+// `skip` partitions.
 func (g *Gateway) leaderTargets(skip map[string]bool) []target {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var healthy, sick []target
-	for _, name := range g.order {
-		n := g.nodes[name]
-		if !isLeaderRole(n.role) || skip[name] {
+	for _, name := range g.ring.Nodes() {
+		n := g.partLeaderLocked(name)
+		if n == nil || skip[name] {
 			continue
 		}
-		if n.reachable && n.ready {
+		if n.reachable && n.ready && !n.fenced {
 			healthy = append(healthy, target{node: n, partition: name})
 		} else {
 			sick = append(sick, target{node: n, partition: name})
@@ -243,10 +250,10 @@ func (g *Gateway) leaderTargets(skip map[string]bool) []target {
 func (g *Gateway) partitionReadTargets(leader string) []target {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	ownerNode, ok := g.nodes[leader]
-	if !ok {
-		return nil
-	}
+	ownerNode := g.partLeaderLocked(leader)
 	out := g.followerTargetsLocked(leader, ownerNode)
+	if ownerNode == nil {
+		return out
+	}
 	return append(out, target{node: ownerNode, partition: leader})
 }

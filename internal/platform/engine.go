@@ -78,6 +78,12 @@ type Engine struct {
 	// (role, applied/leader sequence, lag) for /api/stats and healthz.
 	replStats func() ReplStats
 
+	// epochGuard, when set, is the replication node's fencing check: the
+	// HTTP layer passes every write's stamped EpochToken through it before
+	// touching the engine (ErrStaleEpoch / ErrFenced reject the write).
+	// Nil (standalone, no replication node) accepts everything.
+	epochGuard func(EpochToken) error
+
 	// ownsID, when set, restricts id allocation to values the predicate
 	// accepts (see EngineOptions.OwnsID). Immutable after construction,
 	// so reads need no lock beyond the allocation sites' e.mu.
@@ -1158,6 +1164,20 @@ type ReplStats struct {
 	// A snapshot-required error means the follower fell behind a journal
 	// truncation and must be restarted to re-bootstrap.
 	LastError string `json:"last_error,omitempty"`
+	// Epoch/EpochHolder are the node's fencing token (see EpochToken): on
+	// a leader the token its journal was promoted in, on a follower the
+	// newest token observed on the replication stream. Zero/"" on nodes
+	// that predate epochs or were never promoted.
+	Epoch       uint64 `json:"epoch,omitempty"`
+	EpochHolder string `json:"epoch_holder,omitempty"`
+	// Fenced reports a deposed leader: a newer epoch token was proven and
+	// every write is rejected until the node rejoins as a follower.
+	Fenced bool `json:"fenced,omitempty"`
+	// Partition is the ring partition this node serves (its own name on a
+	// leader, the leader's name on a follower). Empty when the node was
+	// not told its identity (pre-election deployments); routers fall back
+	// to associating followers by LeaderURL.
+	Partition string `json:"partition,omitempty"`
 }
 
 // PlatformStats summarizes the whole engine. (Engine-only helper,
@@ -1210,6 +1230,29 @@ func (e *Engine) ReplStats() ReplStats {
 		st.AppliedSeq = j.Len()
 	}
 	return st
+}
+
+// SetEpochGuard registers the replication node's fencing check (see
+// Engine.epochGuard). The HTTP layer consults it via CheckEpoch on every
+// write.
+func (e *Engine) SetEpochGuard(fn func(EpochToken) error) {
+	e.mu.Lock()
+	e.epochGuard = fn
+	e.mu.Unlock()
+}
+
+// CheckEpoch runs the write-path fencing check: nil when the stamped
+// token (zero = unstamped) may proceed, ErrStaleEpoch when the stamp
+// proves this node was deposed, ErrFenced when the node already knows it
+// was. An engine without a guard (standalone) accepts everything.
+func (e *Engine) CheckEpoch(tok EpochToken) error {
+	e.mu.RLock()
+	guard := e.epochGuard
+	e.mu.RUnlock()
+	if guard == nil {
+		return nil
+	}
+	return guard(tok)
 }
 
 // SetReadOnly puts the engine in replica mode: external mutations return

@@ -128,6 +128,10 @@ func errorCode(err error) (string, int) {
 		return "worker_banned", http.StatusForbidden
 	case errors.Is(err, ErrReadOnly):
 		return "read_only", http.StatusServiceUnavailable
+	case errors.Is(err, ErrStaleEpoch):
+		return "stale_epoch", http.StatusConflict
+	case errors.Is(err, ErrFenced):
+		return "fenced", http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return "bad_request", http.StatusBadRequest
 	default:
@@ -154,6 +158,10 @@ func codeToError(code, msg string) error {
 		return ErrBadRequest
 	case "read_only":
 		return ErrReadOnly
+	case "stale_epoch":
+		return ErrStaleEpoch
+	case "fenced":
+		return ErrFenced
 	default:
 		return errors.New("platform: remote error: " + msg)
 	}
@@ -207,7 +215,24 @@ func pathID(r *http.Request) (int64, error) {
 	return id, nil
 }
 
+// checkEpoch runs the fencing gate on a write request: the HeaderEpoch
+// stamp (zero when absent) goes through the engine's epoch guard before
+// the handler touches any state. Rejections surface as stale_epoch (409)
+// or fenced (503) — both signals to the router that its leader view is
+// out of date.
+func (s *Server) checkEpoch(r *http.Request) error {
+	tok, err := ParseEpochToken(r.Header.Get(HeaderEpoch))
+	if err != nil {
+		return ErrBadRequest
+	}
+	return s.engine.CheckEpoch(tok)
+}
+
 func (s *Server) handleEnsureProject(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
 	var spec ProjectSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		s.writeErr(w, r, ErrBadRequest)
@@ -242,6 +267,10 @@ func (s *Server) handleFindProject(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		s.writeErr(w, r, err)
@@ -277,6 +306,10 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNewTask(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		s.writeErr(w, r, err)
@@ -336,6 +369,10 @@ type submitRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		s.writeErr(w, r, err)
@@ -360,6 +397,10 @@ type banRequest struct {
 }
 
 func (s *Server) handleBan(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		s.writeErr(w, r, err)

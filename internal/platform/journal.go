@@ -107,7 +107,9 @@ type Journal struct {
 	next     uint64 // sequence number of the next event to commit
 	first    uint64 // events below this were folded into a snapshot (truncated)
 	closed   bool
-	failed   error                                // sticky flush failure; all later appends return it
+	failed   error // sticky flush failure; all later appends return it
+	epoch    EpochToken
+	fenced   bool                                 // a newer epoch was proven; appends are rejected
 	observer func(seq uint64, ev Event, size int) // committed-event tap, called from the committer in seq order
 
 	// taps are additional committed-event observers (replication feeds),
@@ -253,11 +255,16 @@ func OpenJournalOpts(db *storage.DB, opts JournalOptions) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("platform: journal open: %w", err)
 	}
+	tok, err := JournalEpoch(db)
+	if err != nil {
+		return nil, fmt.Errorf("platform: journal open: %w", err)
+	}
 	j := &Journal{
 		db:      db,
 		durable: db.Policy() == storage.SyncAlways,
 		next:    next,
 		first:   first,
+		epoch:   tok,
 		opts:    opts.withDefaults(),
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -356,6 +363,46 @@ func (j *Journal) FirstSeq() uint64 {
 	return j.first
 }
 
+// Epoch returns the fencing token this journal's history belongs to,
+// loaded from the store's meta record at open (zero for stores that were
+// never promoted into or fenced).
+func (j *Journal) Epoch() EpochToken {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// Fenced reports whether Fence has poisoned the append path.
+func (j *Journal) Fenced() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fenced
+}
+
+// Fence marks the journal deposed by tok: every later Enqueue/Append
+// returns ErrFenced, and the (greater of the two) token is durably
+// recorded so a restart comes back fenced too — the journal-level half of
+// split-brain protection; a deposed leader's history can never grow past
+// the point its successor's was seeded from. Reads, Flush, and Close keep
+// working: fencing stops new history, it does not abandon the old.
+func (j *Journal) Fence(tok EpochToken) error {
+	j.mu.Lock()
+	if j.fenced && !j.epoch.Less(tok) {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.epoch.Less(tok) {
+		j.epoch = tok
+	}
+	j.fenced = true
+	tok = j.epoch
+	j.mu.Unlock()
+	// Persist outside the lock; the append path already rejects, so a
+	// crash between the two leaves nothing inconsistent (the write stamp
+	// or the elector re-fences on the next contact).
+	return SetJournalEpoch(j.db, tok)
+}
+
 // newTicket builds the ticket for ev, pre-encoding and immediately acking
 // it on the fast path (non-durable sync policy): the sync policy already
 // tolerates losing an acked tail on crash, so there is nothing for the
@@ -429,6 +476,10 @@ func (j *Journal) Enqueue(ev Event) (*Ticket, error) {
 		j.mu.Unlock()
 		return nil, ErrJournalClosed
 	}
+	if j.fenced {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("platform: journal epoch %s: %w", j.Epoch(), ErrFenced)
+	}
 	if j.failed != nil {
 		err := j.failed
 		j.mu.Unlock()
@@ -474,6 +525,10 @@ func (j *Journal) AppendBatch(evs []Event) error {
 	if j.closed {
 		j.mu.Unlock()
 		return ErrJournalClosed
+	}
+	if j.fenced {
+		j.mu.Unlock()
+		return fmt.Errorf("platform: journal epoch %s: %w", j.Epoch(), ErrFenced)
 	}
 	if j.failed != nil {
 		err := j.failed
@@ -949,6 +1004,15 @@ func (j *Journal) ReplayFrom(start uint64, fn func(Event) error) error {
 // or misread event.
 func (j *Journal) replayFrom(start uint64, fn func(seq uint64, ev Event, size int) error) error {
 	var ferr error
+	// Sequence numbers at or above start must be dense (flush-time
+	// assignment and the sticky-failure rule guarantee no holes were ever
+	// written). A gap means the store lost a committed event — recovery
+	// must fail typed rather than silently apply partial history. The
+	// leading gap between start and the first live key is legal: it is a
+	// truncation racing the caller's FirstSeq read, and callers detect it
+	// by the first delivered sequence.
+	var next uint64
+	haveNext := false
 	err := j.db.ScanShared(journalPrefix, func(key string, val []byte) bool {
 		seq, ok := parseJournalKey(key)
 		if !ok {
@@ -958,6 +1022,11 @@ func (j *Journal) replayFrom(start uint64, fn func(seq uint64, ev Event, size in
 		if seq < start {
 			return true
 		}
+		if haveNext && seq != next {
+			ferr = fmt.Errorf("platform: journal gap: got seq %d, want %d: %w", seq, next, ErrEventCorrupt)
+			return false
+		}
+		next, haveNext = seq+1, true
 		var ev Event
 		switch {
 		case binaryEventValue(val):

@@ -1,0 +1,70 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// PromoteFollower asks the node at baseURL to promote itself with tok
+// (zero fields auto-fill; see Node.PromoteEpoch) — the elector's
+// promotion RPC. The returned stats are the node's post-promotion view,
+// so the caller can confirm the role flip and the minted token without a
+// second probe.
+func PromoteFollower(hc *http.Client, baseURL string, tok platform.EpochToken) (platform.ReplStats, error) {
+	q := url.Values{}
+	if tok.Epoch > 0 {
+		q.Set("epoch", strconv.FormatUint(tok.Epoch, 10))
+	}
+	if tok.Holder != "" {
+		q.Set("holder", tok.Holder)
+	}
+	return replPost(hc, baseURL, "/api/repl/promote", q)
+}
+
+// FenceNode tells the node at baseURL it was deposed by tok — the
+// elector's push-style fence, used against the loser of a dueling
+// promotion and against stale leaders that resurface after a failover.
+// Safe to call with the partition's max token unconditionally: a node is
+// never fenced by its own (or an older) token.
+func FenceNode(hc *http.Client, baseURL string, tok platform.EpochToken) (platform.ReplStats, error) {
+	q := url.Values{}
+	q.Set("token", tok.String())
+	return replPost(hc, baseURL, "/api/repl/fence", q)
+}
+
+func replPost(hc *http.Client, baseURL, path string, q url.Values) (platform.ReplStats, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	u := strings.TrimRight(baseURL, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := hc.Post(u, "application/json", nil)
+	if err != nil {
+		return platform.ReplStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
+			return platform.ReplStats{}, fmt.Errorf("repl: %s %s: HTTP %d: %s", path, baseURL, resp.StatusCode, body.Error)
+		}
+		return platform.ReplStats{}, fmt.Errorf("repl: %s %s: HTTP %d", path, baseURL, resp.StatusCode)
+	}
+	var st platform.ReplStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return platform.ReplStats{}, fmt.Errorf("repl: %s %s: decode: %w", path, baseURL, err)
+	}
+	return st, nil
+}

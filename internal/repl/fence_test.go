@@ -1,0 +1,293 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// postWrite PUTs a project create against url, optionally stamped with an
+// epoch token, and returns the HTTP status and error code (if any).
+func postWrite(t *testing.T, url, name string, tok platform.EpochToken) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/api/projects",
+		jsonBody(t, map[string]any{"name": name, "redundancy": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if !tok.IsZero() {
+		req.Header.Set(platform.HeaderEpoch, tok.String())
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, ""
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	json.Unmarshal(body, &e)
+	return resp.StatusCode, e.Code
+}
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sliceReader{data: data}
+}
+
+type sliceReader struct{ data []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestDeposedLeaderWriteRejected is the fencing tentpole edge end to end:
+// a write stamped with a newer epoch token is proof the leader was
+// deposed — the write is rejected 409 stale_epoch, the leader permanently
+// self-fences (journal included), and every subsequent write, stamped or
+// not, bounces 503 fenced.
+func TestDeposedLeaderWriteRejected(t *testing.T) {
+	env := newLeaderEnv(t, 0)
+	env.node.SetIdentity("l1", "p1")
+	buildHistory(t, env.engine, "pre", 10)
+
+	// A stamp at the leader's own (zero) token is a floor, not a depose:
+	// the write passes.
+	if code, ec := postWrite(t, env.hs.URL, "floor", platform.EpochToken{}); code != http.StatusOK {
+		t.Fatalf("unstamped write: HTTP %d %s", code, ec)
+	}
+
+	// A newer stamp deposes.
+	newer := platform.EpochToken{Epoch: 3, Holder: "f9"}
+	if code, ec := postWrite(t, env.hs.URL, "stale", newer); code != http.StatusConflict || ec != "stale_epoch" {
+		t.Fatalf("newer-stamped write: HTTP %d code %q, want 409 stale_epoch", code, ec)
+	}
+	if !env.node.Fenced() {
+		t.Fatal("leader did not self-fence on newer stamp")
+	}
+	if !env.journal.Fenced() {
+		t.Fatal("journal not fenced with the node")
+	}
+
+	// Not a single write lands after the depose — not even unstamped ones.
+	if code, ec := postWrite(t, env.hs.URL, "after", platform.EpochToken{}); code != http.StatusServiceUnavailable || ec != "fenced" {
+		t.Fatalf("write to fenced leader: HTTP %d code %q, want 503 fenced", code, ec)
+	}
+	// The journal rejects direct appends too (kill -9 of the HTTP layer
+	// can't resurrect the write path).
+	if _, err := env.journal.Enqueue(platform.Event{}); !errors.Is(err, platform.ErrFenced) {
+		t.Fatalf("journal append on fenced leader: %v, want ErrFenced", err)
+	}
+	// And the fenced leader serves no replication feed: its unreplicated
+	// tail must not fork a follower off the successor's timeline.
+	resp, err := http.Get(env.hs.URL + "/api/repl/stream?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fenced leader stream: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDuelingPromotionsResolveToOneEpoch promotes two followers of the
+// same dead leader concurrently: both mint the same epoch number, the
+// holder name breaks the tie totally, and fencing the loser with the
+// winner's token (what the election layer does) leaves exactly one
+// unfenced leader. Fencing the winner with the loser's token is a no-op —
+// a node cannot be deposed by a token at or below its own.
+func TestDuelingPromotionsResolveToOneEpoch(t *testing.T) {
+	env := newLeaderEnv(t, 0)
+	_, events := buildHistory(t, env.engine, "duel", 50)
+	waitLen(t, env.journal, events)
+
+	mkFollower := func(name string) *Node {
+		node, err := NewFollowerNode(FollowerOptions{
+			LeaderURL: env.hs.URL,
+			Clock:     vclock.NewVirtual(),
+			PollWait:  250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("follower %s: %v", name, err)
+		}
+		t.Cleanup(func() { node.Close() })
+		node.SetIdentity(name, "p1")
+		if err := node.Follower().WaitFor(events, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+	f1, f2 := mkFollower("f1"), mkFollower("f2")
+
+	// The leader dies; both operators race a promotion.
+	env.hs.Close()
+	if err := f1.Promote(); err != nil {
+		t.Fatalf("promote f1: %v", err)
+	}
+	if err := f2.Promote(); err != nil {
+		t.Fatalf("promote f2: %v", err)
+	}
+	t1, t2 := f1.EpochToken(), f2.EpochToken()
+	if t1.Epoch != t2.Epoch {
+		t.Fatalf("dueling mints diverged in epoch number: %s vs %s", t1, t2)
+	}
+	if !t1.Less(t2) {
+		t.Fatalf("token order must break the duel: %s !< %s", t1, t2)
+	}
+
+	// The election layer fences with the partition max unconditionally —
+	// the winner shrugs its own token off, the loser is deposed.
+	if err := f2.Fence(t2); err != nil {
+		t.Fatalf("fence winner with own token: %v", err)
+	}
+	if f2.Fenced() {
+		t.Fatal("winner fenced by its own token")
+	}
+	if err := f1.Fence(t2); err != nil {
+		t.Fatalf("fence loser: %v", err)
+	}
+	if !f1.Fenced() {
+		t.Fatal("loser not fenced by the winner's token")
+	}
+	// Exactly one epoch holder remains writable.
+	if _, err := f2.Engine().EnsureProject(platform.ProjectSpec{Name: "post-duel", Redundancy: 1}); err != nil {
+		t.Fatalf("write on winner: %v", err)
+	}
+}
+
+// TestPromotionRefusedBehindObservedEpoch: a follower that has observed a
+// fencing token refuses to mint at or below it — a promotion that loses
+// the race by epoch is stillborn, not a second leader.
+func TestPromotionRefusedBehindObservedEpoch(t *testing.T) {
+	env := newLeaderEnv(t, 0)
+	_, events := buildHistory(t, env.engine, "behind", 20)
+	waitLen(t, env.journal, events)
+
+	node, err := NewFollowerNode(FollowerOptions{
+		LeaderURL: env.hs.URL,
+		Clock:     vclock.NewVirtual(),
+		PollWait:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.SetIdentity("f1", "p1")
+	if err := node.Follower().WaitFor(events, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The election layer tells this follower epoch 5 exists elsewhere.
+	node.Fence(platform.EpochToken{Epoch: 5, Holder: "f9"})
+	if err := node.PromoteEpoch(platform.EpochToken{Epoch: 4, Holder: "f1"}); !errors.Is(err, ErrEpochBehind) {
+		t.Fatalf("stale mint: %v, want ErrEpochBehind", err)
+	}
+	if node.Role() != RoleFollower {
+		t.Fatalf("refused promotion changed role to %s", node.Role())
+	}
+	// Minting above the observed epoch succeeds.
+	if err := node.PromoteEpoch(platform.EpochToken{Epoch: 6, Holder: "f1"}); err != nil {
+		t.Fatalf("mint above observed: %v", err)
+	}
+	if tok := node.EpochToken(); tok.Epoch != 6 || tok.Holder != "f1" {
+		t.Fatalf("minted token = %s, want 6:f1", tok)
+	}
+}
+
+// TestEpochSurvivesRestart: a durable promotion persists its fencing
+// token in the journal's meta row; reopening the store after a kill -9
+// recovers it, and identity attach detects deposed-while-dead.
+func TestEpochSurvivesRestart(t *testing.T) {
+	env := newLeaderEnv(t, 200)
+	_, events := buildHistory(t, env.engine, "durable", 100)
+	waitLen(t, env.journal, events)
+	if err := env.cp.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	promoDir := filepath.Join(t.TempDir(), "promoted")
+	node, err := NewFollowerNode(FollowerOptions{
+		LeaderURL: env.hs.URL,
+		Clock:     vclock.NewVirtual(),
+		PollWait:  250 * time.Millisecond,
+		DataDir:   promoDir,
+		Storage:   storage.Options{Sync: storage.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.SetIdentity("f1", "p1")
+	if err := node.Follower().WaitFor(events, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.PromoteEpoch(platform.EpochToken{Epoch: 7, Holder: "f1"}); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("close promoted node: %v", err)
+	}
+
+	// Restart: the token is recovered from disk before a single write.
+	db, err := storage.Open(promoDir, storage.Options{Sync: storage.SyncNever, BreakStaleLock: true})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer db.Close()
+	j, err := platform.OpenJournal(db)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j.Close()
+	if tok := j.Epoch(); tok.Epoch != 7 || tok.Holder != "f1" {
+		t.Fatalf("recovered epoch = %s, want 7:f1", tok)
+	}
+	engine, err := platform.NewEngineOpts(platform.EngineOptions{Clock: vclock.NewVirtual(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := NewLeaderNode(engine, j, db)
+	defer restarted.Close()
+
+	// Same holder: comes back an unfenced leader at its own epoch.
+	restarted.SetIdentity("f1", "p1")
+	if restarted.Fenced() {
+		t.Fatal("rightful holder fenced on restart")
+	}
+	if tok := restarted.EpochToken(); tok.Epoch != 7 {
+		t.Fatalf("restarted token = %s, want epoch 7", tok)
+	}
+
+	// A different node restarting over a journal whose persisted holder is
+	// someone else was deposed while dead: it must come back fenced.
+	env2 := newLeaderEnv(t, 0)
+	if err := env2.journal.Fence(platform.EpochToken{Epoch: 2, Holder: "elsewhere"}); err != nil {
+		t.Fatal(err)
+	}
+	deposed := NewLeaderNode(env2.engine, env2.journal, env2.db)
+	defer deposed.Close()
+	deposed.SetIdentity("l1", "p1")
+	if !deposed.Fenced() {
+		t.Fatal("deposed-while-dead leader restarted unfenced")
+	}
+}

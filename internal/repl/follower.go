@@ -131,6 +131,7 @@ type Follower struct {
 	rebootstraps uint64    // state resets forced by leader-side truncation
 	target       uint64    // frontier at first contact; ready once applied past it
 	lagSince     time.Time // when the replica last fell behind the frontier (zero = caught up)
+	epoch        platform.EpochToken
 	connected    bool
 	ready        bool
 	fatal        bool
@@ -239,6 +240,48 @@ func (f *Follower) initMetrics(reg *obs.Registry) {
 		})
 }
 
+// epochSeen returns the newest fencing token this follower has observed
+// on the replication wire — the floor any promotion of it must exceed.
+func (f *Follower) epochSeen() platform.EpochToken {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// observeEpoch lifts the follower's epoch floor (elector fence calls and
+// response stamps both land here). Tokens at or below the current floor
+// are no-ops.
+func (f *Follower) observeEpoch(tok platform.EpochToken) {
+	f.mu.Lock()
+	if f.epoch.Less(tok) {
+		f.epoch = tok
+	}
+	f.mu.Unlock()
+}
+
+// checkWireEpoch validates a stream/snapshot response's epoch stamp
+// against the floor: an older token means the response came from a
+// deposed leader whose history may have forked — refuse it. Newer or
+// equal stamps lift/keep the floor.
+func (f *Follower) checkWireEpoch(hdr string) error {
+	tok, err := platform.ParseEpochToken(hdr)
+	if err != nil {
+		return err
+	}
+	if tok.IsZero() {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tok.Less(f.epoch) {
+		return fmt.Errorf("repl: stream epoch %s older than observed %s: %w", tok, f.epoch, platform.ErrStaleEpoch)
+	}
+	if f.epoch.Less(tok) {
+		f.epoch = tok
+	}
+	return nil
+}
+
 // updateLagLocked maintains the lag clock: stamp the moment the replica
 // falls behind the frontier, clear it when caught up. Callers hold f.mu.
 func (f *Follower) updateLagLocked() {
@@ -273,6 +316,9 @@ func (f *Follower) fetchSnapshot() (data []byte, seq uint64, ok bool, err error)
 	case http.StatusOK:
 	default:
 		return nil, 0, false, fmt.Errorf("repl: fetch snapshot: HTTP %d", resp.StatusCode)
+	}
+	if err := f.checkWireEpoch(resp.Header.Get(HeaderReplEpoch)); err != nil {
+		return nil, 0, false, err
 	}
 	data, err = io.ReadAll(resp.Body)
 	if err != nil {
@@ -425,6 +471,10 @@ func (f *Follower) poll() (int, error) {
 	default:
 		io.Copy(io.Discard, resp.Body)
 		return 0, fmt.Errorf("repl: stream: HTTP %d", resp.StatusCode)
+	}
+	if err := f.checkWireEpoch(resp.Header.Get(HeaderReplEpoch)); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return 0, err
 	}
 	var frontier uint64
 	if hdr := resp.Header.Get(HeaderFrontier); hdr != "" {
@@ -586,6 +636,8 @@ func (f *Follower) stats() platform.ReplStats {
 		SnapshotSeq:  f.snapshotSeq,
 		Rebootstraps: f.rebootstraps,
 		LastError:    f.lastErr,
+		Epoch:        f.epoch.Epoch,
+		EpochHolder:  f.epoch.Holder,
 	}
 	if f.leaderSeq > f.appliedSeq {
 		st.Lag = f.leaderSeq - f.appliedSeq
@@ -626,20 +678,23 @@ type promoted struct {
 }
 
 // promote stops the stream and turns the replica into a leader at its
-// applied sequence S. With a DataDir, the state is written as a snapshot
-// record cut at S into a fresh store whose journal is seeded to continue
-// at S — so the promoted node's history is, by construction, the prefix
-// [0, S) it replicated, and surviving followers of the old leader can
-// re-point here and resume their streams (any of them behind S must
-// re-bootstrap, which the stream's snapshot_required path forces
-// automatically). A checkpointer is attached per opts.Checkpoint so the
-// promoted journal keeps folding into snapshots, exactly like a leader
-// started with -data. Without a DataDir the engine merely becomes
+// applied sequence S, minting tok as the new leadership's fencing token.
+// With a DataDir, the state is written as a snapshot record cut at S
+// into a fresh store whose journal is seeded to continue at S — so the
+// promoted node's history is, by construction, the prefix [0, S) it
+// replicated, and surviving followers of the old leader can re-point
+// here and resume their streams (any of them behind S must re-bootstrap,
+// which the stream's snapshot_required path forces automatically). The
+// token is persisted into the same store before the journal opens, so
+// the epoch survives any later restart — kill -9 included — exactly like
+// the journal cut does. A checkpointer is attached per opts.Checkpoint
+// so the promoted journal keeps folding into snapshots, exactly like a
+// leader started with -data. Without a DataDir the engine merely becomes
 // writable.
 //
 // The target directory must be empty: promotion half-done into a dirty
 // store is indistinguishable from data loss, so it is refused loudly.
-func (f *Follower) promote() (promoted, error) {
+func (f *Follower) promote(tok platform.EpochToken) (promoted, error) {
 	f.stop()
 	f.mu.Lock()
 	seq := f.appliedSeq
@@ -672,6 +727,11 @@ func (f *Follower) promote() (promoted, error) {
 	}
 	if err := platform.SeedJournalCut(db, seq); err != nil {
 		return fail(err)
+	}
+	if !tok.IsZero() {
+		if err := platform.SetJournalEpoch(db, tok); err != nil {
+			return fail(err)
+		}
 	}
 	j, err := platform.OpenJournalOpts(db, f.opts.Journal)
 	if err != nil {

@@ -40,6 +40,12 @@ const (
 	HeaderFrontier = "X-Repl-Frontier"
 	// HeaderSnapshotSeq carries a snapshot response's cut sequence.
 	HeaderSnapshotSeq = "X-Repl-Snapshot-Seq"
+	// HeaderReplEpoch carries the serving leader's fencing token on
+	// stream and snapshot responses. A follower tracks the newest token
+	// it has seen and refuses frames stamped with an older one — the
+	// replication-path half of split-brain protection (the write path's
+	// is platform.HeaderEpoch).
+	HeaderReplEpoch = "X-Repl-Epoch"
 )
 
 // Defaults for the stream endpoint's query knobs.

@@ -2,7 +2,9 @@ package repl
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"repro/internal/platform"
@@ -25,6 +27,9 @@ func writeStatsJSON(w http.ResponseWriter, st platform.ReplStats) {
 //	GET  /api/repl/snapshot        → latest snapshot record (leader)
 //	GET  /api/repl/status          → this node's ReplStats
 //	POST /api/repl/promote         → follower → leader transition
+//	                                 (?epoch=N&holder=H mints that token;
+//	                                 omitted, the node mints the next one)
+//	POST /api/repl/fence           → depose this node (?token=E:H)
 type Node struct {
 	engine *platform.Engine
 	mux    *http.ServeMux
@@ -36,6 +41,19 @@ type Node struct {
 	promoting bool      // a Promote is in flight; serializes racing requests
 	warn      string    // non-fatal degradation (promotion checkpointer failure)
 	closed    bool
+
+	// Identity and fencing state. name/partition come from SetIdentity
+	// (empty on pre-election deployments); epoch is the node's fencing
+	// token — the one its journal was promoted in on a leader, the newest
+	// observed on a follower's behalf the feed's stamp. fenced marks a
+	// deposed leader: a strictly newer token was proven (a stamped write,
+	// an elector's fence call, or the persisted record of either after a
+	// restart) and the node accepts and replicates nothing until it
+	// rejoins as a follower.
+	name      string
+	partition string
+	epoch     platform.EpochToken
+	fenced    bool
 
 	// Resources acquired by a durable promotion, closed by Close.
 	ownedJournal *platform.Journal
@@ -77,11 +95,111 @@ func NewFollowerNode(opts FollowerOptions) (*Node, error) {
 
 func (n *Node) init() {
 	n.engine.SetReplStatsFunc(n.Stats)
+	n.engine.SetEpochGuard(n.checkEpoch)
 	n.mux = http.NewServeMux()
 	n.mux.HandleFunc("GET /api/repl/stream", n.handleStream)
 	n.mux.HandleFunc("GET /api/repl/snapshot", n.handleSnapshot)
 	n.mux.HandleFunc("GET /api/repl/status", n.handleStatus)
 	n.mux.HandleFunc("POST /api/repl/promote", n.handlePromote)
+	n.mux.HandleFunc("POST /api/repl/fence", n.handleFence)
+	if n.leader != nil && n.leader.j != nil {
+		n.epoch = n.leader.j.Epoch()
+	}
+}
+
+// SetIdentity tells the node its own name and the ring partition it
+// serves — the identity the election layer fences by. A leader whose
+// persisted epoch token names a different holder was deposed before this
+// restart: it comes back fenced, journal included, so not even the first
+// write after a kill -9 can fork history.
+func (n *Node) SetIdentity(name, partition string) {
+	n.mu.Lock()
+	n.name, n.partition = name, partition
+	var fenceTok platform.EpochToken
+	if n.leader != nil && !n.epoch.IsZero() && n.epoch.Holder != name {
+		n.fenced = true
+		fenceTok = n.epoch
+	}
+	leader := n.leader
+	n.mu.Unlock()
+	if !fenceTok.IsZero() && leader != nil && leader.j != nil {
+		leader.j.Fence(fenceTok)
+	}
+}
+
+// EpochToken returns the node's current fencing token.
+func (n *Node) EpochToken() platform.EpochToken {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Fenced reports whether the node has been deposed.
+func (n *Node) Fenced() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fenced
+}
+
+// checkEpoch is the engine's write-path fencing guard (see
+// platform.Engine.CheckEpoch). A write stamped with a token newer than
+// the node's own is proof of a later promotion: the write is rejected
+// AND the node permanently fences itself — journal included — so a
+// deposed leader that comes back accepts exactly zero writes once any
+// correctly-stamped request reaches it. Stamps at or below the node's
+// own token pass (the stamp is a floor, so a router with a stale view
+// never causes spurious rejections); followers pass everything, their
+// ErrReadOnly redirect already handles writes.
+func (n *Node) checkEpoch(tok platform.EpochToken) error {
+	n.mu.Lock()
+	if n.fenced {
+		n.mu.Unlock()
+		return platform.ErrFenced
+	}
+	if n.role != RoleLeader || tok.IsZero() || !n.epoch.Less(tok) {
+		n.mu.Unlock()
+		return nil
+	}
+	n.epoch = tok
+	n.fenced = true
+	leader := n.leader
+	n.mu.Unlock()
+	if leader != nil && leader.j != nil {
+		leader.j.Fence(tok)
+	}
+	return platform.ErrStaleEpoch
+}
+
+// Fence deposes the node with tok — the election layer's push-style
+// counterpart of the write-stamp check, used to fence the loser of a
+// dueling promotion. Safe by construction: a token at or below the
+// node's own never fences (a node cannot be deposed by its own token),
+// so callers may fence with the partition's max token unconditionally.
+// On a follower it only lifts the epoch floor the stream is checked
+// against.
+func (n *Node) Fence(tok platform.EpochToken) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if f := n.follower; f != nil {
+		n.mu.Unlock()
+		f.observeEpoch(tok)
+		return nil
+	}
+	if !n.epoch.Less(tok) {
+		n.mu.Unlock()
+		return nil
+	}
+	n.epoch = tok
+	n.fenced = true
+	leader := n.leader
+	n.mu.Unlock()
+	if leader != nil && leader.j != nil {
+		return leader.j.Fence(tok)
+	}
+	return nil
 }
 
 // Engine returns the engine this node serves (the replica's on a
@@ -125,6 +243,7 @@ func (n *Node) Journal() *platform.Journal {
 func (n *Node) Stats() platform.ReplStats {
 	n.mu.Lock()
 	leader, follower, warn := n.leader, n.follower, n.warn
+	partition, epoch, fenced := n.partition, n.epoch, n.fenced
 	n.mu.Unlock()
 	var st platform.ReplStats
 	switch {
@@ -139,33 +258,63 @@ func (n *Node) Stats() platform.ReplStats {
 	if warn != "" && st.LastError == "" {
 		st.LastError = warn
 	}
+	st.Partition = partition
+	if follower == nil {
+		// Leaders report the node-held token; a follower's stats already
+		// carry the newest token its stream observed.
+		st.Epoch, st.EpochHolder = epoch.Epoch, epoch.Holder
+	}
+	if fenced {
+		// A deposed leader keeps its role (the probe needs to see WHAT was
+		// deposed) but is not ready: it serves nothing until it rejoins.
+		st.Fenced = true
+		st.Ready = false
+	}
 	return st
 }
 
-// currentLeader returns the feed if this node is serving one.
-func (n *Node) currentLeader() *Leader {
+// currentLeader returns the feed if this node is serving one, with the
+// node's fencing view: a fenced (deposed) leader serves no feed at all —
+// its journal may hold an unreplicated tail past the point its
+// successor's history was seeded from, and letting a follower apply it
+// would fork that follower off the new timeline.
+func (n *Node) currentLeader() (*Leader, platform.EpochToken, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return nil
+		return nil, platform.EpochToken{}, false
 	}
-	return n.leader
+	return n.leader, n.epoch, n.fenced
 }
 
 func (n *Node) handleStream(w http.ResponseWriter, r *http.Request) {
-	l := n.currentLeader()
+	l, tok, fenced := n.currentLeader()
+	if fenced {
+		httpError(w, http.StatusServiceUnavailable, "fenced", platform.ErrFenced.Error())
+		return
+	}
 	if l == nil {
 		httpError(w, http.StatusServiceUnavailable, "not_leader", ErrNotLeader.Error())
 		return
+	}
+	if !tok.IsZero() {
+		w.Header().Set(HeaderReplEpoch, tok.String())
 	}
 	l.handleStream(w, r)
 }
 
 func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	l := n.currentLeader()
+	l, tok, fenced := n.currentLeader()
+	if fenced {
+		httpError(w, http.StatusServiceUnavailable, "fenced", platform.ErrFenced.Error())
+		return
+	}
 	if l == nil {
 		httpError(w, http.StatusServiceUnavailable, "not_leader", ErrNotLeader.Error())
 		return
+	}
+	if !tok.IsZero() {
+		w.Header().Set(HeaderReplEpoch, tok.String())
 	}
 	l.handleSnapshot(w, r)
 }
@@ -175,15 +324,47 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeStatsJSON(w, n.Stats())
 }
 
-// handlePromote is POST /api/repl/promote: the operator's failover
-// trigger on a follower.
+// handlePromote is POST /api/repl/promote: the failover trigger on a
+// follower, used by operators and by the gateway's elector. Optional
+// ?epoch=N&holder=H name the exact fencing token to mint (the elector
+// computes N as the partition's max observed epoch + 1); omitted, the
+// node mints the next epoch after everything it has seen, with itself as
+// holder.
 func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
-	if err := n.Promote(); err != nil {
+	var req platform.EpochToken
+	q := r.URL.Query()
+	if s := q.Get("epoch"); s != "" {
+		epoch, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "malformed epoch")
+			return
+		}
+		req.Epoch = epoch
+	}
+	req.Holder = q.Get("holder")
+	if err := n.PromoteEpoch(req); err != nil {
 		status := http.StatusInternalServerError
-		if err == ErrNotFollower {
+		if err == ErrNotFollower || err == ErrEpochBehind {
 			status = http.StatusConflict
 		}
 		httpError(w, status, "promote_failed", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeStatsJSON(w, n.Stats())
+}
+
+// handleFence is POST /api/repl/fence?token=E:H — the elector's "you
+// lost" push: depose this node with the given token (a no-op when the
+// token is at or below the node's own).
+func (n *Node) handleFence(w http.ResponseWriter, r *http.Request) {
+	tok, err := platform.ParseEpochToken(r.URL.Query().Get("token"))
+	if err != nil || tok.IsZero() {
+		httpError(w, http.StatusBadRequest, "bad_request", "malformed or missing fence token")
+		return
+	}
+	if err := n.Fence(tok); err != nil {
+		httpError(w, http.StatusInternalServerError, "fence_failed", err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -194,9 +375,18 @@ func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
 // Follower.promote): the stream stops, the replica state is cut as a
 // snapshot at the applied sequence into FollowerOptions.DataDir (when
 // set) with a fresh journal seeded to continue the same numbering, and
-// the engine accepts writes again. Idempotent failure mode: a node that
-// is not (or no longer) a follower returns ErrNotFollower.
-func (n *Node) Promote() error {
+// the engine accepts writes again. The promotion mints the next fencing
+// token after everything this follower has observed, with itself as the
+// holder. Idempotent failure mode: a node that is not (or no longer) a
+// follower returns ErrNotFollower.
+func (n *Node) Promote() error { return n.PromoteEpoch(platform.EpochToken{}) }
+
+// PromoteEpoch is Promote with an explicit fencing token. A zero Epoch
+// auto-mints (max observed + 1); an empty Holder defaults to the node's
+// own name. The minted token must exceed every token this follower has
+// observed on its stream — a promotion that would be instantly fenced is
+// refused with ErrEpochBehind instead of minting a stillborn leader.
+func (n *Node) PromoteEpoch(req platform.EpochToken) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -209,9 +399,26 @@ func (n *Node) Promote() error {
 		n.mu.Unlock()
 		return ErrNotFollower
 	}
+	name := n.name
 	n.promoting = true
 	n.mu.Unlock()
-	p, err := f.promote()
+	seen := f.epochSeen()
+	mint := req
+	if mint.Epoch == 0 {
+		mint.Epoch = seen.Epoch + 1
+	}
+	if mint.Holder == "" {
+		mint.Holder = name
+	}
+	var p promoted
+	err := func() error {
+		if !seen.Less(mint) {
+			return fmt.Errorf("%w: minting %s, but this follower has observed %s", ErrEpochBehind, mint, seen)
+		}
+		var err error
+		p, err = f.promote(mint)
+		return err
+	}()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.promoting = false
@@ -224,6 +431,8 @@ func (n *Node) Promote() error {
 	n.role = RoleLeader
 	n.follower = nil
 	n.leader = p.leader
+	n.epoch = mint
+	n.fenced = false
 	n.ownedJournal = p.j
 	n.ownedCP = p.cp
 	n.ownedDB = p.db

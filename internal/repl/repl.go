@@ -65,6 +65,10 @@ var (
 	ErrNotLeader = errors.New("repl: node is not a leader")
 	// ErrNotFollower is returned by Promote against a leader.
 	ErrNotFollower = errors.New("repl: node is not a follower")
+	// ErrEpochBehind is returned by a promotion whose fencing token does
+	// not exceed every token the follower has already observed — minting
+	// it would create a leader that is fenced on arrival.
+	ErrEpochBehind = errors.New("repl: promotion epoch not newer than observed")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("repl: node is closed")
 )

@@ -64,6 +64,22 @@ type Config struct {
 	ProbeInterval time.Duration
 	// MaxLag is the gateway's follower read-lag threshold.
 	MaxLag uint64
+	// AutoFailover turns on the gateway's elector: a dead partition leader
+	// is detected by the prober and the most-caught-up follower is
+	// promoted with a fresh fencing token. Requires Gateway.
+	AutoFailover bool
+	// FailoverAfter is how long the elector lets a leader stay unreachable
+	// before promoting over it. Default 300ms (three probe intervals).
+	FailoverAfter time.Duration
+	// FailoverMaxLag is the elector's candidate eligibility slack: a
+	// follower may trail the leader's last probed frontier by this many
+	// events and still be promoted. Default 0 — fully caught up only.
+	FailoverMaxLag uint64
+	// SyncWrites runs every store at SyncAlways so a write is durable
+	// before it is acknowledged. Disk-fault scripts require it: the
+	// injected fault then only ever hits writes that were never acked, so
+	// losing them to the fault cannot violate ack safety.
+	SyncWrites bool
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +101,18 @@ func (c Config) withDefaults() Config {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 100 * time.Millisecond
 	}
+	if c.FailoverAfter <= 0 {
+		c.FailoverAfter = 300 * time.Millisecond
+	}
 	return c
+}
+
+// syncPolicy maps SyncWrites onto the storage sync mode every node uses.
+func (c Config) syncPolicy() storage.SyncPolicy {
+	if c.SyncWrites {
+		return storage.SyncAlways
+	}
+	return storage.SyncNever
 }
 
 // Node is one simulated process: a leader (journal + store on disk under
@@ -98,17 +125,26 @@ type Node struct {
 	Partition string
 	// IsLeader is the node's current role (promotion flips it).
 	IsLeader bool
+	// Fenced is true once the node has been deposed by a newer epoch
+	// token (refreshed from live stats alongside IsLeader).
+	Fenced bool
 	// Alive is false after Kill until a restart.
 	Alive bool
 
 	dir    string
+	leader string // follower only: the node it replicates from
 	engine *platform.Engine
 	rnode  *repl.Node
 	j      *platform.Journal
 	cp     *platform.Checkpointer
 	db     *storage.DB
+	fs     *storage.FaultFS
 	hs     *http.Server
 }
+
+// FaultFS exposes the node's injectable disk-fault seam: Arm a fault and
+// the node's next segment write fails that way, fail-stopping its store.
+func (n *Node) FaultFS() *storage.FaultFS { return n.fs }
 
 // Engine exposes the node's engine for direct scripted writes and state
 // export.
@@ -222,7 +258,8 @@ func (c *Cluster) startLeader(name string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	db, err := storage.Open(dir, storage.Options{Sync: storage.SyncNever, Clock: c.Clock})
+	ffs := storage.NewFaultFS(nil)
+	db, err := storage.Open(dir, storage.Options{Sync: c.cfg.syncPolicy(), Clock: c.Clock, FS: ffs})
 	if err != nil {
 		return fmt.Errorf("sim: %s store: %w", name, err)
 	}
@@ -255,11 +292,14 @@ func (c *Cluster) startLeader(name string) error {
 		}
 	}
 	rnode := repl.NewLeaderNodeClock(engine, j, db, c.Clock)
+	// Identity attach: a leader whose persisted epoch token names another
+	// holder was deposed while dead and comes back fenced.
+	rnode.SetIdentity(name, name)
 	srv := platform.NewServer(engine)
 	srv.Handle("/api/repl/", rnode.Handler())
 	node := &Node{
-		Name: name, Partition: name, IsLeader: true, Alive: true,
-		dir: dir, engine: engine, rnode: rnode, j: j, cp: cp, db: db,
+		Name: name, Partition: name, IsLeader: true, Fenced: rnode.Fenced(), Alive: true,
+		dir: dir, engine: engine, rnode: rnode, j: j, cp: cp, db: db, fs: ffs,
 	}
 	if err := c.serve(node, srv); err != nil {
 		rnode.Close()
@@ -276,49 +316,10 @@ func (c *Cluster) startLeader(name string) error {
 	return nil
 }
 
-// startFollower bootstraps a replica of partition's current leader URL
-// and serves it as name. Each start gets a fresh promotion directory —
-// promotion refuses a dirty store, and a restarted follower must not
-// inherit a dead generation's.
+// startFollower bootstraps a replica of partition's original leader node
+// and serves it as name.
 func (c *Cluster) startFollower(name, partition string) error {
-	c.mu.Lock()
-	c.gen++
-	promoDir := filepath.Join(c.cfg.Dir, fmt.Sprintf("%s-promo-%d", name, c.gen))
-	c.mu.Unlock()
-	rnode, err := repl.NewFollowerNode(repl.FollowerOptions{
-		LeaderURL: "http://" + partition,
-		Clock:     c.Clock,
-		LoopClock: c.Clock,
-		Rand:      c.Rand,
-		HTTP:      c.Net.HTTPClient(name),
-		PollWait:  c.cfg.PollWait,
-		LeaseTTL:  c.cfg.LeaseTTL,
-		OwnsID:    c.owns(partition),
-		DataDir:   promoDir,
-		Storage:   storage.Options{Sync: storage.SyncNever, Clock: c.Clock},
-		Journal:   platform.JournalOptions{Clock: c.Clock},
-		Checkpoint: platform.CheckpointOptions{
-			EveryEvents:     c.cfg.CheckpointEvery,
-			CompactMinBytes: 32 << 10,
-		},
-	})
-	if err != nil {
-		return fmt.Errorf("sim: follower %s: %w", name, err)
-	}
-	srv := platform.NewServer(rnode.Engine())
-	srv.Handle("/api/repl/", rnode.Handler())
-	node := &Node{
-		Name: name, Partition: partition, Alive: true,
-		engine: rnode.Engine(), rnode: rnode,
-	}
-	if err := c.serve(node, srv); err != nil {
-		rnode.Close()
-		return err
-	}
-	c.mu.Lock()
-	c.nodes[name] = node
-	c.mu.Unlock()
-	return nil
+	return c.startFollowerOf(name, partition, partition)
 }
 
 // serve puts a node's HTTP surface on the network.
@@ -347,13 +348,16 @@ func (c *Cluster) startGateway() error {
 		top.Nodes = append(top.Nodes, gate.NodeConfig{Name: name, URL: "http://" + name})
 	}
 	g, err := gate.New(gate.Options{
-		Topology:      top,
-		MaxLag:        c.cfg.MaxLag,
-		ProbeInterval: c.cfg.ProbeInterval,
-		HTTP:          c.Net.HTTPClient("gw"),
-		Clock:         c.Clock,
-		Rand:          c.Rand,
-		ReadCache:     c.cfg.ReadCache,
+		Topology:       top,
+		MaxLag:         c.cfg.MaxLag,
+		ProbeInterval:  c.cfg.ProbeInterval,
+		HTTP:           c.Net.HTTPClient("gw"),
+		Clock:          c.Clock,
+		Rand:           c.Rand,
+		ReadCache:      c.cfg.ReadCache,
+		AutoFailover:   c.cfg.AutoFailover,
+		FailoverAfter:  c.cfg.FailoverAfter,
+		FailoverMaxLag: c.cfg.FailoverMaxLag,
 	})
 	if err != nil {
 		return fmt.Errorf("sim: gateway: %w", err)
@@ -404,14 +408,102 @@ func (c *Cluster) Nodes() []*Node {
 	return out
 }
 
-// PartitionLeader returns the live leader of a ring partition, or nil.
-func (c *Cluster) PartitionLeader(partition string) *Node {
+// refreshRoles re-reads every live node's role and fencing state from
+// its replication stats. The gateway's elector promotes and fences nodes
+// over the wire, behind the script's back — scripted views of who leads
+// must always refresh first.
+func (c *Cluster) refreshRoles() {
 	for _, n := range c.Nodes() {
-		if n.Alive && n.IsLeader && n.Partition == partition {
-			return n
+		if !n.Alive {
+			continue
+		}
+		n.IsLeader = n.rnode.Role() == repl.RoleLeader
+		n.Fenced = n.rnode.Fenced()
+	}
+}
+
+// PartitionLeader returns the live unfenced leader of a ring partition —
+// the max-epoch one should a duel be mid-resolution — or nil.
+func (c *Cluster) PartitionLeader(partition string) *Node {
+	c.refreshRoles()
+	var best *Node
+	for _, n := range c.Nodes() {
+		if !n.Alive || !n.IsLeader || n.Fenced || n.Partition != partition {
+			continue
+		}
+		if best == nil || best.rnode.EpochToken().Less(n.rnode.EpochToken()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// AwaitLeader advances simulated time until partition has a live
+// unfenced leader — how a script waits out the gateway's elector.
+func (c *Cluster) AwaitLeader(partition string, budget time.Duration) error {
+	return c.Await(budget, "await leader of "+partition, func() bool {
+		return c.PartitionLeader(partition) != nil
+	})
+}
+
+// PromoteBest is the operator failover: promote the partition's
+// most-caught-up live follower (ties to the smallest name, matching the
+// elector), minting the next epoch.
+func (c *Cluster) PromoteBest(partition string) error {
+	c.refreshRoles()
+	var best *Node
+	var bestApplied uint64
+	for _, n := range c.Nodes() {
+		if !n.Alive || n.IsLeader || n.Partition != partition {
+			continue
+		}
+		f := n.Follower()
+		if f == nil {
+			continue
+		}
+		if a := f.AppliedSeq(); best == nil || a > bestApplied {
+			best, bestApplied = n, a
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("sim: partition %s has no follower to promote", partition)
+	}
+	if err := best.rnode.Promote(); err != nil {
+		return fmt.Errorf("sim: promote %s: %w", best.Name, err)
+	}
+	best.IsLeader = true
+	return nil
+}
+
+// RejoinDead brings every dead node of a partition back as a follower of
+// its current leader — the operator re-provisioning crashed or deposed
+// machines after a failover. An ex-leader's old store is abandoned; it
+// returns as a fresh replica of the new timeline.
+func (c *Cluster) RejoinDead(partition string) error {
+	lead := c.PartitionLeader(partition)
+	if lead == nil {
+		return fmt.Errorf("sim: partition %s has no live leader to rejoin", partition)
+	}
+	for _, n := range c.Nodes() {
+		if n.Alive || n.Partition != partition || n.Name == lead.Name {
+			continue
+		}
+		if err := c.startFollowerOf(n.Name, partition, lead.Name); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// ArmDiskFault schedules an injected disk fault on a node's next segment
+// write. A dead or unknown node is a no-op: chaos scripts may race the
+// fault against kills.
+func (c *Cluster) ArmDiskFault(name, fault string) {
+	n := c.Node(name)
+	if n == nil || !n.Alive || n.fs == nil {
+		return
+	}
+	n.fs.Arm(fault)
 }
 
 // Kill stops a node: its listener goes away, its open connections are
@@ -471,19 +563,16 @@ func (c *Cluster) Restart(name string) error {
 	return c.startFollowerOf(name, node.Partition, lead.Name)
 }
 
-// startFollowerOf is startFollower pointed at an explicit leader node
+// startFollowerOf bootstraps a replica of leaderName serving partition
 // (after a failover the partition's leader is not the partition's name).
+// Each start gets a fresh promotion directory — promotion refuses a dirty
+// store, and a restarted follower must not inherit a dead generation's.
 func (c *Cluster) startFollowerOf(name, partition, leaderName string) error {
-	if leaderName == partition {
-		return c.startFollower(name, partition)
-	}
-	// Same wiring, different URL: reuse startFollower via a temporary
-	// partition alias is not possible (OwnsID must keep the original
-	// partition), so inline the differing pieces.
 	c.mu.Lock()
 	c.gen++
 	promoDir := filepath.Join(c.cfg.Dir, fmt.Sprintf("%s-promo-%d", name, c.gen))
 	c.mu.Unlock()
+	ffs := storage.NewFaultFS(nil)
 	rnode, err := repl.NewFollowerNode(repl.FollowerOptions{
 		LeaderURL: "http://" + leaderName,
 		Clock:     c.Clock,
@@ -494,7 +583,7 @@ func (c *Cluster) startFollowerOf(name, partition, leaderName string) error {
 		LeaseTTL:  c.cfg.LeaseTTL,
 		OwnsID:    c.owns(partition),
 		DataDir:   promoDir,
-		Storage:   storage.Options{Sync: storage.SyncNever, Clock: c.Clock},
+		Storage:   storage.Options{Sync: c.cfg.syncPolicy(), Clock: c.Clock, FS: ffs},
 		Journal:   platform.JournalOptions{Clock: c.Clock},
 		Checkpoint: platform.CheckpointOptions{
 			EveryEvents:     c.cfg.CheckpointEvery,
@@ -504,11 +593,12 @@ func (c *Cluster) startFollowerOf(name, partition, leaderName string) error {
 	if err != nil {
 		return fmt.Errorf("sim: follower %s: %w", name, err)
 	}
+	rnode.SetIdentity(name, partition)
 	srv := platform.NewServer(rnode.Engine())
 	srv.Handle("/api/repl/", rnode.Handler())
 	node := &Node{
-		Name: name, Partition: partition, Alive: true,
-		engine: rnode.Engine(), rnode: rnode,
+		Name: name, Partition: partition, Alive: true, leader: leaderName,
+		engine: rnode.Engine(), rnode: rnode, fs: ffs,
 	}
 	if err := c.serve(node, srv); err != nil {
 		rnode.Close()
@@ -575,9 +665,12 @@ func (c *Cluster) Await(budget time.Duration, what string, cond func() bool) err
 func (c *Cluster) Quiesce(budget time.Duration) error {
 	prev := make(map[string]uint64)
 	return c.Await(budget, "quiesce", func() bool {
+		c.refreshRoles()
 		stable := true
 		for _, n := range c.Nodes() {
-			if !n.Alive || !n.IsLeader {
+			// Fenced ex-leaders are outside the quiesce frontier: they serve
+			// nothing and their followers have moved to the successor.
+			if !n.Alive || !n.IsLeader || n.Fenced {
 				continue
 			}
 			// Fence the committer first: fast-acked appends run ahead of
@@ -610,8 +703,9 @@ func (c *Cluster) Quiesce(budget time.Duration) error {
 // follower's exported engine state is byte-identical to its partition
 // leader's at the leader's frontier.
 func (c *Cluster) CheckReplicasIdentical() error {
+	c.refreshRoles()
 	for _, lead := range c.Nodes() {
-		if !lead.Alive || !lead.IsLeader {
+		if !lead.Alive || !lead.IsLeader || lead.Fenced {
 			continue
 		}
 		frontier := lead.frontier()
@@ -637,18 +731,22 @@ func (c *Cluster) CheckReplicasIdentical() error {
 }
 
 // CheckSingleLeader asserts that each ring partition has exactly one
-// live leader.
+// live unfenced leader — fenced ex-leaders may linger (they accept
+// nothing), but two writable leaders in one partition is split brain.
 func (c *Cluster) CheckSingleLeader() error {
+	c.refreshRoles()
 	count := make(map[string]int)
+	epochs := make(map[string][]string)
 	for _, n := range c.Nodes() {
-		if n.Alive && n.IsLeader {
+		if n.Alive && n.IsLeader && !n.Fenced {
 			count[n.Partition]++
+			epochs[n.Partition] = append(epochs[n.Partition], n.rnode.EpochToken().String())
 		}
 	}
 	for i := 1; i <= c.cfg.Leaders; i++ {
 		p := fmt.Sprintf("l%d", i)
 		if count[p] != 1 {
-			return fmt.Errorf("sim: partition %s has %d live leaders, want 1", p, count[p])
+			return fmt.Errorf("sim: partition %s has %d live unfenced leaders (epochs %v), want 1", p, count[p], epochs[p])
 		}
 	}
 	return nil
@@ -658,9 +756,10 @@ func (c *Cluster) CheckSingleLeader() error {
 // into one value — two runs of the same seeded scenario must produce the
 // same hash (the byte-identical-replay acceptance check).
 func (c *Cluster) StateHash() (uint64, error) {
+	c.refreshRoles()
 	h := fnv.New64a()
 	for _, n := range c.Nodes() {
-		if !n.Alive || !n.IsLeader {
+		if !n.Alive || !n.IsLeader || n.Fenced {
 			continue
 		}
 		frontier := n.frontier()

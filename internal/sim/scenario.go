@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/platform"
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -35,6 +36,25 @@ const (
 	// replication lag exactly like this before a planned failover —
 	// promoting a lagging follower forfeits the writes it never saw.
 	OpSettle
+	// OpKillLeader kills partition Node's CURRENT leader, resolved at run
+	// time — after a prior failover that is the promoted follower's host,
+	// not the partition's namesake.
+	OpKillLeader
+	// OpAwaitLeader advances simulated time until partition Node has a
+	// live unfenced leader again — the op a script parks on while the
+	// gateway's elector detects the death and promotes.
+	OpAwaitLeader
+	// OpPromoteBest promotes partition Node's most-caught-up follower
+	// with a freshly minted epoch — the operator failover, for clusters
+	// without an electing gateway.
+	OpPromoteBest
+	// OpRejoin restarts every dead node of partition Node as a follower
+	// of its current leader (a deposed ex-leader rejoins the new timeline
+	// as a replica).
+	OpRejoin
+	// OpDiskFault arms disk fault Fault ("torn", "short", "full") on
+	// Node's next segment write; the store fail-stops when it fires.
+	OpDiskFault
 )
 
 func (k OpKind) String() string {
@@ -57,6 +77,16 @@ func (k OpKind) String() string {
 		return "promote"
 	case OpSettle:
 		return "settle"
+	case OpKillLeader:
+		return "kill-leader"
+	case OpAwaitLeader:
+		return "await-leader"
+	case OpPromoteBest:
+		return "promote-best"
+	case OpRejoin:
+		return "rejoin"
+	case OpDiskFault:
+		return "disk-fault"
 	}
 	return "unknown"
 }
@@ -64,11 +94,31 @@ func (k OpKind) String() string {
 // Op is one scripted action. Which fields matter depends on Kind.
 type Op struct {
 	Kind    OpKind
-	Node    string        // Kill, Restart, Partition, Heal, Checkpoint
+	Node    string        // Kill, Restart, Partition, Heal, Checkpoint, DiskFault; the partition for KillLeader, AwaitLeader, PromoteBest, Rejoin
 	Peer    string        // Partition, Heal
 	Project string        // Burst
 	N       int           // Burst: task count
 	D       time.Duration // Advance
+	Fault   string        // DiskFault: "torn", "short", "full"
+}
+
+// String renders an op compactly — the shape shrunk reproductions are
+// printed in.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpBurst:
+		return fmt.Sprintf("burst{%s,%d}", o.Project, o.N)
+	case OpAdvance:
+		return fmt.Sprintf("advance{%s}", o.D)
+	case OpPartition, OpHeal:
+		return fmt.Sprintf("%s{%s,%s}", o.Kind, o.Node, o.Peer)
+	case OpDiskFault:
+		return fmt.Sprintf("disk-fault{%s,%s}", o.Node, o.Fault)
+	case OpSettle:
+		return "settle"
+	default:
+		return fmt.Sprintf("%s{%s}", o.Kind, o.Node)
+	}
 }
 
 // Script is a replayable scenario: a cluster shape plus an ordered op
@@ -183,6 +233,21 @@ func (r *runner) apply(op Op) error {
 		return r.c.Promote(op.Node)
 	case OpSettle:
 		return r.c.Quiesce(2 * time.Minute)
+	case OpKillLeader:
+		lead := r.c.PartitionLeader(op.Node)
+		if lead == nil {
+			return fmt.Errorf("partition %s has no live leader to kill", op.Node)
+		}
+		return r.c.Kill(lead.Name)
+	case OpAwaitLeader:
+		return r.c.AwaitLeader(op.Node, 2*time.Minute)
+	case OpPromoteBest:
+		return r.c.PromoteBest(op.Node)
+	case OpRejoin:
+		return r.c.RejoinDead(op.Node)
+	case OpDiskFault:
+		r.c.ArmDiskFault(op.Node, op.Fault)
+		return nil
 	}
 	return fmt.Errorf("unknown op kind %d", op.Kind)
 }
@@ -290,15 +355,51 @@ func (r *runner) submit(taskID int64, worker string) error {
 	return err
 }
 
-// finish heals the network, revives dead followers, quiesces, and runs
-// every invariant.
+// finish heals the network, converges every partition's membership on
+// its current leader, quiesces, and runs every invariant.
 func (r *runner) finish() error {
 	r.c.Net.HealAll()
+	// Disarm any armed-but-unfired disk fault: the closing quiesce and
+	// invariant sweep must observe the cluster, not fault it further.
 	for _, n := range r.c.Nodes() {
-		if !n.Alive && !n.IsLeader {
-			if err := r.c.Restart(n.Name); err != nil {
-				return fmt.Errorf("final restart %s: %w", n.Name, err)
+		if n.fs != nil {
+			n.fs.Arm("")
+		}
+	}
+	for i := 1; i <= r.c.cfg.Leaders; i++ {
+		p := fmt.Sprintf("l%d", i)
+		// A partition with no live unfenced leader gets its original leader
+		// back: nobody was promoted past its journal, which is therefore
+		// the committed history.
+		if r.c.PartitionLeader(p) == nil {
+			for _, n := range r.c.Nodes() {
+				if !n.Alive && n.IsLeader && n.Partition == p && n.dir != "" {
+					if err := r.c.Restart(n.Name); err != nil {
+						return fmt.Errorf("final restart %s: %w", n.Name, err)
+					}
+				}
 			}
+		}
+		lead := r.c.PartitionLeader(p)
+		if lead == nil {
+			return fmt.Errorf("partition %s: no live leader at finish", p)
+		}
+		// Anything else claiming leadership (a deposed fenced ex-leader, a
+		// restarted stale one the elector hasn't fenced yet) and any
+		// follower still tracking a node other than the current leader is
+		// killed here and rejoins below as a fresh replica.
+		for _, n := range r.c.Nodes() {
+			if !n.Alive || n.Partition != p || n.Name == lead.Name {
+				continue
+			}
+			if n.IsLeader || n.leader != lead.Name {
+				if err := r.c.Kill(n.Name); err != nil {
+					return fmt.Errorf("final demote %s: %w", n.Name, err)
+				}
+			}
+		}
+		if err := r.c.RejoinDead(p); err != nil {
+			return fmt.Errorf("final rejoin %s: %w", p, err)
 		}
 	}
 	if err := r.c.Quiesce(5 * time.Minute); err != nil {
@@ -374,51 +475,177 @@ func (r *runner) checkAcked() error {
 }
 
 // GenScript derives a randomized chaos script from rnd: bursts of
-// acknowledged writes interleaved with follower kills and restarts,
-// link partitions and heals, forced checkpoints and time advances.
-// Leader kills and promotions are scripted in directed tests, not in
-// sweeps — a sweep's closing pass must always find the original leaders
-// to quiesce against. The same rnd state generates the same script.
+// acknowledged writes interleaved with follower kills and restarts, link
+// partitions and heals, forced checkpoints, time advances — and composite
+// blocks: a follower re-partitioned mid-bootstrap, a full election
+// (settle, kill the leader, wait out the elector or operator-promote,
+// rejoin the deposed node as a follower), and — when the config runs
+// SyncWrites — an injected disk fault followed by crash recovery.
+//
+// Elections are settle-first by construction: ops are sequential, so at
+// the leader kill no write is in flight and every acknowledged write is
+// already on the follower about to be promoted — "no lost acked writes"
+// holds exactly, not probabilistically. A partition that failed over is
+// retired from undirected chaos: its promoted leader's store is
+// ephemeral, so killing it would discard acknowledged writes by design,
+// and a second election would find no follower left to promote.
+//
+// The same rnd state and config generate the same script.
 func GenScript(rnd vclock.Rand, cfg Config, nOps int) Script {
 	cfg = cfg.withDefaults()
 	s := Script{Config: cfg}
 	nFollowers := cfg.FollowersPerLeader * cfg.Leaders
-	follower := func() (name, partition string) {
-		i := int(rnd.Int63n(int64(max(nFollowers, 1))))
-		return fmt.Sprintf("f%d", i+1), fmt.Sprintf("l%d", i%cfg.Leaders+1)
+	failedOver := make(map[int]bool)
+	// eligibleFollower draws a follower whose partition still has its
+	// original leader (rnd-draw, then probe forward for determinism).
+	eligibleFollower := func() (name, partition string, ok bool) {
+		if nFollowers == 0 {
+			return "", "", false
+		}
+		start := int(rnd.Int63n(int64(nFollowers)))
+		for k := 0; k < nFollowers; k++ {
+			i := (start + k) % nFollowers
+			if li := i % cfg.Leaders; !failedOver[li] {
+				return fmt.Sprintf("f%d", i+1), fmt.Sprintf("l%d", li+1), true
+			}
+		}
+		return "", "", false
+	}
+	eligiblePartition := func() (int, bool) {
+		open := make([]int, 0, cfg.Leaders)
+		for i := 0; i < cfg.Leaders; i++ {
+			if !failedOver[i] {
+				open = append(open, i)
+			}
+		}
+		if len(open) == 0 {
+			return 0, false
+		}
+		return open[int(rnd.Int63n(int64(len(open))))], true
 	}
 	projects := []string{"alpha", "beta", "gamma", "delta"}
-	for i := 0; i < nOps; i++ {
+	burst := func() Op {
+		return Op{
+			Kind:    OpBurst,
+			Project: projects[rnd.Int63n(int64(len(projects)))],
+			N:       int(rnd.Int63n(24)) + 1,
+		}
+	}
+	// healAll emits heal ops for every follower<->leader link a generated
+	// partition op could have cut — a settle with a standing cut would
+	// wait on a follower that can never catch up.
+	healAll := func() {
+		for i := 0; i < nFollowers; i++ {
+			s.Ops = append(s.Ops, Op{
+				Kind: OpHeal,
+				Node: fmt.Sprintf("f%d", i+1),
+				Peer: fmt.Sprintf("l%d", i%cfg.Leaders+1),
+			})
+		}
+	}
+	for len(s.Ops) < nOps {
 		roll := rnd.Int63n(100)
 		switch {
-		case roll < 40:
-			s.Ops = append(s.Ops, Op{
-				Kind:    OpBurst,
-				Project: projects[rnd.Int63n(int64(len(projects)))],
-				N:       int(rnd.Int63n(24)) + 1,
-			})
-		case roll < 60:
+		case roll < 34:
+			s.Ops = append(s.Ops, burst())
+		case roll < 50:
 			s.Ops = append(s.Ops, Op{
 				Kind: OpAdvance,
 				D:    time.Duration(rnd.Int63n(int64(2*time.Second))) + 10*time.Millisecond,
 			})
-		case roll < 70 && nFollowers > 0:
-			f, _ := follower()
-			s.Ops = append(s.Ops, Op{Kind: OpKill, Node: f})
-		case roll < 80 && nFollowers > 0:
-			f, _ := follower()
-			s.Ops = append(s.Ops, Op{Kind: OpRestart, Node: f})
-		case roll < 88 && nFollowers > 0:
-			f, p := follower()
-			s.Ops = append(s.Ops, Op{Kind: OpPartition, Node: f, Peer: p})
-		case roll < 96 && nFollowers > 0:
-			f, p := follower()
-			s.Ops = append(s.Ops, Op{Kind: OpHeal, Node: f, Peer: p})
-		default:
+		case roll < 58:
+			if f, _, ok := eligibleFollower(); ok {
+				s.Ops = append(s.Ops, Op{Kind: OpKill, Node: f})
+			} else {
+				s.Ops = append(s.Ops, burst())
+			}
+		case roll < 66:
+			if f, _, ok := eligibleFollower(); ok {
+				s.Ops = append(s.Ops, Op{Kind: OpRestart, Node: f})
+			} else {
+				s.Ops = append(s.Ops, burst())
+			}
+		case roll < 72:
+			if f, p, ok := eligibleFollower(); ok {
+				s.Ops = append(s.Ops, Op{Kind: OpPartition, Node: f, Peer: p})
+			} else {
+				s.Ops = append(s.Ops, burst())
+			}
+		case roll < 78:
+			if f, p, ok := eligibleFollower(); ok {
+				s.Ops = append(s.Ops, Op{Kind: OpHeal, Node: f, Peer: p})
+			} else {
+				s.Ops = append(s.Ops, burst())
+			}
+		case roll < 82:
 			s.Ops = append(s.Ops, Op{
 				Kind: OpCheckpoint,
 				Node: fmt.Sprintf("l%d", rnd.Int63n(int64(cfg.Leaders))+1),
 			})
+		case roll < 88:
+			// Follower re-partitioned mid-bootstrap: kill it, restart it (a
+			// fresh snapshot+tail bootstrap), cut its leader link while the
+			// bootstrap is in flight, let time pass, heal.
+			f, p, ok := eligibleFollower()
+			if !ok {
+				s.Ops = append(s.Ops, burst())
+				break
+			}
+			s.Ops = append(s.Ops,
+				Op{Kind: OpKill, Node: f},
+				Op{Kind: OpRestart, Node: f},
+				Op{Kind: OpPartition, Node: f, Peer: p},
+				Op{Kind: OpAdvance, D: time.Duration(rnd.Int63n(int64(time.Second))) + 100*time.Millisecond},
+				Op{Kind: OpHeal, Node: f, Peer: p},
+			)
+		case roll < 95:
+			// Election: heal everything, bring the target partition's
+			// followers back, settle (the promotion candidate is provably
+			// caught up), kill the leader, fail over, rejoin the deposed
+			// node as a follower of the new leader.
+			pi, ok := eligiblePartition()
+			if !ok || cfg.FollowersPerLeader == 0 {
+				s.Ops = append(s.Ops, burst())
+				break
+			}
+			failedOver[pi] = true
+			p := fmt.Sprintf("l%d", pi+1)
+			healAll()
+			for i := 0; i < nFollowers; i++ {
+				if i%cfg.Leaders == pi {
+					s.Ops = append(s.Ops, Op{Kind: OpRestart, Node: fmt.Sprintf("f%d", i+1)})
+				}
+			}
+			s.Ops = append(s.Ops, Op{Kind: OpSettle}, Op{Kind: OpKillLeader, Node: p})
+			if cfg.Gateway && cfg.AutoFailover {
+				// The gateway's elector notices and promotes; the script
+				// only waits.
+				s.Ops = append(s.Ops, Op{Kind: OpAwaitLeader, Node: p})
+			} else {
+				s.Ops = append(s.Ops, Op{Kind: OpPromoteBest, Node: p})
+			}
+			s.Ops = append(s.Ops, Op{Kind: OpRejoin, Node: p}, burst())
+		default:
+			// Disk fault: settle (bounding what the fault can touch to
+			// unacknowledged writes), arm, write into it, then crash and
+			// recover the fail-stopped node. Only meaningful under
+			// SyncWrites — see Config.
+			pi, ok := eligiblePartition()
+			if !cfg.SyncWrites || !ok {
+				s.Ops = append(s.Ops, burst())
+				break
+			}
+			p := fmt.Sprintf("l%d", pi+1)
+			faults := []string{storage.FaultTorn, storage.FaultShort, storage.FaultFull}
+			healAll()
+			s.Ops = append(s.Ops,
+				Op{Kind: OpSettle},
+				Op{Kind: OpDiskFault, Node: p, Fault: faults[rnd.Int63n(int64(len(faults)))]},
+				burst(),
+				Op{Kind: OpKill, Node: p},
+				Op{Kind: OpRestart, Node: p},
+				burst(),
+			)
 		}
 	}
 	return s

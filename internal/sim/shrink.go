@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// shrinkWallBudget caps the real time ShrinkScript spends probing. A
+// probe that removed the wrong chunk can hang an await op against its
+// full simulated-time budget (tens of real seconds each); without a wall
+// cap, minimizing one failure could out-run the whole sweep.
+const shrinkWallBudget = 90 * time.Second
+
+// ShrinkScript delta-debugs a failing script's op list down to a minimal
+// reproduction: the smallest op subsequence (by this reducer's ddmin
+// walk) that still makes Run fail under the same seed and config. Each
+// probe runs in a fresh subdirectory of dir, so probes never contaminate
+// each other's on-disk state. maxRuns bounds the total probe budget —
+// shrinking a sim failure re-runs the simulator, and a sweep that just
+// failed should spend seconds, not minutes, minimizing.
+//
+// The returned script reproduces the failure at the time of shrinking;
+// like any delta-debugged reduction it is minimal with respect to chunk
+// removal, not globally minimal.
+func ShrinkScript(dir string, seed uint64, script Script, maxRuns int) Script {
+	runs := 0
+	deadline := time.Now().Add(shrinkWallBudget)
+	fails := func(ops []Op) bool {
+		if runs >= maxRuns || time.Now().After(deadline) {
+			return false
+		}
+		runs++
+		sub := filepath.Join(dir, fmt.Sprintf("shrink-%d", runs))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return false
+		}
+		_, err := Run(sub, seed, Script{Config: script.Config, Ops: ops})
+		return err != nil
+	}
+
+	ops := script.Ops
+	if !fails(ops) {
+		// Not reproducible within budget (or flaky under reduction):
+		// return the original rather than a misleading "minimal" script.
+		return script
+	}
+	// ddmin: try dropping complements of ever-finer chunks; restart the
+	// granularity walk whenever a drop sticks.
+	n := 2
+	for len(ops) >= 2 {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := min(start+chunk, len(ops))
+			candidate := make([]Op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			if len(candidate) > 0 && fails(candidate) {
+				ops = candidate
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(ops) {
+			break
+		}
+		n = min(n*2, len(ops))
+		if runs >= maxRuns {
+			break
+		}
+	}
+	return Script{Config: script.Config, Ops: ops}
+}
+
+// FormatOps renders an op list as one line — the SIM-SHRUNK artifact
+// printed beside a sweep failure.
+func FormatOps(ops []Op) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = op.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -376,21 +376,32 @@ func TestSimFailoverScenario(t *testing.T) {
 
 // TestSimSweep runs seeded randomized chaos scenarios: each seed
 // generates a script of acknowledged write bursts interleaved with
-// follower kills, restarts, partitions, heals, checkpoints and time
-// advances, and Run asserts the full invariant set at quiesce. A failing
-// seed prints a SIM-SEED-FAILURE line with the exact reproduction
-// command; CI greps for it and publishes the seed as an artifact.
+// follower kills, restarts, partitions, heals, checkpoints, time
+// advances, elections (gateway-elector and operator-promote flavors) and
+// injected disk faults, and Run asserts the full invariant set at
+// quiesce. Every other seed runs a gateway with the elector enabled, and
+// every third seed runs SyncWrites with the disk-fault mix, so a 200-seed
+// sweep exercises election and crash-recovery paths many dozens of times.
+// A failing seed prints a SIM-SEED-FAILURE line with the exact
+// reproduction command plus a SIM-SHRUNK line with the delta-debugged
+// minimal op list; CI greps for both and publishes them as artifacts.
 func TestSimSweep(t *testing.T) {
 	const base = uint64(0x5eed0000)
 	for i := 0; i < *seedCount; i++ {
 		seed := base + uint64(i)
-		gateway := i%4 == 0
+		gateway := i%2 == 0
+		cfg := Config{
+			Leaders: 2, FollowersPerLeader: 1, CheckpointEvery: 64,
+			Gateway: gateway, AutoFailover: gateway,
+			SyncWrites: i%3 == 0,
+		}
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			cfg := Config{Leaders: 2, FollowersPerLeader: 1, CheckpointEvery: 64, Gateway: gateway}
 			script := GenScript(vclock.NewSeededRand(seed), cfg, 24)
 			if _, err := Run(t.TempDir(), seed, script); err != nil {
-				t.Fatalf("SIM-SEED-FAILURE seed=%d gateway=%v: %v\nreproduce: go test ./internal/sim -run 'TestSimSweep/seed=%d' -seeds=%d",
-					seed, gateway, err, seed, i+1)
+				shrunk := ShrinkScript(t.TempDir(), seed, script, 48)
+				t.Fatalf("SIM-SEED-FAILURE seed=%d gateway=%v syncwrites=%v: %v\nreproduce: go test ./internal/sim -run 'TestSimSweep/seed=%d' -seeds=%d\nSIM-SHRUNK seed=%d ops=%d-of-%d: %s",
+					seed, gateway, cfg.SyncWrites, err, seed, i+1,
+					seed, len(shrunk.Ops), len(script.Ops), FormatOps(shrunk.Ops))
 			}
 		})
 	}

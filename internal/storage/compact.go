@@ -62,6 +62,9 @@ func readCutoff(dir string) (uint32, error) {
 }
 
 // Compact rewrites the store so that only live data remains on disk.
+// A failure mid-compaction fail-stops the store: the active segment may
+// already be sealed with no replacement open, so there is no safe way to
+// keep appending — recovery from disk is the only continuation.
 func (db *DB) Compact() error {
 	if db.opts.ReadOnly {
 		return ErrReadOnly
@@ -73,7 +76,16 @@ func (db *DB) Compact() error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.failed != nil {
+		return db.failed
+	}
+	if err := db.compactLocked(); err != nil {
+		return db.failLocked(err)
+	}
+	return nil
+}
 
+func (db *DB) compactLocked() error {
 	// Seal the current active segment so everything is immutable.
 	if err := db.active.Sync(); err != nil {
 		return err
@@ -96,13 +108,13 @@ func (db *DB) Compact() error {
 		newKeydir  = make(map[string]loc, len(db.keydir))
 		newLive    int64
 		segID      = firstMerged
-		segFile    *os.File
+		segFile    SegmentFile
 		segSize    int64
 		segEntries []hintEntry
 		buf        []byte
 	)
 	openSeg := func() error {
-		f, err := os.OpenFile(segmentPath(db.dir, segID), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		f, err := db.opts.FS.OpenTrunc(segmentPath(db.dir, segID))
 		if err != nil {
 			return err
 		}
@@ -210,7 +222,7 @@ func (db *DB) Compact() error {
 	db.totalBytes = newLive
 	db.activeEntries = nil
 	db.activeID = segID + 1
-	f, err := os.OpenFile(segmentPath(db.dir, db.activeID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := db.opts.FS.OpenWrite(segmentPath(db.dir, db.activeID))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// openWithFaults opens a fresh store backed by a FaultFS and returns both.
+func openWithFaults(t *testing.T, dir string, opts Options) (*DB, *FaultFS) {
+	t.Helper()
+	ffs := NewFaultFS(nil)
+	opts.FS = ffs
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return db, ffs
+}
+
+// TestFaultTornWriteFailStopsAndRecovers arms a torn write: the Put must
+// fail with the injected fault, the store must fail-stop, and recovery
+// must truncate the torn tail so only pre-fault keys survive.
+func TestFaultTornWriteFailStopsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := openWithFaults(t, dir, Options{})
+
+	if err := db.Put([]byte("before"), []byte("v1")); err != nil {
+		t.Fatalf("put before: %v", err)
+	}
+
+	ffs.Arm(FaultTorn)
+	err := db.Put([]byte("torn"), []byte("never-acked"))
+	if err == nil {
+		t.Fatal("torn put succeeded")
+	}
+	if !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("torn put error = %v, want ErrDiskFault", err)
+	}
+	if ffs.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", ffs.Injected())
+	}
+
+	// Fail-stop: every subsequent write is refused with ErrFailed.
+	if err := db.Put([]byte("after"), []byte("v")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("put after fault error = %v, want ErrFailed", err)
+	}
+	if err := db.Sync(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("sync after fault error = %v, want ErrFailed", err)
+	}
+	if db.Failed() == nil {
+		t.Fatal("Failed() = nil after fault")
+	}
+	// Reads still serve the pre-fault state.
+	if v, ok, err := db.Get([]byte("before")); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get before on failed store = %q %v %v", v, ok, err)
+	}
+	db.Close() // error ignored: the store already failed; Close must still release the lock
+
+	// Recovery over the torn bytes: the half-written frame is dropped.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if v, ok, err := db2.Get([]byte("before")); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get before after recovery = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := db2.Get([]byte("torn")); ok {
+		t.Fatal("torn (never-acked) key survived recovery")
+	}
+	if err := db2.Put([]byte("resumed"), []byte("v")); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+}
+
+// TestFaultShortWrite covers the error-path variant of a torn frame:
+// io.ErrShortWrite from the device, same disk state, same recovery.
+func TestFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := openWithFaults(t, dir, Options{})
+
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	ffs.Arm(FaultShort)
+	if err := db.Put([]byte("short"), []byte("v")); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short put error = %v, want io.ErrShortWrite", err)
+	}
+	if err := db.Put([]byte("x"), []byte("v")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("post-fault put error = %v, want ErrFailed", err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if v, ok, _ := db2.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("pre-fault key lost: %q %v", v, ok)
+	}
+	if _, ok, _ := db2.Get([]byte("short")); ok {
+		t.Fatal("short-written key survived recovery")
+	}
+}
+
+// TestFaultDiskFull covers the nothing-written case: ErrDiskFull, clean
+// segment, recovery sees no trace of the failed frame.
+func TestFaultDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := openWithFaults(t, dir, Options{})
+
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	ffs.Arm(FaultFull)
+	err := db.Put([]byte("full"), []byte("v"))
+	if !errors.Is(err, ErrDiskFull) || !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("full put error = %v, want ErrDiskFull (an ErrDiskFault)", err)
+	}
+	if err := db.Put([]byte("x"), []byte("v")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("post-fault put error = %v, want ErrFailed", err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if v, ok, _ := db2.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("pre-fault key lost: %q %v", v, ok)
+	}
+	if _, ok, _ := db2.Get([]byte("full")); ok {
+		t.Fatal("unwritten key present after recovery")
+	}
+}
+
+// TestFaultBatchFailStops verifies batches route through the same
+// fail-stop guard as single puts.
+func TestFaultBatchFailStops(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := openWithFaults(t, dir, Options{})
+	defer db.Close()
+
+	ffs.Arm(FaultTorn)
+	var b Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	if err := db.Apply(&b); !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("batch apply error = %v, want ErrDiskFault", err)
+	}
+	var b2 Batch
+	b2.Put([]byte("c"), []byte("3"))
+	if err := db.Apply(&b2); !errors.Is(err, ErrFailed) {
+		t.Fatalf("batch after fault error = %v, want ErrFailed", err)
+	}
+}
+
+// TestFaultCompactFailStops arms a fault so compaction's rewrite hits it;
+// the store must fail-stop rather than continue with a half-merged view.
+func TestFaultCompactFailStops(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := openWithFaults(t, dir, Options{})
+
+	for _, k := range []string{"a", "b", "c"} {
+		if err := db.Put([]byte(k), []byte("v-"+k)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	ffs.Arm(FaultTorn)
+	if err := db.Compact(); err == nil {
+		t.Fatal("compact with injected fault succeeded")
+	} else if !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("compact error = %v, want ErrDiskFault", err)
+	}
+	if err := db.Put([]byte("d"), []byte("v")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("put after failed compact = %v, want ErrFailed", err)
+	}
+	db.Close()
+
+	// The merge never committed (no CUTOFF past the old segments), so the
+	// pre-compaction state recovers intact.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	for _, k := range []string{"a", "b", "c"} {
+		if v, ok, _ := db2.Get([]byte(k)); !ok || string(v) != "v-"+k {
+			t.Fatalf("key %s after failed-compact recovery = %q %v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileOps seams the store's mutating segment-file operations so tests and
+// the simulation harness can inject disk faults (torn writes, short
+// writes, a full disk) without touching a real filesystem knob. Reads are
+// deliberately outside the seam: recovery reads whatever bytes the
+// faulted writes left behind, which is exactly the state a real crash
+// leaves.
+type FileOps interface {
+	// OpenWrite opens path for appending, creating it if absent — the
+	// active segment's write handle.
+	OpenWrite(path string) (SegmentFile, error)
+	// OpenTrunc opens path truncated to empty — compaction's output
+	// segments.
+	OpenTrunc(path string) (SegmentFile, error)
+	// Truncate cuts path to size — recovery dropping a torn tail.
+	Truncate(path string, size int64) error
+}
+
+// SegmentFile is the write handle FileOps hands out for a segment.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFileOps is the production FileOps: plain os calls.
+type osFileOps struct{}
+
+func (osFileOps) OpenWrite(path string) (SegmentFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFileOps) OpenTrunc(path string) (SegmentFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFileOps) Truncate(path string, size int64) error {
+	return os.Truncate(path, size)
+}
+
+// Injectable disk faults and their errors.
+var (
+	// ErrDiskFault is the base of every injected fault error; test
+	// assertions match it with errors.Is.
+	ErrDiskFault = errors.New("storage: injected disk fault")
+	// ErrDiskFull is the injected no-space error: nothing was written.
+	ErrDiskFull = fmt.Errorf("no space left on device: %w", ErrDiskFault)
+)
+
+// Fault names FaultFS.Arm accepts.
+const (
+	// FaultTorn writes half the frame and then fails — the classic
+	// power-cut-mid-write. Recovery must truncate the torn tail, and the
+	// write must never have been acked.
+	FaultTorn = "torn"
+	// FaultShort writes all but one byte and returns io.ErrShortWrite —
+	// the same torn-frame disk state arrived at through the error path a
+	// flaky device driver takes.
+	FaultShort = "short"
+	// FaultFull writes nothing and returns ErrDiskFull.
+	FaultFull = "full"
+)
+
+// FaultFS is a FileOps wrapper with one-shot armable write faults: Arm a
+// fault and the NEXT segment write through any handle opened via this FS
+// fails that way, leaving exactly the disk state the fault implies. The
+// store fail-stops on the error (see DB), so a faulted node behaves like
+// a crashed one: kill it, restart it, and recovery over the torn bytes is
+// what gets tested.
+type FaultFS struct {
+	inner FileOps
+
+	mu       sync.Mutex
+	armed    string
+	injected int
+}
+
+// NewFaultFS wraps inner (nil = the real filesystem).
+func NewFaultFS(inner FileOps) *FaultFS {
+	if inner == nil {
+		inner = osFileOps{}
+	}
+	return &FaultFS{inner: inner}
+}
+
+// Arm schedules fault ("torn", "short", "full") for the next write. An
+// empty name disarms.
+func (f *FaultFS) Arm(fault string) {
+	f.mu.Lock()
+	f.armed = fault
+	f.mu.Unlock()
+}
+
+// Injected reports how many faults have fired.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// take consumes the armed fault, if any.
+func (f *FaultFS) take() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a := f.armed
+	if a != "" {
+		f.armed = ""
+		f.injected++
+	}
+	return a
+}
+
+func (f *FaultFS) OpenWrite(path string) (SegmentFile, error) {
+	sf, err := f.inner.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{SegmentFile: sf, fs: f}, nil
+}
+
+func (f *FaultFS) OpenTrunc(path string) (SegmentFile, error) {
+	sf, err := f.inner.OpenTrunc(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{SegmentFile: sf, fs: f}, nil
+}
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	return f.inner.Truncate(path, size)
+}
+
+// faultFile interposes the armed fault on Write.
+type faultFile struct {
+	SegmentFile
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	switch f.fs.take() {
+	case FaultTorn:
+		n, _ := f.SegmentFile.Write(p[:len(p)/2])
+		return n, fmt.Errorf("torn write after %d of %d bytes: %w", n, len(p), ErrDiskFault)
+	case FaultShort:
+		cut := len(p) - 1
+		if cut < 0 {
+			cut = 0
+		}
+		n, _ := f.SegmentFile.Write(p[:cut])
+		return n, io.ErrShortWrite
+	case FaultFull:
+		return 0, ErrDiskFull
+	}
+	return f.SegmentFile.Write(p)
+}

@@ -79,6 +79,12 @@ type Options struct {
 	// wall time; a simulated cluster injects its vclock.Sim so the sync
 	// cadence elapses in virtual time.
 	Clock vclock.Clock
+	// FS seams the segment write path for fault injection (see FaultFS).
+	// Nil uses the real filesystem. A write error through this seam
+	// fail-stops the store: every later mutation returns ErrFailed — the
+	// in-memory view can no longer be trusted to match disk, so the only
+	// safe continuation is close, restart, recover.
+	FS FileOps
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +97,9 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = vclock.NewWall()
 	}
+	if o.FS == nil {
+		o.FS = osFileOps{}
+	}
 	return o
 }
 
@@ -102,6 +111,12 @@ var (
 	ErrKeyTooLarge = errors.New("storage: key exceeds MaxKeyLen")
 	ErrValTooLarge = errors.New("storage: value exceeds MaxValueLen")
 	ErrReadOnly    = errors.New("storage: database opened read-only")
+	// ErrFailed marks a fail-stopped store: a segment append or fsync
+	// errored, so the in-memory directory may describe bytes that never
+	// reached disk. Every later mutation is refused — reads still serve
+	// (they re-read frames and validate CRCs) — and the owner is expected
+	// to treat the process like a crash: close, restart, recover.
+	ErrFailed = errors.New("storage: write path failed; store is fail-stopped")
 )
 
 // Stats reports store counters and sizes.
@@ -131,11 +146,12 @@ type DB struct {
 
 	mu            sync.RWMutex
 	closed        bool
+	failed        error // first write-path error; non-nil = fail-stopped
 	keydir        map[string]loc
 	seq           uint64
 	durableSeq    uint64 // frames with seq < durableSeq are on stable storage
 	activeID      uint32
-	active        *os.File
+	active        SegmentFile
 	activeSize    int64
 	activeEntries []hintEntry
 	liveBytes     int64
@@ -318,7 +334,7 @@ func (db *DB) recover() error {
 			return err
 		}
 		if fi.Size() < db.opts.MaxSegmentBytes {
-			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := db.opts.FS.OpenWrite(path)
 			if err != nil {
 				return err
 			}
@@ -334,7 +350,7 @@ func (db *DB) recover() error {
 		db.activeEntries = nil
 		db.activeID = lastID + 1
 	}
-	f, err := os.OpenFile(segmentPath(db.dir, db.activeID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := db.opts.FS.OpenWrite(segmentPath(db.dir, db.activeID))
 	if err != nil {
 		return err
 	}
@@ -424,7 +440,7 @@ func (db *DB) replaySegment(id uint32, last bool) error {
 		// Torn write: keep the valid prefix. Read-only opens must not
 		// modify the directory, so they only skip the tail in memory.
 		if !db.opts.ReadOnly {
-			if err := os.Truncate(path, validLen); err != nil {
+			if err := db.opts.FS.Truncate(path, validLen); err != nil {
 				return fmt.Errorf("storage: truncate torn tail of segment %d: %w", id, err)
 			}
 		}
@@ -494,14 +510,22 @@ func (db *DB) Delete(key []byte) error {
 
 // appendLocked encodes and appends a frame, updating in-memory state.
 // Callers hold db.mu.
+//
+// A failed append fail-stops the store (failLocked): the bytes on disk
+// are now a torn prefix the in-memory view knows nothing about, and a
+// later append would land mid-frame. The caller's error is the proof the
+// write was never acked; recovery truncates the torn tail.
 func (db *DB) appendLocked(kind byte, key, val []byte) error {
+	if db.failed != nil {
+		return db.failed
+	}
 	seq := db.seq
 	db.seq++
 	db.writeBuf = appendFrame(db.writeBuf[:0], record{kind: kind, seq: seq, key: key, val: val})
 	n := len(db.writeBuf)
 	off := db.activeSize
 	if _, err := db.active.Write(db.writeBuf); err != nil {
-		return fmt.Errorf("storage: append: %w", err)
+		return db.failLocked(fmt.Errorf("storage: append: %w", err))
 	}
 	db.activeSize += int64(n)
 	db.totalBytes += int64(n)
@@ -540,7 +564,7 @@ func (db *DB) maybeSyncLocked() error {
 	case SyncAlways:
 		db.nSyncs.Add(1)
 		if err := db.fsyncActive(); err != nil {
-			return err
+			return db.failLocked(err)
 		}
 		db.durableSeq = db.seq
 	case SyncBatch:
@@ -549,27 +573,50 @@ func (db *DB) maybeSyncLocked() error {
 	return nil
 }
 
-// rotateLocked seals the active segment and starts a new one.
+// failLocked fail-stops the store with err as the terminal cause and
+// returns the error it recorded (idempotent — the first cause wins).
+// Callers hold db.mu.
+func (db *DB) failLocked(err error) error {
+	if db.failed == nil {
+		db.failed = fmt.Errorf("%w: %w", ErrFailed, err)
+	}
+	return db.failed
+}
+
+// Failed reports the fail-stop cause, nil while the store is healthy.
+func (db *DB) Failed() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.failed
+}
+
+// rotateLocked seals the active segment and starts a new one. Any
+// failure fail-stops the store: a half-finished rotation (sealed but not
+// reopened, or unsealed hint state) has no safe continuation short of
+// recovery.
 func (db *DB) rotateLocked() error {
 	if err := db.fsyncActive(); err != nil {
-		return err
+		return db.failLocked(err)
 	}
 	db.durableSeq = db.seq
 	if err := db.writeHintForActive(db.activeID, db.activeSize); err != nil {
-		return err
+		return db.failLocked(err)
 	}
 	if err := db.active.Close(); err != nil {
-		return err
+		return db.failLocked(err)
 	}
 	db.activeEntries = nil
 	db.activeID++
-	f, err := os.OpenFile(segmentPath(db.dir, db.activeID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := db.opts.FS.OpenWrite(segmentPath(db.dir, db.activeID))
 	if err != nil {
-		return err
+		return db.failLocked(err)
 	}
 	db.active = f
 	db.activeSize = 0
-	return syncDir(db.dir)
+	if err := syncDir(db.dir); err != nil {
+		return db.failLocked(err)
+	}
+	return nil
 }
 
 // writeHintForActive writes the hint file for the segment being sealed.
@@ -750,10 +797,13 @@ func (db *DB) Sync() error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.failed != nil {
+		return db.failed
+	}
 	db.nSyncs.Add(1)
 	db.needSync.Store(false)
 	if err := db.fsyncActive(); err != nil {
-		return err
+		return db.failLocked(err)
 	}
 	db.durableSeq = db.seq
 	return nil
@@ -773,10 +823,13 @@ func (db *DB) syncThrough(seq uint64) error {
 		db.nSyncElides.Add(1)
 		return nil
 	}
+	if db.failed != nil {
+		return db.failed
+	}
 	target := db.seq
 	db.nSyncs.Add(1)
 	if err := db.fsyncActive(); err != nil {
-		return err
+		return db.failLocked(err)
 	}
 	db.durableSeq = target
 	db.needSync.Store(false)
@@ -796,10 +849,12 @@ func (db *DB) syncLoop() {
 		case <-db.opts.Clock.After(db.opts.SyncInterval):
 			if db.needSync.Swap(false) {
 				db.mu.Lock()
-				if !db.closed {
+				if !db.closed && db.failed == nil {
 					db.nSyncs.Add(1)
-					if db.fsyncActive() == nil {
+					if err := db.fsyncActive(); err == nil {
 						db.durableSeq = db.seq
+					} else {
+						db.failLocked(err)
 					}
 				}
 				db.mu.Unlock()
